@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark behind Figures 1/5/6: gap-measure evaluation
+//! throughput (the measurement itself must be cheap enough to sweep 11
+//! schemes × 25 inputs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reorderlab_core::measures::{edge_gaps, gap_measures, vertex_bandwidths};
+use reorderlab_core::{GapDistribution, Scheme};
+use reorderlab_datasets::by_name;
+use std::hint::black_box;
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap_measures");
+    for instance in ["euroroad", "delaunay_n13", "gnutella"] {
+        let g = by_name(instance).expect("instance in suite").generate();
+        let pi = Scheme::Rcm.reorder(&g);
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("all_three", instance), &g, |b, g| {
+            b.iter(|| black_box(gap_measures(black_box(g), black_box(&pi))))
+        });
+        group.bench_with_input(BenchmarkId::new("edge_gaps", instance), &g, |b, g| {
+            b.iter(|| black_box(edge_gaps(black_box(g), black_box(&pi))))
+        });
+        group.bench_with_input(BenchmarkId::new("vertex_bandwidths", instance), &g, |b, g| {
+            b.iter(|| black_box(vertex_bandwidths(black_box(g), black_box(&pi))))
+        });
+        let gaps = edge_gaps(&g, &pi);
+        group.bench_with_input(BenchmarkId::new("distribution", instance), &gaps, |b, gaps| {
+            b.iter(|| black_box(GapDistribution::from_gaps(black_box(gaps))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

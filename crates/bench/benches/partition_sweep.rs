@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark behind Figure 7: multilevel k-way partitioner
+//! cost as the part count sweeps 8..256 (the METIS-ordering parameter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reorderlab_datasets::by_name;
+use reorderlab_partition::{nested_dissection_order, partition_kway, PartitionConfig};
+use std::hint::black_box;
+
+fn bench_kway(c: &mut Criterion) {
+    let g = by_name("delaunay_n12").expect("instance in suite").generate();
+    let mut group = c.benchmark_group("partition_kway");
+    group.sample_size(10);
+    for parts in [8usize, 32, 128] {
+        let cfg = PartitionConfig::new(parts).seed(7);
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &g, |b, g| {
+            b.iter(|| black_box(partition_kway(black_box(g), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nd(c: &mut Criterion) {
+    let g = by_name("delaunay_n11").expect("instance in suite").generate();
+    let mut group = c.benchmark_group("nested_dissection");
+    group.sample_size(10);
+    let cfg = PartitionConfig::new(2).seed(7);
+    group.bench_function("delaunay_n11", |b| {
+        b.iter(|| black_box(nested_dissection_order(black_box(&g), 32, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kway, bench_nd);
+criterion_main!(benches);

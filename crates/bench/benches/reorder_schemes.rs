@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark behind Figure 4: reordering compute time per
+//! scheme on one mid-sized instance from each structural class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reorderlab_core::Scheme;
+use reorderlab_datasets::by_name;
+use std::hint::black_box;
+
+fn bench_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder");
+    group.sample_size(10);
+    for instance in ["euroroad", "delaunay_n12", "figeys"] {
+        let g = by_name(instance).expect("instance in suite").generate();
+        for scheme in Scheme::evaluation_suite(7) {
+            // SlashBurn/Gorder/ND are heavyweight; keep them on the
+            // smallest instance only so the suite stays minutes, not hours.
+            let heavy = matches!(
+                scheme,
+                Scheme::SlashBurn { .. } | Scheme::Gorder { .. } | Scheme::NestedDissection { .. }
+            );
+            if heavy && instance != "euroroad" {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), instance),
+                &g,
+                |b, g| b.iter(|| black_box(scheme.reorder(black_box(g)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

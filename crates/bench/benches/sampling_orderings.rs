@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark behind Figure 11: RR-set sampling throughput
+//! under the application orderings (fixed RR-set count, isolating the
+//! sampler from IMM's stopping rule).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reorderlab_core::Scheme;
+use reorderlab_datasets::by_name;
+use reorderlab_influence::{DiffusionModel, RrSampler};
+use std::hint::black_box;
+
+const SETS_PER_ITER: u64 = 256;
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = by_name("livemocha").expect("instance in suite").generate();
+    let mut group = c.benchmark_group("rr_sampling_by_ordering");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SETS_PER_ITER));
+    for scheme in Scheme::application_suite() {
+        let pi = scheme.reorder(&g);
+        let h = g.permuted(&pi).expect("valid permutation");
+        let sampler = RrSampler::new(&h, DiffusionModel::IndependentCascade { probability: 0.02 });
+        group.bench_with_input(BenchmarkId::new("ic_p002", scheme.name()), &sampler, |b, s| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for i in 0..SETS_PER_ITER {
+                    total += s.sample(7, black_box(i)).0.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let g = by_name("livemocha").expect("instance in suite").generate();
+    let mut group = c.benchmark_group("rr_sampling_by_model");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SETS_PER_ITER));
+    for (name, model) in [
+        ("ic_p002", DiffusionModel::IndependentCascade { probability: 0.02 }),
+        ("wc", DiffusionModel::WeightedCascade),
+        ("lt", DiffusionModel::LinearThreshold),
+    ] {
+        let sampler = RrSampler::new(&g, model);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sampler, |b, s| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for i in 0..SETS_PER_ITER {
+                    total += s.sample(7, black_box(i)).0.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_models);
+criterion_main!(benches);

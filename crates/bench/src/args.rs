@@ -1,0 +1,125 @@
+//! Minimal argument handling shared by all harness binaries.
+
+/// Options common to every figure/table binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Run a reduced instance set for smoke testing.
+    pub quick: bool,
+    /// Worker threads for parallel stages (0 = rayon default).
+    pub threads: usize,
+    /// Optional path to also write results as CSV.
+    pub csv: Option<String>,
+    /// Run the serial (1-thread) variant where the experiment offers one.
+    pub serial: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { quick: false, threads: 0, csv: None, serial: false }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`-style input. Unknown flags abort with a
+    /// usage message; `--help` prints `description` and exits.
+    pub fn parse<I: Iterator<Item = String>>(mut args: I, description: &str) -> Self {
+        let mut out = HarnessArgs::default();
+        let program = args.next().unwrap_or_else(|| "bench".into());
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--serial" => out.serial = true,
+                "--threads" => {
+                    let v = args.next().unwrap_or_else(|| usage(&program, description));
+                    out.threads = v.parse().unwrap_or_else(|_| usage(&program, description));
+                }
+                "--csv" => {
+                    out.csv = Some(args.next().unwrap_or_else(|| usage(&program, description)));
+                }
+                "--help" | "-h" => {
+                    println!("{description}");
+                    println!(
+                        "usage: {program} [--quick] [--serial] [--threads N] [--csv FILE]"
+                    );
+                    std::process::exit(0);
+                }
+                _ => usage(&program, description),
+            }
+        }
+        out
+    }
+
+    /// Parses the process's actual arguments.
+    pub fn from_env(description: &str) -> Self {
+        HarnessArgs::parse(std::env::args(), description)
+    }
+}
+
+fn usage(program: &str, description: &str) -> ! {
+    eprintln!("{description}");
+    eprintln!("usage: {program} [--quick] [--serial] [--threads N] [--csv FILE]");
+    std::process::exit(2);
+}
+
+/// Writes rows as CSV to `path` when `path` is `Some`, silently doing
+/// nothing otherwise. Errors abort with a message (harness context).
+pub fn maybe_write_csv(path: &Option<String>, header: &str, rows: &[String]) {
+    let Some(path) = path else { return };
+    let mut text = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    text.push_str(header);
+    text.push('\n');
+    for r in rows {
+        text.push_str(r);
+        text.push('\n');
+    }
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("(wrote {path})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse(
+            std::iter::once("prog".to_string()).chain(v.iter().map(|s| s.to_string())),
+            "test",
+        )
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.quick);
+        assert!(!a.serial);
+        assert_eq!(a.threads, 0);
+        assert!(a.csv.is_none());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&["--quick", "--threads", "4", "--csv", "out.csv", "--serial"]);
+        assert!(a.quick);
+        assert!(a.serial);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn csv_writer_noop_without_path() {
+        maybe_write_csv(&None, "a,b", &["1,2".into()]);
+    }
+
+    #[test]
+    fn csv_writer_writes() {
+        let path = std::env::temp_dir().join("reorderlab_args_test.csv");
+        let p = path.to_string_lossy().to_string();
+        maybe_write_csv(&Some(p.clone()), "a,b", &["1,2".into(), "3,4".into()]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,75 @@
+//! Extra experiment: the community-detectability transition and its effect
+//! on reordering quality.
+//!
+//! The paper observes that the benefit of community-based orderings varies
+//! widely per input (e.g. vsp barely responds, Figure 8). This experiment
+//! makes the mechanism explicit: on stochastic block models, sweep the
+//! planted structure from crisp to dissolved and track (a) Louvain's
+//! recovery quality against ground truth (NMI/ARI) and (b) the ξ̂ of the
+//! community-based orderings versus RCM and Random.
+
+use reorderlab_bench::args::maybe_write_csv;
+use reorderlab_bench::{HarnessArgs, Table};
+use reorderlab_community::{adjusted_rand_index, louvain, nmi, LouvainConfig};
+use reorderlab_core::measures::gap_measures;
+use reorderlab_core::Scheme;
+use reorderlab_datasets::stochastic_block_model;
+
+fn main() {
+    let args = HarnessArgs::from_env(
+        "SBM detectability transition: community recovery vs reordering benefit",
+    );
+    let n = if args.quick { 1_000 } else { 4_000 };
+    let k = 8;
+    let p_in = 0.04;
+    let p_outs: &[f64] = if args.quick {
+        &[0.0005, 0.005, 0.02]
+    } else {
+        &[0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.04]
+    };
+
+    println!("SBM sweep: n = {n}, k = {k}, p_in = {p_in}\n");
+    let mut table = Table::new([
+        "p_out", "edges", "comms", "NMI", "ARI", "ξ̂ Grappolo", "ξ̂ Rabbit", "ξ̂ RCM", "ξ̂ Random",
+    ]);
+    let mut csv = Vec::new();
+    for &p_out in p_outs {
+        let pp = stochastic_block_model(n, k, p_in, p_out, 42);
+        let g = &pp.graph;
+        let r = louvain(g, &LouvainConfig::default());
+        let score_nmi = nmi(&r.assignment, &pp.blocks);
+        let score_ari = adjusted_rand_index(&r.assignment, &pp.blocks);
+        let gap = |s: Scheme| gap_measures(g, &s.reorder(g)).avg_gap;
+        let grap = gap(Scheme::Grappolo { threads: 0 });
+        let rabbit = gap(Scheme::RabbitOrder);
+        let rcm = gap(Scheme::Rcm);
+        let random = gap(Scheme::Random { seed: 3 });
+        table.row([
+            format!("{p_out}"),
+            g.num_edges().to_string(),
+            r.num_communities.to_string(),
+            format!("{score_nmi:.3}"),
+            format!("{score_ari:.3}"),
+            format!("{grap:.0}"),
+            format!("{rabbit:.0}"),
+            format!("{rcm:.0}"),
+            format!("{random:.0}"),
+        ]);
+        csv.push(format!(
+            "{p_out},{},{},{score_nmi:.4},{score_ari:.4},{grap:.1},{rabbit:.1},{rcm:.1},{random:.1}",
+            g.num_edges(),
+            r.num_communities
+        ));
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: while NMI ≈ 1 the community orderings crush Random; once the \
+         transition dissolves the blocks (NMI → 0), their edge disappears — the \
+         per-input variance the paper reports, reproduced with a controlled knob."
+    );
+    maybe_write_csv(
+        &args.csv,
+        "p_out,edges,communities,nmi,ari,gap_grappolo,gap_rabbit,gap_rcm,gap_random",
+        &csv,
+    );
+}

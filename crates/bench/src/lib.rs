@@ -1,0 +1,34 @@
+//! # reorderlab-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper, plus
+//! shared rendering and sweep utilities. Run any binary with `--help` for
+//! its options; all binaries accept `--quick` to run a reduced instance set
+//! for smoke-testing.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table I — instance statistics |
+//! | `fig01_headline_profile` | Fig. 1 — headline avg-gap performance profile |
+//! | `fig04_reorder_time` | Fig. 4 — reordering compute-time profile |
+//! | `fig05_avg_gap_profile` | Fig. 5 — ξ̂ performance profile |
+//! | `fig06_bandwidth` | Fig. 6 — β and β̂ performance profiles |
+//! | `fig07_metis_sweep` | Fig. 7 — METIS partition-count sweep |
+//! | `fig08_violin` | Fig. 8 — gap distributions + best/worst factors |
+//! | `fig09_community` | Fig. 9 — community-detection heat maps |
+//! | `fig10_community_memory` | Fig. 10 — Louvain memory metrics |
+//! | `fig11_influence` | Fig. 11 — IMM throughput / total time |
+//! | `fig12_influence_memory` | Fig. 12 — sampling-hotspot memory counters |
+//! | `ablations` | Beyond the paper — design-choice ablations |
+//! | `prior_kernels` | Beyond the paper — PageRank/SSSP/BC baseline suite |
+//! | `sbm_transition` | Beyond the paper — community-detectability mechanism |
+//! | `summary` | One-page end-to-end summary card |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod sweep;
+pub mod render;
+
+pub use args::HarnessArgs;
+pub use render::{heat_row, render_heatmap, render_profile, render_table, render_violin, Table};

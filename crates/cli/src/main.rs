@@ -1,0 +1,249 @@
+//! `reorderlab` — command-line interface to the reordering library.
+//!
+//! ```text
+//! reorderlab list
+//! reorderlab generate delaunay_n12 --out g.mtx
+//! reorderlab stats --input g.mtx
+//! reorderlab reorder --scheme rcm --input g.mtx --out reordered.mtx --perm pi.txt
+//! reorderlab measure --instance euroroad --scheme rcm --scheme grappolo
+//! ```
+
+mod scheme_arg;
+
+use reorderlab_core::measures::gap_measures;
+use reorderlab_core::Scheme;
+use reorderlab_datasets::{by_name, full_suite};
+use reorderlab_graph::{
+    read_edge_list, read_matrix_market, read_metis, write_edge_list, write_matrix_market,
+    write_metis, Csr, GraphStats,
+};
+use scheme_arg::{parse_scheme, scheme_help};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "list" => cmd_list(),
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "reorder" => cmd_reorder(rest),
+        "measure" => cmd_measure(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `reorderlab help`")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "reorderlab — vertex reordering toolkit (IISWC 2020 reproduction)\n\n\
+         usage:\n  \
+         reorderlab list\n  \
+         reorderlab generate <instance> [--out FILE]\n  \
+         reorderlab stats    (--input FILE | --instance NAME)\n  \
+         reorderlab reorder  (--scheme NAME | --apply-perm FILE)\n                      \
+         (--input FILE | --instance NAME) [--out FILE] [--perm FILE]\n  \
+         reorderlab measure  (--input FILE | --instance NAME) [--scheme NAME]...\n\n\
+         formats by extension: .mtx (Matrix Market), .graph (METIS), anything else: edge list\n\n\
+         schemes:\n{}",
+        scheme_help()
+    );
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("instances (25 small + 9 large, Table I stand-ins):");
+    for spec in full_suite() {
+        let scale = if spec.is_scaled() {
+            format!(" (scaled 1/{})", spec.scale_denominator)
+        } else {
+            String::new()
+        };
+        println!(
+            "  {:<16} {:<13} paper |V|={:<9} |E|={}{}",
+            spec.name, spec.domain.to_string(), spec.paper_vertices, spec.paper_edges, scale
+        );
+    }
+    println!("\nschemes:\n{}", scheme_help());
+    Ok(())
+}
+
+/// Simple flag scanner: returns the value following `flag`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Collects all values of a repeatable flag.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if args[i] == flag {
+            out.push(args[i + 1].clone());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn load_graph(args: &[String]) -> Result<(Csr, String), String> {
+    if let Some(path) = flag_value(args, "--input") {
+        let file = File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let reader = BufReader::new(file);
+        let g = if path.ends_with(".mtx") {
+            read_matrix_market(reader)
+        } else if path.ends_with(".graph") || path.ends_with(".metis") {
+            read_metis(reader)
+        } else {
+            read_edge_list(reader)
+        }
+        .map_err(|e| format!("failed to parse {path}: {e}"))?;
+        Ok((g, path))
+    } else if let Some(name) = flag_value(args, "--instance") {
+        let spec = by_name(&name)
+            .ok_or_else(|| format!("unknown instance {name:?}; see `reorderlab list`"))?;
+        Ok((spec.generate(), name))
+    } else {
+        Err("need --input FILE or --instance NAME".into())
+    }
+}
+
+fn save_graph(graph: &Csr, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    if path.ends_with(".mtx") {
+        write_matrix_market(graph, &mut writer)
+    } else if path.ends_with(".graph") || path.ends_with(".metis") {
+        write_metis(graph, &mut writer)
+    } else {
+        write_edge_list(graph, &mut writer)
+    }
+    .map_err(|e| format!("failed to write {path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: reorderlab generate <instance> [--out FILE]")?;
+    let spec =
+        by_name(name).ok_or_else(|| format!("unknown instance {name:?}; see `reorderlab list`"))?;
+    let g = spec.generate();
+    eprintln!("generated {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
+    match flag_value(args, "--out") {
+        Some(path) => save_graph(&g, &path),
+        None => {
+            let stdout = std::io::stdout();
+            write_edge_list(&g, stdout.lock()).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (g, name) = load_graph(args)?;
+    let s = GraphStats::compute(&g);
+    println!("graph: {name}");
+    println!("  vertices:               {}", s.num_vertices);
+    println!("  edges:                  {}", s.num_edges);
+    println!("  max degree:             {}", s.max_degree);
+    println!("  mean degree:            {:.3}", s.mean_degree);
+    println!("  degree std dev:         {:.3}", s.degree_std_dev);
+    println!("  triangles:              {}", s.triangles);
+    println!("  clustering coefficient: {:.4}", s.clustering_coefficient);
+    Ok(())
+}
+
+fn cmd_reorder(args: &[String]) -> Result<(), String> {
+    let (g, name) = load_graph(args)?;
+    let t0 = std::time::Instant::now();
+    // Either compute an ordering from a scheme, or apply a saved one.
+    let (pi, label) = if let Some(path) = flag_value(args, "--apply-perm") {
+        let file = File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let pi = reorderlab_graph::Permutation::read_text(BufReader::new(file))
+            .map_err(|e| format!("failed to parse {path}: {e}"))?;
+        if pi.len() != g.num_vertices() {
+            return Err(format!(
+                "permutation covers {} vertices but the graph has {}",
+                pi.len(),
+                g.num_vertices()
+            ));
+        }
+        (pi, format!("perm file {path}"))
+    } else {
+        let scheme_name = flag_value(args, "--scheme")
+            .ok_or("need --scheme NAME or --apply-perm FILE (see `reorderlab list`)")?;
+        let scheme = parse_scheme(&scheme_name)?;
+        let pi = scheme.reorder(&g);
+        (pi, scheme.name().to_string())
+    };
+    let elapsed = t0.elapsed();
+    let before = gap_measures(&g, &reorderlab_graph::Permutation::identity(g.num_vertices()));
+    let after = gap_measures(&g, &pi);
+    eprintln!(
+        "{} on {name}: ξ̂ {:.1} -> {:.1}, β {} -> {}, β̂ {:.1} -> {:.1} ({:.3}s)",
+        label,
+        before.avg_gap,
+        after.avg_gap,
+        before.bandwidth,
+        after.bandwidth,
+        before.avg_bandwidth,
+        after.avg_bandwidth,
+        elapsed.as_secs_f64()
+    );
+    if let Some(path) = flag_value(args, "--perm") {
+        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        pi.write_text(BufWriter::new(file)).map_err(|e| e.to_string())?;
+        eprintln!("wrote permutation to {path}");
+    }
+    if let Some(path) = flag_value(args, "--out") {
+        let h = g.permuted(&pi).map_err(|e| e.to_string())?;
+        save_graph(&h, &path)?;
+        eprintln!("wrote reordered graph to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_measure(args: &[String]) -> Result<(), String> {
+    let (g, name) = load_graph(args)?;
+    let mut schemes: Vec<Scheme> = Vec::new();
+    for s in flag_values(args, "--scheme") {
+        schemes.push(parse_scheme(&s)?);
+    }
+    if schemes.is_empty() {
+        schemes = Scheme::evaluation_suite(42);
+    }
+    println!("gap measures on {name} (|V|={}, |E|={}):", g.num_vertices(), g.num_edges());
+    println!("{:<16} {:>12} {:>12} {:>12} {:>12}", "scheme", "avg gap", "bandwidth", "avg band", "log gap");
+    for scheme in schemes {
+        let m = gap_measures(&g, &scheme.reorder(&g));
+        println!(
+            "{:<16} {:>12.1} {:>12} {:>12.1} {:>12.2}",
+            scheme.name(),
+            m.avg_gap,
+            m.bandwidth,
+            m.avg_bandwidth,
+            m.avg_log_gap
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! End-to-end tests of the `reorderlab` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reorderlab"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> (PathBuf, String) {
+    let path = std::env::temp_dir().join(format!("reorderlab_cli_{}_{name}", std::process::id()));
+    let s = path.to_string_lossy().to_string();
+    (path, s)
+}
+
+#[test]
+fn help_lists_commands_and_schemes() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["generate", "reorder", "measure", "stats", "rcm", "grappolo", "slashburn"] {
+        assert!(text.contains(needle), "help missing {needle}");
+    }
+}
+
+#[test]
+fn list_names_all_34_instances() {
+    let out = run(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chicago_road"));
+    assert!(text.contains("orkut"));
+    assert!(text.contains("scaled 1/64"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_stats_reorder_roundtrip() {
+    let (p1, f1) = tmp("g.mtx");
+    let (p2, f2) = tmp("g2.mtx");
+    let (p3, f3) = tmp("pi.txt");
+
+    let out = run(&["generate", "euroroad", "--out", &f1]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(p1.exists());
+
+    let out = run(&["stats", "--input", &f1]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vertices:               1190"), "{text}");
+
+    let out = run(&["reorder", "--scheme", "rcm", "--input", &f1, "--out", &f2, "--perm", &f3]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // The permutation file has one rank per vertex and is a bijection.
+    let perm: Vec<u32> = std::fs::read_to_string(&p3)
+        .unwrap()
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    assert_eq!(perm.len(), 1190);
+    let mut sorted = perm.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 1190, "permutation must be a bijection");
+    // The reordered graph has the same size.
+    let out = run(&["stats", "--input", &f2]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("edges:                  1409"));
+
+    for p in [p1, p2, p3] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn measure_reports_requested_schemes() {
+    let out = run(&["measure", "--instance", "chicago_road", "--scheme", "rcm", "--scheme", "random:3"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("RCM"));
+    assert!(text.contains("Random"));
+    assert!(!text.contains("Gorder"), "only requested schemes should run");
+}
+
+#[test]
+fn bad_scheme_is_reported() {
+    let out = run(&["measure", "--instance", "chicago_road", "--scheme", "bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scheme"));
+}
+
+#[test]
+fn missing_input_is_reported() {
+    let out = run(&["stats"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}

@@ -1,0 +1,11 @@
+//! Gap measures and their presentation summaries (paper §II-A and §V).
+
+mod distribution;
+mod gap;
+mod packing;
+mod profile;
+
+pub use distribution::GapDistribution;
+pub use gap::{edge_gaps, gap_measures, vertex_bandwidths, GapMeasures};
+pub use packing::{packing_factor, PackingFactor};
+pub use profile::PerformanceProfile;

@@ -1,0 +1,258 @@
+//! The scheme registry: a closed enumeration of every reordering scheme the
+//! paper evaluates, with uniform dispatch. Harness code sweeps
+//! [`Scheme::evaluation_suite`] to reproduce the 11-scheme comparisons of
+//! §V.
+
+use crate::schemes::{
+    cdfs_order, degree_sort, gorder, grappolo_order_with, grappolo_rcm_order_with, hub_cluster,
+    hub_sort, metis_order, natural_order, nd_order, rabbit_order, random_order, rcm_order,
+    slashburn_order, DegreeDirection,
+};
+use reorderlab_community::LouvainConfig;
+use reorderlab_graph::{Csr, Permutation};
+
+/// A vertex reordering scheme, parameterized where the paper parameterizes
+/// it (Random's seed, METIS's part count, Gorder's window, SlashBurn's hub
+/// fraction).
+///
+/// # Examples
+///
+/// ```
+/// use reorderlab_core::Scheme;
+/// use reorderlab_datasets::grid2d;
+///
+/// let g = grid2d(8, 8);
+/// for scheme in Scheme::evaluation_suite(7) {
+///     let pi = scheme.reorder(&g);
+///     assert_eq!(pi.len(), 64, "{} must order every vertex", scheme.name());
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Scheme {
+    /// The input order (identity).
+    Natural,
+    /// Uniform random shuffle.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Sort by degree.
+    DegreeSort {
+        /// Sort direction.
+        direction: DegreeDirection,
+    },
+    /// Hubs first, sorted by degree \[38\].
+    HubSort,
+    /// Hubs first, natural order within \[2\].
+    HubCluster,
+    /// Iterative hub slashing \[21\].
+    SlashBurn {
+        /// Fraction of remaining vertices slashed per round.
+        k_frac: f64,
+    },
+    /// Window-based Gscore greedy \[37\].
+    Gorder {
+        /// Window size.
+        window: usize,
+    },
+    /// Reverse Cuthill–McKee \[9\].
+    Rcm,
+    /// Children Depth-First Search \[3\]: RCM without the per-level degree
+    /// sort (the paper's footnote 1).
+    Cdfs,
+    /// Nested dissection \[15, 23\].
+    NestedDissection {
+        /// Partitioner seed.
+        seed: u64,
+    },
+    /// Partition-induced ordering (METIS-style) \[22\].
+    Metis {
+        /// Number of parts.
+        parts: usize,
+        /// Partitioner seed.
+        seed: u64,
+    },
+    /// Community-contiguous ordering from parallel Louvain \[28\].
+    Grappolo {
+        /// Worker threads (0 = rayon default).
+        threads: usize,
+    },
+    /// Communities ordered by RCM on the coarsened graph (this paper).
+    GrappoloRcm {
+        /// Worker threads (0 = rayon default).
+        threads: usize,
+    },
+    /// Incremental-aggregation community ordering \[1\].
+    RabbitOrder,
+}
+
+impl Scheme {
+    /// Stable display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Natural => "Natural",
+            Scheme::Random { .. } => "Random",
+            Scheme::DegreeSort { direction: DegreeDirection::Decreasing } => "DegreeSort",
+            Scheme::DegreeSort { direction: DegreeDirection::Increasing } => "DegreeSortAsc",
+            Scheme::HubSort => "HubSort",
+            Scheme::HubCluster => "HubCluster",
+            Scheme::SlashBurn { .. } => "SlashBurn",
+            Scheme::Gorder { .. } => "Gorder",
+            Scheme::Rcm => "RCM",
+            Scheme::Cdfs => "CDFS",
+            Scheme::NestedDissection { .. } => "ND",
+            Scheme::Metis { .. } => "METIS",
+            Scheme::Grappolo { .. } => "Grappolo",
+            Scheme::GrappoloRcm { .. } => "Grappolo-RCM",
+            Scheme::RabbitOrder => "Rabbit",
+        }
+    }
+
+    /// Computes this scheme's permutation for `graph`.
+    pub fn reorder(&self, graph: &Csr) -> Permutation {
+        match *self {
+            Scheme::Natural => natural_order(graph),
+            Scheme::Random { seed } => random_order(graph, seed),
+            Scheme::DegreeSort { direction } => degree_sort(graph, direction),
+            Scheme::HubSort => hub_sort(graph),
+            Scheme::HubCluster => hub_cluster(graph),
+            Scheme::SlashBurn { k_frac } => slashburn_order(graph, k_frac),
+            Scheme::Gorder { window } => gorder(graph, window, 4096),
+            Scheme::Rcm => rcm_order(graph),
+            Scheme::Cdfs => cdfs_order(graph),
+            Scheme::NestedDissection { seed } => nd_order(graph, seed),
+            Scheme::Metis { parts, seed } => metis_order(graph, parts, seed),
+            Scheme::Grappolo { threads } => {
+                grappolo_order_with(graph, &LouvainConfig::default().threads(threads))
+            }
+            Scheme::GrappoloRcm { threads } => {
+                grappolo_rcm_order_with(graph, &LouvainConfig::default().threads(threads))
+            }
+            Scheme::RabbitOrder => rabbit_order(graph),
+        }
+    }
+
+    /// The 11 schemes of the paper's qualitative study (§V): Natural,
+    /// Random, Degree Sort, SlashBurn, Gorder, Rabbit Order, Grappolo,
+    /// Grappolo-RCM, METIS (32 parts), RCM, and ND — with the paper's
+    /// parameter choices.
+    pub fn evaluation_suite(seed: u64) -> Vec<Scheme> {
+        vec![
+            Scheme::Natural,
+            Scheme::Random { seed },
+            Scheme::DegreeSort { direction: DegreeDirection::Decreasing },
+            Scheme::SlashBurn { k_frac: 0.005 },
+            Scheme::Gorder { window: 5 },
+            Scheme::RabbitOrder,
+            Scheme::Grappolo { threads: 1 },
+            Scheme::GrappoloRcm { threads: 1 },
+            Scheme::Metis { parts: 32, seed },
+            Scheme::Rcm,
+            Scheme::NestedDissection { seed },
+        ]
+    }
+
+    /// Every scheme in the crate — the 11-scheme evaluation suite plus the
+    /// extensions (Hub Sort, Hub Clustering, ascending Degree Sort, CDFS) —
+    /// for exhaustive sweeps.
+    pub fn extended_suite(seed: u64) -> Vec<Scheme> {
+        let mut all = Scheme::evaluation_suite(seed);
+        all.push(Scheme::HubSort);
+        all.push(Scheme::HubCluster);
+        all.push(Scheme::DegreeSort { direction: DegreeDirection::Increasing });
+        all.push(Scheme::Cdfs);
+        all
+    }
+
+    /// The four schemes of the application study (§VI): Grappolo, RCM,
+    /// Natural, and Degree Sort.
+    pub fn application_suite() -> Vec<Scheme> {
+        vec![
+            Scheme::Grappolo { threads: 0 },
+            Scheme::Rcm,
+            Scheme::Natural,
+            Scheme::DegreeSort { direction: DegreeDirection::Decreasing },
+        ]
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reorderlab_datasets::{clique_chain, grid2d};
+
+    #[test]
+    fn evaluation_suite_has_eleven_schemes() {
+        let suite = Scheme::evaluation_suite(0);
+        assert_eq!(suite.len(), 11);
+        let names: std::collections::HashSet<&str> = suite.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 11, "scheme names must be unique");
+        assert!(names.contains("METIS"));
+        assert!(names.contains("Grappolo-RCM"));
+    }
+
+    #[test]
+    fn application_suite_matches_figure9_columns() {
+        let names: Vec<&str> = Scheme::application_suite().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["Grappolo", "RCM", "Natural", "DegreeSort"]);
+    }
+
+    #[test]
+    fn every_scheme_produces_valid_permutation() {
+        let g = grid2d(7, 7);
+        for scheme in Scheme::evaluation_suite(3) {
+            let pi = scheme.reorder(&g);
+            assert_eq!(pi.len(), 49, "{scheme}");
+            assert!(
+                Permutation::from_ranks(pi.ranks().to_vec()).is_ok(),
+                "{scheme} produced an invalid permutation"
+            );
+        }
+    }
+
+    #[test]
+    fn every_scheme_handles_communities_graph() {
+        let g = clique_chain(3, 5);
+        for scheme in Scheme::evaluation_suite(1) {
+            assert_eq!(scheme.reorder(&g).len(), 15, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn extended_suite_is_superset_with_unique_names() {
+        let ext = Scheme::extended_suite(1);
+        assert_eq!(ext.len(), 15);
+        let names: std::collections::HashSet<&str> = ext.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 15);
+        assert!(names.contains("HubSort"));
+        assert!(names.contains("CDFS"));
+        let g = grid2d(5, 5);
+        for s in &ext {
+            assert_eq!(s.reorder(&g).len(), 25, "{s}");
+        }
+    }
+
+    #[test]
+    fn cdfs_variant_dispatches() {
+        let g = grid2d(6, 6);
+        let pi = Scheme::Cdfs.reorder(&g);
+        assert_eq!(pi.len(), 36);
+        assert_eq!(Scheme::Cdfs.name(), "CDFS");
+        // CDFS is the no-sort relaxation of RCM, not part of the paper's
+        // 11-scheme evaluation suite.
+        assert!(Scheme::evaluation_suite(0).iter().all(|s| s.name() != "CDFS"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Scheme::Rcm.to_string(), "RCM");
+        assert_eq!(Scheme::Metis { parts: 32, seed: 0 }.to_string(), "METIS");
+    }
+}

@@ -1,0 +1,29 @@
+//! Implementations of the individual reordering schemes (paper §III).
+//!
+//! Each scheme is a plain function from a graph to a validated
+//! [`Permutation`](reorderlab_graph::Permutation); the
+//! [`Scheme`](crate::Scheme) enum provides uniform dispatch over all of
+//! them.
+
+mod basic;
+mod composite;
+mod degree;
+mod gorder;
+mod hybrid;
+mod minla;
+mod rabbit;
+mod rcm;
+mod slashburn;
+
+pub use basic::{natural_order, random_order};
+pub use composite::{
+    grappolo_order, grappolo_order_with, grappolo_rcm_order, grappolo_rcm_order_with, metis_order,
+    nd_order,
+};
+pub use degree::{degree_sort, hub_cluster, hub_sort, hub_threshold, DegreeDirection};
+pub use gorder::gorder;
+pub use hybrid::{hybrid_multiscale_order, HybridConfig};
+pub use minla::{minla_anneal, MinlaConfig};
+pub use rabbit::rabbit_order;
+pub use rcm::{cdfs_order, cm_order, rcm_order};
+pub use slashburn::slashburn_order;

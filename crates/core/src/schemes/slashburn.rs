@@ -1,0 +1,180 @@
+//! SlashBurn (paper §III-B, Kang & Faloutsos \[21\]).
+//!
+//! A heavyweight hub-based scheme: repeatedly *slash* the k highest-degree
+//! hubs (assigning them the lowest available ranks), *burn* the graph into
+//! components, push every non-giant component's vertices ("spokes") to the
+//! highest available ranks, and recurse on the giant connected component.
+//! The result concentrates the adjacency matrix near block-diagonal-plus-
+//! hub form.
+
+use reorderlab_graph::{Components, Csr, Permutation};
+
+/// Computes a SlashBurn ordering.
+///
+/// `k_frac` is the fraction of (remaining) vertices slashed per round; the
+/// original paper uses 0.5% (`0.005`). At least one hub is slashed per
+/// round, so the algorithm always terminates.
+///
+/// # Panics
+///
+/// Panics if `k_frac` is not in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use reorderlab_core::schemes::slashburn_order;
+/// use reorderlab_datasets::star;
+///
+/// let g = star(100);
+/// let pi = slashburn_order(&g, 0.005);
+/// assert_eq!(pi.rank(0), 0); // the hub is slashed first
+/// ```
+pub fn slashburn_order(graph: &Csr, k_frac: f64) -> Permutation {
+    assert!(k_frac > 0.0 && k_frac <= 1.0, "k_frac must be in (0, 1]");
+    let n = graph.num_vertices();
+    let mut ranks = vec![u32::MAX; n];
+    let mut front = 0u32;
+    let mut back = n as u32; // exclusive
+    // `live` holds original ids of the current working component.
+    let mut live: Vec<u32> = (0..n as u32).collect();
+    let mut sub = graph.clone();
+
+    loop {
+        let remaining = live.len();
+        if remaining == 0 {
+            break;
+        }
+        let k = ((remaining as f64 * k_frac).ceil() as usize).max(1);
+        if remaining <= k {
+            // Terminal round: everything left goes to the front by degree.
+            let mut rest: Vec<u32> = (0..remaining as u32).collect();
+            rest.sort_by_key(|&v| (std::cmp::Reverse(sub.degree(v)), live[v as usize]));
+            for v in rest {
+                ranks[live[v as usize] as usize] = front;
+                front += 1;
+            }
+            break;
+        }
+
+        // Slash: the k highest-degree vertices get the lowest free ranks.
+        let mut by_degree: Vec<u32> = (0..remaining as u32).collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(sub.degree(v)), live[v as usize]));
+        let hubs = &by_degree[..k];
+        let mut is_hub = vec![false; remaining];
+        for &h in hubs {
+            ranks[live[h as usize] as usize] = front;
+            front += 1;
+            is_hub[h as usize] = true;
+        }
+
+        // Burn: components of the remainder.
+        let keep: Vec<u32> = (0..remaining as u32).filter(|&v| !is_hub[v as usize]).collect();
+        let (rest, rest_orig_local) = sub.induced_subgraph(&keep);
+        let comps = Components::find(&rest);
+        let giant = match comps.largest() {
+            Some(g) => g,
+            None => break, // nothing left
+        };
+
+        // Spokes: vertices of non-giant components take the highest free
+        // ranks. Components are ordered by increasing size (ties by id) so
+        // the smallest spokes sit at the very end, mirroring SlashBurn's
+        // spoke layout.
+        let mut spoke_comps: Vec<u32> = (0..comps.count() as u32).filter(|&c| c != giant).collect();
+        spoke_comps.sort_by_key(|&c| (comps.size(c), c));
+        let members = comps.members();
+        for &c in &spoke_comps {
+            for &v in members[c as usize].iter().rev() {
+                back -= 1;
+                let orig = live[rest_orig_local[v as usize] as usize];
+                ranks[orig as usize] = back;
+            }
+        }
+
+        // Recurse on the giant component.
+        let giant_local: Vec<u32> = members[giant as usize].clone();
+        let (next_sub, next_orig_local) = rest.induced_subgraph(&giant_local);
+        live = next_orig_local
+            .iter()
+            .map(|&v| live[rest_orig_local[v as usize] as usize])
+            .collect();
+        sub = next_sub;
+    }
+    debug_assert!(front <= back, "front {front} crossed back {back}");
+    Permutation::from_ranks(ranks).expect("every vertex received exactly one rank")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reorderlab_datasets::{barabasi_albert, path, star};
+    use reorderlab_graph::GraphBuilder;
+
+    #[test]
+    fn star_hub_slashed_first() {
+        let g = star(50);
+        let pi = slashburn_order(&g, 0.02); // k = 1
+        assert_eq!(pi.rank(0), 0);
+    }
+
+    #[test]
+    fn produces_valid_permutation_on_powerlaw() {
+        let g = barabasi_albert(400, 2, 3);
+        let pi = slashburn_order(&g, 0.005);
+        assert_eq!(pi.len(), 400);
+        assert!(Permutation::from_ranks(pi.ranks().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn hubs_occupy_low_ranks() {
+        let g = barabasi_albert(500, 2, 7);
+        let pi = slashburn_order(&g, 0.01);
+        // The global max-degree vertex must be slashed in round one.
+        let hub = (0..500u32).max_by_key(|&v| g.degree(v)).unwrap();
+        assert!(pi.rank(hub) < 5, "hub rank {} should be tiny", pi.rank(hub));
+    }
+
+    #[test]
+    fn spokes_pushed_to_back() {
+        // Star + one disconnected pendant pair: after slashing the hub the
+        // leaves and the pair are all spokes.
+        let g = GraphBuilder::undirected(7)
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4), (5, 6)])
+            .build()
+            .unwrap();
+        let pi = slashburn_order(&g, 0.15); // k = ceil(7*0.15)=2
+        // Vertex 0 (degree 4) slashed first; ranks of 5,6 (smallest spoke
+        // component is the pair or singletons after slash) are high.
+        assert!(pi.rank(0) <= 1);
+        assert!(pi.rank(5) >= 2 && pi.rank(6) >= 2);
+    }
+
+    #[test]
+    fn path_terminates_and_is_valid() {
+        // Paths are SlashBurn's worst case (giant shrinks slowly).
+        let g = path(200);
+        let pi = slashburn_order(&g, 0.005);
+        assert_eq!(pi.len(), 200);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = barabasi_albert(200, 2, 1);
+        assert_eq!(slashburn_order(&g, 0.005), slashburn_order(&g, 0.005));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g1 = GraphBuilder::undirected(1).build().unwrap();
+        assert!(slashburn_order(&g1, 0.005).is_identity());
+        let g0 = GraphBuilder::undirected(0).build().unwrap();
+        assert!(slashburn_order(&g0, 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k_frac")]
+    fn rejects_bad_fraction() {
+        let g = path(4);
+        let _ = slashburn_order(&g, 0.0);
+    }
+}

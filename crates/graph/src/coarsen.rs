@@ -1,0 +1,191 @@
+//! Graph contraction by cluster assignment.
+//!
+//! Community-detection ordering schemes (Grappolo, Grappolo-RCM, Rabbit
+//! Order) and the multilevel partitioner repeatedly collapse clusters into
+//! super-vertices. [`contract`] performs that collapse, accumulating edge
+//! weights between clusters and weights of intra-cluster edges into
+//! self-loops — exactly the compaction Louvain performs between phases.
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use std::collections::HashMap;
+
+/// The result of contracting a graph by a cluster assignment.
+#[derive(Debug, Clone)]
+pub struct Contraction {
+    /// The coarsened graph: one vertex per cluster, weighted, with
+    /// self-loops carrying intra-cluster edge weight.
+    pub coarse: Csr,
+    /// For each coarse vertex, how many fine vertices it absorbed.
+    pub cluster_sizes: Vec<usize>,
+}
+
+/// Contracts `graph` by `assignment`, producing one super-vertex per cluster.
+///
+/// `assignment[v]` must lie in `[0, num_clusters)`. Edge weights between
+/// clusters are summed; intra-cluster edges become a self-loop on the
+/// super-vertex whose weight is the sum of the intra-cluster edge weights
+/// (each undirected intra-cluster edge counted once).
+///
+/// # Errors
+///
+/// Returns [`GraphError::AssignmentLengthMismatch`] if the assignment does
+/// not cover every vertex, or [`GraphError::ClusterOutOfBounds`] if an
+/// assignment exceeds `num_clusters`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use reorderlab_graph::{contract, GraphBuilder};
+///
+/// // Two triangles joined by one edge; collapse each triangle.
+/// let g = GraphBuilder::undirected(6)
+///     .edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+///     .build()?;
+/// let c = contract(&g, &[0, 0, 0, 1, 1, 1], 2)?;
+/// assert_eq!(c.coarse.num_vertices(), 2);
+/// assert_eq!(c.coarse.edge_weight(0, 1), Some(1.0)); // the bridge
+/// assert_eq!(c.coarse.edge_weight(0, 0), Some(3.0)); // triangle self-loop
+/// # Ok(())
+/// # }
+/// ```
+pub fn contract(
+    graph: &Csr,
+    assignment: &[u32],
+    num_clusters: usize,
+) -> Result<Contraction, GraphError> {
+    let n = graph.num_vertices();
+    if assignment.len() != n {
+        return Err(GraphError::AssignmentLengthMismatch {
+            assignment_len: assignment.len(),
+            num_vertices: n,
+        });
+    }
+    for &c in assignment {
+        if c as usize >= num_clusters {
+            return Err(GraphError::ClusterOutOfBounds {
+                cluster: c,
+                num_clusters: num_clusters as u32,
+            });
+        }
+    }
+
+    let mut cluster_sizes = vec![0usize; num_clusters];
+    for &c in assignment {
+        cluster_sizes[c as usize] += 1;
+    }
+
+    // Accumulate inter-cluster weights. Iterate logical edges so each
+    // undirected edge contributes once.
+    let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
+    for (u, v, w) in graph.edges() {
+        let (cu, cv) = (assignment[u as usize], assignment[v as usize]);
+        let key = if graph.is_directed() { (cu, cv) } else { (cu.min(cv), cu.max(cv)) };
+        *weights.entry(key).or_insert(0.0) += w;
+    }
+
+    let mut edges: Vec<(u32, u32, f64)> = weights.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    let num_edges = edges.len();
+
+    // Expand to symmetric arcs (self-loops stay single arcs).
+    let mut arcs: Vec<(u32, u32, f64)> = Vec::with_capacity(edges.len() * 2);
+    for &(u, v, w) in &edges {
+        arcs.push((u, v, w));
+        if !graph.is_directed() && u != v {
+            arcs.push((v, u, w));
+        }
+    }
+    arcs.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+    let coarse =
+        Csr::from_sorted_arcs(num_clusters, &arcs, num_edges, graph.is_directed(), true)?;
+    Ok(Contraction { coarse, cluster_sizes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn contract_two_triangles() {
+        let g = GraphBuilder::undirected(6)
+            .edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .build()
+            .unwrap();
+        let c = contract(&g, &[0, 0, 0, 1, 1, 1], 2).unwrap();
+        assert_eq!(c.coarse.num_vertices(), 2);
+        assert_eq!(c.cluster_sizes, vec![3, 3]);
+        assert_eq!(c.coarse.edge_weight(0, 1), Some(1.0));
+        assert_eq!(c.coarse.edge_weight(0, 0), Some(3.0));
+        assert_eq!(c.coarse.edge_weight(1, 1), Some(3.0));
+        // Total weight is conserved.
+        assert_eq!(c.coarse.total_edge_weight(), g.total_edge_weight());
+    }
+
+    #[test]
+    fn contract_preserves_total_weight_weighted() {
+        let g = GraphBuilder::undirected(4)
+            .weighted_edge(0, 1, 2.0)
+            .weighted_edge(1, 2, 3.0)
+            .weighted_edge(2, 3, 4.0)
+            .build()
+            .unwrap();
+        let c = contract(&g, &[0, 0, 1, 1], 2).unwrap();
+        assert_eq!(c.coarse.total_edge_weight(), 9.0);
+        assert_eq!(c.coarse.edge_weight(0, 0), Some(2.0));
+        assert_eq!(c.coarse.edge_weight(0, 1), Some(3.0));
+        assert_eq!(c.coarse.edge_weight(1, 1), Some(4.0));
+    }
+
+    #[test]
+    fn contract_identity_assignment() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).edge(1, 2).build().unwrap();
+        let c = contract(&g, &[0, 1, 2], 3).unwrap();
+        assert_eq!(c.coarse.num_vertices(), 3);
+        assert_eq!(c.coarse.num_edges(), 2);
+        assert_eq!(c.cluster_sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn contract_all_into_one() {
+        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
+        let c = contract(&g, &[0, 0, 0, 0], 1).unwrap();
+        assert_eq!(c.coarse.num_vertices(), 1);
+        assert_eq!(c.coarse.edge_weight(0, 0), Some(3.0));
+    }
+
+    #[test]
+    fn contract_rejects_bad_assignment() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).build().unwrap();
+        assert!(matches!(
+            contract(&g, &[0, 1], 2),
+            Err(GraphError::AssignmentLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            contract(&g, &[0, 1, 5], 2),
+            Err(GraphError::ClusterOutOfBounds { cluster: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn contract_directed_keeps_direction() {
+        let g = GraphBuilder::directed(4).edge(0, 2).edge(3, 1).build().unwrap();
+        let c = contract(&g, &[0, 0, 1, 1], 2).unwrap();
+        assert!(c.coarse.is_directed());
+        assert_eq!(c.coarse.edge_weight(0, 1), Some(1.0));
+        assert_eq!(c.coarse.edge_weight(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn contract_empty_clusters_allowed() {
+        // num_clusters larger than used: empty super-vertices are fine.
+        let g = GraphBuilder::undirected(2).edge(0, 1).build().unwrap();
+        let c = contract(&g, &[0, 2], 4).unwrap();
+        assert_eq!(c.coarse.num_vertices(), 4);
+        assert_eq!(c.cluster_sizes, vec![1, 0, 1, 0]);
+        assert_eq!(c.coarse.edge_weight(0, 2), Some(1.0));
+    }
+}

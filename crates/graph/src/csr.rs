@@ -1,0 +1,628 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! [`Csr`] is the substrate every other crate in the workspace builds on. It
+//! stores adjacency in two flat arrays (`offsets`, `targets`) plus an optional
+//! parallel weight array, which is exactly the layout whose memory behaviour
+//! vertex reordering is meant to improve: neighbors of consecutively-ranked
+//! vertices occupy nearby memory.
+
+use crate::error::GraphError;
+use crate::perm::Permutation;
+
+/// A graph in compressed sparse row form.
+///
+/// For undirected graphs every edge `{u, v}` with `u != v` is stored as the
+/// two arcs `u -> v` and `v -> u`; a self loop `{u, u}` is stored as a single
+/// arc. For directed graphs each arc is stored exactly once.
+///
+/// Construct via [`GraphBuilder`](crate::builder::GraphBuilder), the
+/// generators in `reorderlab-datasets`, or [`Csr::from_sorted_arcs`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use reorderlab_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::undirected(4)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(2, 3)
+///     .build()?;
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Option<Vec<f64>>,
+    /// Logical edge count: undirected edges are counted once.
+    num_edges: usize,
+    directed: bool,
+}
+
+impl Csr {
+    /// Builds a CSR directly from an adjacency structure whose neighbor lists
+    /// are already grouped per vertex (and ideally sorted).
+    ///
+    /// `arcs` holds `(source, target, weight)` triples sorted by source. This
+    /// is the fast path used by generators and by graph transforms that
+    /// produce arcs in order.
+    ///
+    /// `num_edges` is the logical edge count (undirected edges counted once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfBounds`] if an endpoint is `>= n` and
+    /// [`GraphError::InvalidWeight`] for non-finite or negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arcs` is not sorted by source vertex.
+    pub fn from_sorted_arcs(
+        n: usize,
+        arcs: &[(u32, u32, f64)],
+        num_edges: usize,
+        directed: bool,
+        weighted: bool,
+    ) -> Result<Self, GraphError> {
+        let mut offsets = vec![0usize; n + 1];
+        let mut targets = Vec::with_capacity(arcs.len());
+        let mut weights = if weighted { Some(Vec::with_capacity(arcs.len())) } else { None };
+        let mut prev_src = 0u32;
+        for &(u, v, w) in arcs {
+            assert!(u >= prev_src, "arcs must be sorted by source vertex");
+            prev_src = u;
+            if u as usize >= n {
+                return Err(GraphError::VertexOutOfBounds { vertex: u, num_vertices: n as u32 });
+            }
+            if v as usize >= n {
+                return Err(GraphError::VertexOutOfBounds { vertex: v, num_vertices: n as u32 });
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidWeight { weight: w });
+            }
+            offsets[u as usize + 1] += 1;
+            targets.push(v);
+            if let Some(ws) = weights.as_mut() {
+                ws.push(w);
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        Ok(Csr { offsets, targets, weights, num_edges, directed })
+    }
+
+    /// Assembles a CSR from raw parts, for internal transforms that have
+    /// already produced a consistent layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the offsets array is malformed or the
+    /// weight array length disagrees with `targets`.
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<usize>,
+        targets: Vec<u32>,
+        weights: Option<Vec<f64>>,
+        num_edges: usize,
+        directed: bool,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        if let Some(ws) = &weights {
+            debug_assert_eq!(ws.len(), targets.len());
+        }
+        Csr { offsets, targets, weights, num_edges, directed }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Logical number of edges `m` (undirected edges counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of stored arcs (directed adjacency entries).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Whether per-arc weights are stored. Unweighted graphs behave as if
+    /// every edge had weight `1.0`.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Out-neighbors of `v` (all neighbors, for undirected graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Weights parallel to [`Csr::neighbors`]; `None` for unweighted graphs.
+    #[inline]
+    pub fn neighbor_weights(&self, v: u32) -> Option<&[f64]> {
+        self.weights
+            .as_ref()
+            .map(|ws| &ws[self.offsets[v as usize]..self.offsets[v as usize + 1]])
+    }
+
+    /// Iterates `(neighbor, weight)` pairs for `v`, substituting `1.0` when
+    /// the graph is unweighted.
+    pub fn weighted_neighbors(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        let targets = &self.targets[lo..hi];
+        let weights = self.weights.as_ref().map(|ws| &ws[lo..hi]);
+        targets
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| (t, weights.map_or(1.0, |ws| ws[i])))
+    }
+
+    /// Degree of `v` (number of stored arcs leaving `v`; a self loop counts
+    /// once).
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Sum of weights of arcs leaving `v` (`degree` for unweighted graphs).
+    pub fn weighted_degree(&self, v: u32) -> f64 {
+        match &self.weights {
+            Some(ws) => ws[self.offsets[v as usize]..self.offsets[v as usize + 1]].iter().sum(),
+            None => self.degree(v) as f64,
+        }
+    }
+
+    /// Maximum degree Δ over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v as u32)).max().unwrap_or(0)
+    }
+
+    /// Iterates all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = u32> + '_ {
+        0..self.num_vertices() as u32
+    }
+
+    /// Iterates logical edges as `(u, v, w)`.
+    ///
+    /// For undirected graphs each edge is yielded once with `u <= v`; for
+    /// directed graphs every arc is yielded.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges { csr: self, vertex: 0, pos: 0 }
+    }
+
+    /// Total edge weight: sum of `w(e)` over logical edges.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.edges().map(|(_, _, w)| w).sum()
+    }
+
+    /// Whether the arc `u -> v` exists (binary search when the adjacency of
+    /// `u` is sorted, which holds for builder- and transform-produced graphs).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Weight of arc `u -> v`, if present.
+    pub fn edge_weight(&self, u: u32, v: u32) -> Option<f64> {
+        let lo = self.offsets[u as usize];
+        let nbrs = self.neighbors(u);
+        nbrs.binary_search(&v).ok().map(|i| match &self.weights {
+            Some(ws) => ws[lo + i],
+            None => 1.0,
+        })
+    }
+
+    /// The raw offsets array (length `n + 1`). Exposed for cache-simulation
+    /// workloads that need the physical layout.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw targets array (length `num_arcs`). Exposed for
+    /// cache-simulation workloads that need the physical layout.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Relabels the graph under permutation `pi`: vertex `v` becomes
+    /// `pi.rank(v)`. Neighbor lists of the result are sorted. The graph
+    /// structure (edge set, weights) is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::PermutationLengthMismatch`] when `pi` does not
+    /// cover exactly `n` vertices.
+    pub fn permuted(&self, pi: &Permutation) -> Result<Csr, GraphError> {
+        let n = self.num_vertices();
+        if pi.len() != n {
+            return Err(GraphError::PermutationLengthMismatch {
+                permutation_len: pi.len(),
+                num_vertices: n,
+            });
+        }
+        let order = pi.to_order();
+        let mut offsets = vec![0usize; n + 1];
+        for new_v in 0..n {
+            let old_v = order[new_v];
+            offsets[new_v + 1] = offsets[new_v] + self.degree(old_v);
+        }
+        let mut targets = vec![0u32; self.targets.len()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0.0f64; self.targets.len()]);
+        for new_v in 0..n {
+            let old_v = order[new_v];
+            let dst_lo = offsets[new_v];
+            let src_lo = self.offsets[old_v as usize];
+            let deg = self.degree(old_v);
+            // Relabel and sort this neighbor list (with its weights).
+            let mut pairs: Vec<(u32, usize)> = self.targets[src_lo..src_lo + deg]
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (pi.rank(t), i))
+                .collect();
+            pairs.sort_unstable();
+            for (j, &(t, i)) in pairs.iter().enumerate() {
+                targets[dst_lo + j] = t;
+                if let (Some(dst), Some(src)) = (weights.as_mut(), self.weights.as_ref()) {
+                    dst[dst_lo + j] = src[src_lo + i];
+                }
+            }
+        }
+        Ok(Csr::from_raw_parts(offsets, targets, weights, self.num_edges, self.directed))
+    }
+
+    /// Extracts the subgraph induced by `vertices` (which need not be
+    /// sorted; duplicates are ignored). Returns the subgraph — whose vertex
+    /// `i` corresponds to the `i`-th *distinct* entry of `vertices` — plus
+    /// the mapping from subgraph ids back to original ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `vertices` is out of bounds.
+    pub fn induced_subgraph(&self, vertices: &[u32]) -> (Csr, Vec<u32>) {
+        let n = self.num_vertices();
+        let mut local = vec![u32::MAX; n];
+        let mut originals: Vec<u32> = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            assert!((v as usize) < n, "induced_subgraph vertex out of bounds");
+            if local[v as usize] == u32::MAX {
+                local[v as usize] = originals.len() as u32;
+                originals.push(v);
+            }
+        }
+        let sub_n = originals.len();
+        let mut offsets = vec![0usize; sub_n + 1];
+        let mut targets = Vec::new();
+        let mut weights = self.weights.as_ref().map(|_| Vec::new());
+        let mut num_edges = 0usize;
+        for (i, &orig) in originals.iter().enumerate() {
+            let lo = self.offsets[orig as usize];
+            for (k, &t) in self.neighbors(orig).iter().enumerate() {
+                let lt = local[t as usize];
+                if lt == u32::MAX {
+                    continue;
+                }
+                targets.push(lt);
+                if let (Some(dst), Some(src)) = (weights.as_mut(), self.weights.as_ref()) {
+                    dst.push(src[lo + k]);
+                }
+                if self.directed || lt as usize >= i {
+                    num_edges += 1;
+                }
+            }
+            offsets[i + 1] = targets.len();
+            // Keep the per-vertex list sorted under the new ids.
+            let lo2 = offsets[i];
+            let hi2 = offsets[i + 1];
+            if let Some(ws) = weights.as_mut() {
+                let mut pairs: Vec<(u32, f64)> =
+                    targets[lo2..hi2].iter().copied().zip(ws[lo2..hi2].iter().copied()).collect();
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                for (j, (t, w)) in pairs.into_iter().enumerate() {
+                    targets[lo2 + j] = t;
+                    ws[lo2 + j] = w;
+                }
+            } else {
+                targets[lo2..hi2].sort_unstable();
+            }
+        }
+        let sub = Csr::from_raw_parts(offsets, targets, weights, num_edges, self.directed);
+        (sub, originals)
+    }
+
+    /// Transposes a directed graph (reverses every arc). For undirected
+    /// graphs this returns a clone, since the stored adjacency is already
+    /// symmetric.
+    pub fn transposed(&self) -> Csr {
+        if !self.directed {
+            return self.clone();
+        }
+        let n = self.num_vertices();
+        let mut offsets = vec![0usize; n + 1];
+        for &t in &self.targets {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; self.targets.len()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0.0f64; self.targets.len()]);
+        for u in 0..n as u32 {
+            let lo = self.offsets[u as usize];
+            for (i, &v) in self.neighbors(u).iter().enumerate() {
+                let slot = cursor[v as usize];
+                cursor[v as usize] += 1;
+                targets[slot] = u;
+                if let (Some(dst), Some(src)) = (weights.as_mut(), self.weights.as_ref()) {
+                    dst[slot] = src[lo + i];
+                }
+            }
+        }
+        // Each per-vertex list was filled in increasing source order, so it
+        // is already sorted.
+        Csr::from_raw_parts(offsets, targets, weights, self.num_edges, true)
+    }
+}
+
+/// Iterator over logical edges of a [`Csr`]; see [`Csr::edges`].
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    csr: &'a Csr,
+    vertex: usize,
+    pos: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (u32, u32, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.csr.num_vertices();
+        loop {
+            if self.vertex >= n {
+                return None;
+            }
+            let hi = self.csr.offsets[self.vertex + 1];
+            if self.pos >= hi {
+                self.vertex += 1;
+                continue;
+            }
+            let i = self.pos;
+            self.pos += 1;
+            let u = self.vertex as u32;
+            let v = self.csr.targets[i];
+            if !self.csr.directed && v < u {
+                continue; // the mirror arc represents this undirected edge
+            }
+            let w = self.csr.weights.as_ref().map_or(1.0, |ws| ws[i]);
+            return Some((u, v, w));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path4() -> Csr {
+        GraphBuilder::undirected(4).edge(0, 1).edge(1, 2).edge(2, 3).build().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path4();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert!(!g.is_directed());
+        assert!(!g.is_weighted());
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.weighted_degree(1), 2.0);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = path4();
+        let edges: Vec<_> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn has_edge_and_weight() {
+        let g = path4();
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.edge_weight(1, 2), Some(1.0));
+        assert_eq!(g.edge_weight(0, 3), None);
+    }
+
+    #[test]
+    fn permuted_preserves_structure() {
+        let g = path4();
+        // Reverse the path: 0<->3, 1<->2.
+        let pi = Permutation::from_ranks(vec![3, 2, 1, 0]).unwrap();
+        let h = g.permuted(&pi).unwrap();
+        assert_eq!(h.num_edges(), 3);
+        // old edge (0,1) -> (3,2); old (1,2) -> (2,1); old (2,3) -> (1,0)
+        assert!(h.has_edge(3, 2));
+        assert!(h.has_edge(2, 1));
+        assert!(h.has_edge(1, 0));
+        // Degree multiset preserved.
+        let mut d0: Vec<_> = (0..4).map(|v| g.degree(v)).collect();
+        let mut d1: Vec<_> = (0..4).map(|v| h.degree(v)).collect();
+        d0.sort_unstable();
+        d1.sort_unstable();
+        assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn permuted_rejects_wrong_length() {
+        let g = path4();
+        let pi = Permutation::identity(3);
+        assert!(matches!(
+            g.permuted(&pi),
+            Err(GraphError::PermutationLengthMismatch { permutation_len: 3, num_vertices: 4 })
+        ));
+    }
+
+    #[test]
+    fn permuted_neighbor_lists_sorted() {
+        let g = GraphBuilder::undirected(5)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(0, 3)
+            .edge(0, 4)
+            .build()
+            .unwrap();
+        let pi = Permutation::from_ranks(vec![2, 4, 0, 3, 1]).unwrap();
+        let h = g.permuted(&pi).unwrap();
+        for v in 0..5u32 {
+            let nbrs = h.neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted neighbors for {v}");
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_basic() {
+        // Triangle 0-1-2 plus pendant 3 on 2.
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build()
+            .unwrap();
+        let (sub, orig) = g.induced_subgraph(&[2, 0, 1]);
+        assert_eq!(orig, vec![2, 0, 1]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3); // the triangle; pendant edge dropped
+        assert!(sub.has_edge(0, 1)); // 2-0
+        assert!(sub.has_edge(0, 2)); // 2-1
+        assert!(sub.has_edge(1, 2)); // 0-1
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).build().unwrap();
+        let (sub, orig) = g.induced_subgraph(&[1, 1, 0]);
+        assert_eq!(orig, vec![1, 0]);
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_weighted() {
+        let g = GraphBuilder::undirected(3)
+            .weighted_edge(0, 1, 5.0)
+            .weighted_edge(1, 2, 7.0)
+            .build()
+            .unwrap();
+        let (sub, _) = g.induced_subgraph(&[1, 2]);
+        assert_eq!(sub.edge_weight(0, 1), Some(7.0));
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_empty_selection() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).build().unwrap();
+        let (sub, orig) = g.induced_subgraph(&[]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(orig.is_empty());
+    }
+
+    #[test]
+    fn transpose_directed() {
+        let g = crate::builder::GraphBuilder::directed(3)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 2)
+            .build()
+            .unwrap();
+        let t = g.transposed();
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        // Transposing twice restores the original.
+        assert_eq!(t.transposed(), g);
+    }
+
+    #[test]
+    fn transpose_undirected_is_identity() {
+        let g = path4();
+        assert_eq!(g.transposed(), g);
+    }
+
+    #[test]
+    fn weighted_graph_roundtrip() {
+        let g = GraphBuilder::undirected(3)
+            .weighted_edge(0, 1, 2.5)
+            .weighted_edge(1, 2, 0.5)
+            .build()
+            .unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+        assert_eq!(g.weighted_degree(1), 3.0);
+        assert_eq!(g.total_edge_weight(), 3.0);
+        let pi = Permutation::from_ranks(vec![1, 0, 2]).unwrap();
+        let h = g.permuted(&pi).unwrap();
+        assert_eq!(h.edge_weight(1, 0), Some(2.5));
+        assert_eq!(h.edge_weight(0, 2), Some(0.5));
+    }
+
+    #[test]
+    fn from_sorted_arcs_validates() {
+        let arcs = [(0u32, 5u32, 1.0f64)];
+        assert!(matches!(
+            Csr::from_sorted_arcs(3, &arcs, 1, true, false),
+            Err(GraphError::VertexOutOfBounds { vertex: 5, num_vertices: 3 })
+        ));
+        let bad_w = [(0u32, 1u32, f64::NAN)];
+        assert!(matches!(
+            Csr::from_sorted_arcs(3, &bad_w, 1, true, true),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::undirected(0).build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.total_edge_weight(), 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = GraphBuilder::undirected(5).edge(1, 3).build().unwrap();
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        assert_eq!(g.edges().count(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! # reorderlab-graph
+//!
+//! The graph substrate of the `reorderlab` workspace: a compressed sparse row
+//! ([`Csr`]) representation with construction, traversal, permutation,
+//! contraction, statistics, and text I/O.
+//!
+//! This crate deliberately contains *no* reordering logic — schemes live in
+//! `reorderlab-core` and consume the primitives here. The split mirrors the
+//! paper's structure: §II defines graphs and orderings (here), §III defines
+//! the reordering schemes (core).
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use reorderlab_graph::{GraphBuilder, Permutation};
+//!
+//! // A 5-cycle…
+//! let g = GraphBuilder::undirected(5)
+//!     .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+//!     .build()?;
+//!
+//! // …relabeled so vertex 0 goes last.
+//! let pi = Permutation::from_ranks(vec![4, 0, 1, 2, 3])?;
+//! let h = g.permuted(&pi)?;
+//! assert_eq!(h.num_edges(), g.num_edges());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod coarsen;
+mod components;
+mod csr;
+mod error;
+mod io;
+mod mtx;
+mod perm;
+mod stats;
+mod traversal;
+
+pub use builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
+pub use coarsen::{contract, Contraction};
+pub use components::{Components, UnionFind};
+pub use csr::{Csr, Edges};
+pub use error::{GraphError, PermutationDefect};
+pub use io::{read_edge_list, read_metis, write_edge_list, write_metis};
+pub use mtx::{read_matrix_market, write_matrix_market};
+pub use perm::Permutation;
+pub use stats::{approx_diameter, common_neighbors, count_triangles, degree_histogram, GraphStats};
+pub use traversal::{bfs_levels, pseudo_peripheral, Bfs, Dfs, LevelStructure};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a small arbitrary undirected graph as (n, edges).
+    fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+        (2usize..40).prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32);
+            (Just(n), proptest::collection::vec(edge, 0..120))
+        })
+    }
+
+    fn arb_perm(n: usize) -> impl Strategy<Value = Permutation> {
+        Just(n).prop_perturb(|n, mut rng| {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            // Fisher–Yates with proptest's rng for shrink-stable shuffles.
+            for i in (1..order.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            Permutation::from_order(&order).expect("shuffled identity is a permutation")
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn build_never_panics((n, edges) in arb_graph()) {
+            let g = GraphBuilder::undirected(n).edges(edges).build().unwrap();
+            prop_assert!(g.num_vertices() == n);
+            // Symmetric arc invariant: every arc has its mirror.
+            for (u, v, _) in g.edges() {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+
+        #[test]
+        fn permute_preserves_structure(((n, edges), seed) in (arb_graph(), any::<u64>())) {
+            let _ = seed;
+            let g = GraphBuilder::undirected(n).edges(edges).build().unwrap();
+            let pi = {
+                // Deterministic permutation derived from the seed.
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                let mut s = seed;
+                for i in (1..order.len()).rev() {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let j = (s >> 33) as usize % (i + 1);
+                    order.swap(i, j);
+                }
+                Permutation::from_order(&order).unwrap()
+            };
+            let h = g.permuted(&pi).unwrap();
+            prop_assert_eq!(h.num_edges(), g.num_edges());
+            // Degree multiset preserved.
+            let mut dg: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+            let mut dh: Vec<usize> = (0..n as u32).map(|v| h.degree(v)).collect();
+            dg.sort_unstable();
+            dh.sort_unstable();
+            prop_assert_eq!(dg, dh);
+            // Every original edge exists under the relabeling.
+            for (u, v, _) in g.edges() {
+                prop_assert!(h.has_edge(pi.rank(u), pi.rank(v)));
+            }
+            // Triangles are an isomorphism invariant.
+            prop_assert_eq!(count_triangles(&g), count_triangles(&h));
+        }
+
+        #[test]
+        fn permutation_inverse_roundtrip(pi in (1usize..64).prop_flat_map(arb_perm)) {
+            let inv = pi.inverse();
+            prop_assert!(inv.compose(&pi).is_identity());
+            prop_assert!(pi.compose(&inv).is_identity());
+            prop_assert_eq!(pi.reversed().reversed(), pi);
+        }
+
+        #[test]
+        fn components_partition((n, edges) in arb_graph()) {
+            let g = GraphBuilder::undirected(n).edges(edges).build().unwrap();
+            let c = Components::find(&g);
+            let total: usize = c.sizes().iter().sum();
+            prop_assert_eq!(total, n);
+            // Edge endpoints share a component.
+            for (u, v, _) in g.edges() {
+                prop_assert_eq!(c.component_of(u), c.component_of(v));
+            }
+        }
+
+        #[test]
+        fn contract_conserves_weight((n, edges) in arb_graph()) {
+            let g = GraphBuilder::undirected(n).edges(edges).build().unwrap();
+            // Assign vertices round-robin to 3 clusters.
+            let assignment: Vec<u32> = (0..n as u32).map(|v| v % 3).collect();
+            let c = contract(&g, &assignment, 3).unwrap();
+            let before = g.total_edge_weight();
+            let after = c.coarse.total_edge_weight();
+            prop_assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+        }
+
+        #[test]
+        fn edge_list_roundtrip_prop((n, edges) in arb_graph()) {
+            let g = GraphBuilder::undirected(n).edges(edges).build().unwrap();
+            if g.num_edges() == 0 {
+                return Ok(()); // empty output cannot recover n
+            }
+            let mut buf = Vec::new();
+            write_edge_list(&g, &mut buf).unwrap();
+            let h = read_edge_list(&buf[..]).unwrap();
+            prop_assert_eq!(h.num_edges(), g.num_edges());
+            for (u, v, _) in g.edges() {
+                prop_assert!(h.has_edge(u, v));
+            }
+        }
+
+        #[test]
+        fn bfs_levels_adjacent_differ_by_one((n, edges) in arb_graph()) {
+            let g = GraphBuilder::undirected(n).edges(edges).build().unwrap();
+            let ls = bfs_levels(&g, 0);
+            for (u, v, _) in g.edges() {
+                let (lu, lv) = (ls.levels[u as usize], ls.levels[v as usize]);
+                if lu != u32::MAX && lv != u32::MAX {
+                    prop_assert!(lu.abs_diff(lv) <= 1, "edge ({u},{v}) spans levels {lu},{lv}");
+                }
+            }
+        }
+    }
+}

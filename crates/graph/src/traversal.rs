@@ -1,0 +1,354 @@
+//! Graph traversals: BFS, DFS, level structures, and pseudo-peripheral
+//! vertex search.
+//!
+//! These are the building blocks of several reordering schemes — RCM is an
+//! interleaved BFS/DFS with degree tie-breaking, SlashBurn peels hubs between
+//! component searches, and the influence-maximization sampler runs stochastic
+//! reverse BFS.
+
+use crate::csr::Csr;
+use std::collections::VecDeque;
+
+/// Breadth-first iterator over the vertices reachable from a source.
+///
+/// Yields each reachable vertex exactly once, in BFS order, starting with the
+/// source itself.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use reorderlab_graph::{GraphBuilder, Bfs};
+/// let g = GraphBuilder::undirected(4).edge(0, 1).edge(1, 2).edge(0, 3).build()?;
+/// let order: Vec<u32> = Bfs::new(&g, 0).collect();
+/// assert_eq!(order, vec![0, 1, 3, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Bfs<'a> {
+    graph: &'a Csr,
+    queue: VecDeque<u32>,
+    visited: Vec<bool>,
+}
+
+impl<'a> Bfs<'a> {
+    /// Starts a BFS from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds.
+    pub fn new(graph: &'a Csr, source: u32) -> Self {
+        assert!((source as usize) < graph.num_vertices(), "BFS source out of bounds");
+        let mut visited = vec![false; graph.num_vertices()];
+        visited[source as usize] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        Bfs { graph, queue, visited }
+    }
+
+    /// Continues this BFS from an additional source (used to sweep multiple
+    /// components with one shared `visited` set). Returns `false` if the
+    /// vertex was already visited.
+    pub fn restart_at(&mut self, source: u32) -> bool {
+        if self.visited[source as usize] {
+            return false;
+        }
+        self.visited[source as usize] = true;
+        self.queue.push_back(source);
+        true
+    }
+
+    /// Read-only view of the visited set.
+    pub fn visited(&self) -> &[bool] {
+        &self.visited
+    }
+}
+
+impl Iterator for Bfs<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let v = self.queue.pop_front()?;
+        for &w in self.graph.neighbors(v) {
+            if !self.visited[w as usize] {
+                self.visited[w as usize] = true;
+                self.queue.push_back(w);
+            }
+        }
+        Some(v)
+    }
+}
+
+/// Depth-first (preorder) iterator over the vertices reachable from a source.
+#[derive(Debug)]
+pub struct Dfs<'a> {
+    graph: &'a Csr,
+    stack: Vec<u32>,
+    visited: Vec<bool>,
+}
+
+impl<'a> Dfs<'a> {
+    /// Starts a DFS from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds.
+    pub fn new(graph: &'a Csr, source: u32) -> Self {
+        assert!((source as usize) < graph.num_vertices(), "DFS source out of bounds");
+        Dfs { graph, stack: vec![source], visited: vec![false; graph.num_vertices()] }
+    }
+}
+
+impl Iterator for Dfs<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            let v = self.stack.pop()?;
+            if self.visited[v as usize] {
+                continue;
+            }
+            self.visited[v as usize] = true;
+            // Push in reverse so that the smallest-id neighbor is explored
+            // first, giving a deterministic preorder.
+            for &w in self.graph.neighbors(v).iter().rev() {
+                if !self.visited[w as usize] {
+                    self.stack.push(w);
+                }
+            }
+            return Some(v);
+        }
+    }
+}
+
+/// The rooted level structure of a BFS: which level each reachable vertex
+/// occupies, plus the vertices grouped per level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelStructure {
+    /// `levels[v]` is the BFS depth of `v`, or `u32::MAX` if unreachable.
+    pub levels: Vec<u32>,
+    /// Vertices grouped by level; `tiers[d]` lists the vertices at depth `d`.
+    pub tiers: Vec<Vec<u32>>,
+}
+
+impl LevelStructure {
+    /// Eccentricity of the root within its component: the index of the last
+    /// non-empty level.
+    pub fn eccentricity(&self) -> usize {
+        self.tiers.len().saturating_sub(1)
+    }
+
+    /// Width of the level structure: the size of the largest level.
+    pub fn width(&self) -> usize {
+        self.tiers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of vertices reachable from the root (including the root).
+    pub fn reached(&self) -> usize {
+        self.tiers.iter().map(Vec::len).sum()
+    }
+}
+
+/// Computes the BFS level structure rooted at `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+pub fn bfs_levels(graph: &Csr, source: u32) -> LevelStructure {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "bfs_levels source out of bounds");
+    let mut levels = vec![u32::MAX; n];
+    let mut tiers: Vec<Vec<u32>> = Vec::new();
+    levels[source as usize] = 0;
+    let mut frontier = vec![source];
+    while !frontier.is_empty() {
+        let depth = tiers.len() as u32;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in graph.neighbors(v) {
+                if levels[w as usize] == u32::MAX {
+                    levels[w as usize] = depth + 1;
+                    next.push(w);
+                }
+            }
+        }
+        tiers.push(frontier);
+        frontier = next;
+    }
+    LevelStructure { levels, tiers }
+}
+
+/// Finds a pseudo-peripheral vertex of the component containing `start`,
+/// using the classic George–Liu iteration: repeatedly move to a
+/// minimum-degree vertex in the last BFS level until the eccentricity stops
+/// growing.
+///
+/// RCM quality is sensitive to the starting vertex; starting from a
+/// pseudo-peripheral vertex yields narrow level structures and therefore low
+/// bandwidth.
+///
+/// # Panics
+///
+/// Panics if `start` is out of bounds.
+pub fn pseudo_peripheral(graph: &Csr, start: u32) -> u32 {
+    let mut current = start;
+    let mut ls = bfs_levels(graph, current);
+    let mut ecc = ls.eccentricity();
+    loop {
+        let last = match ls.tiers.last() {
+            Some(t) if !t.is_empty() => t,
+            _ => return current,
+        };
+        // Min-degree vertex in the deepest level.
+        let candidate = *last
+            .iter()
+            .min_by_key(|&&v| graph.degree(v))
+            .expect("non-empty level");
+        if candidate == current {
+            return current;
+        }
+        let next_ls = bfs_levels(graph, candidate);
+        let next_ecc = next_ls.eccentricity();
+        if next_ecc > ecc {
+            current = candidate;
+            ls = next_ls;
+            ecc = next_ecc;
+        } else {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path(n: usize) -> Csr {
+        GraphBuilder::undirected(n)
+            .edges((0..n as u32 - 1).map(|i| (i, i + 1)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bfs_visits_reachable_once() {
+        let g = GraphBuilder::undirected(6)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 3)
+            .edge(4, 5)
+            .build()
+            .unwrap();
+        let order: Vec<u32> = Bfs::new(&g, 0).collect();
+        assert_eq!(order, vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn bfs_restart_sweeps_components() {
+        let g = GraphBuilder::undirected(4).edge(0, 1).edge(2, 3).build().unwrap();
+        let mut bfs = Bfs::new(&g, 0);
+        let mut order = Vec::new();
+        while let Some(v) = bfs.next() {
+            order.push(v);
+        }
+        assert!(bfs.restart_at(2));
+        assert!(!bfs.restart_at(0)); // already visited
+        order.extend(&mut bfs);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_visited_reflects_progress() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).edge(1, 2).build().unwrap();
+        let mut bfs = Bfs::new(&g, 0);
+        assert!(bfs.visited()[0]);
+        assert!(!bfs.visited()[2]);
+        let _ = bfs.by_ref().count();
+        assert!(bfs.visited().iter().all(|&v| v));
+    }
+
+    #[test]
+    fn dfs_preorder_deterministic() {
+        let g = GraphBuilder::undirected(5)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(1, 4)
+            .build()
+            .unwrap();
+        let order: Vec<u32> = Dfs::new(&g, 0).collect();
+        assert_eq!(order, vec![0, 1, 3, 4, 2]);
+    }
+
+    #[test]
+    fn dfs_single_vertex() {
+        let g = GraphBuilder::undirected(1).build().unwrap();
+        let order: Vec<u32> = Dfs::new(&g, 0).collect();
+        assert_eq!(order, vec![0]);
+    }
+
+    #[test]
+    fn levels_on_path() {
+        let g = path(5);
+        let ls = bfs_levels(&g, 0);
+        assert_eq!(ls.levels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ls.eccentricity(), 4);
+        assert_eq!(ls.width(), 1);
+        assert_eq!(ls.reached(), 5);
+    }
+
+    #[test]
+    fn levels_unreachable_marked() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).build().unwrap();
+        let ls = bfs_levels(&g, 0);
+        assert_eq!(ls.levels[2], u32::MAX);
+        assert_eq!(ls.reached(), 2);
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_path_is_endpoint() {
+        let g = path(7);
+        let p = pseudo_peripheral(&g, 3); // start in the middle
+        assert!(p == 0 || p == 6, "expected an endpoint, got {p}");
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_star_reaches_leaf() {
+        let g = GraphBuilder::undirected(5)
+            .edges((1..5).map(|i| (0, i)))
+            .build()
+            .unwrap();
+        let p = pseudo_peripheral(&g, 0);
+        assert_ne!(p, 0, "a leaf is more peripheral than the hub");
+    }
+
+    #[test]
+    fn pseudo_peripheral_isolated_vertex() {
+        let g = GraphBuilder::undirected(2).build().unwrap();
+        assert_eq!(pseudo_peripheral(&g, 1), 1);
+    }
+
+    #[test]
+    fn bfs_level_structure_grid() {
+        // 3x3 grid, root at corner: levels should be the Manhattan distance.
+        let mut b = GraphBuilder::undirected(9);
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let v = r * 3 + c;
+                if c + 1 < 3 {
+                    b = b.edge(v, v + 1);
+                }
+                if r + 1 < 3 {
+                    b = b.edge(v, v + 3);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let ls = bfs_levels(&g, 0);
+        assert_eq!(ls.eccentricity(), 4);
+        assert_eq!(ls.levels[8], 4);
+        assert_eq!(ls.tiers[2].len(), 3); // anti-diagonal
+    }
+}

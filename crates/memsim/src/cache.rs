@@ -1,0 +1,190 @@
+//! A single set-associative cache with LRU replacement.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Cache-line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+    /// Ways per set.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// A config with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` is a power of two and
+    /// `size_bytes` is a positive multiple of `line_bytes × associativity`.
+    pub fn new(size_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(associativity >= 1, "need at least one way");
+        assert!(
+            size_bytes > 0 && size_bytes % (line_bytes * associativity) == 0,
+            "size must be a positive multiple of line × ways"
+        );
+        CacheConfig { size_bytes, line_bytes, associativity }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.associativity)
+    }
+}
+
+/// A set-associative LRU cache over 64-bit byte addresses.
+///
+/// # Examples
+///
+/// ```
+/// use reorderlab_memsim::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::new(1024, 64, 2));
+/// assert!(!c.access(0));  // cold miss
+/// assert!(c.access(32));  // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    line_shift: u32,
+    set_mask: u64,
+    /// `sets[s]` holds the resident line tags, most recently used first.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            config,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (num_sets - 1) as u64,
+            sets: vec![Vec::with_capacity(config.associativity); num_sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses `addr`; returns whether it hit. On miss the line is filled
+    /// (evicting LRU if needed).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.config.associativity {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Empties the cache and zeroes the counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_checks() {
+        let c = CacheConfig::new(32 * 1024, 64, 8);
+        assert_eq!(c.num_sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_line() {
+        let _ = CacheConfig::new(1024, 48, 2);
+    }
+
+    #[test]
+    fn same_line_hits() {
+        let mut c = Cache::new(CacheConfig::new(1024, 64, 2));
+        assert!(!c.access(100));
+        assert!(c.access(101));
+        assert!(c.access(127));
+        assert!(!c.access(128), "next line is cold");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2-way, line 64, 1024 bytes -> 8 sets; addresses 0, 512, 1024 all
+        // map to set 0 (line numbers 0, 8, 16).
+        let mut c = Cache::new(CacheConfig::new(1024, 64, 2));
+        assert!(!c.access(0));
+        assert!(!c.access(512));
+        assert!(!c.access(1024)); // evicts line of addr 0 (LRU)
+        assert!(!c.access(0), "LRU line must have been evicted");
+        assert!(c.access(1024), "MRU line must survive");
+    }
+
+    #[test]
+    fn lru_touch_refreshes() {
+        let mut c = Cache::new(CacheConfig::new(1024, 64, 2));
+        c.access(0);
+        c.access(512);
+        c.access(0); // refresh 0 to MRU
+        c.access(1024); // evicts 512 now
+        assert!(c.access(0));
+        assert!(!c.access(512));
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits() {
+        let mut c = Cache::new(CacheConfig::new(4096, 64, 4));
+        let addrs: Vec<u64> = (0..64).map(|i| i * 64).collect(); // exactly capacity
+        for &a in &addrs {
+            c.access(a);
+        }
+        for &a in &addrs {
+            assert!(c.access(a), "resident working set must hit at {a}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = Cache::new(CacheConfig::new(1024, 64, 2));
+        c.access(0);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(!c.access(0), "reset cache must be cold");
+    }
+}

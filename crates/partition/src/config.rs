@@ -1,0 +1,123 @@
+//! Partitioner configuration.
+
+/// Configuration for the multilevel k-way partitioner.
+///
+/// The defaults mirror the setup the paper uses for its METIS-based
+/// ordering: minimize edge cut subject to near-equal part weights.
+///
+/// # Examples
+///
+/// ```
+/// use reorderlab_partition::PartitionConfig;
+///
+/// let cfg = PartitionConfig::new(32).balance(0.05).seed(42);
+/// assert_eq!(cfg.num_parts, 32);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionConfig {
+    /// Number of parts `k` (the paper sweeps 8..256 and settles on 32).
+    pub num_parts: usize,
+    /// Allowed imbalance ε: every part weight must stay below
+    /// `(1 + ε) · total / k`.
+    pub epsilon: f64,
+    /// Stop coarsening once a level has at most this many vertices.
+    pub coarsen_until: usize,
+    /// Maximum Fiduccia–Mattheyses passes per uncoarsening level.
+    pub refine_passes: usize,
+    /// Greedy direct k-way boundary-refinement passes applied after the
+    /// recursive bisection (0 disables).
+    pub kway_refine_passes: usize,
+    /// RNG seed controlling matching tie-breaks and initial growth.
+    pub seed: u64,
+}
+
+impl PartitionConfig {
+    /// A configuration for `k` parts with default tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_parts == 0`.
+    pub fn new(num_parts: usize) -> Self {
+        assert!(num_parts >= 1, "need at least one part");
+        PartitionConfig {
+            num_parts,
+            epsilon: 0.05,
+            coarsen_until: 80,
+            refine_passes: 6,
+            kway_refine_passes: 2,
+            seed: 0,
+        }
+    }
+
+    /// Sets the imbalance tolerance ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn balance(mut self, epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be a small non-negative number");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the coarsening floor.
+    pub fn coarsen_until(mut self, n: usize) -> Self {
+        self.coarsen_until = n.max(2);
+        self
+    }
+
+    /// Sets the number of FM refinement passes.
+    pub fn refine_passes(mut self, passes: usize) -> Self {
+        self.refine_passes = passes;
+        self
+    }
+
+    /// Sets the number of final direct k-way refinement passes.
+    pub fn kway_refine_passes(mut self, passes: usize) -> Self {
+        self.kway_refine_passes = passes;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = PartitionConfig::new(8).balance(0.1).coarsen_until(50).refine_passes(3).seed(7);
+        assert_eq!(cfg.num_parts, 8);
+        assert_eq!(cfg.epsilon, 0.1);
+        assert_eq!(cfg.coarsen_until, 50);
+        assert_eq!(cfg.refine_passes, 3);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn rejects_zero_parts() {
+        let _ = PartitionConfig::new(0);
+    }
+
+    #[test]
+    fn coarsen_floor_clamped() {
+        assert_eq!(PartitionConfig::new(2).coarsen_until(0).coarsen_until, 2);
+    }
+
+    #[test]
+    fn default_is_bisection() {
+        assert_eq!(PartitionConfig::default().num_parts, 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Fiduccia–Mattheyses boundary refinement for bisections.
+//!
+//! Classic FM with single-vertex moves, per-pass locking, and best-prefix
+//! rollback. This is the refinement engine run at every uncoarsening level
+//! of the multilevel bisection, mirroring the "iterative refinements
+//! employed during the un-coarsening phases" the paper cites (Kernighan–Lin
+//! \[25\]).
+
+use reorderlab_graph::Csr;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Computes the weight of edges crossing the bisection `side`.
+pub fn edge_cut(graph: &Csr, side: &[bool]) -> f64 {
+    graph
+        .edges()
+        .filter(|&(u, v, _)| side[u as usize] != side[v as usize])
+        .map(|(_, _, w)| w)
+        .sum()
+}
+
+/// A heap entry ordered by gain (then vertex id for determinism).
+#[derive(Debug, PartialEq)]
+struct Entry {
+    gain: f64,
+    vertex: u32,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Refines a bisection in place with up to `passes` FM passes.
+///
+/// `side[v]` is `false` for the left part, `true` for the right.
+/// `max_left` / `max_right` cap the total vertex weight of each side; moves
+/// that would violate the cap are skipped. Returns the resulting edge cut.
+///
+/// Each pass tentatively moves vertices in order of decreasing gain (each
+/// vertex at most once), then rolls back to the best prefix. Passes stop
+/// early when no improvement is found.
+///
+/// # Panics
+///
+/// Panics if the input slices disagree in length with the graph.
+pub fn fm_refine(
+    graph: &Csr,
+    vertex_weights: &[f64],
+    side: &mut [bool],
+    max_left: f64,
+    max_right: f64,
+    passes: usize,
+) -> f64 {
+    let n = graph.num_vertices();
+    assert_eq!(side.len(), n, "side length must match vertex count");
+    assert_eq!(vertex_weights.len(), n, "weight length must match vertex count");
+
+    let mut cut = edge_cut(graph, side);
+    if n == 0 {
+        return cut;
+    }
+
+    let mut weights = [0.0f64; 2];
+    for v in 0..n {
+        weights[side[v] as usize] += vertex_weights[v];
+    }
+    let caps = [max_left, max_right];
+
+    for _ in 0..passes {
+        // gain[v] = external - internal edge weight.
+        let mut gain = vec![0.0f64; n];
+        for u in 0..n as u32 {
+            for (v, w) in graph.weighted_neighbors(u) {
+                if v == u {
+                    continue;
+                }
+                if side[u as usize] != side[v as usize] {
+                    gain[u as usize] += w;
+                } else {
+                    gain[u as usize] -= w;
+                }
+            }
+        }
+        let mut heap: BinaryHeap<Entry> = (0..n as u32)
+            .map(|v| Entry { gain: gain[v as usize], vertex: v })
+            .collect();
+        let mut locked = vec![false; n];
+
+        let mut running_cut = cut;
+        let mut best_cut = cut;
+        let mut moves: Vec<u32> = Vec::new();
+        let mut best_prefix = 0usize;
+
+        while let Some(Entry { gain: g, vertex: v }) = heap.pop() {
+            let vi = v as usize;
+            if locked[vi] || g != gain[vi] {
+                continue; // stale entry
+            }
+            let from = side[vi] as usize;
+            let to = 1 - from;
+            if weights[to] + vertex_weights[vi] > caps[to] {
+                // Cannot move without violating balance; lock it for this
+                // pass so stale entries do not loop.
+                locked[vi] = true;
+                continue;
+            }
+            // Commit the tentative move.
+            locked[vi] = true;
+            side[vi] = !side[vi];
+            weights[from] -= vertex_weights[vi];
+            weights[to] += vertex_weights[vi];
+            running_cut -= g;
+            moves.push(v);
+            if running_cut < best_cut - 1e-12 {
+                best_cut = running_cut;
+                best_prefix = moves.len();
+            }
+            // Update neighbor gains.
+            for (u, w) in graph.weighted_neighbors(v) {
+                if u == v || locked[u as usize] {
+                    continue;
+                }
+                // v changed sides: edges to u flip between internal/external.
+                if side[u as usize] == side[vi] {
+                    gain[u as usize] -= 2.0 * w;
+                } else {
+                    gain[u as usize] += 2.0 * w;
+                }
+                heap.push(Entry { gain: gain[u as usize], vertex: u });
+            }
+        }
+
+        // Roll back moves after the best prefix.
+        for &v in moves[best_prefix..].iter().rev() {
+            let vi = v as usize;
+            let from = side[vi] as usize;
+            side[vi] = !side[vi];
+            weights[from] -= vertex_weights[vi];
+            weights[1 - from] += vertex_weights[vi];
+        }
+
+        let improved = best_cut < cut - 1e-12;
+        cut = best_cut;
+        if !improved {
+            break;
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reorderlab_graph::GraphBuilder;
+
+    fn two_cliques_with_bridge() -> Csr {
+        // Vertices 0..4 form a clique, 4..8 form a clique, one bridge 3-4.
+        let mut b = GraphBuilder::undirected(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b = b.edge(base + i, base + j);
+                }
+            }
+        }
+        b.edge(3, 4).build().unwrap()
+    }
+
+    #[test]
+    fn edge_cut_counts_crossings() {
+        let g = two_cliques_with_bridge();
+        let side = vec![false, false, false, false, true, true, true, true];
+        assert_eq!(edge_cut(&g, &side), 1.0);
+        let bad = vec![false, true, false, true, false, true, false, true];
+        assert!(edge_cut(&g, &bad) > 1.0);
+    }
+
+    #[test]
+    fn fm_recovers_natural_cut() {
+        let g = two_cliques_with_bridge();
+        // Start from a poor balanced bisection.
+        let mut side = vec![false, true, false, true, false, true, false, true];
+        let vw = vec![1.0; 8];
+        let cut = fm_refine(&g, &vw, &mut side, 5.0, 5.0, 8);
+        assert_eq!(cut, 1.0, "FM should find the single-bridge cut");
+        // The two cliques should be separated.
+        assert_eq!(side[0], side[1]);
+        assert_eq!(side[0], side[2]);
+        assert_eq!(side[0], side[3]);
+        assert_ne!(side[0], side[4]);
+    }
+
+    #[test]
+    fn fm_respects_balance_caps() {
+        let g = two_cliques_with_bridge();
+        let mut side = vec![false, false, false, false, true, true, true, true];
+        let vw = vec![1.0; 8];
+        // Caps allow no movement at all: cut must stay 1 and sides intact.
+        let cut = fm_refine(&g, &vw, &mut side, 4.0, 4.0, 4);
+        assert_eq!(cut, 1.0);
+        assert_eq!(side.iter().filter(|&&s| s).count(), 4);
+    }
+
+    #[test]
+    fn fm_cut_matches_recount() {
+        let g = two_cliques_with_bridge();
+        let mut side = vec![true, false, true, false, true, false, false, true];
+        let vw = vec![1.0; 8];
+        let cut = fm_refine(&g, &vw, &mut side, 5.0, 5.0, 6);
+        assert!((cut - edge_cut(&g, &side)).abs() < 1e-9, "returned cut must match the sides");
+    }
+
+    #[test]
+    fn fm_weighted_graph() {
+        // Path with one very heavy edge in the middle: cut should avoid it.
+        let g = GraphBuilder::undirected(4)
+            .weighted_edge(0, 1, 1.0)
+            .weighted_edge(1, 2, 100.0)
+            .weighted_edge(2, 3, 1.0)
+            .build()
+            .unwrap();
+        let mut side = vec![false, true, false, true];
+        let vw = vec![1.0; 4];
+        let cut = fm_refine(&g, &vw, &mut side, 3.0, 3.0, 6);
+        assert!(cut <= 2.0, "cut {cut} should avoid the heavy edge");
+        assert_eq!(side[1], side[2], "heavy edge must stay internal");
+    }
+
+    #[test]
+    fn fm_empty_graph() {
+        let g = GraphBuilder::undirected(0).build().unwrap();
+        let mut side: Vec<bool> = Vec::new();
+        assert_eq!(fm_refine(&g, &[], &mut side, 1.0, 1.0, 3), 0.0);
+    }
+}

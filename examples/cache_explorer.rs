@@ -1,0 +1,50 @@
+//! Cache explorer: drive the trace-based memory-hierarchy simulator with
+//! the Louvain hot routine under different orderings and watch where the
+//! loads land — a single-graph version of the paper's Figure 10.
+//!
+//! Run with: `cargo run --release --example cache_explorer`
+
+use reorderlab::core::Scheme;
+use reorderlab::datasets::by_name;
+use reorderlab::memsim::{replay_louvain_scan, Hierarchy, HierarchyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = by_name("youtube").expect("youtube is in the large suite");
+    let graph = spec.generate();
+    println!(
+        "Simulating the Louvain neighbor-community scan on {} (|V| = {}, |E| = {})",
+        spec.name,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    println!("Hierarchy: Cascade Lake — L1 32K/8w, L2 1M/16w, L3 44M/11w; 4/14/50/180 cycles.\n");
+
+    println!(
+        "{:<12} {:>10} {:>7} {:>7} {:>7} {:>7}",
+        "ordering", "lat (cyc)", "L1", "L2", "L3", "DRAM"
+    );
+    for scheme in Scheme::application_suite() {
+        let pi = scheme.reorder(&graph);
+        let g = graph.permuted(&pi)?;
+        let mut hier = Hierarchy::new(HierarchyConfig::scaled_cascade_lake());
+        // Replay the exact address stream the hot loop would issue over
+        // this layout: offsets, targets, community lookups, map updates.
+        replay_louvain_scan(&g, 4096, &mut hier);
+        let r = hier.report();
+        println!(
+            "{:<12} {:>10.1} {:>6.0}% {:>6.0}% {:>6.0}% {:>6.0}%",
+            scheme.name(),
+            r.avg_latency,
+            r.bound[0] * 100.0,
+            r.bound[1] * 100.0,
+            r.bound[2] * 100.0,
+            r.bound[3] * 100.0
+        );
+    }
+
+    println!(
+        "\nThe community lookup (comm[neighbor]) is the ordering-sensitive access: \
+         labels that pack communities together turn its DRAM misses into cache hits."
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Community-detection speedup: run parallel Louvain on the same graph
+//! under four vertex orderings and compare runtime, iteration counts,
+//! parallel efficiency, and modularity — a miniature of the paper's
+//! Figure 9 on a single input.
+//!
+//! Run with: `cargo run --release --example community_speedup`
+
+use reorderlab::community::{louvain, LouvainConfig};
+use reorderlab::core::Scheme;
+use reorderlab::datasets::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = by_name("livemocha").expect("livemocha is in the large suite");
+    let graph = spec.generate();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!(
+        "Louvain on {} (|V| = {}, |E| = {}) with {threads} threads\n",
+        spec.name,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>7} {:>11} {:>7} {:>10}",
+        "ordering", "phase (s)", "iter (ms)", "#iters", "modularity", "Work%", "loads/edge"
+    );
+    for scheme in Scheme::application_suite() {
+        // Relabel the graph as this scheme prescribes, then run the exact
+        // same algorithm: any difference is the ordering's doing.
+        let pi = scheme.reorder(&graph);
+        let g = graph.permuted(&pi)?;
+        let r = louvain(&g, &LouvainConfig::default());
+        let p = r.stats.first_phase().expect("at least one phase");
+        println!(
+            "{:<12} {:>10.3} {:>12.2} {:>7} {:>11.4} {:>6.0}% {:>10.1}",
+            scheme.name(),
+            p.duration.as_secs_f64(),
+            p.time_per_iteration().as_secs_f64() * 1e3,
+            p.iterations.len(),
+            r.modularity,
+            p.work_percent(threads) * 100.0,
+            p.loads_per_edge()
+        );
+    }
+
+    println!(
+        "\nSame algorithm, same graph — only the vertex labels changed. \
+         Community-aware labels make the hot loop's memory accesses local."
+    );
+    Ok(())
+}

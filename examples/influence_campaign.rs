@@ -1,0 +1,63 @@
+//! Influence campaign: pick the most influential seed users of a synthetic
+//! social network with IMM, and see how (little) vertex ordering changes
+//! the sampling engine's behaviour — the paper's §VI-C finding.
+//!
+//! Run with: `cargo run --release --example influence_campaign`
+
+use reorderlab::core::Scheme;
+use reorderlab::datasets::barabasi_albert;
+use reorderlab::influence::{imm, DiffusionModel, ImmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A preferential-attachment "social network": a few early members have
+    // enormous reach.
+    let graph = barabasi_albert(20_000, 4, 11);
+    println!(
+        "Campaign network: |V| = {}, |E| = {}, Δ = {}\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    let cfg = ImmConfig::new(8)
+        .model(DiffusionModel::IndependentCascade { probability: 0.05 })
+        .epsilon(0.5)
+        .seed(3);
+
+    // First: the actual campaign, on the natural labeling.
+    let r = imm(&graph, &cfg);
+    println!("Selected {} seeds: {:?}", r.seeds.len(), r.seeds);
+    println!(
+        "Estimated reach: {:.0} of {} vertices ({:.1}%)",
+        r.influence_estimate,
+        graph.num_vertices(),
+        100.0 * r.influence_estimate / graph.num_vertices() as f64
+    );
+    println!(
+        "Sampling: {} RR sets at {:.0} sets/s (mean set size {:.1})\n",
+        r.stats.rr_sets, r.stats.throughput, r.stats.mean_rr_size
+    );
+
+    // Second: does reordering the graph change the engine?
+    println!(
+        "{:<12} {:>12} {:>14} {:>12}",
+        "ordering", "RR sets/s", "total (ms)", "reach est."
+    );
+    for scheme in Scheme::application_suite() {
+        let pi = scheme.reorder(&graph);
+        let g = graph.permuted(&pi)?;
+        let r = imm(&g, &cfg);
+        println!(
+            "{:<12} {:>12.0} {:>14.1} {:>12.0}",
+            scheme.name(),
+            r.stats.throughput,
+            r.stats.total_time.as_secs_f64() * 1e3,
+            r.influence_estimate
+        );
+    }
+    println!(
+        "\nAs the paper observes, ordering effects on this BFS-heavy sampler are marginal: \
+         every traversal starts at a random vertex, so no layout fits all of them."
+    );
+    Ok(())
+}

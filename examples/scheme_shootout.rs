@@ -1,0 +1,72 @@
+//! Scheme shootout: the full 11-scheme × 3-measure matrix on one named
+//! instance from the paper's suite, with per-scheme reordering cost.
+//!
+//! Run with: `cargo run --release --example scheme_shootout [instance]`
+//! (default instance: `us_power_grid`; try `delaunay_n12`, `figeys`, …)
+
+use reorderlab::core::measures::gap_measures;
+use reorderlab::core::Scheme;
+use reorderlab::datasets::by_name;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "us_power_grid".into());
+    let spec = by_name(&name).ok_or_else(|| {
+        format!(
+            "unknown instance {name:?}; valid names: {}",
+            reorderlab::datasets::full_suite()
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let graph = spec.generate();
+    println!(
+        "{} ({}): |V| = {}, |E| = {}, Δ = {}\n",
+        spec.name,
+        spec.domain,
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "scheme", "avg gap ξ̂", "bandwidth β", "avg band β̂", "reorder (ms)"
+    );
+    let mut results: Vec<(String, f64)> = Vec::new();
+    for scheme in Scheme::evaluation_suite(7) {
+        let t0 = Instant::now();
+        let pi = scheme.reorder(&graph);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let m = gap_measures(&graph, &pi);
+        println!(
+            "{:<14} {:>12.1} {:>12} {:>12.1} {:>12.2}",
+            scheme.name(),
+            m.avg_gap,
+            m.bandwidth,
+            m.avg_bandwidth,
+            ms
+        );
+        results.push((scheme.name().to_string(), m.avg_gap));
+    }
+
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("suite is non-empty");
+    let worst = results
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("suite is non-empty");
+    println!(
+        "\nξ̂ spread on this input: best {} ({:.1}) vs worst {} ({:.1}) — {:.1}x",
+        best.0,
+        best.1,
+        worst.0,
+        worst.1,
+        worst.1 / best.1.max(1e-9)
+    );
+    Ok(())
+}
