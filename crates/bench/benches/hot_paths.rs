@@ -1,0 +1,133 @@
+//! Criterion regression gate for the four optimized hot paths:
+//!
+//! 1. the Louvain move phase — flat scatter-array kernel vs the HashMap
+//!    reference it replaced (same assignments, traces, and load counts);
+//! 2. the gap/bandwidth measure sweep (parallel row reductions);
+//! 3. CSR relabeling (`permuted`) and transposition (`transposed`);
+//! 4. RR-set sampling with a reusable scratch vs per-sample allocation.
+//!
+//! Run with `cargo bench -p reorderlab-bench --bench hot_paths`. The
+//! before/after numbers recorded in `results/hot_paths.txt` come from this
+//! bench; the HashMap-kernel and alloc-sampling entries *are* the "before",
+//! kept runnable so regressions in either direction stay visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reorderlab_community::{louvain, LouvainConfig, MoveKernel};
+use reorderlab_core::measures::{edge_gaps, gap_measures, vertex_bandwidths};
+use reorderlab_datasets::by_name;
+use reorderlab_graph::{Csr, Permutation};
+use reorderlab_influence::{DiffusionModel, RrSampler, SampleScratch};
+use std::hint::black_box;
+
+/// The large-suite instance all hot-path benches run on (the same one the
+/// Figure 9/10 Louvain benches use).
+fn instance() -> Csr {
+    by_name("livemocha").expect("instance in suite").generate()
+}
+
+/// A deterministic non-trivial permutation for the relabel benches.
+fn shuffled_perm(n: usize, mut s: u64) -> Permutation {
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..order.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    Permutation::from_order(&order).expect("shuffled identity is a permutation")
+}
+
+fn bench_louvain_move_kernel(c: &mut Criterion) {
+    let g = instance();
+    let mut group = c.benchmark_group("louvain_move_kernel");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        for (name, kernel) in [("flat", MoveKernel::FlatScatter), ("hashmap", MoveKernel::HashMap)]
+        {
+            let cfg = LouvainConfig::default().kernel(kernel).threads(threads).max_phases(1);
+            group.bench_with_input(BenchmarkId::new(name, format!("{threads}t")), &g, |b, g| {
+                b.iter(|| black_box(louvain(black_box(g), &cfg)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_gap_measures(c: &mut Criterion) {
+    let g = instance();
+    let pi = shuffled_perm(g.num_vertices(), 17);
+    let mut group = c.benchmark_group("gap_measures");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("measures"), &g, |b, g| {
+        b.iter(|| black_box(gap_measures(black_box(g), &pi)))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("edge_gaps"), &g, |b, g| {
+        b.iter(|| black_box(edge_gaps(black_box(g), &pi)))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("bandwidths"), &g, |b, g| {
+        b.iter(|| black_box(vertex_bandwidths(black_box(g), &pi)))
+    });
+    group.finish();
+}
+
+fn bench_relabel(c: &mut Criterion) {
+    let g = instance();
+    let pi = shuffled_perm(g.num_vertices(), 29);
+    let mut group = c.benchmark_group("relabel");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("permuted"), &g, |b, g| {
+        b.iter(|| black_box(g.permuted(&pi).expect("valid permutation")))
+    });
+    // `transposed` is the identity clone for undirected graphs; bench it on
+    // a directed version of the same arc structure.
+    let directed = {
+        let mut builder = reorderlab_graph::GraphBuilder::directed(g.num_vertices());
+        for (u, v, _) in g.edges() {
+            builder = builder.edge(u, v).edge(v, u);
+        }
+        builder.build().expect("mirror arcs build")
+    };
+    group.bench_with_input(BenchmarkId::from_parameter("transposed"), &directed, |b, g| {
+        b.iter(|| black_box(g.transposed()))
+    });
+    group.finish();
+}
+
+fn bench_rr_sampling(c: &mut Criterion) {
+    let g = instance();
+    let model = DiffusionModel::IndependentCascade { probability: 0.02 };
+    let sampler = RrSampler::new(&g, model);
+    let mut group = c.benchmark_group("rr_sampling");
+    group.sample_size(10);
+    const SETS: u64 = 512;
+    group.bench_function(BenchmarkId::from_parameter("scratch"), |b| {
+        let mut scratch = SampleScratch::new(sampler.num_vertices());
+        b.iter(|| {
+            let mut visited = 0u64;
+            for i in 0..SETS {
+                let (_, t) = sampler.sample_with(7, i, &mut scratch);
+                visited += t.vertices_visited;
+            }
+            black_box(visited)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("alloc"), |b| {
+        b.iter(|| {
+            let mut visited = 0u64;
+            for i in 0..SETS {
+                let (_, t) = sampler.sample(7, i);
+                visited += t.vertices_visited;
+            }
+            black_box(visited)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_louvain_move_kernel,
+    bench_gap_measures,
+    bench_relabel,
+    bench_rr_sampling
+);
+criterion_main!(benches);

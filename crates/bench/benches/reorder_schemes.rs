@@ -21,11 +21,9 @@ fn bench_reorder(c: &mut Criterion) {
             if heavy && instance != "euroroad" {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(scheme.name(), instance),
-                &g,
-                |b, g| b.iter(|| black_box(scheme.reorder(black_box(g)))),
-            );
+            group.bench_with_input(BenchmarkId::new(scheme.name(), instance), &g, |b, g| {
+                b.iter(|| black_box(scheme.reorder(black_box(g))))
+            });
         }
     }
     group.finish();

@@ -1,7 +1,7 @@
 //! Minimal argument handling shared by all harness binaries.
 
 /// Options common to every figure/table binary.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HarnessArgs {
     /// Run a reduced instance set for smoke testing.
     pub quick: bool,
@@ -11,12 +11,6 @@ pub struct HarnessArgs {
     pub csv: Option<String>,
     /// Run the serial (1-thread) variant where the experiment offers one.
     pub serial: bool,
-}
-
-impl Default for HarnessArgs {
-    fn default() -> Self {
-        HarnessArgs { quick: false, threads: 0, csv: None, serial: false }
-    }
 }
 
 impl HarnessArgs {
@@ -38,9 +32,7 @@ impl HarnessArgs {
                 }
                 "--help" | "-h" => {
                     println!("{description}");
-                    println!(
-                        "usage: {program} [--quick] [--serial] [--threads N] [--csv FILE]"
-                    );
+                    println!("usage: {program} [--quick] [--serial] [--threads N] [--csv FILE]");
                     std::process::exit(0);
                 }
                 _ => usage(&program, description),

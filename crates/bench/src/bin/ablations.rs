@@ -134,8 +134,7 @@ fn main() {
         let sets = if args.quick { 64 } else { 256 };
         let mut t = Table::new(["p", "mean RR size", "edges examined / set"]);
         for &p in &probs {
-            let sampler =
-                RrSampler::new(&g, DiffusionModel::IndependentCascade { probability: p });
+            let sampler = RrSampler::new(&g, DiffusionModel::IndependentCascade { probability: p });
             let mut vertices = 0u64;
             let mut edges = 0u64;
             for i in 0..sets {

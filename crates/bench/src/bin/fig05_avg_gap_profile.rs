@@ -23,9 +23,8 @@ fn main() {
     let sweep = gap_sweep(&instances, &schemes);
 
     println!("=== Raw ξ̂ per scheme × instance ===\n");
-    let mut raw = Table::new(
-        std::iter::once("scheme".to_string()).chain(sweep.instances.iter().cloned()),
-    );
+    let mut raw =
+        Table::new(std::iter::once("scheme".to_string()).chain(sweep.instances.iter().cloned()));
     for (s, name) in sweep.schemes.iter().enumerate() {
         let mut row = vec![name.clone()];
         row.extend(sweep.avg_gap[s].iter().map(|v| format!("{v:.1}")));

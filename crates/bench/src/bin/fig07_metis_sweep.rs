@@ -31,11 +31,7 @@ fn main() {
     println!("{}", render_profile(&profile));
 
     let auc = profile.auc();
-    let best = names
-        .iter()
-        .zip(&auc)
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .expect("non-empty sweep");
+    let best = names.iter().zip(&auc).max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty sweep");
     println!("Best configuration by profile dominance: {} (paper: 32 parts).", best.0);
 
     let mut csv = Vec::new();

@@ -13,11 +13,8 @@ fn main() {
     let args = HarnessArgs::from_env(
         "Figure 8: gap distributions (violin summaries) for Chicago, fe_4elt2, vsp",
     );
-    let picks = if args.quick {
-        vec!["chicago_road"]
-    } else {
-        vec!["chicago_road", "fe_4elt2", "vsp"]
-    };
+    let picks =
+        if args.quick { vec!["chicago_road"] } else { vec!["chicago_road", "fe_4elt2", "vsp"] };
     let schemes = Scheme::evaluation_suite(42);
     let mut csv = Vec::new();
 
@@ -26,7 +23,15 @@ fn main() {
         let g = spec.generate();
         println!("=== {} (|V|={}, |E|={}) ===\n", name, g.num_vertices(), g.num_edges());
         let mut table = Table::new([
-            "scheme", "min", "q1", "median", "q3", "max", "mean(ξ̂)", "≤10 frac", "log-decades",
+            "scheme",
+            "min",
+            "q1",
+            "median",
+            "q3",
+            "max",
+            "mean(ξ̂)",
+            "≤10 frac",
+            "log-decades",
         ]);
         let mut best_worst: Vec<(String, f64, f64, f64)> = Vec::new();
         for scheme in &schemes {
@@ -35,8 +40,7 @@ fn main() {
             let d = GapDistribution::from_gaps(&gaps);
             let m = gap_measures(&g, &pi);
             let short = d.fraction_at_most(10, &gaps);
-            let decades: Vec<String> =
-                d.log_buckets.iter().map(|c| c.to_string()).collect();
+            let decades: Vec<String> = d.log_buckets.iter().map(|c| c.to_string()).collect();
             table.row([
                 scheme.name().to_string(),
                 d.min.to_string(),
@@ -102,7 +106,8 @@ fn main() {
                 .iter()
                 .max_by(|a, b| vals(idx, a).total_cmp(&vals(idx, b)))
                 .expect("schemes present");
-            let factor = if vals(idx, best) > 0.0 { vals(idx, worst) / vals(idx, best) } else { 0.0 };
+            let factor =
+                if vals(idx, best) > 0.0 { vals(idx, worst) / vals(idx, best) } else { 0.0 };
             println!(
                 "{label}: best {} ({:.1}) vs worst {} ({:.1}) — {:.0}x spread",
                 best.0,
@@ -114,9 +119,5 @@ fn main() {
         }
         println!();
     }
-    maybe_write_csv(
-        &args.csv,
-        "instance,scheme,min,q1,median,q3,max,mean,frac_le_10",
-        &csv,
-    );
+    maybe_write_csv(&args.csv, "instance,scheme,min,q1,median,q3,max,mean,frac_le_10", &csv);
 }

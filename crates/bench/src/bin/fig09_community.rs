@@ -79,7 +79,7 @@ fn main() {
 
     let rows: Vec<String> = results.iter().map(|(n, _)| n.clone()).collect();
     let extract = |f: &dyn Fn(&Cell) -> f64| -> Vec<Vec<f64>> {
-        results.iter().map(|(_, cells)| cells.iter().map(|c| f(c)).collect()).collect()
+        results.iter().map(|(_, cells)| cells.iter().map(f).collect()).collect()
     };
 
     let phase = extract(&|c: &Cell| c.phase_secs);
@@ -115,7 +115,13 @@ fn main() {
         for (s, c) in cells.iter().enumerate() {
             csv.push(format!(
                 "{name},{},{:.4},{:.5},{},{:.4},{:.1},{:.2}",
-                scheme_names[s], c.phase_secs, c.iter_secs, c.iters, c.modularity, c.work_pct, c.work_per_edge
+                scheme_names[s],
+                c.phase_secs,
+                c.iter_secs,
+                c.iters,
+                c.modularity,
+                c.work_pct,
+                c.work_per_edge
             ));
         }
     }

@@ -46,12 +46,7 @@ fn main() {
             })
             .collect();
 
-        println!(
-            "=== {} (|V|={}, |E|={}) ===\n",
-            spec.name,
-            g.num_vertices(),
-            g.num_edges()
-        );
+        println!("=== {} (|V|={}, |E|={}) ===\n", spec.name, g.num_vertices(), g.num_edges());
         let mut table = Table::new(["Order", "Lat (cyc)", "L1", "L2", "L3", "DRAM"]);
         for (name, r) in scheme_names.iter().zip(&reports) {
             table.row([

@@ -62,8 +62,9 @@ fn main() {
             let sssp_secs = t1.elapsed().as_secs_f64();
 
             let t2 = Instant::now();
-            let sources: Vec<u32> =
-                (0..bc_sources as u32).map(|k| pi.rank(k * (n / bc_sources as u32).max(1) % n)).collect();
+            let sources: Vec<u32> = (0..bc_sources as u32)
+                .map(|k| pi.rank(k * (n / bc_sources as u32).max(1) % n))
+                .collect();
             let bc = betweenness_from(&h, &sources);
             let bc_secs = t2.elapsed().as_secs_f64();
 
@@ -84,7 +85,14 @@ fn main() {
             bc_row.push(bc_secs);
             csv.push(format!(
                 "{},{},{:.4},{:.4},{:.4},{},{:.2},{}",
-                spec.name, name, pr_secs, sssp_secs, bc_secs, pr.iterations, mem.avg_latency, reached
+                spec.name,
+                name,
+                pr_secs,
+                sssp_secs,
+                bc_secs,
+                pr.iterations,
+                mem.avg_latency,
+                reached
             ));
             let _ = bc;
         }
@@ -99,14 +107,7 @@ fn main() {
     println!("{}", render_heatmap("SSSP x8 (s)", &rows, &scheme_names, &sssp_time, true, 3));
     println!(
         "{}",
-        render_heatmap(
-            &format!("BC x{bc_sources} (s)"),
-            &rows,
-            &scheme_names,
-            &bc_time,
-            true,
-            3
-        )
+        render_heatmap(&format!("BC x{bc_sources} (s)"), &rows, &scheme_names, &bc_time, true, 3)
     );
     maybe_write_csv(
         &args.csv,

@@ -30,7 +30,15 @@ fn main() {
 
     println!("SBM sweep: n = {n}, k = {k}, p_in = {p_in}\n");
     let mut table = Table::new([
-        "p_out", "edges", "comms", "NMI", "ARI", "ξ̂ Grappolo", "ξ̂ Rabbit", "ξ̂ RCM", "ξ̂ Random",
+        "p_out",
+        "edges",
+        "comms",
+        "NMI",
+        "ARI",
+        "ξ̂ Grappolo",
+        "ξ̂ Rabbit",
+        "ξ̂ RCM",
+        "ξ̂ Random",
     ]);
     let mut csv = Vec::new();
     for &p_out in p_outs {

@@ -41,9 +41,7 @@ fn main() {
         t.row([(i + 1).to_string(), name.clone(), format!("{a:.3}")]);
     }
     println!("{}", t.render());
-    println!(
-        "   Paper §V: partition/community tier on top, degree/random at the bottom.\n"
-    );
+    println!("   Paper §V: partition/community tier on top, degree/random at the bottom.\n");
 
     // 2. Bandwidth winner (Fig. 6a).
     let band = PerformanceProfile::new(

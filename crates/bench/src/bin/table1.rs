@@ -26,8 +26,17 @@ fn main() {
         .collect();
 
     let mut table = Table::new([
-        "Input", "Domain", "|V|", "|E|", "Δ", "StdDev", "ClustCoef", "Triangles", "Paper|V|",
-        "Paper|E|", "Scale",
+        "Input",
+        "Domain",
+        "|V|",
+        "|E|",
+        "Δ",
+        "StdDev",
+        "ClustCoef",
+        "Triangles",
+        "Paper|V|",
+        "Paper|E|",
+        "Scale",
     ]);
     let mut csv_rows = Vec::new();
     for (spec, s) in &stats {

@@ -27,8 +27,8 @@
 #![warn(missing_docs)]
 
 pub mod args;
-pub mod sweep;
 pub mod render;
+pub mod sweep;
 
 pub use args::HarnessArgs;
 pub use render::{heat_row, render_heatmap, render_profile, render_table, render_violin, Table};

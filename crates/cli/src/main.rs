@@ -79,7 +79,11 @@ fn cmd_list() -> Result<(), String> {
         };
         println!(
             "  {:<16} {:<13} paper |V|={:<9} |E|={}{}",
-            spec.name, spec.domain.to_string(), spec.paper_vertices, spec.paper_edges, scale
+            spec.name,
+            spec.domain.to_string(),
+            spec.paper_vertices,
+            spec.paper_edges,
+            scale
         );
     }
     println!("\nschemes:\n{}", scheme_help());
@@ -233,7 +237,10 @@ fn cmd_measure(args: &[String]) -> Result<(), String> {
         schemes = Scheme::evaluation_suite(42);
     }
     println!("gap measures on {name} (|V|={}, |E|={}):", g.num_vertices(), g.num_edges());
-    println!("{:<16} {:>12} {:>12} {:>12} {:>12}", "scheme", "avg gap", "bandwidth", "avg band", "log gap");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "scheme", "avg gap", "bandwidth", "avg band", "log gap"
+    );
     for scheme in schemes {
         let m = gap_measures(&g, &scheme.reorder(&g));
         println!(

@@ -57,8 +57,9 @@ pub fn parse_scheme(spec: &str) -> Result<Scheme, String> {
         "hubsort" => no_param(param, Scheme::HubSort),
         "hubcluster" => no_param(param, Scheme::HubCluster),
         "slashburn" => {
-            let k_frac = param
-                .map_or(Ok(0.005), |s| s.parse::<f64>().map_err(|_| format!("invalid fraction {s:?}")))?;
+            let k_frac = param.map_or(Ok(0.005), |s| {
+                s.parse::<f64>().map_err(|_| format!("invalid fraction {s:?}"))
+            })?;
             if k_frac <= 0.0 || k_frac > 1.0 {
                 return Err(format!("slashburn fraction {k_frac} must be in (0, 1]"));
             }
@@ -73,9 +74,7 @@ pub fn parse_scheme(spec: &str) -> Result<Scheme, String> {
         }
         "rcm" => no_param(param, Scheme::Rcm),
         "cdfs" => no_param(param, Scheme::Cdfs),
-        "nd" | "nested-dissection" => {
-            Ok(Scheme::NestedDissection { seed: parse_u64(param, 42)? })
-        }
+        "nd" | "nested-dissection" => Ok(Scheme::NestedDissection { seed: parse_u64(param, 42)? }),
         "metis" => {
             let parts = parse_usize(param, 32)?;
             if parts == 0 {
@@ -114,10 +113,7 @@ mod tests {
         assert_eq!(parse_scheme("random:7").unwrap(), Scheme::Random { seed: 7 });
         assert_eq!(parse_scheme("metis:64").unwrap(), Scheme::Metis { parts: 64, seed: 42 });
         assert_eq!(parse_scheme("gorder:10").unwrap(), Scheme::Gorder { window: 10 });
-        assert_eq!(
-            parse_scheme("slashburn:0.01").unwrap(),
-            Scheme::SlashBurn { k_frac: 0.01 }
-        );
+        assert_eq!(parse_scheme("slashburn:0.01").unwrap(), Scheme::SlashBurn { k_frac: 0.01 });
     }
 
     #[test]
@@ -149,8 +145,19 @@ mod tests {
     fn help_mentions_every_scheme() {
         let help = scheme_help();
         for name in [
-            "natural", "random", "degree", "hubsort", "hubcluster", "slashburn", "gorder", "rcm",
-            "cdfs", "nd", "metis", "grappolo", "rabbit",
+            "natural",
+            "random",
+            "degree",
+            "hubsort",
+            "hubcluster",
+            "slashburn",
+            "gorder",
+            "rcm",
+            "cdfs",
+            "nd",
+            "metis",
+            "grappolo",
+            "rabbit",
         ] {
             assert!(help.contains(name), "help missing {name}");
         }

@@ -32,7 +32,7 @@ mod louvain;
 mod modularity;
 
 pub use compare::{adjusted_rand_index, nmi};
-pub use config::LouvainConfig;
+pub use config::{LouvainConfig, MoveKernel};
 pub use louvain::{louvain, CommunityResult, IterationStats, LouvainStats, PhaseStats};
 pub use modularity::{modularity, ModularityContext};
 

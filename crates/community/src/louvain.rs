@@ -9,10 +9,11 @@
 //! over total CPU time) and `Work/edge` (loads performed by the hot
 //! neighbor-community scan, normalized by edge count).
 
-use crate::config::LouvainConfig;
+use crate::config::{LouvainConfig, MoveKernel};
 use crate::modularity::{modularity, ModularityContext};
 use rayon::prelude::*;
 use reorderlab_graph::{contract, Csr};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -153,7 +154,8 @@ fn louvain_inner(graph: &Csr, cfg: &LouvainConfig, threads: usize) -> CommunityR
     let n0 = graph.num_vertices();
     // original vertex -> current-level vertex
     let mut global: Vec<u32> = (0..n0 as u32).collect();
-    let mut level: Csr = graph.clone();
+    // The first phase borrows the input graph; only coarse levels are owned.
+    let mut level: Cow<'_, Csr> = Cow::Borrowed(graph);
     let mut phases: Vec<PhaseStats> = Vec::new();
     let mut last_q = f64::NEG_INFINITY;
 
@@ -182,8 +184,9 @@ fn louvain_inner(graph: &Csr, cfg: &LouvainConfig, threads: usize) -> CommunityR
         if no_merge || num_comms <= 1 {
             break;
         }
-        let contraction = contract(&level, &renum, num_comms).expect("renumbered assignment is valid");
-        level = contraction.coarse;
+        let contraction =
+            contract(&level, &renum, num_comms).expect("renumbered assignment is valid");
+        level = Cow::Owned(contraction.coarse);
         if small_gain {
             break;
         }
@@ -199,10 +202,248 @@ fn louvain_inner(graph: &Csr, cfg: &LouvainConfig, threads: usize) -> CommunityR
     }
 }
 
+/// Sentinel in the flat kernel's proposal array: vertex proposes no move.
+const NO_MOVE: u32 = u32::MAX;
+
+/// Per-worker scratch for the flat scatter-array kernel: a weight
+/// accumulator indexed by community id, reset lazily through an epoch stamp
+/// so processing a vertex costs O(deg) regardless of the level size, plus
+/// the list of communities the current vertex touches. Allocated once per
+/// phase and reused by every iteration.
+struct MoveScratch {
+    /// `weights[c]`: accumulated edge weight from the current vertex into
+    /// community `c`; only meaningful where `stamp[c] == epoch`.
+    weights: Vec<f64>,
+    /// `stamp[c] == epoch` marks `weights[c]` as live for the current vertex.
+    stamp: Vec<u64>,
+    /// Current vertex epoch; bumping it invalidates the whole scatter array.
+    epoch: u64,
+    /// Distinct neighbor communities of the current vertex, first-seen order.
+    touched: Vec<u32>,
+}
+
+impl MoveScratch {
+    fn new(n: usize) -> Self {
+        MoveScratch { weights: vec![0.0; n], stamp: vec![0; n], epoch: 0, touched: Vec::new() }
+    }
+
+    /// Proposes the best move for `v` against the iteration's snapshot of
+    /// `comm`/`tot`, or [`NO_MOVE`]. Weights accumulate in neighbor-scan
+    /// order and candidates are scored with the same arithmetic as the
+    /// hash-map reference kernel, so the computed gains are identical floats
+    /// and both kernels select the same target community.
+    #[allow(clippy::too_many_arguments)]
+    fn propose(
+        &mut self,
+        level: &Csr,
+        v: u32,
+        comm: &[u32],
+        tot: &[f64],
+        k: &[f64],
+        m2: f64,
+        loads: &mut u64,
+    ) -> u32 {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.touched.clear();
+        let cur = comm[v as usize];
+        let mut self_to_cur = 0.0f64;
+        for (u, w) in level.weighted_neighbors(v) {
+            if u == v {
+                continue;
+            }
+            let cu = comm[u as usize];
+            *loads += 2; // neighbor/community read + scatter-array access
+            let ci = cu as usize;
+            if self.stamp[ci] == epoch {
+                self.weights[ci] += w;
+            } else {
+                self.stamp[ci] = epoch;
+                self.weights[ci] = w;
+                self.touched.push(cu);
+            }
+            if cu == cur {
+                self_to_cur += w;
+            }
+        }
+        *loads += self.touched.len() as u64; // final scan of touched communities
+        let kv = k[v as usize];
+        let tot_cur_less = tot[cur as usize] - kv;
+        // Gain of moving v from `cur` to `c`:
+        //   ΔQ = 2(k_{v,c} − k_{v,cur'})/2m − 2 k_v (tot_c − tot_cur')/(2m)²
+        // We compare the (monotone) score k_{v,c} − k_v·tot_c/2m.
+        let base = self_to_cur - kv * tot_cur_less / m2;
+        let mut best: Option<(f64, u32)> = None;
+        for &c in &self.touched {
+            if c == cur {
+                continue;
+            }
+            let score = self.weights[c as usize] - kv * tot[c as usize] / m2;
+            let gain = score - base;
+            if gain > 1e-12 {
+                let better = match best {
+                    None => true,
+                    Some((bg, bc)) => gain > bg + 1e-15 || (gain >= bg - 1e-15 && c < bc),
+                };
+                if better {
+                    best = Some((gain, c));
+                }
+            }
+        }
+        match best {
+            Some((_, c)) => c,
+            None => NO_MOVE,
+        }
+    }
+}
+
+/// Revalidates one proposed move against the *current* state and applies it
+/// if the gain is still positive. Proposals were computed against a
+/// snapshot, so this guard keeps Q monotone non-decreasing — the same
+/// label-swap protection parallel Louvain implementations employ. Returns
+/// whether the move was applied.
+#[allow(clippy::too_many_arguments)]
+fn apply_move(
+    level: &Csr,
+    k: &[f64],
+    m2: f64,
+    comm: &mut [u32],
+    tot: &mut [f64],
+    v: u32,
+    c: u32,
+    loads: &mut u64,
+) -> bool {
+    let cur = comm[v as usize];
+    if cur == c {
+        return false;
+    }
+    let mut w_to_target = 0.0f64;
+    let mut w_to_cur = 0.0f64;
+    for (u, w) in level.weighted_neighbors(v) {
+        if u == v {
+            continue;
+        }
+        *loads += 1;
+        let cu = comm[u as usize];
+        if cu == c {
+            w_to_target += w;
+        } else if cu == cur {
+            w_to_cur += w;
+        }
+    }
+    let kv = k[v as usize];
+    let gain =
+        (w_to_target - kv * tot[c as usize] / m2) - (w_to_cur - kv * (tot[cur as usize] - kv) / m2);
+    if gain <= 1e-12 {
+        return false;
+    }
+    tot[cur as usize] -= kv;
+    tot[c as usize] += kv;
+    comm[v as usize] = c;
+    true
+}
+
 /// Runs move iterations on one level until the modularity gain drops below
 /// the threshold. Returns the (non-renumbered) community assignment and the
 /// per-iteration stats.
 fn one_phase(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>) {
+    match cfg.kernel {
+        MoveKernel::FlatScatter => one_phase_flat(level, cfg),
+        MoveKernel::HashMap => one_phase_hashmap(level, cfg),
+    }
+}
+
+/// Flat scatter-array move phase (Grappolo-style). Behaviorally identical to
+/// [`one_phase_hashmap`] — same assignments, modularity trace, iteration
+/// counts, and `loads` accounting — but with no hashing and no per-vertex or
+/// per-iteration allocation on the hot path.
+fn one_phase_flat(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>) {
+    let n = level.num_vertices();
+    let ctx = ModularityContext::new(level);
+    let m2 = ctx.total; // 2m
+    let mut comm: Vec<u32> = (0..n as u32).collect();
+    let mut tot: Vec<f64> = ctx.k.clone();
+    let mut iterations: Vec<IterationStats> = Vec::new();
+    if n == 0 || m2 == 0.0 {
+        return (comm, iterations);
+    }
+    let mut prev_q = modularity(level, &comm);
+
+    // One contiguous vertex span per worker. The scratch and the proposal
+    // array are allocated once here and reused by every iteration; within a
+    // worker the epoch stamp makes per-vertex resets O(touched).
+    let workers = rayon::current_num_threads().clamp(1, n);
+    let span = n.div_ceil(workers);
+    let mut scratches: Vec<MoveScratch> = (0..workers).map(|_| MoveScratch::new(n)).collect();
+    let mut proposals: Vec<u32> = vec![NO_MOVE; n];
+
+    for _iter in 0..cfg.max_iterations {
+        let iter_start = Instant::now();
+        // Parallel scan: each worker proposes moves for its span against the
+        // iteration's snapshot of `comm`/`tot`, writing into its disjoint
+        // slice of the shared proposal array.
+        let comm_snap: &[u32] = &comm;
+        let tot_snap: &[f64] = &tot;
+        let per_worker: Vec<(u64, Duration)> = scratches
+            .par_iter_mut()
+            .zip(proposals.chunks_mut(span).collect::<Vec<_>>())
+            .enumerate()
+            .map(|(w, (scratch, slice))| {
+                let t0 = Instant::now();
+                let mut loads = 0u64;
+                let first = (w * span) as u32;
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    let v = first + i as u32;
+                    *slot = scratch.propose(level, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads);
+                }
+                (loads, t0.elapsed())
+            })
+            .collect();
+
+        let mut loads = 0u64;
+        let mut busy = Duration::ZERO;
+        for (l, b) in per_worker {
+            loads += l;
+            busy += b;
+        }
+
+        // Sequential, deterministic application in global vertex order — the
+        // same order the chunked reference kernel applies in.
+        let mut num_moves = 0usize;
+        for v in 0..n as u32 {
+            let c = proposals[v as usize];
+            if c == NO_MOVE {
+                continue;
+            }
+            if apply_move(level, &ctx.k, m2, &mut comm, &mut tot, v, c, &mut loads) {
+                num_moves += 1;
+            }
+        }
+
+        let q = modularity(level, &comm);
+        iterations.push(IterationStats {
+            duration: iter_start.elapsed(),
+            moves: num_moves,
+            modularity: q,
+            loads,
+            busy,
+        });
+        let gained = q - prev_q;
+        prev_q = q;
+        if num_moves == 0 || gained < cfg.iteration_gain_threshold {
+            break;
+        }
+    }
+    (comm, iterations)
+}
+
+/// The original per-chunk `HashMap` move phase, retained as the behavioral
+/// reference for equivalence tests and before/after benchmarking.
+/// One chunk's proposed `(vertex, community)` moves plus its load counter
+/// and scan time.
+type ChunkProposals = (Vec<(u32, u32)>, u64, Duration);
+
+fn one_phase_hashmap(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>) {
     let n = level.num_vertices();
     let ctx = ModularityContext::new(level);
     let m2 = ctx.total; // 2m
@@ -221,7 +462,7 @@ fn one_phase(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>
         // snapshot of `comm`/`tot`. This is the hot routine the paper
         // profiles: for every vertex, visit all neighbors and accumulate
         // per-community weights in a map.
-        let results: Vec<(Vec<(u32, u32)>, u64, Duration)> = (0..n)
+        let results: Vec<ChunkProposals> = (0..n)
             .into_par_iter()
             .chunks(chunk)
             .map(|vertices| {
@@ -263,7 +504,9 @@ fn one_phase(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>
                         if gain > 1e-12 {
                             let better = match best {
                                 None => true,
-                                Some((bg, bc)) => gain > bg + 1e-15 || (gain >= bg - 1e-15 && c < bc),
+                                Some((bg, bc)) => {
+                                    gain > bg + 1e-15 || (gain >= bg - 1e-15 && c < bc)
+                                }
                             };
                             if better {
                                 best = Some((gain, c));
@@ -278,11 +521,9 @@ fn one_phase(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>
             })
             .collect();
 
-        // Sequential, deterministic application. Each proposed move is
-        // revalidated against the *current* state (proposals were computed
-        // against a snapshot), so every applied move has a genuinely
-        // positive modularity gain and Q is monotone non-decreasing — the
-        // same label-swap guard parallel Louvain implementations employ.
+        // Sequential, deterministic application in global vertex order (the
+        // chunks partition 0..n in order); see [`apply_move`] for the
+        // revalidation guard.
         let mut num_moves = 0usize;
         let mut loads = 0u64;
         let mut busy = Duration::ZERO;
@@ -290,34 +531,9 @@ fn one_phase(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>
             loads += l;
             busy += b;
             for (v, c) in moves {
-                let cur = comm[v as usize];
-                if cur == c {
-                    continue;
+                if apply_move(level, &ctx.k, m2, &mut comm, &mut tot, v, c, &mut loads) {
+                    num_moves += 1;
                 }
-                let mut w_to_target = 0.0f64;
-                let mut w_to_cur = 0.0f64;
-                for (u, w) in level.weighted_neighbors(v) {
-                    if u == v {
-                        continue;
-                    }
-                    loads += 1;
-                    let cu = comm[u as usize];
-                    if cu == c {
-                        w_to_target += w;
-                    } else if cu == cur {
-                        w_to_cur += w;
-                    }
-                }
-                let kv = ctx.k[v as usize];
-                let gain = (w_to_target - kv * tot[c as usize] / m2)
-                    - (w_to_cur - kv * (tot[cur as usize] - kv) / m2);
-                if gain <= 1e-12 {
-                    continue;
-                }
-                tot[cur as usize] -= kv;
-                tot[c as usize] += kv;
-                comm[v as usize] = c;
-                num_moves += 1;
             }
         }
 
@@ -519,6 +735,74 @@ mod tests {
         let (out, k) = renumber(&[5, 5, 2, 7, 2]);
         assert_eq!(out, vec![0, 0, 1, 2, 1]);
         assert_eq!(k, 3);
+    }
+
+    /// Asserts the flat and hash-map kernels produce bit-identical results
+    /// on `g`: assignment, final modularity, per-phase iteration counts,
+    /// per-iteration modularity trace, move counts, and `loads` accounting.
+    fn assert_kernels_equivalent(g: &Csr, threads: usize) {
+        let base = LouvainConfig::default().threads(threads);
+        let flat = louvain(g, &base.clone().kernel(MoveKernel::FlatScatter));
+        let hash = louvain(g, &base.kernel(MoveKernel::HashMap));
+        assert_eq!(flat.assignment, hash.assignment);
+        assert_eq!(flat.num_communities, hash.num_communities);
+        assert_eq!(flat.modularity.to_bits(), hash.modularity.to_bits());
+        assert_eq!(flat.stats.phases.len(), hash.stats.phases.len());
+        for (pf, ph) in flat.stats.phases.iter().zip(&hash.stats.phases) {
+            assert_eq!(pf.iterations.len(), ph.iterations.len());
+            assert_eq!(pf.modularity.to_bits(), ph.modularity.to_bits());
+            for (fi, hi) in pf.iterations.iter().zip(&ph.iterations) {
+                assert_eq!(fi.moves, hi.moves);
+                assert_eq!(fi.modularity.to_bits(), hi.modularity.to_bits());
+                assert_eq!(fi.loads, hi.loads, "work-per-edge accounting must match");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_kernel_matches_reference_on_structured_graphs() {
+        for g in [clique_chain(5, 6), grid2d(12, 12), path(30), complete(8)] {
+            assert_kernels_equivalent(&g, 1);
+            assert_kernels_equivalent(&g, 4);
+        }
+    }
+
+    #[test]
+    fn flat_kernel_matches_reference_on_weighted_graph() {
+        let g = GraphBuilder::undirected(6)
+            .weighted_edge(0, 1, 10.0)
+            .weighted_edge(1, 2, 0.5)
+            .weighted_edge(2, 3, 10.0)
+            .weighted_edge(3, 4, 0.5)
+            .weighted_edge(4, 5, 10.0)
+            .weighted_edge(5, 0, 0.5)
+            .build()
+            .unwrap();
+        assert_kernels_equivalent(&g, 1);
+        assert_kernels_equivalent(&g, 2);
+    }
+
+    #[test]
+    fn flat_kernel_matches_reference_on_suite_fixtures() {
+        for name in ["euroroad", "rovira", "figeys"] {
+            let spec = reorderlab_datasets::by_name(name).expect("suite instance exists");
+            let g = spec.generate();
+            assert_kernels_equivalent(&g, 2);
+        }
+    }
+
+    #[test]
+    fn flat_kernel_deterministic_across_thread_counts() {
+        let g = grid2d(16, 16);
+        let runs: Vec<CommunityResult> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| louvain(&g, &LouvainConfig::default().threads(t)))
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.assignment, runs[0].assignment);
+            assert_eq!(r.modularity.to_bits(), runs[0].modularity.to_bits());
+            assert_eq!(r.stats.total_iterations(), runs[0].stats.total_iterations());
+        }
     }
 
     #[test]

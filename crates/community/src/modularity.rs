@@ -74,11 +74,7 @@ pub fn modularity(graph: &Csr, assignment: &[u32]) -> f64 {
         }
     }
     let m2 = ctx.total;
-    internal
-        .iter()
-        .zip(&tot)
-        .map(|(&inc, &t)| inc / m2 - (t / m2).powi(2))
-        .sum()
+    internal.iter().zip(&tot).map(|(&inc, &t)| inc / m2 - (t / m2).powi(2)).sum()
 }
 
 #[cfg(test)]

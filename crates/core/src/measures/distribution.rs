@@ -5,6 +5,13 @@
 //! characteristic of lognormal distribution"), so the summary works on a
 //! logarithmic axis: decade buckets plus the usual five-number summary.
 
+use rayon::prelude::*;
+
+/// Fixed chunk size for the parallel histogram/mean reduction. The size is
+/// a constant (not derived from the worker count) so chunk boundaries — and
+/// therefore any f64 fold order — are identical at every thread count.
+const REDUCE_CHUNK: usize = 4096;
+
 /// A distribution summary of edge gaps under one ordering: quantiles, mean,
 /// and a logarithmic histogram suitable for rendering a violin/density plot.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,14 +54,37 @@ impl GapDistribution {
         let mut sorted = gaps.to_vec();
         sorted.sort_unstable();
         let count = sorted.len();
-        let mean = sorted.iter().map(|&g| g as f64).sum::<f64>() / count as f64;
         let max = *sorted.last().expect("non-empty");
         let decades = if max < 10 { 1 } else { (max as f64).log10().floor() as usize + 1 };
+        // Parallel reduction over fixed-size chunks: each yields an exact
+        // integer gap sum and a decade-bucket count vector, merged in chunk
+        // order. Both accumulators are integers, so the merge is order-free
+        // and the result matches the serial scan exactly.
+        let chunks = count.div_ceil(REDUCE_CHUNK);
+        let sorted_ref: &[u32] = &sorted;
+        let partials: Vec<(u64, Vec<usize>)> = (0..chunks)
+            .into_par_iter()
+            .map(|ci| {
+                let chunk = &sorted_ref[ci * REDUCE_CHUNK..count.min((ci + 1) * REDUCE_CHUNK)];
+                let mut sum = 0u64;
+                let mut buckets = vec![0usize; decades];
+                for &g in chunk {
+                    sum += g as u64;
+                    let d = if g < 10 { 0 } else { (g as f64).log10().floor() as usize };
+                    buckets[d] += 1;
+                }
+                (sum, buckets)
+            })
+            .collect();
+        let mut gap_sum = 0u64;
         let mut log_buckets = vec![0usize; decades];
-        for &g in &sorted {
-            let d = if g < 10 { 0 } else { (g as f64).log10().floor() as usize };
-            log_buckets[d] += 1;
+        for (s, b) in &partials {
+            gap_sum += s;
+            for (dst, src) in log_buckets.iter_mut().zip(b) {
+                *dst += src;
+            }
         }
+        let mean = gap_sum as f64 / count as f64;
         GapDistribution {
             count,
             min: sorted[0],

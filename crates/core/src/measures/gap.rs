@@ -6,6 +6,7 @@
 //! bandwidth β (max over all edges), and the average graph bandwidth β̂
 //! (mean vertex bandwidth).
 
+use rayon::prelude::*;
 use reorderlab_graph::{Csr, Permutation};
 
 /// The three global gap measures the paper evaluates orderings on (§V).
@@ -58,29 +59,81 @@ pub struct GapMeasures {
 pub fn gap_measures(graph: &Csr, pi: &Permutation) -> GapMeasures {
     assert_eq!(pi.len(), graph.num_vertices(), "permutation must cover the graph");
     let n = graph.num_vertices();
+    if n == 0 {
+        return GapMeasures { avg_gap: 0.0, bandwidth: 0, avg_bandwidth: 0.0, avg_log_gap: 0.0 };
+    }
+    // Parallel reduction over CSR rows. Integer accumulators are order-free;
+    // the f64 log-gap partials are produced per vertex and folded in index
+    // order below, so results never depend on worker count or chunking.
+    let partials: Vec<RowPartial> =
+        (0..n as u32).into_par_iter().map(|u| row_partial(graph, pi, u)).collect();
+
     let mut sum = 0u64;
     let mut log_sum = 0.0f64;
     let mut count = 0u64;
     let mut bandwidth = 0u32;
-    let mut vertex_band = vec![0u32; n];
-    for (u, v, _) in graph.edges() {
-        let gap = pi.rank(u).abs_diff(pi.rank(v));
-        sum += gap as u64;
-        log_sum += (1.0 + gap as f64).log2();
-        count += 1;
-        bandwidth = bandwidth.max(gap);
-        let (ui, vi) = (u as usize, v as usize);
-        vertex_band[ui] = vertex_band[ui].max(gap);
-        vertex_band[vi] = vertex_band[vi].max(gap);
+    let mut band_sum = 0.0f64;
+    for p in &partials {
+        sum += p.sum;
+        log_sum += p.log_sum;
+        count += p.count;
+        bandwidth = bandwidth.max(p.edge_band);
     }
+    // A directed row only sees its out-arcs; fold in-arc contributions to
+    // the target's vertex bandwidth serially, as the serial reference did.
+    if graph.is_directed() {
+        let mut vertex_band: Vec<u32> = partials.iter().map(|p| p.row_band).collect();
+        for (u, v, _) in graph.edges() {
+            let gap = pi.rank(u).abs_diff(pi.rank(v));
+            vertex_band[v as usize] = vertex_band[v as usize].max(gap);
+        }
+        for &b in &vertex_band {
+            band_sum += b as f64;
+        }
+    } else {
+        for p in &partials {
+            band_sum += p.row_band as f64;
+        }
+    }
+
     let avg_gap = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
     let avg_log_gap = if count == 0 { 0.0 } else { log_sum / count as f64 };
-    let avg_bandwidth = if n == 0 {
-        0.0
-    } else {
-        vertex_band.iter().map(|&b| b as f64).sum::<f64>() / n as f64
-    };
+    let avg_bandwidth = band_sum / n as f64;
     GapMeasures { avg_gap, bandwidth, avg_bandwidth, avg_log_gap }
+}
+
+/// Per-row partial reduction of [`gap_measures`].
+struct RowPartial {
+    /// Sum of gaps over this row's *logical* edges.
+    sum: u64,
+    /// Sum of `log2(1 + gap)` over this row's logical edges, accumulated in
+    /// arc order.
+    log_sum: f64,
+    /// Logical edges owned by this row.
+    count: u64,
+    /// Max gap over this row's logical edges.
+    edge_band: u32,
+    /// Max gap over *all* arcs of this row — for an undirected graph the
+    /// mirror arcs make this exactly the vertex bandwidth `β_u`.
+    row_band: u32,
+}
+
+fn row_partial(graph: &Csr, pi: &Permutation, u: u32) -> RowPartial {
+    let ru = pi.rank(u);
+    let directed = graph.is_directed();
+    let mut p = RowPartial { sum: 0, log_sum: 0.0, count: 0, edge_band: 0, row_band: 0 };
+    for &v in graph.neighbors(u) {
+        let gap = ru.abs_diff(pi.rank(v));
+        p.row_band = p.row_band.max(gap);
+        if !directed && v < u {
+            continue; // mirror arc; the (v, u) row owns this undirected edge
+        }
+        p.sum += gap as u64;
+        p.log_sum += (1.0 + gap as f64).log2();
+        p.count += 1;
+        p.edge_band = p.edge_band.max(gap);
+    }
+    p
 }
 
 /// Returns the gap `ξ_Π(i,j)` of every (logical) edge, in edge-iteration
@@ -91,7 +144,27 @@ pub fn gap_measures(graph: &Csr, pi: &Permutation) -> GapMeasures {
 /// Panics if `pi` does not cover exactly the graph's vertices.
 pub fn edge_gaps(graph: &Csr, pi: &Permutation) -> Vec<u32> {
     assert_eq!(pi.len(), graph.num_vertices(), "permutation must cover the graph");
-    graph.edges().map(|(u, v, _)| pi.rank(u).abs_diff(pi.rank(v))).collect()
+    let n = graph.num_vertices();
+    let directed = graph.is_directed();
+    // Gap rows are independent; computing them in parallel and flattening in
+    // row order reproduces edge-iteration order exactly.
+    let rows: Vec<Vec<u32>> = (0..n as u32)
+        .into_par_iter()
+        .map(|u| {
+            let ru = pi.rank(u);
+            graph
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| directed || v >= u)
+                .map(|&v| ru.abs_diff(pi.rank(v)))
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(graph.num_edges());
+    for row in rows {
+        out.extend(row);
+    }
+    out
 }
 
 /// Returns the bandwidth `β_v` of every vertex: the maximum gap between `v`
@@ -103,14 +176,142 @@ pub fn edge_gaps(graph: &Csr, pi: &Permutation) -> Vec<u32> {
 pub fn vertex_bandwidths(graph: &Csr, pi: &Permutation) -> Vec<u32> {
     assert_eq!(pi.len(), graph.num_vertices(), "permutation must cover the graph");
     let n = graph.num_vertices();
-    let mut band = vec![0u32; n];
-    for v in 0..n as u32 {
-        let rv = pi.rank(v);
-        for &u in graph.neighbors(v) {
-            band[v as usize] = band[v as usize].max(rv.abs_diff(pi.rank(u)));
+    (0..n as u32)
+        .into_par_iter()
+        .map(|v| {
+            let rv = pi.rank(v);
+            graph.neighbors(v).iter().fold(0u32, |b, &u| b.max(rv.abs_diff(pi.rank(u))))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use reorderlab_graph::GraphBuilder;
+
+    /// The serial reference the parallel implementation must reproduce —
+    /// the original single-threaded edge-iteration scan.
+    fn serial_gap_measures(graph: &Csr, pi: &Permutation) -> GapMeasures {
+        let n = graph.num_vertices();
+        let mut sum = 0u64;
+        let mut log_sum = 0.0f64;
+        let mut count = 0u64;
+        let mut bandwidth = 0u32;
+        let mut vertex_band = vec![0u32; n];
+        for (u, v, _) in graph.edges() {
+            let gap = pi.rank(u).abs_diff(pi.rank(v));
+            sum += gap as u64;
+            log_sum += (1.0 + gap as f64).log2();
+            count += 1;
+            bandwidth = bandwidth.max(gap);
+            let (ui, vi) = (u as usize, v as usize);
+            vertex_band[ui] = vertex_band[ui].max(gap);
+            vertex_band[vi] = vertex_band[vi].max(gap);
+        }
+        let avg_gap = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+        let avg_log_gap = if count == 0 { 0.0 } else { log_sum / count as f64 };
+        let avg_bandwidth = if n == 0 {
+            0.0
+        } else {
+            vertex_band.iter().map(|&b| b as f64).sum::<f64>() / n as f64
+        };
+        GapMeasures { avg_gap, bandwidth, avg_bandwidth, avg_log_gap }
+    }
+
+    fn serial_edge_gaps(graph: &Csr, pi: &Permutation) -> Vec<u32> {
+        graph.edges().map(|(u, v, _)| pi.rank(u).abs_diff(pi.rank(v))).collect()
+    }
+
+    fn serial_vertex_bandwidths(graph: &Csr, pi: &Permutation) -> Vec<u32> {
+        let n = graph.num_vertices();
+        let mut band = vec![0u32; n];
+        for v in 0..n as u32 {
+            let rv = pi.rank(v);
+            for &u in graph.neighbors(v) {
+                band[v as usize] = band[v as usize].max(rv.abs_diff(pi.rank(u)));
+            }
+        }
+        band
+    }
+
+    /// Deterministic Fisher–Yates permutation from a SplitMix64 stream.
+    fn random_perm(n: usize, seed: u64) -> Permutation {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        Permutation::from_order(&order).unwrap()
+    }
+
+    fn build(n: usize, edges: Vec<(u32, u32)>, directed: bool) -> Csr {
+        let edges: Vec<(u32, u32)> =
+            edges.into_iter().map(|(u, v)| (u % n as u32, v % n as u32)).collect();
+        let b = if directed { GraphBuilder::directed(n) } else { GraphBuilder::undirected(n) };
+        b.edges(edges).build().unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn parallel_gap_measures_match_serial(
+            n in 1usize..48,
+            edges in proptest::collection::vec((0u32..48, 0u32..48), 0..160),
+            seed in any::<u64>(),
+            directed in any::<bool>(),
+        ) {
+            let g = build(n, edges, directed);
+            let pi = random_perm(n, seed);
+            let par = gap_measures(&g, &pi);
+            let ser = serial_gap_measures(&g, &pi);
+            prop_assert_eq!(par.bandwidth, ser.bandwidth);
+            // Integer-derived quantities are exact.
+            prop_assert_eq!(par.avg_gap.to_bits(), ser.avg_gap.to_bits());
+            prop_assert_eq!(par.avg_bandwidth.to_bits(), ser.avg_bandwidth.to_bits());
+            // The log-gap accumulates per-vertex partials in index order —
+            // deterministic, but grouped differently than the flat serial
+            // scan, so it agrees to rounding error rather than bit-for-bit.
+            prop_assert!(
+                (par.avg_log_gap - ser.avg_log_gap).abs() <= 1e-12 * (1.0 + ser.avg_log_gap.abs()),
+                "avg_log_gap {} vs {}", par.avg_log_gap, ser.avg_log_gap
+            );
+        }
+
+        #[test]
+        fn parallel_edge_gaps_match_serial(
+            n in 1usize..48,
+            edges in proptest::collection::vec((0u32..48, 0u32..48), 0..160),
+            seed in any::<u64>(),
+            directed in any::<bool>(),
+        ) {
+            let g = build(n, edges, directed);
+            let pi = random_perm(n, seed);
+            prop_assert_eq!(edge_gaps(&g, &pi), serial_edge_gaps(&g, &pi));
+        }
+
+        #[test]
+        fn parallel_vertex_bandwidths_match_serial(
+            n in 1usize..48,
+            edges in proptest::collection::vec((0u32..48, 0u32..48), 0..160),
+            seed in any::<u64>(),
+            directed in any::<bool>(),
+        ) {
+            let g = build(n, edges, directed);
+            let pi = random_perm(n, seed);
+            prop_assert_eq!(vertex_bandwidths(&g, &pi), serial_vertex_bandwidths(&g, &pi));
         }
     }
-    band
 }
 
 #[cfg(test)]
@@ -151,7 +352,8 @@ mod tests {
 
     #[test]
     fn path_natural_order_is_optimal() {
-        let g = GraphBuilder::undirected(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build().unwrap();
+        let g =
+            GraphBuilder::undirected(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build().unwrap();
         let m = gap_measures(&g, &Permutation::identity(5));
         assert_eq!(m.avg_gap, 1.0);
         assert_eq!(m.bandwidth, 1);
@@ -160,7 +362,8 @@ mod tests {
 
     #[test]
     fn path_reversal_is_equivalent() {
-        let g = GraphBuilder::undirected(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build().unwrap();
+        let g =
+            GraphBuilder::undirected(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build().unwrap();
         let rev = Permutation::identity(5).reversed();
         let m = gap_measures(&g, &rev);
         assert_eq!(m.bandwidth, 1);

@@ -67,10 +67,8 @@ pub fn packing_factor(
     }
     let per_line = line_bytes / entry_bytes;
     let mean = graph.num_arcs() as f64 / n as f64;
-    let hot_ranks: Vec<u32> = (0..n as u32)
-        .filter(|&v| graph.degree(v) as f64 > mean)
-        .map(|v| pi.rank(v))
-        .collect();
+    let hot_ranks: Vec<u32> =
+        (0..n as u32).filter(|&v| graph.degree(v) as f64 > mean).map(|v| pi.rank(v)).collect();
     let hot = hot_ranks.len();
     if hot == 0 {
         return PackingFactor { hot_vertices: 0, lines_touched: 0, lines_needed: 0, factor: 0.0 };

@@ -39,8 +39,7 @@ pub fn metis_order(graph: &Csr, parts: usize, seed: u64) -> Permutation {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         label.swap(i, (x >> 33) as usize % (i + 1));
     }
-    let shuffled: Vec<u32> =
-        p.assignment.iter().map(|&a| label[a as usize]).collect();
+    let shuffled: Vec<u32> = p.assignment.iter().map(|&a| label[a as usize]).collect();
     order_by_group(&shuffled)
 }
 

@@ -62,9 +62,8 @@ pub fn hub_threshold(graph: &Csr) -> f64 {
 pub fn hub_sort(graph: &Csr) -> Permutation {
     let n = graph.num_vertices();
     let threshold = hub_threshold(graph);
-    let mut hubs: Vec<u32> = (0..n as u32)
-        .filter(|&v| graph.degree(v) as f64 > threshold)
-        .collect();
+    let mut hubs: Vec<u32> =
+        (0..n as u32).filter(|&v| graph.degree(v) as f64 > threshold).collect();
     hubs.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
     let mut order = hubs;
     let is_hub: Vec<bool> = {
@@ -101,10 +100,8 @@ mod tests {
 
     #[test]
     fn degree_sort_decreasing_orders_by_degree() {
-        let g = GraphBuilder::undirected(4)
-            .edges([(0, 1), (0, 2), (0, 3), (1, 2)])
-            .build()
-            .unwrap();
+        let g =
+            GraphBuilder::undirected(4).edges([(0, 1), (0, 2), (0, 3), (1, 2)]).build().unwrap();
         // degrees: 0->3, 1->2, 2->2, 3->1
         let pi = degree_sort(&g, DegreeDirection::Decreasing);
         assert_eq!(pi.rank(0), 0);
@@ -168,8 +165,11 @@ mod tests {
         let t = hub_threshold(&g);
         let a: std::collections::HashSet<u32> =
             hub_sort(&g).to_order().into_iter().take_while(|&v| g.degree(v) as f64 > t).collect();
-        let b: std::collections::HashSet<u32> =
-            hub_cluster(&g).to_order().into_iter().take_while(|&v| g.degree(v) as f64 > t).collect();
+        let b: std::collections::HashSet<u32> = hub_cluster(&g)
+            .to_order()
+            .into_iter()
+            .take_while(|&v| g.degree(v) as f64 > t)
+            .collect();
         assert_eq!(a, b);
     }
 

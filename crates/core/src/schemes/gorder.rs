@@ -71,31 +71,28 @@ pub fn gorder(graph: &Csr, window: usize, hub_cap: usize) -> Permutation {
 
     // Applies the Gscore delta of `v` entering (+1) or leaving (-1) the
     // window to all unplaced candidates.
-    let apply = |v: u32,
-                     delta: i64,
-                     key: &mut [i64],
-                     placed: &[bool],
-                     heap: &mut BinaryHeap<Entry>| {
-        for &u in graph.neighbors(v) {
-            if u != v && !placed[u as usize] {
-                key[u as usize] += delta; // S_n: direct edge credit
-                if delta > 0 {
-                    heap.push(Entry { key: key[u as usize], vertex: u });
+    let apply =
+        |v: u32, delta: i64, key: &mut [i64], placed: &[bool], heap: &mut BinaryHeap<Entry>| {
+            for &u in graph.neighbors(v) {
+                if u != v && !placed[u as usize] {
+                    key[u as usize] += delta; // S_n: direct edge credit
+                    if delta > 0 {
+                        heap.push(Entry { key: key[u as usize], vertex: u });
+                    }
                 }
-            }
-            // S_s: shared-neighbor credit through intermediate u.
-            if graph.degree(u) <= hub_cap {
-                for &t in graph.neighbors(u) {
-                    if t != v && !placed[t as usize] {
-                        key[t as usize] += delta;
-                        if delta > 0 {
-                            heap.push(Entry { key: key[t as usize], vertex: t });
+                // S_s: shared-neighbor credit through intermediate u.
+                if graph.degree(u) <= hub_cap {
+                    for &t in graph.neighbors(u) {
+                        if t != v && !placed[t as usize] {
+                            key[t as usize] += delta;
+                            if delta > 0 {
+                                heap.push(Entry { key: key[t as usize], vertex: t });
+                            }
                         }
                     }
                 }
             }
-        }
-    };
+        };
 
     for _ in 0..n {
         // Select the unplaced vertex with max key; fall back to the next
@@ -157,10 +154,8 @@ mod tests {
         let pi = gorder(&g, 5, usize::MAX);
         for c in 0..4u32 {
             let ranks: Vec<u32> = (0..6).map(|i| pi.rank(c * 6 + i)).collect();
-            let (lo, hi) = (
-                *ranks.iter().min().expect("non-empty"),
-                *ranks.iter().max().expect("non-empty"),
-            );
+            let (lo, hi) =
+                (*ranks.iter().min().expect("non-empty"), *ranks.iter().max().expect("non-empty"));
             assert!(hi - lo <= 7, "clique {c} spread over ranks {lo}..{hi}");
         }
     }
@@ -199,10 +194,8 @@ mod tests {
 
     #[test]
     fn disconnected_components_all_placed() {
-        let g = GraphBuilder::undirected(8)
-            .edges([(0, 1), (1, 2), (5, 6), (6, 7)])
-            .build()
-            .unwrap();
+        let g =
+            GraphBuilder::undirected(8).edges([(0, 1), (1, 2), (5, 6), (6, 7)]).build().unwrap();
         let pi = gorder(&g, 5, usize::MAX);
         assert_eq!(pi.len(), 8);
     }

@@ -27,11 +27,7 @@ impl HybridConfig {
     /// Default tuning: 256-vertex leaves, depth ≤ 8, single-threaded
     /// Louvain (recursion supplies the parallelism opportunity instead).
     pub fn new() -> Self {
-        HybridConfig {
-            leaf_size: 256,
-            max_depth: 8,
-            louvain: LouvainConfig::default().threads(1),
-        }
+        HybridConfig { leaf_size: 256, max_depth: 8, louvain: LouvainConfig::default().threads(1) }
     }
 
     /// Sets the leaf size.
@@ -78,7 +74,13 @@ pub fn hybrid_multiscale_order(graph: &Csr, config: &HybridConfig) -> Permutatio
     Permutation::from_order(&order).expect("recursion emits every vertex once")
 }
 
-fn recurse(root: &Csr, vertices: &[u32], config: &HybridConfig, depth: usize, order: &mut Vec<u32>) {
+fn recurse(
+    root: &Csr,
+    vertices: &[u32],
+    config: &HybridConfig,
+    depth: usize,
+    order: &mut Vec<u32>,
+) {
     let (sub, originals) = root.induced_subgraph(vertices);
     if vertices.len() <= config.leaf_size || depth >= config.max_depth {
         emit_rcm(&sub, &originals, order);
@@ -91,9 +93,8 @@ fn recurse(root: &Csr, vertices: &[u32], config: &HybridConfig, depth: usize, or
         return;
     }
     // Order the communities themselves by RCM on the coarse graph.
-    let coarse = contract(&sub, &communities.assignment, k)
-        .expect("louvain assignment is valid")
-        .coarse;
+    let coarse =
+        contract(&sub, &communities.assignment, k).expect("louvain assignment is valid").coarse;
     let comm_rank = rcm_order(&coarse);
     let mut comm_order: Vec<u32> = (0..k as u32).collect();
     comm_order.sort_by_key(|&c| comm_rank.rank(c));
@@ -155,11 +156,9 @@ mod tests {
         // flat community-contiguous order leaves loose.
         let g0 = grid2d(16, 16);
         let g = g0.permuted(&random_order(&g0, 31)).unwrap();
-        let hybrid = gap_measures(&g, &hybrid_multiscale_order(&g, &HybridConfig::new().leaf_size(32)));
-        let flat = gap_measures(
-            &g,
-            &grappolo_order_with(&g, &LouvainConfig::default().threads(1)),
-        );
+        let hybrid =
+            gap_measures(&g, &hybrid_multiscale_order(&g, &HybridConfig::new().leaf_size(32)));
+        let flat = gap_measures(&g, &grappolo_order_with(&g, &LouvainConfig::default().threads(1)));
         assert!(
             hybrid.bandwidth <= flat.bandwidth,
             "hybrid β {} vs flat grappolo β {}",

@@ -47,20 +47,13 @@ impl Default for MinlaConfig {
 /// Total linear-arrangement cost `Σ_e ξ(e)` of an order (`order[r]` =
 /// vertex at rank `r`).
 fn total_gap(graph: &Csr, ranks: &[u32]) -> u64 {
-    graph
-        .edges()
-        .map(|(u, v, _)| ranks[u as usize].abs_diff(ranks[v as usize]) as u64)
-        .sum()
+    graph.edges().map(|(u, v, _)| ranks[u as usize].abs_diff(ranks[v as usize]) as u64).sum()
 }
 
 /// Cost contribution of vertex `v` at rank `ranks[v]`: the sum of gaps of
 /// its incident edges (self loops contribute 0).
 fn vertex_cost(graph: &Csr, ranks: &[u32], v: u32) -> i64 {
-    graph
-        .neighbors(v)
-        .iter()
-        .map(|&u| ranks[v as usize].abs_diff(ranks[u as usize]) as i64)
-        .sum()
+    graph.neighbors(v).iter().map(|&u| ranks[v as usize].abs_diff(ranks[u as usize]) as i64).sum()
 }
 
 /// Refines `initial` toward a lower total linear-arrangement gap with
@@ -111,8 +104,8 @@ pub fn minla_anneal(graph: &Csr, initial: &Permutation, config: &MinlaConfig) ->
         ranks.swap(a as usize, b as usize);
         let after = vertex_cost(graph, &ranks, a) + vertex_cost(graph, &ranks, b);
         let delta = after - before;
-        let accept = delta <= 0
-            || rng.gen::<f64>() < (-(delta as f64) / temperature.max(1e-12)).exp();
+        let accept =
+            delta <= 0 || rng.gen::<f64>() < (-(delta as f64) / temperature.max(1e-12)).exp();
         if accept {
             cost += delta;
             if cost < best_cost {
@@ -154,7 +147,10 @@ mod tests {
         let refined = minla_anneal(&g, &start, &MinlaConfig::budget(48, 800, 7));
         let before = gap_measures(&g, &start).avg_gap;
         let after = gap_measures(&g, &refined).avg_gap;
-        assert!(after < before / 2.0, "annealing should strongly improve a shuffled path: {before} -> {after}");
+        assert!(
+            after < before / 2.0,
+            "annealing should strongly improve a shuffled path: {before} -> {after}"
+        );
     }
 
     #[test]

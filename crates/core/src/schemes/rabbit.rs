@@ -155,10 +155,8 @@ mod tests {
 
     #[test]
     fn handles_disconnected_graph() {
-        let g = GraphBuilder::undirected(9)
-            .edges([(0, 1), (1, 2), (4, 5), (7, 8)])
-            .build()
-            .unwrap();
+        let g =
+            GraphBuilder::undirected(9).edges([(0, 1), (1, 2), (4, 5), (7, 8)]).build().unwrap();
         let pi = rabbit_order(&g);
         assert_eq!(pi.len(), 9);
     }

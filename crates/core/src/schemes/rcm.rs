@@ -157,10 +157,8 @@ mod tests {
 
     #[test]
     fn disconnected_components_all_ordered() {
-        let g = GraphBuilder::undirected(7)
-            .edges([(0, 1), (1, 2), (4, 5), (5, 6)])
-            .build()
-            .unwrap();
+        let g =
+            GraphBuilder::undirected(7).edges([(0, 1), (1, 2), (4, 5), (5, 6)]).build().unwrap();
         let pi = rcm_order(&g);
         assert_eq!(pi.len(), 7);
         // Bandwidth within each path component must be 1.

@@ -35,7 +35,7 @@ pub fn slashburn_order(graph: &Csr, k_frac: f64) -> Permutation {
     let mut ranks = vec![u32::MAX; n];
     let mut front = 0u32;
     let mut back = n as u32; // exclusive
-    // `live` holds original ids of the current working component.
+                             // `live` holds original ids of the current working component.
     let mut live: Vec<u32> = (0..n as u32).collect();
     let mut sub = graph.clone();
 
@@ -94,10 +94,8 @@ pub fn slashburn_order(graph: &Csr, k_frac: f64) -> Permutation {
         // Recurse on the giant component.
         let giant_local: Vec<u32> = members[giant as usize].clone();
         let (next_sub, next_orig_local) = rest.induced_subgraph(&giant_local);
-        live = next_orig_local
-            .iter()
-            .map(|&v| live[rest_orig_local[v as usize] as usize])
-            .collect();
+        live =
+            next_orig_local.iter().map(|&v| live[rest_orig_local[v as usize] as usize]).collect();
         sub = next_sub;
     }
     debug_assert!(front <= back, "front {front} crossed back {back}");
@@ -143,8 +141,8 @@ mod tests {
             .build()
             .unwrap();
         let pi = slashburn_order(&g, 0.15); // k = ceil(7*0.15)=2
-        // Vertex 0 (degree 4) slashed first; ranks of 5,6 (smallest spoke
-        // component is the pair or singletons after slash) are high.
+                                            // Vertex 0 (degree 4) slashed first; ranks of 5,6 (smallest spoke
+                                            // component is the pair or singletons after slash) are high.
         assert!(pi.rank(0) <= 1);
         assert!(pi.rank(5) >= 2 && pi.rank(6) >= 2);
     }

@@ -107,7 +107,7 @@ pub fn rmat(n: usize, m: usize, params: RmatParams, seed: u64) -> Csr {
     assert!(n >= 2, "rmat needs at least two vertices");
     let d = params.d();
     assert!(
-        params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= 0.0 && d <= 1.0,
+        params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0 && (0.0..=1.0).contains(&d),
         "rmat quadrant probabilities must form a distribution"
     );
     let levels = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)

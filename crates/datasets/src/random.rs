@@ -77,7 +77,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Csr {
 ///
 /// Panics if `k` is odd or `k >= n`, or if `beta` is outside `\[0, 1\]`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Csr {
-    assert!(k % 2 == 0, "watts_strogatz requires even k");
+    assert!(k.is_multiple_of(2), "watts_strogatz requires even k");
     assert!(k < n, "watts_strogatz requires k < n");
     assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
     let mut rng = StdRng::seed_from_u64(seed);

@@ -99,7 +99,7 @@ fn unrank_pair(index: u64, n: u64) -> (u32, u32) {
     let mut lo = 0u64;
     let mut hi = n - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let before = mid * n - mid * (mid + 1) / 2;
         if before <= index {
             lo = mid;

@@ -148,12 +148,18 @@ impl Recipe {
     /// Synthesizes the graph for this recipe with the given seed.
     pub fn generate(&self, seed: u64) -> Csr {
         match *self {
-            Recipe::RoadFragment { rows, cols, drop_prob } => road_fragment(rows, cols, drop_prob, seed),
-            Recipe::RoadNetwork { rows, cols, keep_prob } => road_network(rows, cols, keep_prob, seed),
+            Recipe::RoadFragment { rows, cols, drop_prob } => {
+                road_fragment(rows, cols, drop_prob, seed)
+            }
+            Recipe::RoadNetwork { rows, cols, keep_prob } => {
+                road_network(rows, cols, keep_prob, seed)
+            }
             Recipe::TriMesh { rows, cols, flip_prob } => tri_mesh(rows, cols, flip_prob, seed),
             Recipe::Ba { n, m_attach } => barabasi_albert(n, m_attach, seed),
             Recipe::Rmat { n, m, a, b, c } => rmat(n, m, RmatParams { a, b, c }, seed),
-            Recipe::HubSpokes { n, hubs, frac, extra } => hub_and_spokes(n, hubs, frac, extra, seed),
+            Recipe::HubSpokes { n, hubs, frac, extra } => {
+                hub_and_spokes(n, hubs, frac, extra, seed)
+            }
             Recipe::Ws { n, k, beta } => watts_strogatz(n, k, beta, seed),
             Recipe::Gnm { n, m } => erdos_renyi_gnm(n, m, seed),
             Recipe::Geometric { n, radius } => random_geometric(n, radius, seed),
@@ -224,31 +230,206 @@ pub fn small_suite() -> Vec<InstanceSpec> {
     use Domain::*;
     use Recipe::*;
     vec![
-        InstanceSpec { name: "chicago_road", domain: Road, paper_vertices: 1_467, paper_edges: 1_298, scale_denominator: 1, recipe: RoadFragment { rows: 39, cols: 38, drop_prob: 0.125 } },
-        InstanceSpec { name: "euroroad", domain: Road, paper_vertices: 1_174, paper_edges: 1_417, scale_denominator: 1, recipe: RoadNetwork { rows: 34, cols: 35, keep_prob: 0.203 } },
-        InstanceSpec { name: "facebook_nips", domain: Social, paper_vertices: 2_888, paper_edges: 2_981, scale_denominator: 1, recipe: HubSpokes { n: 2_888, hubs: 1, frac: 0.266, extra: 2_213 } },
-        InstanceSpec { name: "rovira", domain: Social, paper_vertices: 1_133, paper_edges: 5_451, scale_denominator: 1, recipe: Ba { n: 1_133, m_attach: 5 } },
-        InstanceSpec { name: "delaunay_n11", domain: Mesh, paper_vertices: 2_048, paper_edges: 6_128, scale_denominator: 1, recipe: TriMesh { rows: 32, cols: 64, flip_prob: 0.3 } },
-        InstanceSpec { name: "figeys", domain: Web, paper_vertices: 2_239, paper_edges: 6_452, scale_denominator: 1, recipe: Rmat { n: 2_239, m: 6_452, a: 0.65, b: 0.15, c: 0.15 } },
-        InstanceSpec { name: "us_power_grid", domain: Road, paper_vertices: 4_941, paper_edges: 6_594, scale_denominator: 1, recipe: RoadNetwork { rows: 70, cols: 71, keep_prob: 0.336 } },
-        InstanceSpec { name: "delaunay_n12", domain: Mesh, paper_vertices: 4_096, paper_edges: 12_265, scale_denominator: 1, recipe: TriMesh { rows: 64, cols: 64, flip_prob: 0.3 } },
-        InstanceSpec { name: "hamster_small", domain: Social, paper_vertices: 1_858, paper_edges: 12_534, scale_denominator: 1, recipe: Ba { n: 1_858, m_attach: 7 } },
-        InstanceSpec { name: "hamster_full", domain: Social, paper_vertices: 2_426, paper_edges: 16_631, scale_denominator: 1, recipe: Ba { n: 2_426, m_attach: 7 } },
-        InstanceSpec { name: "pgp", domain: Social, paper_vertices: 10_680, paper_edges: 24_316, scale_denominator: 1, recipe: Rmat { n: 10_680, m: 24_316, a: 0.5, b: 0.2, c: 0.2 } },
-        InstanceSpec { name: "delaunay_n13", domain: Mesh, paper_vertices: 8_192, paper_edges: 24_548, scale_denominator: 1, recipe: TriMesh { rows: 64, cols: 128, flip_prob: 0.3 } },
-        InstanceSpec { name: "openflights", domain: Web, paper_vertices: 2_939, paper_edges: 30_501, scale_denominator: 1, recipe: Rmat { n: 2_939, m: 30_501, a: 0.6, b: 0.17, c: 0.17 } },
-        InstanceSpec { name: "fe_4elt2", domain: Mesh, paper_vertices: 11_143, paper_edges: 32_819, scale_denominator: 1, recipe: TriMesh { rows: 86, cols: 130, flip_prob: 0.3 } },
-        InstanceSpec { name: "twitter_lists", domain: Social, paper_vertices: 23_370, paper_edges: 33_101, scale_denominator: 1, recipe: Rmat { n: 23_370, m: 33_101, a: 0.55, b: 0.19, c: 0.19 } },
-        InstanceSpec { name: "google_plus", domain: Social, paper_vertices: 23_628, paper_edges: 39_242, scale_denominator: 1, recipe: HubSpokes { n: 23_628, hubs: 2, frac: 0.11, extra: 34_044 } },
-        InstanceSpec { name: "cs4", domain: Mesh, paper_vertices: 22_499, paper_edges: 43_859, scale_denominator: 1, recipe: RoadNetwork { rows: 150, cols: 150, keep_prob: 1.0 } },
-        InstanceSpec { name: "cti", domain: Mesh, paper_vertices: 16_840, paper_edges: 48_233, scale_denominator: 1, recipe: TriMesh { rows: 120, cols: 140, flip_prob: 0.2 } },
-        InstanceSpec { name: "delaunay_n14", domain: Mesh, paper_vertices: 16_384, paper_edges: 49_123, scale_denominator: 1, recipe: TriMesh { rows: 128, cols: 128, flip_prob: 0.3 } },
-        InstanceSpec { name: "caida", domain: Web, paper_vertices: 26_475, paper_edges: 53_381, scale_denominator: 1, recipe: Rmat { n: 26_475, m: 53_381, a: 0.72, b: 0.13, c: 0.13 } },
-        InstanceSpec { name: "vsp", domain: Web, paper_vertices: 10_498, paper_edges: 53_869, scale_denominator: 1, recipe: Rmat { n: 10_498, m: 53_869, a: 0.5, b: 0.2, c: 0.2 } },
-        InstanceSpec { name: "wing_nodal", domain: Mesh, paper_vertices: 10_937, paper_edges: 75_489, scale_denominator: 1, recipe: Geometric { n: 10_937, radius: 0.02 } },
-        InstanceSpec { name: "cora", domain: Collaboration, paper_vertices: 23_166, paper_edges: 91_500, scale_denominator: 1, recipe: Ba { n: 23_166, m_attach: 4 } },
-        InstanceSpec { name: "gnutella", domain: PeerToPeer, paper_vertices: 62_586, paper_edges: 147_892, scale_denominator: 1, recipe: Rmat { n: 62_586, m: 147_892, a: 0.45, b: 0.22, c: 0.22 } },
-        InstanceSpec { name: "arxiv_astro_ph", domain: Collaboration, paper_vertices: 18_771, paper_edges: 198_050, scale_denominator: 1, recipe: Ba { n: 18_771, m_attach: 10 } },
+        InstanceSpec {
+            name: "chicago_road",
+            domain: Road,
+            paper_vertices: 1_467,
+            paper_edges: 1_298,
+            scale_denominator: 1,
+            recipe: RoadFragment { rows: 39, cols: 38, drop_prob: 0.125 },
+        },
+        InstanceSpec {
+            name: "euroroad",
+            domain: Road,
+            paper_vertices: 1_174,
+            paper_edges: 1_417,
+            scale_denominator: 1,
+            recipe: RoadNetwork { rows: 34, cols: 35, keep_prob: 0.203 },
+        },
+        InstanceSpec {
+            name: "facebook_nips",
+            domain: Social,
+            paper_vertices: 2_888,
+            paper_edges: 2_981,
+            scale_denominator: 1,
+            recipe: HubSpokes { n: 2_888, hubs: 1, frac: 0.266, extra: 2_213 },
+        },
+        InstanceSpec {
+            name: "rovira",
+            domain: Social,
+            paper_vertices: 1_133,
+            paper_edges: 5_451,
+            scale_denominator: 1,
+            recipe: Ba { n: 1_133, m_attach: 5 },
+        },
+        InstanceSpec {
+            name: "delaunay_n11",
+            domain: Mesh,
+            paper_vertices: 2_048,
+            paper_edges: 6_128,
+            scale_denominator: 1,
+            recipe: TriMesh { rows: 32, cols: 64, flip_prob: 0.3 },
+        },
+        InstanceSpec {
+            name: "figeys",
+            domain: Web,
+            paper_vertices: 2_239,
+            paper_edges: 6_452,
+            scale_denominator: 1,
+            recipe: Rmat { n: 2_239, m: 6_452, a: 0.65, b: 0.15, c: 0.15 },
+        },
+        InstanceSpec {
+            name: "us_power_grid",
+            domain: Road,
+            paper_vertices: 4_941,
+            paper_edges: 6_594,
+            scale_denominator: 1,
+            recipe: RoadNetwork { rows: 70, cols: 71, keep_prob: 0.336 },
+        },
+        InstanceSpec {
+            name: "delaunay_n12",
+            domain: Mesh,
+            paper_vertices: 4_096,
+            paper_edges: 12_265,
+            scale_denominator: 1,
+            recipe: TriMesh { rows: 64, cols: 64, flip_prob: 0.3 },
+        },
+        InstanceSpec {
+            name: "hamster_small",
+            domain: Social,
+            paper_vertices: 1_858,
+            paper_edges: 12_534,
+            scale_denominator: 1,
+            recipe: Ba { n: 1_858, m_attach: 7 },
+        },
+        InstanceSpec {
+            name: "hamster_full",
+            domain: Social,
+            paper_vertices: 2_426,
+            paper_edges: 16_631,
+            scale_denominator: 1,
+            recipe: Ba { n: 2_426, m_attach: 7 },
+        },
+        InstanceSpec {
+            name: "pgp",
+            domain: Social,
+            paper_vertices: 10_680,
+            paper_edges: 24_316,
+            scale_denominator: 1,
+            recipe: Rmat { n: 10_680, m: 24_316, a: 0.5, b: 0.2, c: 0.2 },
+        },
+        InstanceSpec {
+            name: "delaunay_n13",
+            domain: Mesh,
+            paper_vertices: 8_192,
+            paper_edges: 24_548,
+            scale_denominator: 1,
+            recipe: TriMesh { rows: 64, cols: 128, flip_prob: 0.3 },
+        },
+        InstanceSpec {
+            name: "openflights",
+            domain: Web,
+            paper_vertices: 2_939,
+            paper_edges: 30_501,
+            scale_denominator: 1,
+            recipe: Rmat { n: 2_939, m: 30_501, a: 0.6, b: 0.17, c: 0.17 },
+        },
+        InstanceSpec {
+            name: "fe_4elt2",
+            domain: Mesh,
+            paper_vertices: 11_143,
+            paper_edges: 32_819,
+            scale_denominator: 1,
+            recipe: TriMesh { rows: 86, cols: 130, flip_prob: 0.3 },
+        },
+        InstanceSpec {
+            name: "twitter_lists",
+            domain: Social,
+            paper_vertices: 23_370,
+            paper_edges: 33_101,
+            scale_denominator: 1,
+            recipe: Rmat { n: 23_370, m: 33_101, a: 0.55, b: 0.19, c: 0.19 },
+        },
+        InstanceSpec {
+            name: "google_plus",
+            domain: Social,
+            paper_vertices: 23_628,
+            paper_edges: 39_242,
+            scale_denominator: 1,
+            recipe: HubSpokes { n: 23_628, hubs: 2, frac: 0.11, extra: 34_044 },
+        },
+        InstanceSpec {
+            name: "cs4",
+            domain: Mesh,
+            paper_vertices: 22_499,
+            paper_edges: 43_859,
+            scale_denominator: 1,
+            recipe: RoadNetwork { rows: 150, cols: 150, keep_prob: 1.0 },
+        },
+        InstanceSpec {
+            name: "cti",
+            domain: Mesh,
+            paper_vertices: 16_840,
+            paper_edges: 48_233,
+            scale_denominator: 1,
+            recipe: TriMesh { rows: 120, cols: 140, flip_prob: 0.2 },
+        },
+        InstanceSpec {
+            name: "delaunay_n14",
+            domain: Mesh,
+            paper_vertices: 16_384,
+            paper_edges: 49_123,
+            scale_denominator: 1,
+            recipe: TriMesh { rows: 128, cols: 128, flip_prob: 0.3 },
+        },
+        InstanceSpec {
+            name: "caida",
+            domain: Web,
+            paper_vertices: 26_475,
+            paper_edges: 53_381,
+            scale_denominator: 1,
+            recipe: Rmat { n: 26_475, m: 53_381, a: 0.72, b: 0.13, c: 0.13 },
+        },
+        InstanceSpec {
+            name: "vsp",
+            domain: Web,
+            paper_vertices: 10_498,
+            paper_edges: 53_869,
+            scale_denominator: 1,
+            recipe: Rmat { n: 10_498, m: 53_869, a: 0.5, b: 0.2, c: 0.2 },
+        },
+        InstanceSpec {
+            name: "wing_nodal",
+            domain: Mesh,
+            paper_vertices: 10_937,
+            paper_edges: 75_489,
+            scale_denominator: 1,
+            recipe: Geometric { n: 10_937, radius: 0.02 },
+        },
+        InstanceSpec {
+            name: "cora",
+            domain: Collaboration,
+            paper_vertices: 23_166,
+            paper_edges: 91_500,
+            scale_denominator: 1,
+            recipe: Ba { n: 23_166, m_attach: 4 },
+        },
+        InstanceSpec {
+            name: "gnutella",
+            domain: PeerToPeer,
+            paper_vertices: 62_586,
+            paper_edges: 147_892,
+            scale_denominator: 1,
+            recipe: Rmat { n: 62_586, m: 147_892, a: 0.45, b: 0.22, c: 0.22 },
+        },
+        InstanceSpec {
+            name: "arxiv_astro_ph",
+            domain: Collaboration,
+            paper_vertices: 18_771,
+            paper_edges: 198_050,
+            scale_denominator: 1,
+            recipe: Ba { n: 18_771, m_attach: 10 },
+        },
     ]
 }
 
@@ -258,15 +439,78 @@ pub fn large_suite() -> Vec<InstanceSpec> {
     use Domain::*;
     use Recipe::*;
     vec![
-        InstanceSpec { name: "livemocha", domain: Social, paper_vertices: 104_000, paper_edges: 2_190_000, scale_denominator: 8, recipe: Ba { n: 13_032, m_attach: 21 } },
-        InstanceSpec { name: "ca_roadnet", domain: Road, paper_vertices: 1_970_000, paper_edges: 2_770_000, scale_denominator: 16, recipe: RoadNetwork { rows: 350, cols: 351, keep_prob: 0.41 } },
-        InstanceSpec { name: "hyves", domain: Social, paper_vertices: 1_400_000, paper_edges: 2_780_000, scale_denominator: 16, recipe: Rmat { n: 87_500, m: 174_000, a: 0.7, b: 0.13, c: 0.13 } },
-        InstanceSpec { name: "arxiv_hep_ph", domain: Collaboration, paper_vertices: 28_100, paper_edges: 4_600_000, scale_denominator: 4, recipe: Ba { n: 7_025, m_attach: 41 } },
-        InstanceSpec { name: "youtube", domain: Social, paper_vertices: 3_220_000, paper_edges: 9_380_000, scale_denominator: 32, recipe: Rmat { n: 100_600, m: 293_000, a: 0.65, b: 0.15, c: 0.15 } },
-        InstanceSpec { name: "skitter", domain: Web, paper_vertices: 1_700_000, paper_edges: 11_100_000, scale_denominator: 16, recipe: Rmat { n: 106_250, m: 694_000, a: 0.62, b: 0.16, c: 0.16 } },
-        InstanceSpec { name: "actor_collab", domain: Collaboration, paper_vertices: 382_000, paper_edges: 33_100_000, scale_denominator: 32, recipe: Ba { n: 11_938, m_attach: 87 } },
-        InstanceSpec { name: "livejournal", domain: Social, paper_vertices: 5_200_000, paper_edges: 48_700_000, scale_denominator: 64, recipe: Rmat { n: 81_250, m: 761_000, a: 0.6, b: 0.17, c: 0.17 } },
-        InstanceSpec { name: "orkut", domain: Social, paper_vertices: 3_070_000, paper_edges: 117_000_000, scale_denominator: 64, recipe: Ba { n: 47_968, m_attach: 38 } },
+        InstanceSpec {
+            name: "livemocha",
+            domain: Social,
+            paper_vertices: 104_000,
+            paper_edges: 2_190_000,
+            scale_denominator: 8,
+            recipe: Ba { n: 13_032, m_attach: 21 },
+        },
+        InstanceSpec {
+            name: "ca_roadnet",
+            domain: Road,
+            paper_vertices: 1_970_000,
+            paper_edges: 2_770_000,
+            scale_denominator: 16,
+            recipe: RoadNetwork { rows: 350, cols: 351, keep_prob: 0.41 },
+        },
+        InstanceSpec {
+            name: "hyves",
+            domain: Social,
+            paper_vertices: 1_400_000,
+            paper_edges: 2_780_000,
+            scale_denominator: 16,
+            recipe: Rmat { n: 87_500, m: 174_000, a: 0.7, b: 0.13, c: 0.13 },
+        },
+        InstanceSpec {
+            name: "arxiv_hep_ph",
+            domain: Collaboration,
+            paper_vertices: 28_100,
+            paper_edges: 4_600_000,
+            scale_denominator: 4,
+            recipe: Ba { n: 7_025, m_attach: 41 },
+        },
+        InstanceSpec {
+            name: "youtube",
+            domain: Social,
+            paper_vertices: 3_220_000,
+            paper_edges: 9_380_000,
+            scale_denominator: 32,
+            recipe: Rmat { n: 100_600, m: 293_000, a: 0.65, b: 0.15, c: 0.15 },
+        },
+        InstanceSpec {
+            name: "skitter",
+            domain: Web,
+            paper_vertices: 1_700_000,
+            paper_edges: 11_100_000,
+            scale_denominator: 16,
+            recipe: Rmat { n: 106_250, m: 694_000, a: 0.62, b: 0.16, c: 0.16 },
+        },
+        InstanceSpec {
+            name: "actor_collab",
+            domain: Collaboration,
+            paper_vertices: 382_000,
+            paper_edges: 33_100_000,
+            scale_denominator: 32,
+            recipe: Ba { n: 11_938, m_attach: 87 },
+        },
+        InstanceSpec {
+            name: "livejournal",
+            domain: Social,
+            paper_vertices: 5_200_000,
+            paper_edges: 48_700_000,
+            scale_denominator: 64,
+            recipe: Rmat { n: 81_250, m: 761_000, a: 0.6, b: 0.17, c: 0.17 },
+        },
+        InstanceSpec {
+            name: "orkut",
+            domain: Social,
+            paper_vertices: 3_070_000,
+            paper_edges: 117_000_000,
+            scale_denominator: 64,
+            recipe: Ba { n: 47_968, m_attach: 38 },
+        },
     ]
 }
 
@@ -343,16 +587,8 @@ mod tests {
             let m = g.num_edges() as f64;
             let pn = spec.paper_vertices as f64;
             let pm = spec.paper_edges as f64;
-            assert!(
-                (n - pn).abs() / pn < 0.05,
-                "{}: |V|={n} vs paper {pn}",
-                spec.name
-            );
-            assert!(
-                (m - pm).abs() / pm < 0.15,
-                "{}: |E|={m} vs paper {pm}",
-                spec.name
-            );
+            assert!((n - pn).abs() / pn < 0.05, "{}: |V|={n} vs paper {pn}", spec.name);
+            assert!((m - pm).abs() / pm < 0.15, "{}: |E|={m} vs paper {pm}", spec.name);
         }
     }
 
@@ -402,9 +638,8 @@ mod tests {
         // …but the natural layout's locality is partially destroyed: the
         // mesh generator's row-major bandwidth is tiny, the jittered one
         // is not.
-        let band = |g: &reorderlab_graph::Csr| {
-            g.edges().map(|(u, v, _)| u.abs_diff(v)).max().unwrap_or(0)
-        };
+        let band =
+            |g: &reorderlab_graph::Csr| g.edges().map(|(u, v, _)| u.abs_diff(v)).max().unwrap_or(0);
         assert!(band(&jittered) > 4 * band(&raw), "jitter must break perfect layouts");
     }
 

@@ -164,7 +164,7 @@ impl GraphBuilder {
         }
 
         // Deduplicate parallel edges.
-        canon.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        canon.sort_by_key(|a| (a.0, a.1));
         let deduped: Vec<(u32, u32, f64)> = match self.duplicates {
             DuplicatePolicy::KeepAll => canon,
             DuplicatePolicy::KeepFirst => {
@@ -198,7 +198,7 @@ impl GraphBuilder {
                 arcs.push((v, u, w));
             }
         }
-        arcs.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        arcs.sort_by_key(|a| (a.0, a.1));
 
         Csr::from_sorted_arcs(n, &arcs, num_edges, self.directed, self.weighted)
     }

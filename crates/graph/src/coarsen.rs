@@ -85,8 +85,9 @@ pub fn contract(
         *weights.entry(key).or_insert(0.0) += w;
     }
 
-    let mut edges: Vec<(u32, u32, f64)> = weights.into_iter().map(|((u, v), w)| (u, v, w)).collect();
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    let mut edges: Vec<(u32, u32, f64)> =
+        weights.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+    edges.sort_by_key(|a| (a.0, a.1));
     let num_edges = edges.len();
 
     // Expand to symmetric arcs (self-loops stay single arcs).
@@ -97,10 +98,9 @@ pub fn contract(
             arcs.push((v, u, w));
         }
     }
-    arcs.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    arcs.sort_by_key(|a| (a.0, a.1));
 
-    let coarse =
-        Csr::from_sorted_arcs(num_clusters, &arcs, num_edges, graph.is_directed(), true)?;
+    let coarse = Csr::from_sorted_arcs(num_clusters, &arcs, num_edges, graph.is_directed(), true)?;
     Ok(Contraction { coarse, cluster_sizes })
 }
 

@@ -8,6 +8,12 @@
 
 use crate::error::GraphError;
 use crate::perm::Permutation;
+use rayon::prelude::*;
+
+/// A disjoint slice of the output arrays under construction: the range's
+/// starting vertex plus its target (and optional weight) storage. Used to
+/// hand each parallel worker its own writable region.
+type OutSlice<'a> = (usize, &'a mut [u32], Option<&'a mut [f64]>);
 
 /// A graph in compressed sparse row form.
 ///
@@ -165,9 +171,7 @@ impl Csr {
     /// Weights parallel to [`Csr::neighbors`]; `None` for unweighted graphs.
     #[inline]
     pub fn neighbor_weights(&self, v: u32) -> Option<&[f64]> {
-        self.weights
-            .as_ref()
-            .map(|ws| &ws[self.offsets[v as usize]..self.offsets[v as usize + 1]])
+        self.weights.as_ref().map(|ws| &ws[self.offsets[v as usize]..self.offsets[v as usize + 1]])
     }
 
     /// Iterates `(neighbor, weight)` pairs for `v`, substituting `1.0` when
@@ -177,10 +181,7 @@ impl Csr {
         let hi = self.offsets[v as usize + 1];
         let targets = &self.targets[lo..hi];
         let weights = self.weights.as_ref().map(|ws| &ws[lo..hi]);
-        targets
-            .iter()
-            .enumerate()
-            .map(move |(i, &t)| (t, weights.map_or(1.0, |ws| ws[i])))
+        targets.iter().enumerate().map(move |(i, &t)| (t, weights.map_or(1.0, |ws| ws[i])))
     }
 
     /// Degree of `v` (number of stored arcs leaving `v`; a self loop counts
@@ -266,6 +267,9 @@ impl Csr {
             });
         }
         let order = pi.to_order();
+        // Per-vertex offset precomputation: a prefix sum over the permuted
+        // degrees fixes every row's output range up front, so rows can be
+        // relabeled and sorted fully in parallel into disjoint slices.
         let mut offsets = vec![0usize; n + 1];
         for new_v in 0..n {
             let old_v = order[new_v];
@@ -273,25 +277,48 @@ impl Csr {
         }
         let mut targets = vec![0u32; self.targets.len()];
         let mut weights = self.weights.as_ref().map(|_| vec![0.0f64; self.targets.len()]);
+
+        // Split the output arrays into one mutable slice per row.
+        let mut rows: Vec<OutSlice<'_>> = Vec::with_capacity(n);
+        let mut t_rest: &mut [u32] = &mut targets;
+        let mut w_rest: Option<&mut [f64]> = weights.as_deref_mut();
         for new_v in 0..n {
+            let deg = offsets[new_v + 1] - offsets[new_v];
+            let (t_row, t_tail) = t_rest.split_at_mut(deg);
+            t_rest = t_tail;
+            let w_row = w_rest.take().map(|w| {
+                let (w_row, w_tail) = w.split_at_mut(deg);
+                w_rest = Some(w_tail);
+                w_row
+            });
+            rows.push((new_v, t_row, w_row));
+        }
+
+        rows.into_par_iter().for_each(|(new_v, t_row, w_row)| {
             let old_v = order[new_v];
-            let dst_lo = offsets[new_v];
             let src_lo = self.offsets[old_v as usize];
-            let deg = self.degree(old_v);
-            // Relabel and sort this neighbor list (with its weights).
-            let mut pairs: Vec<(u32, usize)> = self.targets[src_lo..src_lo + deg]
-                .iter()
-                .enumerate()
-                .map(|(i, &t)| (pi.rank(t), i))
-                .collect();
-            pairs.sort_unstable();
-            for (j, &(t, i)) in pairs.iter().enumerate() {
-                targets[dst_lo + j] = t;
-                if let (Some(dst), Some(src)) = (weights.as_mut(), self.weights.as_ref()) {
-                    dst[dst_lo + j] = src[src_lo + i];
+            let deg = t_row.len();
+            let src_row = &self.targets[src_lo..src_lo + deg];
+            match (w_row, self.weights.as_ref()) {
+                (Some(w_row), Some(src_w)) => {
+                    // Relabel and sort this neighbor list with its weights;
+                    // ties (duplicate targets) keep their original arc order.
+                    let mut pairs: Vec<(u32, u32)> =
+                        src_row.iter().enumerate().map(|(i, &t)| (pi.rank(t), i as u32)).collect();
+                    pairs.sort_unstable();
+                    for (j, &(t, i)) in pairs.iter().enumerate() {
+                        t_row[j] = t;
+                        w_row[j] = src_w[src_lo + i as usize];
+                    }
+                }
+                _ => {
+                    for (dst, &t) in t_row.iter_mut().zip(src_row) {
+                        *dst = pi.rank(t);
+                    }
+                    t_row.sort_unstable();
                 }
             }
-        }
+        });
         Ok(Csr::from_raw_parts(offsets, targets, weights, self.num_edges, self.directed))
     }
 
@@ -341,7 +368,7 @@ impl Csr {
             if let Some(ws) = weights.as_mut() {
                 let mut pairs: Vec<(u32, f64)> =
                     targets[lo2..hi2].iter().copied().zip(ws[lo2..hi2].iter().copied()).collect();
-                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                pairs.sort_by_key(|a| a.0);
                 for (j, (t, w)) in pairs.into_iter().enumerate() {
                     targets[lo2 + j] = t;
                     ws[lo2 + j] = w;
@@ -362,6 +389,7 @@ impl Csr {
             return self.clone();
         }
         let n = self.num_vertices();
+        // In-degree counts, then a prefix sum fixing every output row.
         let mut offsets = vec![0usize; n + 1];
         for &t in &self.targets {
             offsets[t as usize + 1] += 1;
@@ -369,22 +397,57 @@ impl Csr {
         for i in 0..n {
             offsets[i + 1] += offsets[i];
         }
-        let mut cursor = offsets.clone();
         let mut targets = vec![0u32; self.targets.len()];
         let mut weights = self.weights.as_ref().map(|_| vec![0.0f64; self.targets.len()]);
-        for u in 0..n as u32 {
-            let lo = self.offsets[u as usize];
-            for (i, &v) in self.neighbors(u).iter().enumerate() {
-                let slot = cursor[v as usize];
-                cursor[v as usize] += 1;
-                targets[slot] = u;
-                if let (Some(dst), Some(src)) = (weights.as_mut(), self.weights.as_ref()) {
-                    dst[slot] = src[lo + i];
+
+        // Partition destination vertices into one contiguous band per
+        // worker; a band's rows occupy a contiguous output range, so each
+        // worker owns a disjoint slice. Every worker sweeps the arc array in
+        // source order and scatters only the arcs landing in its band, which
+        // reproduces the serial fill order (per-row lists sorted by source)
+        // exactly, independent of the worker count.
+        let workers = rayon::current_num_threads().clamp(1, n.max(1));
+        let band = n.div_ceil(workers.max(1)).max(1);
+        let mut bands: Vec<OutSlice<'_>> = Vec::with_capacity(workers);
+        let mut t_rest: &mut [u32] = &mut targets;
+        let mut w_rest: Option<&mut [f64]> = weights.as_deref_mut();
+        let mut lo_v = 0usize;
+        while lo_v < n {
+            let hi_v = (lo_v + band).min(n);
+            let len = offsets[hi_v] - offsets[lo_v];
+            let (t_band, t_tail) = t_rest.split_at_mut(len);
+            t_rest = t_tail;
+            let w_band = w_rest.take().map(|w| {
+                let (w_band, w_tail) = w.split_at_mut(len);
+                w_rest = Some(w_tail);
+                w_band
+            });
+            bands.push((lo_v, t_band, w_band));
+            lo_v = hi_v;
+        }
+
+        let offsets_ref: &[usize] = &offsets;
+        bands.into_par_iter().for_each(|(lo_v, t_band, mut w_band)| {
+            let hi_v = (lo_v + band).min(n);
+            let base = offsets_ref[lo_v];
+            let mut cursor: Vec<usize> =
+                offsets_ref[lo_v..hi_v].iter().map(|&o| o - base).collect();
+            for u in 0..n as u32 {
+                let row_lo = self.offsets[u as usize];
+                for (i, &v) in self.neighbors(u).iter().enumerate() {
+                    let vi = v as usize;
+                    if vi < lo_v || vi >= hi_v {
+                        continue;
+                    }
+                    let slot = cursor[vi - lo_v];
+                    cursor[vi - lo_v] += 1;
+                    t_band[slot] = u;
+                    if let (Some(dst), Some(src)) = (w_band.as_mut(), self.weights.as_ref()) {
+                        dst[slot] = src[row_lo + i];
+                    }
                 }
             }
-        }
-        // Each per-vertex list was filled in increasing source order, so it
-        // is already sorted.
+        });
         Csr::from_raw_parts(offsets, targets, weights, self.num_edges, true)
     }
 }
@@ -513,10 +576,8 @@ mod tests {
     #[test]
     fn induced_subgraph_basic() {
         // Triangle 0-1-2 plus pendant 3 on 2.
-        let g = GraphBuilder::undirected(4)
-            .edges([(0, 1), (1, 2), (0, 2), (2, 3)])
-            .build()
-            .unwrap();
+        let g =
+            GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (0, 2), (2, 3)]).build().unwrap();
         let (sub, orig) = g.induced_subgraph(&[2, 0, 1]);
         assert_eq!(orig, vec![2, 0, 1]);
         assert_eq!(sub.num_vertices(), 3);
@@ -624,5 +685,173 @@ mod tests {
         assert_eq!(g.degree(4), 0);
         assert_eq!(g.neighbors(0), &[] as &[u32]);
         assert_eq!(g.edges().count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! Property tests pinning the parallel `permuted`/`transposed` kernels to
+    //! the serial implementations they replaced. The parallel versions are
+    //! designed to be *bit-identical* to these references at every thread
+    //! count (disjoint output slices, serial-equivalent fill order), so the
+    //! comparisons below are exact `Csr` equality, not just isomorphism.
+
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use proptest::prelude::*;
+
+    /// The serial relabel kernel `Csr::permuted` used before parallelization:
+    /// per-row push + sort, one row at a time.
+    fn serial_permuted(g: &Csr, pi: &Permutation) -> Csr {
+        let n = g.num_vertices();
+        let order = pi.to_order();
+        let mut offsets = vec![0usize; n + 1];
+        let mut targets = Vec::with_capacity(g.targets.len());
+        let mut weights = g.weights.as_ref().map(|_| Vec::with_capacity(g.targets.len()));
+        for new_v in 0..n {
+            let old_v = order[new_v];
+            let lo = g.offsets[old_v as usize];
+            let row = g.neighbors(old_v);
+            let start = targets.len();
+            if let (Some(dst), Some(src)) = (weights.as_mut(), g.weights.as_ref()) {
+                let mut pairs: Vec<(u32, u32)> =
+                    row.iter().enumerate().map(|(i, &t)| (pi.rank(t), i as u32)).collect();
+                pairs.sort_unstable();
+                for &(t, i) in &pairs {
+                    targets.push(t);
+                    dst.push(src[lo + i as usize]);
+                }
+            } else {
+                targets.extend(row.iter().map(|&t| pi.rank(t)));
+                targets[start..].sort_unstable();
+            }
+            offsets[new_v + 1] = targets.len();
+        }
+        Csr::from_raw_parts(offsets, targets, weights, g.num_edges, g.directed)
+    }
+
+    /// The serial transpose kernel `Csr::transposed` used before
+    /// parallelization: counting sort with a single cursor array.
+    fn serial_transposed(g: &Csr) -> Csr {
+        if !g.directed {
+            return g.clone();
+        }
+        let n = g.num_vertices();
+        let mut offsets = vec![0usize; n + 1];
+        for &t in &g.targets {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; g.targets.len()];
+        let mut weights = g.weights.as_ref().map(|_| vec![0.0f64; g.targets.len()]);
+        for u in 0..n as u32 {
+            let lo = g.offsets[u as usize];
+            for (i, &v) in g.neighbors(u).iter().enumerate() {
+                let slot = cursor[v as usize];
+                cursor[v as usize] += 1;
+                targets[slot] = u;
+                if let (Some(dst), Some(src)) = (weights.as_mut(), g.weights.as_ref()) {
+                    dst[slot] = src[lo + i];
+                }
+            }
+        }
+        Csr::from_raw_parts(offsets, targets, weights, g.num_edges, true)
+    }
+
+    /// Deterministic permutation of `n` vertices derived from `seed`.
+    fn perm_from_seed(n: usize, seed: u64) -> Permutation {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        Permutation::from_order(&order).expect("shuffled identity is a permutation")
+    }
+
+    fn build(n: usize, edges: &[(u32, u32, f64)], directed: bool, weighted: bool) -> Csr {
+        let mut b = if directed { GraphBuilder::directed(n) } else { GraphBuilder::undirected(n) };
+        for &(u, v, w) in edges {
+            b = if weighted {
+                b.weighted_edge(u % n as u32, v % n as u32, w)
+            } else {
+                b.edge(u % n as u32, v % n as u32)
+            };
+        }
+        b.build().expect("in-bounds edges always build")
+    }
+
+    fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>, bool, bool)> {
+        (2usize..48).prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32, 0.25f64..8.0);
+            (Just(n), proptest::collection::vec(edge, 0..140), any::<bool>(), any::<bool>())
+        })
+    }
+
+    /// Runs `op` at 1, 2, and 7 rayon threads and checks it yields the same
+    /// value each time (thread-count invariance = determinism).
+    fn at_thread_counts<R: PartialEq + std::fmt::Debug>(op: impl Fn() -> R) -> R {
+        let reference = op();
+        for threads in [1usize, 2, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("shim pool always builds");
+            let got = pool.install(&op);
+            assert_eq!(got, reference, "result changed at {threads} threads");
+        }
+        reference
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn permuted_matches_serial_reference(
+            ((n, edges, directed, weighted), seed) in (arb_edges(), any::<u64>())
+        ) {
+            let g = build(n, &edges, directed, weighted);
+            let pi = perm_from_seed(n, seed);
+            let expected = serial_permuted(&g, &pi);
+            let got = at_thread_counts(|| g.permuted(&pi).expect("length matches"));
+            prop_assert_eq!(&got, &expected);
+
+            // Isomorphism: degree multiset and (relabeled) edge set preserved.
+            let mut dg: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+            let mut dh: Vec<usize> = (0..n as u32).map(|v| got.degree(v)).collect();
+            dg.sort_unstable();
+            dh.sort_unstable();
+            prop_assert_eq!(dg, dh);
+            let mut eg: Vec<(u32, u32)> = g
+                .edges()
+                .map(|(u, v, _)| {
+                    let (a, b) = (pi.rank(u), pi.rank(v));
+                    if directed { (a, b) } else { (a.min(b), a.max(b)) }
+                })
+                .collect();
+            let mut eh: Vec<(u32, u32)> = got
+                .edges()
+                .map(|(u, v, _)| if directed { (u, v) } else { (u.min(v), u.max(v)) })
+                .collect();
+            eg.sort_unstable();
+            eh.sort_unstable();
+            prop_assert_eq!(eg, eh);
+        }
+
+        #[test]
+        fn transposed_matches_serial_reference(
+            (n, edges, _directed, weighted) in arb_edges()
+        ) {
+            let g = build(n, &edges, true, weighted);
+            let expected = serial_transposed(&g);
+            let got = at_thread_counts(|| g.transposed());
+            prop_assert_eq!(&got, &expected);
+            // Transposing twice recovers the original arc set (and weights).
+            prop_assert_eq!(&got.transposed(), &g);
+        }
     }
 }

@@ -124,9 +124,8 @@ mod tests {
 
     #[test]
     fn display_duplicate_rank() {
-        let e = GraphError::InvalidPermutation {
-            reason: PermutationDefect::DuplicateRank { rank: 3 },
-        };
+        let e =
+            GraphError::InvalidPermutation { reason: PermutationDefect::DuplicateRank { rank: 3 } };
         assert!(e.to_string().contains("rank 3"));
     }
 
@@ -146,8 +145,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(GraphError::InvalidWeight { weight: -1.0 });
+        let e: Box<dyn std::error::Error> = Box::new(GraphError::InvalidWeight { weight: -1.0 });
         assert!(e.to_string().contains("-1"));
     }
 

@@ -63,10 +63,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
 
 fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
     let tok = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
-    tok.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid {what} {tok:?}"),
-    })
+    tok.parse().map_err(|_| GraphError::Parse { line, message: format!("invalid {what} {tok:?}") })
 }
 
 /// Writes a graph as an edge list (`u v` per line, `u v w` when weighted).
@@ -155,7 +152,7 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
                 });
             }
             // Add each undirected edge once (from its lower endpoint).
-            if nbr - 1 >= vertex {
+            if nbr > vertex {
                 b = b.edge(vertex, nbr - 1);
             }
         }
@@ -178,8 +175,7 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
 pub fn write_metis<W: Write>(graph: &Csr, mut writer: W) -> std::io::Result<()> {
     writeln!(writer, "{} {}", graph.num_vertices(), graph.num_edges())?;
     for v in graph.vertices() {
-        let line: Vec<String> =
-            graph.neighbors(v).iter().map(|&u| (u + 1).to_string()).collect();
+        let line: Vec<String> = graph.neighbors(v).iter().map(|&u| (u + 1).to_string()).collect();
         writeln!(writer, "{}", line.join(" "))?;
     }
     Ok(())
@@ -236,7 +232,8 @@ mod tests {
 
     #[test]
     fn metis_round_trip() {
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3), (0, 3)]).build().unwrap();
+        let g =
+            GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3), (0, 3)]).build().unwrap();
         let mut buf = Vec::new();
         write_metis(&g, &mut buf).unwrap();
         let h = read_metis(&buf[..]).unwrap();

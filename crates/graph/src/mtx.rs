@@ -87,21 +87,16 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
     }
 
     let directed = symmetry == MtxSymmetry::General;
-    let mut b = if directed {
-        GraphBuilder::directed(rows)
-    } else {
-        GraphBuilder::undirected(rows)
-    }
-    .self_loops(SelfLoopPolicy::Drop)
-    .duplicates(DuplicatePolicy::MergeSum)
-    .reserve(nnz);
+    let mut b =
+        if directed { GraphBuilder::directed(rows) } else { GraphBuilder::undirected(rows) }
+            .self_loops(SelfLoopPolicy::Drop)
+            .duplicates(DuplicatePolicy::MergeSum)
+            .reserve(nnz);
 
     let mut seen = 0usize;
     for (i, line) in lines {
-        let line = line.map_err(|e| GraphError::Parse {
-            line: i + 1,
-            message: format!("io error: {e}"),
-        })?;
+        let line =
+            line.map_err(|e| GraphError::Parse { line: i + 1, message: format!("io error: {e}") })?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
@@ -180,10 +175,8 @@ fn next_content_line<R: BufRead>(
     banner: bool,
 ) -> Result<(usize, String), GraphError> {
     for (i, line) in lines.by_ref() {
-        let line = line.map_err(|e| GraphError::Parse {
-            line: i + 1,
-            message: format!("io error: {e}"),
-        })?;
+        let line =
+            line.map_err(|e| GraphError::Parse { line: i + 1, message: format!("io error: {e}") })?;
         let t = line.trim();
         if t.is_empty() {
             continue;
@@ -201,10 +194,7 @@ fn next_content_line<R: BufRead>(
 
 fn parse_num(tok: Option<&str>, line: usize, what: &str) -> Result<usize, GraphError> {
     let tok = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
-    tok.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid {what} {tok:?}"),
-    })
+    tok.parse().map_err(|_| GraphError::Parse { line, message: format!("invalid {what} {tok:?}") })
 }
 
 #[cfg(test)]

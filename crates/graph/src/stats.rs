@@ -43,7 +43,8 @@ impl GraphStats {
             degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64
         };
         let triangles = count_triangles(graph);
-        let wedges: u64 = degrees.iter().map(|&d| (d as u64) * (d.saturating_sub(1)) as u64 / 2).sum();
+        let wedges: u64 =
+            degrees.iter().map(|&d| (d as u64) * (d.saturating_sub(1)) as u64 / 2).sum();
         let clustering = if wedges == 0 { 0.0 } else { 3.0 * triangles as f64 / wedges as f64 };
         GraphStats {
             num_vertices: n,
@@ -140,11 +141,7 @@ pub fn approx_diameter(graph: &Csr) -> usize {
         .find(|&v| comps.component_of(v) == giant)
         .expect("giant component has a member");
     let first = bfs_levels(graph, start);
-    let far = first
-        .tiers
-        .last()
-        .and_then(|t| t.first().copied())
-        .unwrap_or(start);
+    let far = first.tiers.last().and_then(|t| t.first().copied()).unwrap_or(start);
     bfs_levels(graph, far).eccentricity()
 }
 
@@ -244,10 +241,7 @@ mod tests {
     fn degree_histogram_decades() {
         // Star of 200: one hub (degree 199 -> bucket 2), 199 leaves
         // (degree 1 -> bucket 0).
-        let g = GraphBuilder::undirected(200)
-            .edges((1..200).map(|i| (0, i)))
-            .build()
-            .unwrap();
+        let g = GraphBuilder::undirected(200).edges((1..200).map(|i| (0, i))).build().unwrap();
         assert_eq!(degree_histogram(&g), vec![199, 0, 1]);
     }
 
@@ -261,10 +255,7 @@ mod tests {
 
     #[test]
     fn diameter_exact_on_path() {
-        let g = GraphBuilder::undirected(9)
-            .edges((0..8u32).map(|i| (i, i + 1)))
-            .build()
-            .unwrap();
+        let g = GraphBuilder::undirected(9).edges((0..8u32).map(|i| (i, i + 1))).build().unwrap();
         assert_eq!(approx_diameter(&g), 8);
     }
 

@@ -201,10 +201,7 @@ pub fn pseudo_peripheral(graph: &Csr, start: u32) -> u32 {
             _ => return current,
         };
         // Min-degree vertex in the deepest level.
-        let candidate = *last
-            .iter()
-            .min_by_key(|&&v| graph.degree(v))
-            .expect("non-empty level");
+        let candidate = *last.iter().min_by_key(|&&v| graph.degree(v)).expect("non-empty level");
         if candidate == current {
             return current;
         }
@@ -226,10 +223,7 @@ mod tests {
     use crate::builder::GraphBuilder;
 
     fn path(n: usize) -> Csr {
-        GraphBuilder::undirected(n)
-            .edges((0..n as u32 - 1).map(|i| (i, i + 1)))
-            .build()
-            .unwrap()
+        GraphBuilder::undirected(n).edges((0..n as u32 - 1).map(|i| (i, i + 1))).build().unwrap()
     }
 
     #[test]
@@ -250,7 +244,7 @@ mod tests {
         let g = GraphBuilder::undirected(4).edge(0, 1).edge(2, 3).build().unwrap();
         let mut bfs = Bfs::new(&g, 0);
         let mut order = Vec::new();
-        while let Some(v) = bfs.next() {
+        for v in bfs.by_ref() {
             order.push(v);
         }
         assert!(bfs.restart_at(2));
@@ -316,10 +310,7 @@ mod tests {
 
     #[test]
     fn pseudo_peripheral_on_star_reaches_leaf() {
-        let g = GraphBuilder::undirected(5)
-            .edges((1..5).map(|i| (0, i)))
-            .build()
-            .unwrap();
+        let g = GraphBuilder::undirected(5).edges((1..5).map(|i| (0, i))).build().unwrap();
         let p = pseudo_peripheral(&g, 0);
         assert_ne!(p, 0, "a leaf is more peripheral than the hub");
     }

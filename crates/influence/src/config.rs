@@ -100,10 +100,7 @@ impl ImmConfig {
     /// Panics if an IC probability is outside `(0, 1]`.
     pub fn model(mut self, model: DiffusionModel) -> Self {
         if let DiffusionModel::IndependentCascade { probability } = model {
-            assert!(
-                probability > 0.0 && probability <= 1.0,
-                "IC probability must be in (0, 1]"
-            );
+            assert!(probability > 0.0 && probability <= 1.0, "IC probability must be in (0, 1]");
         }
         self.model = model;
         self
@@ -136,10 +133,7 @@ mod tests {
     fn defaults_match_paper() {
         let c = ImmConfig::new(10);
         assert_eq!(c.k, 10);
-        assert_eq!(
-            c.model,
-            DiffusionModel::IndependentCascade { probability: 0.25 }
-        );
+        assert_eq!(c.model, DiffusionModel::IndependentCascade { probability: 0.25 });
         assert_eq!(c.epsilon, 0.5);
     }
 

@@ -97,10 +97,8 @@ pub fn celf_max_coverage(rr_sets: &[Vec<u32>], n: usize, k: usize) -> Coverage {
         }
         if fresh < round {
             // Stale: recompute the marginal gain lazily and reinsert.
-            let current = containing[v as usize]
-                .iter()
-                .filter(|&&s| !set_covered[s as usize])
-                .count();
+            let current =
+                containing[v as usize].iter().filter(|&&s| !set_covered[s as usize]).count();
             heap.push((current, Reverse(v), round));
             continue;
         }

@@ -5,7 +5,7 @@
 
 use crate::config::ImmConfig;
 use crate::greedy::celf_max_coverage;
-use crate::rrset::{RrSampler, RrTrace};
+use crate::rrset::{RrSampler, RrTrace, SampleScratch};
 use rayon::prelude::*;
 use reorderlab_graph::Csr;
 use std::time::{Duration, Instant};
@@ -74,11 +74,7 @@ fn imm_inner(graph: &Csr, cfg: &ImmConfig) -> ImmResult {
     let start = Instant::now();
     let n = graph.num_vertices();
     if n == 0 {
-        return ImmResult {
-            seeds: Vec::new(),
-            influence_estimate: 0.0,
-            stats: empty_stats(),
-        };
+        return ImmResult { seeds: Vec::new(), influence_estimate: 0.0, stats: empty_stats() };
     }
     let k = cfg.k.min(n);
     let sampler = RrSampler::new(graph, cfg.model);
@@ -168,21 +164,29 @@ fn extend_samples(
     let missing = target - have;
     let batch = cfg.batch;
     let batches = missing.div_ceil(batch);
+    // Each worker keeps one `SampleScratch` across its whole share of the
+    // batches: the per-sample `n`-byte visited array and queue allocations
+    // of the naive loop disappear, leaving only the (unavoidable) exact-size
+    // copy of each finished set. Set `i` still comes from stream `(seed, i)`
+    // regardless of which worker draws it.
     let new: Vec<(Vec<Vec<u32>>, RrTrace)> = (0..batches)
         .into_par_iter()
-        .map(|b| {
-            let lo = have + b * batch;
-            let hi = (lo + batch).min(target);
-            let mut sets = Vec::with_capacity(hi - lo);
-            let mut tr = RrTrace::default();
-            for i in lo..hi {
-                let (set, t) = sampler.sample(cfg.seed, i as u64);
-                tr.edges_examined += t.edges_examined;
-                tr.vertices_visited += t.vertices_visited;
-                sets.push(set);
-            }
-            (sets, tr)
-        })
+        .map_init(
+            || SampleScratch::new(sampler.num_vertices()),
+            |scratch, b| {
+                let lo = have + b * batch;
+                let hi = (lo + batch).min(target);
+                let mut sets = Vec::with_capacity(hi - lo);
+                let mut tr = RrTrace::default();
+                for i in lo..hi {
+                    let (set, t) = sampler.sample_with(cfg.seed, i as u64, scratch);
+                    tr.edges_examined += t.edges_examined;
+                    tr.vertices_visited += t.vertices_visited;
+                    sets.push(set.to_vec());
+                }
+                (sets, tr)
+            },
+        )
         .collect();
     for (sets, tr) in new {
         rr_sets.extend(sets);
@@ -293,10 +297,8 @@ mod tests {
     #[test]
     fn linear_threshold_end_to_end() {
         let g = star(150);
-        let r = imm(
-            &g,
-            &ImmConfig::new(1).model(DiffusionModel::LinearThreshold).seed(4).threads(1),
-        );
+        let r =
+            imm(&g, &ImmConfig::new(1).model(DiffusionModel::LinearThreshold).seed(4).threads(1));
         // Under LT with uniform weights, every leaf's reverse walk hits the
         // hub: the hub dominates coverage.
         assert_eq!(r.seeds, vec![0]);
@@ -306,10 +308,8 @@ mod tests {
     #[test]
     fn weighted_cascade_end_to_end() {
         let g = clique_chain(3, 8);
-        let r = imm(
-            &g,
-            &ImmConfig::new(3).model(DiffusionModel::WeightedCascade).seed(8).threads(1),
-        );
+        let r =
+            imm(&g, &ImmConfig::new(3).model(DiffusionModel::WeightedCascade).seed(8).threads(1));
         assert_eq!(r.seeds.len(), 3);
         assert!(r.influence_estimate <= 24.0);
     }

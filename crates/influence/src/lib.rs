@@ -33,8 +33,8 @@ mod simulate;
 pub use config::{DiffusionModel, ImmConfig};
 pub use greedy::{celf_max_coverage, greedy_max_coverage, Coverage};
 pub use imm::{imm, ImmResult, SamplingStats};
+pub use rrset::{RrSampler, RrTrace, SampleScratch};
 pub use simulate::{estimate_spread, SpreadEstimate};
-pub use rrset::{RrSampler, RrTrace};
 
 #[cfg(test)]
 mod proptests {

@@ -30,6 +30,54 @@ pub struct RrTrace {
     pub vertices_visited: u64,
 }
 
+/// Reusable per-thread scratch for RR sampling.
+///
+/// The naive traversal allocates an `n`-bit visited array and a fresh queue
+/// for every RR set; IMM draws tens of thousands of sets, so those
+/// allocations (and the O(n) clears) dominate on small sets. The scratch
+/// replaces them with an epoch-stamped visited array — resetting is a single
+/// counter increment — and one queue buffer that doubles as the output set.
+///
+/// Reusing a scratch never changes the sampled sets: visitation is keyed on
+/// `(seed, index)`-derived RNG streams only, so `sample_with` returns the
+/// same set as [`RrSampler::sample`] for the same arguments.
+#[derive(Debug, Clone)]
+pub struct SampleScratch {
+    /// `stamp[v] == epoch` marks `v` visited in the current sample.
+    stamp: Vec<u64>,
+    epoch: u64,
+    /// BFS queue and output set (root first).
+    set: Vec<u32>,
+}
+
+impl SampleScratch {
+    /// A scratch for graphs of up to `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SampleScratch { stamp: vec![0; n], epoch: 0, set: Vec::new() }
+    }
+
+    /// Starts a new sample rooted at `root`: bumps the epoch (constant-time
+    /// reset of the visited set) and seeds the queue.
+    fn begin(&mut self, n: usize, root: u32) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.set.clear();
+        self.set.push(root);
+        self.stamp[root as usize] = self.epoch;
+    }
+
+    fn is_visited(&self, v: u32) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    fn visit(&mut self, v: u32) {
+        self.stamp[v as usize] = self.epoch;
+        self.set.push(v);
+    }
+}
+
 impl RrSampler {
     /// Prepares a sampler for `graph` under `model`.
     pub fn new(graph: &Csr, model: DiffusionModel) -> Self {
@@ -47,71 +95,84 @@ impl RrSampler {
         &self.transpose
     }
 
-    /// Samples the RR set with the given index. The RNG is derived from
-    /// `(seed, index)`, so set `i` is identical no matter which thread draws
-    /// it.
+    /// Samples the RR set with the given index into a freshly allocated
+    /// vector. The RNG is derived from `(seed, index)`, so set `i` is
+    /// identical no matter which thread draws it.
     ///
-    /// Returns the RR set (root first) and the traversal counters.
+    /// Returns the RR set (root first) and the traversal counters. Hot
+    /// loops should prefer [`RrSampler::sample_with`], which reuses buffers.
     pub fn sample(&self, seed: u64, index: u64) -> (Vec<u32>, RrTrace) {
+        let mut scratch = SampleScratch::new(self.transpose.num_vertices());
+        let (set, trace) = self.sample_with(seed, index, &mut scratch);
+        (set.to_vec(), trace)
+    }
+
+    /// Allocation-free variant of [`RrSampler::sample`]: traverses into
+    /// `scratch` and returns the RR set as a borrow of its buffer. Produces
+    /// exactly the same set and trace as `sample(seed, index)` — the stable
+    /// `(seed, index)` coin streams make the result independent of both the
+    /// thread drawing it and any scratch reuse.
+    pub fn sample_with<'s>(
+        &self,
+        seed: u64,
+        index: u64,
+        scratch: &'s mut SampleScratch,
+    ) -> (&'s [u32], RrTrace) {
         let n = self.transpose.num_vertices();
         debug_assert!(n > 0, "cannot sample from an empty graph");
-        let mut rng = StdRng::seed_from_u64(splitmix(seed ^ index.wrapping_mul(0x9e3779b97f4a7c15)));
+        let mut rng =
+            StdRng::seed_from_u64(splitmix(seed ^ index.wrapping_mul(0x9e3779b97f4a7c15)));
         let root = rng.gen_range(0..n as u32);
-        match self.model {
+        scratch.begin(n, root);
+        let trace = match self.model {
             DiffusionModel::IndependentCascade { probability } => {
-                self.reverse_bfs(root, &mut rng, |_, p_rng| p_rng < probability)
+                self.reverse_bfs(scratch, &mut rng, |_, p_rng| p_rng < probability)
             }
             DiffusionModel::WeightedCascade => {
                 // p(u -> v) = 1 / indeg(v): while scanning v's in-neighbors,
                 // each passes with probability 1/indeg(v).
                 let t = &self.transpose;
-                self.reverse_bfs(root, &mut rng, |v, p_rng| {
+                self.reverse_bfs(scratch, &mut rng, |v, p_rng| {
                     let indeg = t.degree(v).max(1) as f64;
                     p_rng < 1.0 / indeg
                 })
             }
-            DiffusionModel::LinearThreshold => self.reverse_walk(root, &mut rng),
-        }
+            DiffusionModel::LinearThreshold => self.reverse_walk(scratch, &mut rng),
+        };
+        (&scratch.set, trace)
     }
 
     /// IC-style probabilistic reverse BFS: each in-edge `(u -> v)` of a
     /// visited `v` is live independently, as judged by `live(v, coin)`.
+    /// `scratch` arrives seeded with the root.
     fn reverse_bfs<F: Fn(u32, f64) -> bool>(
         &self,
-        root: u32,
+        scratch: &mut SampleScratch,
         rng: &mut StdRng,
         live: F,
-    ) -> (Vec<u32>, RrTrace) {
-        let n = self.transpose.num_vertices();
-        let mut visited = vec![false; n];
-        let mut set = vec![root];
-        visited[root as usize] = true;
+    ) -> RrTrace {
         let mut trace = RrTrace { edges_examined: 0, vertices_visited: 1 };
         let mut head = 0usize;
-        while head < set.len() {
-            let v = set[head];
+        while head < scratch.set.len() {
+            let v = scratch.set[head];
             head += 1;
             for &u in self.transpose.neighbors(v) {
                 trace.edges_examined += 1;
-                if !visited[u as usize] && live(v, rng.gen::<f64>()) {
-                    visited[u as usize] = true;
+                if !scratch.is_visited(u) && live(v, rng.gen::<f64>()) {
+                    scratch.visit(u);
                     trace.vertices_visited += 1;
-                    set.push(u);
                 }
             }
         }
-        (set, trace)
+        trace
     }
 
     /// LT-style reverse random walk: from the root, repeatedly step to one
     /// uniformly chosen in-neighbor until revisiting or hitting a source.
-    fn reverse_walk(&self, root: u32, rng: &mut StdRng) -> (Vec<u32>, RrTrace) {
-        let n = self.transpose.num_vertices();
-        let mut visited = vec![false; n];
-        let mut set = vec![root];
-        visited[root as usize] = true;
+    /// `scratch` arrives seeded with the root.
+    fn reverse_walk(&self, scratch: &mut SampleScratch, rng: &mut StdRng) -> RrTrace {
         let mut trace = RrTrace { edges_examined: 0, vertices_visited: 1 };
-        let mut current = root;
+        let mut current = scratch.set[0];
         loop {
             let nbrs = self.transpose.neighbors(current);
             if nbrs.is_empty() {
@@ -119,15 +180,14 @@ impl RrSampler {
             }
             trace.edges_examined += 1;
             let next = nbrs[rng.gen_range(0..nbrs.len())];
-            if visited[next as usize] {
+            if scratch.is_visited(next) {
                 break;
             }
-            visited[next as usize] = true;
+            scratch.visit(next);
             trace.vertices_visited += 1;
-            set.push(next);
             current = next;
         }
-        (set, trace)
+        trace
     }
 }
 
@@ -221,6 +281,32 @@ mod tests {
             let distinct: std::collections::HashSet<_> = set.iter().collect();
             assert_eq!(distinct.len(), set.len());
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        // One scratch reused across many samples (and across models) must
+        // reproduce exactly what per-sample allocation produces.
+        let g = reorderlab_datasets::erdos_renyi_gnm(120, 360, 13);
+        for model in [ic(0.2), DiffusionModel::WeightedCascade, DiffusionModel::LinearThreshold] {
+            let s = RrSampler::new(&g, model);
+            let mut scratch = SampleScratch::new(g.num_vertices());
+            for i in 0..200 {
+                let fresh = s.sample(21, i);
+                let (set, trace) = s.sample_with(21, i, &mut scratch);
+                assert_eq!((set.to_vec(), trace), fresh, "index {i} under {model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_grows_to_fit_larger_graphs() {
+        let small = path(4);
+        let big = path(64);
+        let mut scratch = SampleScratch::new(small.num_vertices());
+        let s = RrSampler::new(&big, ic(1.0));
+        let (set, _) = s.sample_with(1, 0, &mut scratch);
+        assert_eq!(set.len(), 64);
     }
 
     #[test]

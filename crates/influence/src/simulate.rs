@@ -140,11 +140,7 @@ fn simulate_once(graph: &Csr, seeds: &[u32], model: DiffusionModel, rng: &mut St
                     if deg == 0 {
                         continue;
                     }
-                    let live = graph
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&u| active[u as usize])
-                        .count();
+                    let live = graph.neighbors(v).iter().filter(|&&u| active[u as usize]).count();
                     if live as f64 / deg as f64 >= thresholds[v as usize] {
                         active[v as usize] = true;
                         count += 1;

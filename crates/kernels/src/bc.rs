@@ -20,12 +20,9 @@ impl BcResult {
     /// The vertex with the highest score (ties to the lower id); `None`
     /// for an empty graph.
     pub fn top(&self) -> Option<u32> {
-        (0..self.score.len() as u32)
-            .max_by(|&a, &b| {
-                self.score[a as usize]
-                    .total_cmp(&self.score[b as usize])
-                    .then(b.cmp(&a))
-            })
+        (0..self.score.len() as u32).max_by(|&a, &b| {
+            self.score[a as usize].total_cmp(&self.score[b as usize]).then(b.cmp(&a))
+        })
     }
 }
 
@@ -40,10 +37,8 @@ pub fn betweenness(graph: &Csr) -> BcResult {
 /// sources this is exact; with a sample it is the standard estimator.
 pub fn betweenness_from(graph: &Csr, sources: &[u32]) -> BcResult {
     let n = graph.num_vertices();
-    let partials: Vec<Vec<f64>> = sources
-        .par_iter()
-        .map(|&s| single_source_dependency(graph, s))
-        .collect();
+    let partials: Vec<Vec<f64>> =
+        sources.par_iter().map(|&s| single_source_dependency(graph, s)).collect();
     let mut score = vec![0.0f64; n];
     for partial in partials {
         for (v, d) in partial.into_iter().enumerate() {

@@ -76,9 +76,7 @@ impl PageRankResult {
     pub fn ranking(&self) -> Vec<u32> {
         let mut order: Vec<u32> = (0..self.scores.len() as u32).collect();
         order.sort_by(|&a, &b| {
-            self.scores[b as usize]
-                .total_cmp(&self.scores[a as usize])
-                .then(a.cmp(&b))
+            self.scores[b as usize].total_cmp(&self.scores[a as usize]).then(a.cmp(&b))
         });
         order
     }
@@ -121,10 +119,7 @@ pub fn pagerank(graph: &Csr, config: &PageRankConfig) -> PageRankResult {
     while iterations < config.max_iterations {
         iterations += 1;
         // Mass of dangling vertices, redistributed uniformly.
-        let dangling: f64 = (0..n)
-            .filter(|&v| out_degree[v] == 0.0)
-            .map(|v| scores[v])
-            .sum();
+        let dangling: f64 = (0..n).filter(|&v| out_degree[v] == 0.0).map(|v| scores[v]).sum();
         let dangling_share = d * dangling / n as f64;
 
         next.par_iter_mut().enumerate().for_each(|(v, slot)| {
@@ -138,11 +133,7 @@ pub fn pagerank(graph: &Csr, config: &PageRankConfig) -> PageRankResult {
             *slot = base + dangling_share + d * acc;
         });
 
-        let delta: f64 = scores
-            .par_iter()
-            .zip(next.par_iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = scores.par_iter().zip(next.par_iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut scores, &mut next);
         if delta < config.tolerance {
             converged = true;

@@ -68,10 +68,7 @@ impl Eq for HeapItem {}
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on distance (reverse), deterministic tie-break on id.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.vertex.cmp(&self.vertex))
+        other.dist.total_cmp(&self.dist).then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
 
@@ -202,10 +199,7 @@ mod tests {
     fn distances_invariant_under_relabeling() {
         use reorderlab_graph::Permutation;
         let g = grid2d(5, 5);
-        let pi = Permutation::from_order(
-            &(0..25u32).rev().collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let pi = Permutation::from_order(&(0..25u32).rev().collect::<Vec<_>>()).unwrap();
         let h = g.permuted(&pi).unwrap();
         let rg = bfs_sssp(&g, 3);
         let rh = bfs_sssp(&h, pi.rank(3));

@@ -22,7 +22,7 @@ impl CacheConfig {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(associativity >= 1, "need at least one way");
         assert!(
-            size_bytes > 0 && size_bytes % (line_bytes * associativity) == 0,
+            size_bytes > 0 && size_bytes.is_multiple_of(line_bytes * associativity),
             "size must be a positive multiple of line × ways"
         );
         CacheConfig { size_bytes, line_bytes, associativity }

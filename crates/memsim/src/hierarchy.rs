@@ -323,10 +323,7 @@ mod tests {
 
     #[test]
     fn mem_level_all_nearest_first() {
-        assert_eq!(
-            MemLevel::ALL,
-            [MemLevel::L1, MemLevel::L2, MemLevel::L3, MemLevel::Dram]
-        );
+        assert_eq!(MemLevel::ALL, [MemLevel::L1, MemLevel::L2, MemLevel::L3, MemLevel::Dram]);
     }
 
     #[test]

@@ -128,6 +128,8 @@ pub fn replay_rr_sampling(
             hier.load(offsets_addr(v as u64));
             let lo = offsets[v as usize];
             let hi = offsets[v as usize + 1];
+            // `i` doubles as the simulated address of the adjacency slot.
+            #[allow(clippy::needless_range_loop)]
             for i in lo..hi {
                 hier.load(targets_addr(i as u64));
                 let t = targets[i];
@@ -163,6 +165,8 @@ pub fn replay_pagerank_iteration(graph: &Csr, hier: &mut Hierarchy) {
         hier.load(offsets_addr(v));
         let lo = offsets[v as usize];
         let hi = offsets[v as usize + 1];
+        // `i` doubles as the simulated address of the adjacency slot.
+        #[allow(clippy::needless_range_loop)]
         for i in lo..hi {
             hier.load(targets_addr(i as u64));
             let t = targets[i] as u64;

@@ -71,7 +71,8 @@ fn multilevel_bisect(
 
     if n <= params.coarsen_until {
         let mut side = initial_bisection(graph, vertex_weights, params, depth);
-        let cut = fm_refine(graph, vertex_weights, &mut side, max_left, max_right, params.refine_passes);
+        let cut =
+            fm_refine(graph, vertex_weights, &mut side, max_left, max_right, params.refine_passes);
         return Bisection { side, cut };
     }
 
@@ -80,11 +81,12 @@ fn multilevel_bisect(
     if matching.num_coarse as f64 > 0.95 * n as f64 {
         // Matching stalled (e.g. a star); bisect directly at this level.
         let mut side = initial_bisection(graph, vertex_weights, params, depth);
-        let cut = fm_refine(graph, vertex_weights, &mut side, max_left, max_right, params.refine_passes);
+        let cut =
+            fm_refine(graph, vertex_weights, &mut side, max_left, max_right, params.refine_passes);
         return Bisection { side, cut };
     }
-    let contraction =
-        contract(graph, &matching.assignment, matching.num_coarse).expect("matching produces a valid assignment");
+    let contraction = contract(graph, &matching.assignment, matching.num_coarse)
+        .expect("matching produces a valid assignment");
     let mut coarse_weights = vec![0.0f64; matching.num_coarse];
     for (v, &c) in matching.assignment.iter().enumerate() {
         coarse_weights[c as usize] += vertex_weights[v];
@@ -96,7 +98,8 @@ fn multilevel_bisect(
     // Project and refine.
     let mut side: Vec<bool> =
         matching.assignment.iter().map(|&c| coarse.side[c as usize]).collect();
-    let cut = fm_refine(graph, vertex_weights, &mut side, max_left, max_right, params.refine_passes);
+    let cut =
+        fm_refine(graph, vertex_weights, &mut side, max_left, max_right, params.refine_passes);
     Bisection { side, cut }
 }
 
@@ -218,7 +221,7 @@ mod tests {
             }
         }
         let g = bld.edge(7, 8).build().unwrap();
-        let b = bisect(&g, &vec![1.0; 16], 0.5, 0.05, 8, 6, 3);
+        let b = bisect(&g, &[1.0; 16], 0.5, 0.05, 8, 6, 3);
         assert_eq!(b.cut, 1.0);
     }
 
@@ -234,7 +237,7 @@ mod tests {
     #[test]
     fn bisect_disconnected_graph() {
         let g = GraphBuilder::undirected(6).edge(0, 1).edge(2, 3).edge(4, 5).build().unwrap();
-        let b = bisect(&g, &vec![1.0; 6], 0.5, 0.1, 10, 4, 0);
+        let b = bisect(&g, &[1.0; 6], 0.5, 0.1, 10, 4, 0);
         let left = b.side.iter().filter(|&&s| !s).count();
         assert!((2..=4).contains(&left));
         // A perfect split cuts nothing.

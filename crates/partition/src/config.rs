@@ -55,7 +55,10 @@ impl PartitionConfig {
     ///
     /// Panics if `epsilon` is negative or not finite.
     pub fn balance(mut self, epsilon: f64) -> Self {
-        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be a small non-negative number");
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "epsilon must be a small non-negative number"
+        );
         self.epsilon = epsilon;
         self
     }

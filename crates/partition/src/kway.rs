@@ -98,11 +98,7 @@ pub fn communication_volume(graph: &Csr, assignment: &[u32]) -> u64 {
         let home = assignment[v as usize];
         foreign.clear();
         foreign.extend(
-            graph
-                .neighbors(v)
-                .iter()
-                .map(|&u| assignment[u as usize])
-                .filter(|&p| p != home),
+            graph.neighbors(v).iter().map(|&u| assignment[u as usize]).filter(|&p| p != home),
         );
         foreign.sort_unstable();
         foreign.dedup();
@@ -129,8 +125,7 @@ fn recurse(
         return;
     }
     let (sub, originals) = root.induced_subgraph(vertices);
-    let sub_weights: Vec<f64> =
-        originals.iter().map(|&v| root_weights[v as usize]).collect();
+    let sub_weights: Vec<f64> = originals.iter().map(|&v| root_weights[v as usize]).collect();
     let k_left = k.div_ceil(2);
     let left_frac = k_left as f64 / k as f64;
     let b = bisect(
@@ -166,7 +161,7 @@ mod tests {
         let g = grid2d(12, 12);
         let p = partition_kway(&g, &PartitionConfig::new(6).seed(3));
         assert_eq!(p.num_parts, 6);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for &a in &p.assignment {
             seen[a as usize] = true;
         }
@@ -218,7 +213,7 @@ mod tests {
         for &a in &p.assignment {
             counts[a as usize] += 1;
         }
-        assert!(counts.iter().all(|&c| c >= 12 && c <= 28), "{counts:?}");
+        assert!(counts.iter().all(|&c| (12..=28).contains(&c)), "{counts:?}");
     }
 
     #[test]

@@ -104,7 +104,7 @@ mod tests {
         let mut a: Vec<u32> = (0..12).map(|v| if v < 6 { 0 } else { 1 }).collect();
         a[3] = 1; // misplaced
         let before = kway_cut(&g, &a);
-        let moves = kway_refine(&g, &mut a, 2, &vec![1.0; 12], 0.3, 4);
+        let moves = kway_refine(&g, &mut a, 2, &[1.0; 12], 0.3, 4);
         assert!(moves >= 1);
         assert_eq!(a[3], 0, "misplaced vertex must return home");
         assert!(kway_cut(&g, &a) < before);
@@ -128,7 +128,7 @@ mod tests {
         let mut a: Vec<u32> = (0..16).map(|v| if v < 8 { 0 } else { 1 }).collect();
         a[0] = 1;
         a[15] = 0; // two swapped vertices keep weights equal
-        kway_refine(&g, &mut a, 2, &vec![1.0; 16], 0.0, 4);
+        kway_refine(&g, &mut a, 2, &[1.0; 16], 0.0, 4);
         let left = a.iter().filter(|&&p| p == 0).count();
         assert_eq!(left, 8, "epsilon 0 must preserve exact balance");
     }
@@ -137,7 +137,7 @@ mod tests {
     fn noop_on_single_part_or_empty() {
         let g = grid2d(3, 3);
         let mut a = vec![0u32; 9];
-        assert_eq!(kway_refine(&g, &mut a, 1, &vec![1.0; 9], 0.1, 3), 0);
+        assert_eq!(kway_refine(&g, &mut a, 1, &[1.0; 9], 0.1, 3), 0);
         let g0 = reorderlab_graph::GraphBuilder::undirected(0).build().unwrap();
         let mut a0: Vec<u32> = Vec::new();
         assert_eq!(kway_refine(&g0, &mut a0, 4, &[], 0.1, 3), 0);

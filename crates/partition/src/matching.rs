@@ -109,7 +109,7 @@ mod tests {
         for &c in &m.assignment {
             counts[c as usize] += 1;
         }
-        assert!(counts.iter().all(|&c| c >= 1 && c <= 2));
+        assert!(counts.iter().all(|&c| (1..=2).contains(&c)));
     }
 
     #[test]
@@ -138,10 +138,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let g = GraphBuilder::undirected(10)
-            .edges((0..9).map(|i| (i, i + 1)))
-            .build()
-            .unwrap();
+        let g = GraphBuilder::undirected(10).edges((0..9).map(|i| (i, i + 1))).build().unwrap();
         assert_eq!(heavy_edge_matching(&g, 9), heavy_edge_matching(&g, 9));
     }
 

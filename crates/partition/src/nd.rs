@@ -46,10 +46,8 @@ fn dissect(
         return;
     }
     let (sub, originals) = root.induced_subgraph(vertices);
-    let sub_cfg = PartitionConfig {
-        seed: cfg.seed ^ depth.wrapping_mul(0x9e3779b97f4a7c15),
-        ..cfg.clone()
-    };
+    let sub_cfg =
+        PartitionConfig { seed: cfg.seed ^ depth.wrapping_mul(0x9e3779b97f4a7c15), ..cfg.clone() };
     let s = vertex_separator(&sub, &sub_cfg);
     // Degenerate separator (e.g. a clique where one side emptied): stop
     // recursing to guarantee progress.
@@ -148,10 +146,7 @@ mod tests {
     fn nd_deterministic() {
         let g = grid2d(7, 7);
         let cfg = PartitionConfig::new(2).seed(9);
-        assert_eq!(
-            nested_dissection_order(&g, 6, &cfg),
-            nested_dissection_order(&g, 6, &cfg)
-        );
+        assert_eq!(nested_dissection_order(&g, 6, &cfg), nested_dissection_order(&g, 6, &cfg));
     }
 
     #[test]

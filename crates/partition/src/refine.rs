@@ -12,11 +12,7 @@ use std::collections::BinaryHeap;
 
 /// Computes the weight of edges crossing the bisection `side`.
 pub fn edge_cut(graph: &Csr, side: &[bool]) -> f64 {
-    graph
-        .edges()
-        .filter(|&(u, v, _)| side[u as usize] != side[v as usize])
-        .map(|(_, _, w)| w)
-        .sum()
+    graph.edges().filter(|&(u, v, _)| side[u as usize] != side[v as usize]).map(|(_, _, w)| w).sum()
 }
 
 /// A heap entry ordered by gain (then vertex id for determinism).
@@ -30,9 +26,7 @@ impl Eq for Entry {}
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.gain
-            .total_cmp(&other.gain)
-            .then_with(|| other.vertex.cmp(&self.vertex))
+        self.gain.total_cmp(&other.gain).then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
 
@@ -93,9 +87,8 @@ pub fn fm_refine(
                 }
             }
         }
-        let mut heap: BinaryHeap<Entry> = (0..n as u32)
-            .map(|v| Entry { gain: gain[v as usize], vertex: v })
-            .collect();
+        let mut heap: BinaryHeap<Entry> =
+            (0..n as u32).map(|v| Entry { gain: gain[v as usize], vertex: v }).collect();
         let mut locked = vec![false; n];
 
         let mut running_cut = cut;

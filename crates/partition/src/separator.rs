@@ -118,7 +118,11 @@ mod tests {
         let g = path(31);
         let s = vertex_separator(&g, &PartitionConfig::new(2).seed(1));
         assert_separates(&g, &s);
-        assert!(s.separator.len() <= 2, "path separator should be 1–2 vertices, got {}", s.separator.len());
+        assert!(
+            s.separator.len() <= 2,
+            "path separator should be 1–2 vertices, got {}",
+            s.separator.len()
+        );
     }
 
     #[test]
@@ -139,7 +143,8 @@ mod tests {
 
     #[test]
     fn separator_disconnected_graph_may_be_empty() {
-        let g = reorderlab_graph::GraphBuilder::undirected(4).edge(0, 1).edge(2, 3).build().unwrap();
+        let g =
+            reorderlab_graph::GraphBuilder::undirected(4).edge(0, 1).edge(2, 3).build().unwrap();
         let s = vertex_separator(&g, &PartitionConfig::new(2).seed(2));
         assert_separates(&g, &s);
     }

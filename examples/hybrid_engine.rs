@@ -26,14 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Natural".into(), Scheme::Natural.reorder(&graph)),
         ("RCM".into(), Scheme::Rcm.reorder(&graph)),
         ("Grappolo".into(), Scheme::Grappolo { threads: 0 }.reorder(&graph)),
-        (
-            "Grappolo-RCM".into(),
-            Scheme::GrappoloRcm { threads: 0 }.reorder(&graph),
-        ),
-        (
-            "Hybrid".into(),
-            hybrid_multiscale_order(&graph, &HybridConfig::new().leaf_size(128)),
-        ),
+        ("Grappolo-RCM".into(), Scheme::GrappoloRcm { threads: 0 }.reorder(&graph)),
+        ("Hybrid".into(), hybrid_multiscale_order(&graph, &HybridConfig::new().leaf_size(128))),
     ];
 
     println!(

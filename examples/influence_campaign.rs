@@ -39,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Second: does reordering the graph change the engine?
-    println!(
-        "{:<12} {:>12} {:>14} {:>12}",
-        "ordering", "RR sets/s", "total (ms)", "reach est."
-    );
+    println!("{:<12} {:>12} {:>14} {:>12}", "ordering", "RR sets/s", "total (ms)", "reach est.");
     for scheme in Scheme::application_suite() {
         let pi = scheme.reorder(&graph);
         let g = graph.permuted(&pi)?;

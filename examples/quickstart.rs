@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.num_vertices(),
         graph.num_edges()
     );
-    println!(
-        "{:<14} {:>12} {:>12} {:>12}",
-        "scheme", "avg gap ξ̂", "bandwidth β", "avg band β̂"
-    );
+    println!("{:<14} {:>12} {:>12} {:>12}", "scheme", "avg gap ξ̂", "bandwidth β", "avg band β̂");
 
     for scheme in [
         Scheme::Natural,

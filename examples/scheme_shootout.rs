@@ -52,14 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         results.push((scheme.name().to_string(), m.avg_gap));
     }
 
-    let best = results
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("suite is non-empty");
-    let worst = results
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("suite is non-empty");
+    let best = results.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("suite is non-empty");
+    let worst = results.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("suite is non-empty");
     println!(
         "\nξ̂ spread on this input: best {} ({:.1}) vs worst {} ({:.1}) — {:.1}x",
         best.0,

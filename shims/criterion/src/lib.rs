@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group / `bench_with_input` / `Bencher::iter` surface the
+//! workspace benches use, measuring wall-clock time with `std::time`.
+//! Each benchmark warms up briefly, then runs timed batches until the
+//! measurement window is filled, and prints `name ... time: [min mean max]`
+//! lines compatible enough with criterion's output to eyeball and diff.
+//!
+//! Environment knobs (both optional):
+//! - `CRITERION_MEASURE_MS`: per-benchmark measurement window (default 900).
+//! - `CRITERION_WARMUP_MS`: warm-up window (default 150).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+/// Top-level benchmark driver, constructed by `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n## group {name}");
+        BenchmarkGroup { _parent: self, name, throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), None, &mut f);
+        self
+    }
+}
+
+/// Units processed per iteration, echoed as derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the shim sizes runs by wall-clock window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the hot code.
+pub struct Bencher {
+    /// (batch mean) samples collected so far.
+    samples: Vec<Duration>,
+    measure_window: Duration,
+    warmup_window: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: also estimates the per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup_window {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for ~40 samples in the window, at least 1 iteration per batch.
+        let target_samples = 40u64;
+        let window = self.measure_window.as_secs_f64();
+        let batch = ((window / target_samples as f64 / per_iter.max(1e-9)) as u64).max(1);
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure_window {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        measure_window: env_ms("CRITERION_MEASURE_MS", 900),
+        warmup_window: env_ms("CRITERION_WARMUP_MS", 150),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let n = bencher.samples.len();
+    let min = bencher.samples[0];
+    let max = bencher.samples[n - 1];
+    let mean = bencher.samples.iter().sum::<Duration>() / n as u32;
+    let median = bencher.samples[n / 2];
+    print!(
+        "{name:<50} time: [{} {} {}] median: {}",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        fmt_duration(median),
+    );
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Elements(e) => e as f64 / mean.as_secs_f64(),
+            Throughput::Bytes(b) => b as f64 / mean.as_secs_f64(),
+        };
+        let unit = match tp {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        print!("  thrpt: {per_sec:.3e} {unit}");
+    }
+    println!();
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a function running each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("CRITERION_MEASURE_MS", "30");
+        std::env::set_var("CRITERION_WARMUP_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").0, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

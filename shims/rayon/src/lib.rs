@@ -1,0 +1,411 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates-io access, so this workspace-local
+//! shim provides the (small) subset of rayon's API the other crates use,
+//! implemented with `std::thread::scope`. Semantics match rayon where it
+//! matters here:
+//!
+//! - parallel iterators preserve input order in `collect`/`sum`, so results
+//!   are deterministic and independent of the worker count;
+//! - `ThreadPoolBuilder::num_threads(k)` bounds the concurrency of parallel
+//!   calls made inside `ThreadPool::install`;
+//! - `map_init` creates one scratch value per worker chunk, never sharing it
+//!   across workers.
+//!
+//! Work is split into one contiguous chunk per worker (static scheduling).
+//! That is a reasonable fit for the regular, flat loops this workspace runs;
+//! rayon's work stealing is not reproduced.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+thread_local! {
+    /// Concurrency bound installed by [`ThreadPool::install`]; 0 = default.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; the shim never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A concurrency bound that applies to parallel calls within `install`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(self.num_threads));
+        let result = op();
+        INSTALLED_THREADS.with(|t| t.set(prev));
+        result
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim join worker panicked"))
+    })
+}
+
+/// Splits `items` into at most `current_num_threads()` contiguous chunks and
+/// maps each chunk on its own scoped thread, preserving input order. `init`
+/// runs once per chunk, providing per-worker scratch for `f`.
+fn run_chunked<T, I, R, INIT, F>(items: Vec<T>, init: INIT, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> I + Sync,
+    F: Fn(&mut I, T) -> R + Sync,
+{
+    let threads = current_num_threads().max(1);
+    let len = items.len();
+    if threads == 1 || len <= 1 {
+        let mut scratch = init();
+        return items.into_iter().map(|t| f(&mut scratch, t)).collect();
+    }
+    let chunk_len = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Split back-to-front so each drain is O(chunk).
+    while items.len() > chunk_len {
+        chunks.push(items.split_off(items.len() - chunk_len));
+    }
+    chunks.push(items);
+    // `chunks` is in reverse input order; pop-and-extend below restores it.
+    let init = &init;
+    let f = &f;
+    let mut outputs: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut scratch = init();
+                    chunk.into_iter().map(|t| f(&mut scratch, t)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon-shim worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    while let Some(chunk) = outputs.pop() {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// An order-preserving parallel iterator over an already-materialized list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> MapIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MapIter { items: self.items, f }
+    }
+
+    /// Per-worker scratch state, as in rayon's `map_init`.
+    pub fn map_init<I, R, INIT, F>(self, init: INIT, f: F) -> MapInitIter<T, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, T) -> R + Sync,
+    {
+        MapInitIter { items: self.items, init, f }
+    }
+
+    /// Groups items into `Vec`s of `size` (the last may be shorter).
+    pub fn chunks(self, size: usize) -> ParIter<Vec<T>> {
+        assert!(size > 0, "chunk size must be positive");
+        let mut chunks = Vec::with_capacity(self.items.len().div_ceil(size));
+        let mut items = self.items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        ParIter { items: chunks }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    pub fn zip<U: Send>(self, other: impl IntoParallelIterator<Item = U>) -> ParIter<(T, U)> {
+        let other = other.into_par_iter();
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_chunked(self.items, || (), |(), t| f(t));
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Lazy `map` stage of [`ParIter`]; executes on `collect`/`sum`/`for_each`.
+pub struct MapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> MapIter<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = self.f;
+        run_chunked(self.items, || (), |(), t| f(t)).into_iter().collect()
+    }
+
+    /// Deterministic sum: parallel map, then a sequential fold in input
+    /// order, so float accumulation order never depends on thread count.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        let f = self.f;
+        run_chunked(self.items, || (), |(), t| f(t)).into_iter().sum()
+    }
+
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = self.f;
+        run_chunked(self.items, || (), |(), t| g(f(t)));
+    }
+}
+
+/// Lazy `map_init` stage of [`ParIter`].
+pub struct MapInitIter<T, INIT, F> {
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+}
+
+impl<T, I, R, INIT, F> MapInitIter<T, INIT, F>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> I + Sync,
+    F: Fn(&mut I, T) -> R + Sync,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked(self.items, self.init, self.f).into_iter().collect()
+    }
+}
+
+/// `into_par_iter()` — mirrors `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter()` — mirrors `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_iter_mut()` — mirrors `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_all_items() {
+        let chunks: Vec<Vec<usize>> = (0..10usize).into_par_iter().chunks(4).collect();
+        assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+    }
+
+    #[test]
+    fn sum_is_deterministic() {
+        let v: Vec<f64> = (0..10_000).map(|i| (i as f64).sqrt()).collect();
+        let a: f64 = v.par_iter().map(|&x| x).sum();
+        let b: f64 = v.iter().sum();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn for_each_mut_writes_every_slot() {
+        let mut v = vec![0usize; 257];
+        v.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = i);
+        assert!(v.iter().enumerate().all(|(i, &x)| i == x));
+    }
+
+    #[test]
+    fn install_bounds_and_restores() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn map_init_runs_init_per_chunk() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    0usize
+                },
+                |scratch, x| {
+                    *scratch += 1;
+                    x
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let a = vec![1, 2, 3];
+        let b = vec![4, 5, 6];
+        let s: i32 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(s, 4 + 10 + 18);
+    }
+}

@@ -37,9 +37,8 @@ fn louvain_communities_map_back_through_permutation() {
     let h = g.permuted(&pi).expect("valid permutation");
     let r = louvain(&h, &louvain_cfg());
     // Pull the assignment back: original vertex v lives at rank pi(v).
-    let back: Vec<u32> = (0..g.num_vertices() as u32)
-        .map(|v| r.assignment[pi.rank(v) as usize])
-        .collect();
+    let back: Vec<u32> =
+        (0..g.num_vertices() as u32).map(|v| r.assignment[pi.rank(v) as usize]).collect();
     let q_back = modularity(&g, &back);
     assert!(
         (q_back - r.modularity).abs() < 1e-9,
@@ -63,10 +62,7 @@ fn imm_influence_stable_across_orderings() {
         let h = g.permuted(&pi).expect("valid permutation");
         let est = imm(&h, &cfg).influence_estimate;
         let rel = (est - baseline).abs() / baseline.max(1.0);
-        assert!(
-            rel < 0.35,
-            "{scheme}: influence {est} deviates {rel:.2} from baseline {baseline}"
-        );
+        assert!(rel < 0.35, "{scheme}: influence {est} deviates {rel:.2} from baseline {baseline}");
     }
 }
 
@@ -98,9 +94,7 @@ fn imm_seeds_map_back_to_influential_vertices() {
 /// produce internally consistent reports.
 #[test]
 fn memory_replays_consistent_across_orderings() {
-    use reorderlab::memsim::{
-        replay_louvain_scan, replay_rr_sampling, Hierarchy, HierarchyConfig,
-    };
+    use reorderlab::memsim::{replay_louvain_scan, replay_rr_sampling, Hierarchy, HierarchyConfig};
     let g = barabasi_albert(2_000, 4, 5);
     for scheme in Scheme::application_suite() {
         let pi = scheme.reorder(&g);

@@ -54,9 +54,8 @@ fn louvain_thread_invariance() {
 #[test]
 fn imm_thread_invariance() {
     let g = by_name("chicago_road").expect("in suite").generate();
-    let base = ImmConfig::new(4)
-        .model(DiffusionModel::IndependentCascade { probability: 0.2 })
-        .seed(7);
+    let base =
+        ImmConfig::new(4).model(DiffusionModel::IndependentCascade { probability: 0.2 }).seed(7);
     let a = imm(&g, &base.clone().threads(1));
     let b = imm(&g, &base.threads(3));
     assert_eq!(a.seeds, b.seeds);

@@ -111,11 +111,8 @@ fn avg_bandwidth_has_no_clear_winner() {
             .map(|r| (r.0.clone(), r.3))
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("rows non-empty");
-        let second = rows
-            .iter()
-            .filter(|r| r.0 != winner)
-            .map(|r| r.3)
-            .fold(f64::INFINITY, f64::min);
+        let second =
+            rows.iter().filter(|r| r.0 != winner).map(|r| r.3).fold(f64::INFINITY, f64::min);
         winners.insert(winner);
         margins.push(second / best.max(1e-9));
     }

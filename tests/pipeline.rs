@@ -71,7 +71,9 @@ fn distributions_match_scalar_measures() {
     use reorderlab::core::GapDistribution;
     let spec = by_name("euroroad").expect("in suite");
     let g = spec.generate();
-    for scheme in [Scheme::Natural, Scheme::Rcm, Scheme::DegreeSort { direction: Default::default() }] {
+    for scheme in
+        [Scheme::Natural, Scheme::Rcm, Scheme::DegreeSort { direction: Default::default() }]
+    {
         let pi = scheme.reorder(&g);
         let gaps = edge_gaps(&g, &pi);
         let dist = GapDistribution::from_gaps(&gaps);
