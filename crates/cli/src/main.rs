@@ -39,7 +39,24 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let rest = &args[1..];
-    match command.as_str() {
+    // Global worker-thread bound. Every kernel is thread-count invariant,
+    // so this only affects wall-clock time, never any output.
+    if let Some(t) = flag_value(rest, "--threads") {
+        let t: usize = t.parse().map_err(|_| format!("--threads needs a number, got {t:?}"))?;
+        if t == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .map_err(|e| format!("cannot build thread pool: {e}"))?;
+        return pool.install(|| dispatch(command, rest));
+    }
+    dispatch(command, rest)
+}
+
+fn dispatch(command: &str, rest: &[String]) -> Result<(), String> {
+    match command {
         "list" => cmd_list(),
         "generate" => cmd_generate(rest),
         "stats" => cmd_stats(rest),
@@ -63,6 +80,7 @@ fn print_usage() {
          reorderlab reorder  (--scheme NAME | --apply-perm FILE)\n                      \
          (--input FILE | --instance NAME) [--out FILE] [--perm FILE]\n  \
          reorderlab measure  (--input FILE | --instance NAME) [--scheme NAME]...\n\n\
+         any command also takes --threads N (worker threads; results are identical at any N)\n\n\
          formats by extension: .mtx (Matrix Market), .graph (METIS), anything else: edge list\n\n\
          schemes:\n{}",
         scheme_help()

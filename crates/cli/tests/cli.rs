@@ -105,3 +105,117 @@ fn missing_input_is_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
 }
+
+/// The committed golden fixture (the `rovira` instance written once to
+/// Matrix Market) pins the end-to-end behavior of `reorder`/`measure`
+/// independently of the generator RNG streams.
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.mtx");
+
+/// Parses a `measure` table into `(scheme, avg_gap, bandwidth)` rows.
+fn parse_measure(stdout: &str) -> Vec<(String, f64, u64)> {
+    stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("scheme"))
+        .skip(1)
+        .filter_map(|l| {
+            let mut cols = l.split_whitespace();
+            let name = cols.next()?.to_string();
+            let avg_gap: f64 = cols.next()?.parse().ok()?;
+            let bandwidth: u64 = cols.next()?.parse().ok()?;
+            Some((name, avg_gap, bandwidth))
+        })
+        .collect()
+}
+
+#[test]
+fn golden_fixture_measure_invariants_per_scheme() {
+    let out = run(&[
+        "measure",
+        "--input",
+        GOLDEN,
+        "--scheme",
+        "random:3",
+        "--scheme",
+        "rcm",
+        "--scheme",
+        "cdfs",
+        "--scheme",
+        "slashburn",
+        "--scheme",
+        "gorder",
+        "--scheme",
+        "rabbit",
+        "--scheme",
+        "metis",
+        "--scheme",
+        "grappolo",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let rows = parse_measure(&text);
+    assert_eq!(rows.len(), 8, "one row per requested scheme:\n{text}");
+    for (name, avg_gap, _) in &rows {
+        assert!(avg_gap.is_finite() && *avg_gap > 0.0, "{name}: ξ̂ = {avg_gap} not finite");
+    }
+    let find = |n: &str| rows.iter().find(|(name, ..)| name == n).unwrap();
+    let (_, random_gap, random_bw) = find("Random").clone();
+    // Bandwidth-minimizing schemes must beat a random arrangement on β.
+    for name in ["RCM", "CDFS"] {
+        let (_, _, bw) = find(name);
+        assert!(*bw < random_bw, "{name} bandwidth {bw} >= Random {random_bw}");
+    }
+    // Locality schemes must beat Random on the average gap ξ̂.
+    for name in ["Rabbit", "METIS", "Grappolo"] {
+        let (_, gap, _) = find(name);
+        assert!(*gap < random_gap, "{name} ξ̂ {gap} >= Random {random_gap}");
+    }
+}
+
+#[test]
+fn golden_fixture_measure_reproducible_across_runs_and_threads() {
+    let args = [
+        "measure", "--input", GOLDEN, "--scheme", "rcm", "--scheme", "rabbit", "--scheme", "metis",
+    ];
+    let base = run(&args);
+    assert!(base.status.success());
+    let again = run(&args);
+    assert_eq!(base.stdout, again.stdout, "repeated run diverged");
+    for t in ["1", "2", "7"] {
+        let mut with_threads: Vec<&str> = args.to_vec();
+        with_threads.extend_from_slice(&["--threads", t]);
+        let out = run(&with_threads);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(out.stdout, base.stdout, "output changed at {t} threads");
+    }
+}
+
+#[test]
+fn golden_fixture_reorder_permutation_identical_at_any_thread_count() {
+    let mut perms: Vec<String> = Vec::new();
+    for t in ["1", "2", "7"] {
+        let (p, f) = tmp(&format!("golden_pi_{t}.txt"));
+        let out = run(&[
+            "reorder",
+            "--scheme",
+            "slashburn",
+            "--input",
+            GOLDEN,
+            "--perm",
+            &f,
+            "--threads",
+            t,
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        perms.push(std::fs::read_to_string(&p).unwrap());
+        let _ = std::fs::remove_file(p);
+    }
+    assert_eq!(perms[0], perms[1], "permutation changed between 1 and 2 threads");
+    assert_eq!(perms[0], perms[2], "permutation changed between 1 and 7 threads");
+}
+
+#[test]
+fn zero_threads_is_rejected() {
+    let out = run(&["measure", "--input", GOLDEN, "--scheme", "rcm", "--threads", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+}

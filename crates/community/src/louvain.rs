@@ -210,6 +210,7 @@ const NO_MOVE: u32 = u32::MAX;
 /// so processing a vertex costs O(deg) regardless of the level size, plus
 /// the list of communities the current vertex touches. Allocated once per
 /// phase and reused by every iteration.
+#[derive(Debug, Clone)]
 struct MoveScratch {
     /// `weights[c]`: accumulated edge weight from the current vertex into
     /// community `c`; only meaningful where `stamp[c] == epoch`.

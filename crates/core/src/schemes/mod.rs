@@ -21,9 +21,9 @@ pub use composite::{
     nd_order,
 };
 pub use degree::{degree_sort, hub_cluster, hub_sort, hub_threshold, DegreeDirection};
-pub use gorder::gorder;
+pub use gorder::{gorder, gorder_serial};
 pub use hybrid::{hybrid_multiscale_order, HybridConfig};
 pub use minla::{minla_anneal, MinlaConfig};
-pub use rabbit::rabbit_order;
-pub use rcm::{cdfs_order, cm_order, rcm_order};
-pub use slashburn::slashburn_order;
+pub use rabbit::{rabbit_order, rabbit_order_serial};
+pub use rcm::{cdfs_order, cdfs_order_serial, cm_order, rcm_order, rcm_order_serial};
+pub use slashburn::{slashburn_order, slashburn_order_serial};

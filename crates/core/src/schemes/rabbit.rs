@@ -7,97 +7,146 @@
 //! traversal of each dendrogram tree, so vertices merged together early —
 //! the tightest sub-communities — receive the closest ids, mapping the
 //! community hierarchy onto the cache hierarchy.
+//!
+//! Neighbor-community weights are aggregated with an epoch-stamped scatter
+//! array in *first-touch (adjacency) order* rather than a `HashMap`. Besides
+//! being faster, this removes a latent nondeterminism: the merge tie-break
+//! compares gains within an epsilon, so the candidate iteration order is
+//! observable, and `std::collections::HashMap` iterates in a per-process
+//! randomized order. The scan itself is parallelized speculatively: fixed
+//! 512-vertex batches propose merges against a snapshot of the union-find in
+//! parallel, and a serial commit replays proposals in scan order, recomputing
+//! any proposal whose community footprint changed inside the batch.
 
+use rayon::prelude::*;
 use reorderlab_graph::{Csr, Permutation, UnionFind};
-use std::collections::HashMap;
 
-/// Computes a Rabbit Order permutation.
-///
-/// # Examples
-///
-/// ```
-/// use reorderlab_core::schemes::rabbit_order;
-/// use reorderlab_datasets::clique_chain;
-///
-/// let g = clique_chain(3, 6);
-/// let pi = rabbit_order(&g);
-/// // Each planted clique occupies a contiguous rank range.
-/// let ranks: Vec<u32> = (0..6).map(|v| pi.rank(v)).collect();
-/// assert!(ranks.iter().max().unwrap() - ranks.iter().min().unwrap() == 5);
-/// ```
-pub fn rabbit_order(graph: &Csr) -> Permutation {
-    let n = graph.num_vertices();
-    if n == 0 {
-        return Permutation::identity(0);
+/// Speculative batch length. A constant (not derived from the worker count)
+/// so the propose/validate/recompute cadence — and therefore every merge
+/// decision — is identical at any thread count.
+const BATCH: usize = 512;
+
+/// Scatter scratch for aggregating edge weight per neighboring community.
+struct WsumScratch {
+    acc: Vec<f64>,
+    stamp: Vec<u64>,
+    epoch: u64,
+    touched: Vec<u32>,
+}
+
+impl WsumScratch {
+    fn new(n: usize) -> Self {
+        WsumScratch { acc: vec![0.0; n], stamp: vec![0; n], epoch: 0, touched: Vec::new() }
     }
-    // Degree sums for modularity gain; self loops weighted like Louvain.
-    let mut k = vec![0.0f64; n];
-    for v in 0..n as u32 {
-        for (u, w) in graph.weighted_neighbors(v) {
-            k[v as usize] += if u == v { 2.0 * w } else { w };
-        }
-    }
-    let m2: f64 = k.iter().sum();
+}
 
-    let mut uf = UnionFind::new(n);
-    // Community volume, indexed by union-find root.
-    let mut tot = k.clone();
-    // Dendrogram: tree_root[uf_root] = vertex id that is the tree root of
-    // that community; children[v] = sub-roots merged under v.
-    let mut tree_root: Vec<u32> = (0..n as u32).collect();
-    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+/// A speculative merge proposal for one scanned vertex: the community it
+/// was in, the volumes read for the gain computation, and the chosen merge
+/// target (if any). The recorded `(root, volume)` pairs double as the
+/// validation footprint — any merge involving one of these communities
+/// either de-roots it or strictly increases its volume, so bitwise-equal
+/// volumes at commit time prove the proposal is still exact.
+struct Proposal {
+    a: u32,
+    tot_a: f64,
+    nbr: Vec<(u32, f64)>,
+    best: Option<u32>,
+}
 
-    // Scan in increasing degree order (ties by id), the Rabbit schedule.
-    let mut scan: Vec<u32> = (0..n as u32).collect();
-    scan.sort_by_key(|&v| (graph.degree(v), v));
-
-    let mut wsum: HashMap<u32, f64> = HashMap::new();
-    for &v in &scan {
-        let a = uf.find(v);
-        // Aggregate edge weight from v toward each neighboring community.
-        wsum.clear();
-        for (u, w) in graph.weighted_neighbors(v) {
-            if u == v {
-                continue;
-            }
-            let b = uf.find(u);
-            if b != a {
-                *wsum.entry(b).or_insert(0.0) += w;
-            }
+/// Computes vertex `v`'s merge proposal against the current community
+/// state. Candidate communities are visited in first-touch (adjacency)
+/// order, which fixes the epsilon tie-break order deterministically.
+fn propose(
+    graph: &Csr,
+    v: u32,
+    uf: &UnionFind,
+    tot: &[f64],
+    m2: f64,
+    s: &mut WsumScratch,
+) -> Proposal {
+    let a = uf.root(v);
+    s.epoch += 1;
+    s.touched.clear();
+    for (u, w) in graph.weighted_neighbors(v) {
+        if u == v {
+            continue;
         }
-        // Best positive modularity merge gain:
-        //   ΔQ(a, b) = 2 [ w_ab / 2m − tot_a · tot_b / (2m)² ]
-        let mut best: Option<(f64, u32)> = None;
-        for (&b, &w_ab) in wsum.iter() {
-            let gain = 2.0 * (w_ab / m2 - tot[a as usize] * tot[b as usize] / (m2 * m2));
-            if gain > 1e-15 {
-                let better = match best {
-                    None => true,
-                    Some((bg, bb)) => gain > bg + 1e-18 || (gain >= bg - 1e-18 && b < bb),
-                };
-                if better {
-                    best = Some((gain, b));
-                }
-            }
+        let b = uf.root(u);
+        if b == a {
+            continue;
         }
-        if let Some((_, b)) = best {
-            let (ra, rb) = (tree_root[a as usize], tree_root[b as usize]);
-            let merged_tot = tot[a as usize] + tot[b as usize];
-            uf.union(a, b);
-            let new_root = uf.find(a);
-            tot[new_root as usize] = merged_tot;
-            // v's community tree hangs under the absorbing community's root.
-            children[rb as usize].push(ra);
-            tree_root[new_root as usize] = rb;
+        if s.stamp[b as usize] != s.epoch {
+            s.stamp[b as usize] = s.epoch;
+            s.acc[b as usize] = w;
+            s.touched.push(b);
+        } else {
+            s.acc[b as usize] += w;
         }
     }
+    // Best positive modularity merge gain:
+    //   ΔQ(a, b) = 2 [ w_ab / 2m − tot_a · tot_b / (2m)² ]
+    let mut best: Option<(f64, u32)> = None;
+    let mut nbr = Vec::with_capacity(s.touched.len());
+    for &b in &s.touched {
+        let tot_b = tot[b as usize];
+        nbr.push((b, tot_b));
+        let gain = 2.0 * (s.acc[b as usize] / m2 - tot[a as usize] * tot_b / (m2 * m2));
+        if gain > 1e-15 {
+            let better = match best {
+                None => true,
+                Some((bg, bb)) => gain > bg + 1e-18 || (gain >= bg - 1e-18 && b < bb),
+            };
+            if better {
+                best = Some((gain, b));
+            }
+        }
+    }
+    Proposal { a, tot_a: tot[a as usize], nbr, best: best.map(|(_, b)| b) }
+}
 
-    // DFS numbering: every final community is one dendrogram tree; traverse
-    // each tree (roots in increasing id order) emitting vertices preorder.
+/// Whether `p` still describes the current state: its source community and
+/// every candidate community must still be a root with a bitwise-unchanged
+/// volume. Merges strictly grow the surviving root's volume (both sides of
+/// a positive-gain merge have positive volume), so any intervening merge
+/// involving these communities is detected.
+fn still_valid(p: &Proposal, uf: &UnionFind, tot: &[f64]) -> bool {
+    uf.root(p.a) == p.a
+        && tot[p.a as usize] == p.tot_a
+        && p.nbr.iter().all(|&(b, tb)| uf.root(b) == b && tot[b as usize] == tb)
+}
+
+/// Merges `v`'s community into community `b`, maintaining the dendrogram.
+fn merge_into(
+    v: u32,
+    b: u32,
+    uf: &mut UnionFind,
+    tot: &mut [f64],
+    tree_root: &mut [u32],
+    children: &mut [Vec<u32>],
+) {
+    let a = uf.find(v);
+    let (ra, rb) = (tree_root[a as usize], tree_root[b as usize]);
+    let merged_tot = tot[a as usize] + tot[b as usize];
+    uf.union(a, b);
+    let new_root = uf.find(a);
+    tot[new_root as usize] = merged_tot;
+    // v's community tree hangs under the absorbing community's root.
+    children[rb as usize].push(ra);
+    tree_root[new_root as usize] = rb;
+}
+
+/// DFS numbering: every final community is one dendrogram tree; traverse
+/// each tree (roots in increasing id order) emitting vertices preorder.
+fn dendrogram_order(
+    n: usize,
+    uf: &UnionFind,
+    tree_root: &[u32],
+    children: &[Vec<u32>],
+) -> Permutation {
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut is_root = vec![false; n];
     for v in 0..n as u32 {
-        let r = uf.find(v);
+        let r = uf.root(v);
         is_root[tree_root[r as usize] as usize] = true;
     }
     let mut stack: Vec<u32> = Vec::new();
@@ -116,6 +165,106 @@ pub fn rabbit_order(graph: &Csr) -> Permutation {
         }
     }
     Permutation::from_order(&order).expect("dendrogram DFS covers every vertex once")
+}
+
+/// Shared setup: Louvain-style degree sums, their total, and the
+/// increasing-degree scan schedule.
+fn rabbit_setup(graph: &Csr) -> (Vec<f64>, f64, Vec<u32>) {
+    let n = graph.num_vertices();
+    let mut k = vec![0.0f64; n];
+    for v in 0..n as u32 {
+        for (u, w) in graph.weighted_neighbors(v) {
+            k[v as usize] += if u == v { 2.0 * w } else { w };
+        }
+    }
+    let m2: f64 = k.iter().sum();
+    let mut scan: Vec<u32> = (0..n as u32).collect();
+    scan.sort_unstable_by_key(|&v| ((graph.degree(v) as u64) << 32) | u64::from(v));
+    (k, m2, scan)
+}
+
+/// Computes a Rabbit Order permutation.
+///
+/// The aggregation scan proposes merges for fixed-size batches in parallel
+/// and commits them serially in scan order, falling back to an in-place
+/// recomputation whenever an earlier commit in the batch touched a
+/// proposal's communities. Bit-identical to [`rabbit_order_serial`] at any
+/// thread count.
+///
+/// # Examples
+///
+/// ```
+/// use reorderlab_core::schemes::rabbit_order;
+/// use reorderlab_datasets::clique_chain;
+///
+/// let g = clique_chain(3, 6);
+/// let pi = rabbit_order(&g);
+/// // Each planted clique occupies a contiguous rank range.
+/// let ranks: Vec<u32> = (0..6).map(|v| pi.rank(v)).collect();
+/// assert!(ranks.iter().max().unwrap() - ranks.iter().min().unwrap() == 5);
+/// ```
+pub fn rabbit_order(graph: &Csr) -> Permutation {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Permutation::identity(0);
+    }
+    let (k, m2, scan) = rabbit_setup(graph);
+    let mut uf = UnionFind::new(n);
+    let mut tot = k;
+    let mut tree_root: Vec<u32> = (0..n as u32).collect();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    let mut scratch = WsumScratch::new(n);
+    let speculate = rayon::current_num_threads() > 1;
+    for batch in scan.chunks(BATCH) {
+        let proposals: Vec<Proposal> = if speculate {
+            let uf_ref = &uf;
+            let tot_ref = &tot;
+            batch
+                .par_iter()
+                .map_init(|| WsumScratch::new(n), |s, &v| propose(graph, v, uf_ref, tot_ref, m2, s))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for (j, &v) in batch.iter().enumerate() {
+            let best = if speculate && still_valid(&proposals[j], &uf, &tot) {
+                proposals[j].best
+            } else {
+                // State moved under the proposal (or we're single-threaded):
+                // recompute against live state — the serial semantics.
+                propose(graph, v, &uf, &tot, m2, &mut scratch).best
+            };
+            if let Some(b) = best {
+                merge_into(v, b, &mut uf, &mut tot, &mut tree_root, &mut children);
+            }
+        }
+    }
+    dendrogram_order(n, &uf, &tree_root, &children)
+}
+
+/// Reference serial implementation of [`rabbit_order`]: one propose/commit
+/// per vertex in scan order, no speculation. Retained as the property-test
+/// oracle and bench baseline for the batched parallel scan.
+pub fn rabbit_order_serial(graph: &Csr) -> Permutation {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Permutation::identity(0);
+    }
+    let (k, m2, scan) = rabbit_setup(graph);
+    let mut uf = UnionFind::new(n);
+    let mut tot = k;
+    let mut tree_root: Vec<u32> = (0..n as u32).collect();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    let mut scratch = WsumScratch::new(n);
+    for &v in &scan {
+        let p = propose(graph, v, &uf, &tot, m2, &mut scratch);
+        if let Some(b) = p.best {
+            merge_into(v, b, &mut uf, &mut tot, &mut tree_root, &mut children);
+        }
+    }
+    dendrogram_order(n, &uf, &tree_root, &children)
 }
 
 #[cfg(test)]
@@ -188,5 +337,13 @@ mod tests {
     fn edgeless_graph_identity() {
         let g = GraphBuilder::undirected(5).build().unwrap();
         assert!(rabbit_order(&g).is_identity());
+    }
+
+    #[test]
+    fn batch_spanning_scan_matches_serial() {
+        // More vertices than one speculative batch so cross-batch state
+        // carries over.
+        let g = barabasi_albert(2 * BATCH + 77, 3, 5);
+        assert_eq!(rabbit_order(&g), rabbit_order_serial(&g));
     }
 }

@@ -6,14 +6,31 @@
 //! whole visit sequence. RCM is the paper's clear winner on the graph
 //! bandwidth measure β (Figure 6a).
 
-use reorderlab_graph::{pseudo_peripheral, Csr, Permutation};
+use reorderlab_graph::{
+    frontier_candidates, frontier_candidates_by_key, pseudo_peripheral, pseudo_peripheral_serial,
+    Csr, Permutation,
+};
 use std::collections::VecDeque;
+
+/// Packed `(degree, id)` sort keys: one `u64` comparison replaces a tuple
+/// compare with a repeated degree lookup.
+fn degree_keys(graph: &Csr) -> Vec<u64> {
+    (0..graph.num_vertices() as u32)
+        .map(|v| ((graph.degree(v) as u64) << 32) | u64::from(v))
+        .collect()
+}
 
 /// Computes the Reverse Cuthill–McKee ordering of `graph`.
 ///
 /// Components are processed in increasing order of their minimum-degree
 /// vertex (ties by id), matching the classic formulation ("the search
 /// resumes with another unvisited vertex of the smallest current degree").
+///
+/// The BFS runs level-synchronously: each level's degree-sorted unvisited
+/// neighbor lists are gathered in parallel, then committed in stream order
+/// (first occurrence wins). That reproduces the serial FIFO visit sequence
+/// exactly — see [`rcm_order_serial`], the retained oracle — so the
+/// permutation is bit-identical at any thread count.
 ///
 /// # Examples
 ///
@@ -31,12 +48,42 @@ pub fn rcm_order(graph: &Csr) -> Permutation {
     let n = graph.num_vertices();
     let mut visited = vec![false; n];
     let mut order: Vec<u32> = Vec::with_capacity(n);
-    let mut queue: VecDeque<u32> = VecDeque::new();
-    let mut nbrs: Vec<u32> = Vec::new();
+    let key = degree_keys(graph);
 
     // Vertices sorted by (degree, id) — candidate starting points.
     let mut starts: Vec<u32> = (0..n as u32).collect();
-    starts.sort_by_key(|&v| (graph.degree(v), v));
+    starts.sort_unstable_by_key(|&v| key[v as usize]);
+
+    // A single-threaded pool takes the FIFO path: the level gather does
+    // strictly more sorting (it keys candidates against the level-start
+    // snapshot, before same-level commits shrink the lists), which only
+    // pays for itself across workers. Both paths are bit-identical — the
+    // packed keys sort exactly like the (degree, id) tuples.
+    if rayon::current_num_threads() <= 1 {
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        let mut nbrs: Vec<u32> = Vec::new();
+        for &s in &starts {
+            if visited[s as usize] {
+                continue;
+            }
+            let root = pseudo_peripheral(graph, s);
+            visited[root as usize] = true;
+            queue.push_back(root);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                nbrs.clear();
+                nbrs.extend(graph.neighbors(v).iter().copied().filter(|&u| !visited[u as usize]));
+                nbrs.sort_unstable_by_key(|&u| key[u as usize]);
+                for &u in &nbrs {
+                    visited[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n);
+        order.reverse();
+        return Permutation::from_order(&order).expect("BFS visits every vertex exactly once");
+    }
 
     for &s in &starts {
         if visited[s as usize] {
@@ -45,6 +92,56 @@ pub fn rcm_order(graph: &Csr) -> Permutation {
         // Improve the start: walk to a pseudo-peripheral vertex of this
         // component so the level structure is deep and narrow.
         let root = pseudo_peripheral(graph, s);
+        visited[root as usize] = true;
+        order.push(root);
+        let mut frontier = vec![root];
+        while !frontier.is_empty() {
+            // Sorting each candidate list before the already-visited entries
+            // are dropped at commit matches the serial "filter then sort":
+            // removing elements never reorders the survivors.
+            let blocks = frontier_candidates_by_key(
+                graph,
+                &frontier,
+                |w| visited[w as usize],
+                |w| key[w as usize],
+            );
+            let mut next = Vec::new();
+            for block in blocks {
+                for w in block {
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        next.push(w);
+                    }
+                }
+            }
+            order.extend_from_slice(&next);
+            frontier = next;
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    // The "reverse" in RCM.
+    order.reverse();
+    Permutation::from_order(&order).expect("BFS visits every vertex exactly once")
+}
+
+/// Reference serial implementation of [`rcm_order`]: the classic FIFO queue
+/// with a per-vertex filter-and-sort of unvisited neighbors. Retained as the
+/// property-test oracle and bench baseline for the parallel level gather.
+pub fn rcm_order_serial(graph: &Csr) -> Permutation {
+    let n = graph.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut nbrs: Vec<u32> = Vec::new();
+
+    let mut starts: Vec<u32> = (0..n as u32).collect();
+    starts.sort_by_key(|&v| (graph.degree(v), v));
+
+    for &s in &starts {
+        if visited[s as usize] {
+            continue;
+        }
+        let root = pseudo_peripheral_serial(graph, s);
         visited[root as usize] = true;
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {
@@ -59,7 +156,6 @@ pub fn rcm_order(graph: &Csr) -> Permutation {
         }
     }
     debug_assert_eq!(order.len(), n);
-    // The "reverse" in RCM.
     order.reverse();
     Permutation::from_order(&order).expect("BFS visits every vertex exactly once")
 }
@@ -76,7 +172,72 @@ pub fn cm_order(graph: &Csr) -> Permutation {
 /// neighbors follows an arbitrary order at every level" — i.e. a plain BFS
 /// from a pseudo-peripheral start with neighbors in natural order, then
 /// reversed. Cheaper than RCM (no per-level sort) at some bandwidth cost.
+///
+/// Uses the same parallel level gather as [`rcm_order`], minus the per-list
+/// sort; bit-identical to [`cdfs_order_serial`] at any thread count.
 pub fn cdfs_order(graph: &Csr) -> Permutation {
+    let n = graph.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let key = degree_keys(graph);
+
+    let mut starts: Vec<u32> = (0..n as u32).collect();
+    starts.sort_unstable_by_key(|&v| key[v as usize]);
+
+    // Same adaptive split as `rcm_order`: plain FIFO when single-threaded.
+    if rayon::current_num_threads() <= 1 {
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for &s in &starts {
+            if visited[s as usize] {
+                continue;
+            }
+            let root = pseudo_peripheral(graph, s);
+            visited[root as usize] = true;
+            queue.push_back(root);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                for &u in graph.neighbors(v) {
+                    if !visited[u as usize] {
+                        visited[u as usize] = true;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        order.reverse();
+        return Permutation::from_order(&order).expect("BFS visits every vertex exactly once");
+    }
+
+    for &s in &starts {
+        if visited[s as usize] {
+            continue;
+        }
+        let root = pseudo_peripheral(graph, s);
+        visited[root as usize] = true;
+        order.push(root);
+        let mut frontier = vec![root];
+        while !frontier.is_empty() {
+            let blocks = frontier_candidates(graph, &frontier, |w| visited[w as usize]);
+            let mut next = Vec::new();
+            for block in blocks {
+                for w in block {
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        next.push(w);
+                    }
+                }
+            }
+            order.extend_from_slice(&next);
+            frontier = next;
+        }
+    }
+    order.reverse();
+    Permutation::from_order(&order).expect("BFS visits every vertex exactly once")
+}
+
+/// Reference serial implementation of [`cdfs_order`]: plain FIFO BFS.
+/// Retained as the property-test oracle for the parallel level gather.
+pub fn cdfs_order_serial(graph: &Csr) -> Permutation {
     let n = graph.num_vertices();
     let mut visited = vec![false; n];
     let mut order: Vec<u32> = Vec::with_capacity(n);
@@ -88,7 +249,7 @@ pub fn cdfs_order(graph: &Csr) -> Permutation {
         if visited[s as usize] {
             continue;
         }
-        let root = pseudo_peripheral(graph, s);
+        let root = pseudo_peripheral_serial(graph, s);
         visited[root as usize] = true;
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {

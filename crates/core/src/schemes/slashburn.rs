@@ -7,13 +7,71 @@
 //! The result concentrates the adjacency matrix near block-diagonal-plus-
 //! hub form.
 
+use rayon::prelude::*;
 use reorderlab_graph::{Components, Csr, Permutation};
+
+/// Packed descending-degree keys for hub selection, computed in parallel:
+/// ascending order of `((u32::MAX - degree) << 32) | original_id` equals the
+/// serial `(Reverse(degree), original_id)` tuple order. The second element
+/// is the local vertex id for marking hubs.
+fn hub_keys(sub: &Csr, live: &[u32]) -> Vec<(u64, u32)> {
+    let score = |v: u32| {
+        let inv_deg = u32::MAX - sub.degree(v) as u32;
+        (((u64::from(inv_deg)) << 32) | u64::from(live[v as usize]), v)
+    };
+    if rayon::current_num_threads() <= 1 {
+        (0..live.len() as u32).map(score).collect()
+    } else {
+        (0..live.len() as u32).into_par_iter().map(score).collect()
+    }
+}
+
+/// Connected components of `sub` restricted to non-hub vertices, labeled in
+/// order of smallest member id. This is exactly the labeling
+/// [`Components::find`] produces on the extracted remainder graph (its local
+/// ids are monotone in `sub` ids), without materializing that subgraph.
+/// Returns the per-vertex component id (`u32::MAX` for hubs) and sizes.
+fn masked_components(sub: &Csr, is_hub: &[bool]) -> (Vec<u32>, Vec<usize>) {
+    let n = sub.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    for s in 0..n as u32 {
+        if is_hub[s as usize] || comp[s as usize] != u32::MAX {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        comp[s as usize] = c;
+        stack.clear();
+        stack.push(s);
+        let mut size = 0usize;
+        while let Some(v) = stack.pop() {
+            size += 1;
+            for &u in sub.neighbors(v) {
+                if !is_hub[u as usize] && comp[u as usize] == u32::MAX {
+                    comp[u as usize] = c;
+                    stack.push(u);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    (comp, sizes)
+}
 
 /// Computes a SlashBurn ordering.
 ///
 /// `k_frac` is the fraction of (remaining) vertices slashed per round; the
 /// original paper uses 0.5% (`0.005`). At least one hub is slashed per
 /// round, so the algorithm always terminates.
+///
+/// Hub extraction scores vertices in parallel (packed descending-degree
+/// keys) and selects the exact top `k` with a linear-time partition instead
+/// of a full sort per round; burning runs [`masked_components`] directly on
+/// the working graph so only the giant component is ever materialized (via
+/// the parallel [`Csr::induced_subgraph`] kernel) instead of remainder +
+/// giant per round. Bit-identical to [`slashburn_order_serial`] at any
+/// thread count.
 ///
 /// # Panics
 ///
@@ -45,8 +103,94 @@ pub fn slashburn_order(graph: &Csr, k_frac: f64) -> Permutation {
             break;
         }
         let k = ((remaining as f64 * k_frac).ceil() as usize).max(1);
+        let mut keyed = hub_keys(&sub, &live);
         if remaining <= k {
             // Terminal round: everything left goes to the front by degree.
+            keyed.sort_unstable();
+            for &(_, v) in &keyed {
+                ranks[live[v as usize] as usize] = front;
+                front += 1;
+            }
+            break;
+        }
+
+        // Slash: the k highest-degree vertices get the lowest free ranks.
+        // Keys are unique (they embed the original id), so an unstable
+        // select + sort of the top-k prefix reproduces the full-sort prefix.
+        keyed.select_nth_unstable(k - 1);
+        keyed[..k].sort_unstable();
+        let mut is_hub = vec![false; remaining];
+        for &(_, h) in &keyed[..k] {
+            ranks[live[h as usize] as usize] = front;
+            front += 1;
+            is_hub[h as usize] = true;
+        }
+
+        // Burn: components of the remainder, found in place on `sub` with
+        // the hubs masked out.
+        let (comp, sizes) = masked_components(&sub, &is_hub);
+        let giant = match sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u32)
+        {
+            Some(g) => g,
+            None => break, // nothing left
+        };
+        let mut members: Vec<Vec<u32>> = sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+        for (v, &c) in comp.iter().enumerate() {
+            if c != u32::MAX {
+                members[c as usize].push(v as u32);
+            }
+        }
+
+        // Spokes: vertices of non-giant components take the highest free
+        // ranks. Components are ordered by increasing size (ties by id) so
+        // the smallest spokes sit at the very end, mirroring SlashBurn's
+        // spoke layout.
+        let mut spoke_comps: Vec<u32> = (0..sizes.len() as u32).filter(|&c| c != giant).collect();
+        spoke_comps.sort_by_key(|&c| (sizes[c as usize], c));
+        for &c in &spoke_comps {
+            for &v in members[c as usize].iter().rev() {
+                back -= 1;
+                ranks[live[v as usize] as usize] = back;
+            }
+        }
+
+        // Recurse on the giant component, extracted straight from `sub`.
+        let (next_sub, next_orig_local) = sub.induced_subgraph(&members[giant as usize]);
+        live = next_orig_local.iter().map(|&v| live[v as usize]).collect();
+        sub = next_sub;
+    }
+    debug_assert!(front <= back, "front {front} crossed back {back}");
+    Permutation::from_ranks(ranks).expect("every vertex received exactly one rank")
+}
+
+/// Reference serial implementation of [`slashburn_order`]: full
+/// `(Reverse(degree), id)` sort per round, serial subgraph extraction via
+/// [`Csr::induced_subgraph_serial`]. Retained as the property-test oracle
+/// and bench baseline for the parallel hub-extraction kernel.
+///
+/// # Panics
+///
+/// Panics if `k_frac` is not in `(0, 1]`.
+pub fn slashburn_order_serial(graph: &Csr, k_frac: f64) -> Permutation {
+    assert!(k_frac > 0.0 && k_frac <= 1.0, "k_frac must be in (0, 1]");
+    let n = graph.num_vertices();
+    let mut ranks = vec![u32::MAX; n];
+    let mut front = 0u32;
+    let mut back = n as u32; // exclusive
+    let mut live: Vec<u32> = (0..n as u32).collect();
+    let mut sub = graph.clone();
+
+    loop {
+        let remaining = live.len();
+        if remaining == 0 {
+            break;
+        }
+        let k = ((remaining as f64 * k_frac).ceil() as usize).max(1);
+        if remaining <= k {
             let mut rest: Vec<u32> = (0..remaining as u32).collect();
             rest.sort_by_key(|&v| (std::cmp::Reverse(sub.degree(v)), live[v as usize]));
             for v in rest {
@@ -56,7 +200,6 @@ pub fn slashburn_order(graph: &Csr, k_frac: f64) -> Permutation {
             break;
         }
 
-        // Slash: the k highest-degree vertices get the lowest free ranks.
         let mut by_degree: Vec<u32> = (0..remaining as u32).collect();
         by_degree.sort_by_key(|&v| (std::cmp::Reverse(sub.degree(v)), live[v as usize]));
         let hubs = &by_degree[..k];
@@ -67,19 +210,14 @@ pub fn slashburn_order(graph: &Csr, k_frac: f64) -> Permutation {
             is_hub[h as usize] = true;
         }
 
-        // Burn: components of the remainder.
         let keep: Vec<u32> = (0..remaining as u32).filter(|&v| !is_hub[v as usize]).collect();
-        let (rest, rest_orig_local) = sub.induced_subgraph(&keep);
+        let (rest, rest_orig_local) = sub.induced_subgraph_serial(&keep);
         let comps = Components::find(&rest);
         let giant = match comps.largest() {
             Some(g) => g,
-            None => break, // nothing left
+            None => break,
         };
 
-        // Spokes: vertices of non-giant components take the highest free
-        // ranks. Components are ordered by increasing size (ties by id) so
-        // the smallest spokes sit at the very end, mirroring SlashBurn's
-        // spoke layout.
         let mut spoke_comps: Vec<u32> = (0..comps.count() as u32).filter(|&c| c != giant).collect();
         spoke_comps.sort_by_key(|&c| (comps.size(c), c));
         let members = comps.members();
@@ -91,9 +229,8 @@ pub fn slashburn_order(graph: &Csr, k_frac: f64) -> Permutation {
             }
         }
 
-        // Recurse on the giant component.
         let giant_local: Vec<u32> = members[giant as usize].clone();
-        let (next_sub, next_orig_local) = rest.induced_subgraph(&giant_local);
+        let (next_sub, next_orig_local) = rest.induced_subgraph_serial(&giant_local);
         live =
             next_orig_local.iter().map(|&v| live[rest_orig_local[v as usize] as usize]).collect();
         sub = next_sub;

@@ -5,10 +5,18 @@
 //! super-vertices. [`contract`] performs that collapse, accumulating edge
 //! weights between clusters and weights of intra-cluster edges into
 //! self-loops — exactly the compaction Louvain performs between phases.
+//!
+//! The kernel aggregates per coarse row with an epoch-stamped scatter array
+//! (no hashing) and builds rows in parallel. For undirected graphs only the
+//! "upper" entries (target cluster ≥ source cluster) are accumulated in
+//! parallel; the lower triangle is filled by mirroring the exact float
+//! values serially, so the coarse adjacency is bit-for-bit symmetric at any
+//! thread count.
 
 use crate::csr::Csr;
 use crate::error::GraphError;
-use std::collections::HashMap;
+use crate::frontier::exclusive_prefix_sum;
+use rayon::prelude::*;
 
 /// The result of contracting a graph by a cluster assignment.
 #[derive(Debug, Clone)]
@@ -20,12 +28,174 @@ pub struct Contraction {
     pub cluster_sizes: Vec<usize>,
 }
 
+/// Per-worker scatter scratch for one coarse row: accumulated weight per
+/// target cluster, a stamp marking which row last touched each slot, and the
+/// list of touched clusters in first-touch order.
+struct RowScratch {
+    acc: Vec<f64>,
+    stamp: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl RowScratch {
+    fn new(num_clusters: usize) -> Self {
+        RowScratch {
+            acc: vec![0.0; num_clusters],
+            stamp: vec![0; num_clusters],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Builds the aggregated entries of coarse row `c`, sorted by target
+/// cluster. For undirected graphs only entries with target ≥ `c` are
+/// produced (the self-loop, if any, first); intra-cluster weight is the sum
+/// over both arc directions halved, plus self-loop arcs at full weight.
+fn build_row(
+    graph: &Csr,
+    assignment: &[u32],
+    members: &[u32],
+    c: usize,
+    scratch: &mut RowScratch,
+) -> Vec<(u32, f64)> {
+    let marker = c as u32 + 1;
+    scratch.touched.clear();
+    let mut intra = 0.0f64;
+    let mut self_loops = 0.0f64;
+    let mut has_self = false;
+    for &u in members {
+        for (t, w) in graph.weighted_neighbors(u) {
+            let d = assignment[t as usize];
+            if graph.is_directed() {
+                // Directed rows are independent: aggregate every target.
+                if scratch.stamp[d as usize] != marker {
+                    scratch.stamp[d as usize] = marker;
+                    scratch.acc[d as usize] = w;
+                    scratch.touched.push(d);
+                } else {
+                    scratch.acc[d as usize] += w;
+                }
+            } else if (d as usize) == c {
+                has_self = true;
+                if t == u {
+                    self_loops += w;
+                } else {
+                    intra += w;
+                }
+            } else if (d as usize) > c {
+                if scratch.stamp[d as usize] != marker {
+                    scratch.stamp[d as usize] = marker;
+                    scratch.acc[d as usize] = w;
+                    scratch.touched.push(d);
+                } else {
+                    scratch.acc[d as usize] += w;
+                }
+            }
+            // Undirected targets in clusters below `c` are mirrored later.
+        }
+    }
+    scratch.touched.sort_unstable();
+    let mut entries = Vec::with_capacity(scratch.touched.len() + 1);
+    if !graph.is_directed() && has_self {
+        // Each intra-cluster edge was seen from both endpoints; self-loop
+        // arcs are stored once and keep full weight.
+        entries.push((c as u32, intra / 2.0 + self_loops));
+    }
+    entries.extend(scratch.touched.iter().map(|&d| (d, scratch.acc[d as usize])));
+    entries
+}
+
+/// Assembles the coarse CSR from per-row aggregated entries. For undirected
+/// graphs, each upper entry `(c → d, w)` with `d > c` is mirrored into row
+/// `d` with the identical float, making the adjacency exactly symmetric.
+fn assemble(
+    rows: Vec<Vec<(u32, f64)>>,
+    num_clusters: usize,
+    directed: bool,
+) -> (Vec<usize>, Vec<u32>, Vec<f64>, usize) {
+    let num_edges: usize = rows.iter().map(Vec::len).sum();
+    // How many mirror entries each row receives (undirected only): one per
+    // upper entry pointing at it.
+    let mut incoming = vec![0usize; num_clusters];
+    if !directed {
+        for (c, row) in rows.iter().enumerate() {
+            for &(d, _) in row {
+                if (d as usize) > c {
+                    incoming[d as usize] += 1;
+                }
+            }
+        }
+    }
+    let counts: Vec<usize> =
+        rows.iter().enumerate().map(|(c, row)| row.len() + incoming[c]).collect();
+    let offsets = exclusive_prefix_sum(&counts);
+    let total = offsets[num_clusters];
+    let mut targets = vec![0u32; total];
+    let mut weights = vec![0.0f64; total];
+    // Mirrors land first in each row: their sources are all < the row id and
+    // arrive in ascending order because rows are swept ascending. A row's
+    // own entries (all ≥ its id) follow, already sorted — so every row ends
+    // up sorted by target.
+    let mut mirror_cursor: Vec<usize> = offsets[..num_clusters].to_vec();
+    let mut own_cursor: Vec<usize> = (0..num_clusters).map(|c| offsets[c] + incoming[c]).collect();
+    for (c, row) in rows.iter().enumerate() {
+        for &(d, w) in row {
+            targets[own_cursor[c]] = d;
+            weights[own_cursor[c]] = w;
+            own_cursor[c] += 1;
+            if !directed && (d as usize) > c {
+                targets[mirror_cursor[d as usize]] = c as u32;
+                weights[mirror_cursor[d as usize]] = w;
+                mirror_cursor[d as usize] += 1;
+            }
+        }
+    }
+    (offsets, targets, weights, num_edges)
+}
+
+fn validate(graph: &Csr, assignment: &[u32], num_clusters: usize) -> Result<(), GraphError> {
+    let n = graph.num_vertices();
+    if assignment.len() != n {
+        return Err(GraphError::AssignmentLengthMismatch {
+            assignment_len: assignment.len(),
+            num_vertices: n,
+        });
+    }
+    for &c in assignment {
+        if c as usize >= num_clusters {
+            return Err(GraphError::ClusterOutOfBounds {
+                cluster: c,
+                num_clusters: num_clusters as u32,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Groups vertices by cluster via counting sort; members of each cluster are
+/// in ascending vertex-id order.
+fn cluster_members(assignment: &[u32], cluster_sizes: &[usize]) -> (Vec<usize>, Vec<u32>) {
+    let member_off = exclusive_prefix_sum(cluster_sizes);
+    let mut cursor = member_off[..cluster_sizes.len()].to_vec();
+    let mut members = vec![0u32; assignment.len()];
+    for (v, &c) in assignment.iter().enumerate() {
+        members[cursor[c as usize]] = v as u32;
+        cursor[c as usize] += 1;
+    }
+    (member_off, members)
+}
+
 /// Contracts `graph` by `assignment`, producing one super-vertex per cluster.
 ///
 /// `assignment[v]` must lie in `[0, num_clusters)`. Edge weights between
 /// clusters are summed; intra-cluster edges become a self-loop on the
 /// super-vertex whose weight is the sum of the intra-cluster edge weights
 /// (each undirected intra-cluster edge counted once).
+///
+/// Coarse rows are aggregated in parallel; the result is bit-identical to
+/// [`contract_serial`] at any thread count because every row's accumulation
+/// order (members ascending, arcs in adjacency order) is fixed and
+/// undirected mirror weights are copied, not recomputed.
 ///
 /// # Errors
 ///
@@ -55,52 +225,64 @@ pub fn contract(
     assignment: &[u32],
     num_clusters: usize,
 ) -> Result<Contraction, GraphError> {
-    let n = graph.num_vertices();
-    if assignment.len() != n {
-        return Err(GraphError::AssignmentLengthMismatch {
-            assignment_len: assignment.len(),
-            num_vertices: n,
-        });
-    }
-    for &c in assignment {
-        if c as usize >= num_clusters {
-            return Err(GraphError::ClusterOutOfBounds {
-                cluster: c,
-                num_clusters: num_clusters as u32,
-            });
-        }
-    }
-
+    validate(graph, assignment, num_clusters)?;
     let mut cluster_sizes = vec![0usize; num_clusters];
     for &c in assignment {
         cluster_sizes[c as usize] += 1;
     }
+    let (member_off, members) = cluster_members(assignment, &cluster_sizes);
 
-    // Accumulate inter-cluster weights. Iterate logical edges so each
-    // undirected edge contributes once.
-    let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
-    for (u, v, w) in graph.edges() {
-        let (cu, cv) = (assignment[u as usize], assignment[v as usize]);
-        let key = if graph.is_directed() { (cu, cv) } else { (cu.min(cv), cu.max(cv)) };
-        *weights.entry(key).or_insert(0.0) += w;
+    let rows: Vec<Vec<(u32, f64)>> = (0..num_clusters)
+        .into_par_iter()
+        .map_init(
+            || RowScratch::new(num_clusters),
+            |scratch, c| {
+                build_row(graph, assignment, &members[member_off[c]..member_off[c + 1]], c, scratch)
+            },
+        )
+        .collect();
+
+    let (offsets, targets, weights, num_edges) = assemble(rows, num_clusters, graph.is_directed());
+    let coarse =
+        Csr::from_raw_parts(offsets, targets, Some(weights), num_edges, graph.is_directed());
+    Ok(Contraction { coarse, cluster_sizes })
+}
+
+/// Reference serial implementation of [`contract`]: identical row
+/// aggregation run one row at a time with a single scratch. Retained as the
+/// property-test oracle and bench baseline for the parallel kernel.
+///
+/// # Errors
+///
+/// Same error conditions as [`contract`].
+pub fn contract_serial(
+    graph: &Csr,
+    assignment: &[u32],
+    num_clusters: usize,
+) -> Result<Contraction, GraphError> {
+    validate(graph, assignment, num_clusters)?;
+    let mut cluster_sizes = vec![0usize; num_clusters];
+    for &c in assignment {
+        cluster_sizes[c as usize] += 1;
     }
+    let (member_off, members) = cluster_members(assignment, &cluster_sizes);
 
-    let mut edges: Vec<(u32, u32, f64)> =
-        weights.into_iter().map(|((u, v), w)| (u, v, w)).collect();
-    edges.sort_by_key(|a| (a.0, a.1));
-    let num_edges = edges.len();
+    let mut scratch = RowScratch::new(num_clusters);
+    let rows: Vec<Vec<(u32, f64)>> = (0..num_clusters)
+        .map(|c| {
+            build_row(
+                graph,
+                assignment,
+                &members[member_off[c]..member_off[c + 1]],
+                c,
+                &mut scratch,
+            )
+        })
+        .collect();
 
-    // Expand to symmetric arcs (self-loops stay single arcs).
-    let mut arcs: Vec<(u32, u32, f64)> = Vec::with_capacity(edges.len() * 2);
-    for &(u, v, w) in &edges {
-        arcs.push((u, v, w));
-        if !graph.is_directed() && u != v {
-            arcs.push((v, u, w));
-        }
-    }
-    arcs.sort_by_key(|a| (a.0, a.1));
-
-    let coarse = Csr::from_sorted_arcs(num_clusters, &arcs, num_edges, graph.is_directed(), true)?;
+    let (offsets, targets, weights, num_edges) = assemble(rows, num_clusters, graph.is_directed());
+    let coarse =
+        Csr::from_raw_parts(offsets, targets, Some(weights), num_edges, graph.is_directed());
     Ok(Contraction { coarse, cluster_sizes })
 }
 
@@ -187,5 +369,56 @@ mod tests {
         assert_eq!(c.coarse.num_vertices(), 4);
         assert_eq!(c.cluster_sizes, vec![1, 0, 1, 0]);
         assert_eq!(c.coarse.edge_weight(0, 2), Some(1.0));
+    }
+
+    #[test]
+    fn contract_self_loops_keep_full_weight() {
+        let g = GraphBuilder::undirected(3)
+            .self_loops(crate::builder::SelfLoopPolicy::Keep)
+            .weighted_edge(0, 0, 5.0)
+            .weighted_edge(0, 1, 1.0)
+            .weighted_edge(1, 2, 1.0)
+            .build()
+            .unwrap();
+        let c = contract(&g, &[0, 0, 1], 2).unwrap();
+        // Self-loop (5.0) plus intra edge (0,1) (1.0).
+        assert_eq!(c.coarse.edge_weight(0, 0), Some(6.0));
+        assert_eq!(c.coarse.edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn coarse_rows_are_sorted_and_symmetric() {
+        let g = GraphBuilder::undirected(8)
+            .weighted_edge(0, 4, 0.1)
+            .weighted_edge(1, 5, 0.2)
+            .weighted_edge(2, 6, 0.3)
+            .weighted_edge(3, 7, 0.4)
+            .weighted_edge(0, 7, 0.7)
+            .weighted_edge(4, 5, 1.5)
+            .build()
+            .unwrap();
+        let c = contract(&g, &[0, 1, 2, 3, 1, 2, 3, 0], 4).unwrap();
+        for v in 0..4u32 {
+            let nbrs = c.coarse.neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "row {v} unsorted: {nbrs:?}");
+            for &t in nbrs {
+                // Exact float symmetry: mirrors are copies, not re-sums.
+                assert_eq!(c.coarse.edge_weight(v, t), c.coarse.edge_weight(t, v));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let g = GraphBuilder::undirected(10)
+            .edges((0..9).map(|i| (i, i + 1)))
+            .edges([(0, 5), (2, 7), (3, 9)])
+            .build()
+            .unwrap();
+        let assignment: Vec<u32> = (0..10u32).map(|v| v % 4).collect();
+        let par = contract(&g, &assignment, 4).unwrap();
+        let ser = contract_serial(&g, &assignment, 4).unwrap();
+        assert_eq!(par.coarse, ser.coarse);
+        assert_eq!(par.cluster_sizes, ser.cluster_sizes);
     }
 }

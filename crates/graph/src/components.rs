@@ -149,6 +149,17 @@ impl UnionFind {
         x
     }
 
+    /// Finds the representative of `x`'s set without mutating the structure
+    /// (no path compression). Useful from parallel read-only phases, where a
+    /// shared `&UnionFind` is probed concurrently; the answer always matches
+    /// what [`UnionFind::find`] would return.
+    pub fn root(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
     /// Unites the sets containing `a` and `b`. Returns `true` if they were
     /// previously distinct.
     pub fn union(&mut self, a: u32, b: u32) -> bool {
@@ -253,6 +264,19 @@ mod tests {
         assert!(!uf2.is_empty());
         assert_eq!(uf2.len(), 3);
         assert_eq!(uf2.set_count(), 3);
+    }
+
+    #[test]
+    fn union_find_root_matches_find() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(5, 6);
+        uf.union(2, 6);
+        let frozen = uf.clone();
+        for x in 0..8 {
+            assert_eq!(frozen.root(x), uf.find(x), "root/find disagree on {x}");
+        }
     }
 
     #[test]

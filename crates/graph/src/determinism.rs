@@ -1,0 +1,49 @@
+//! Thread-count-invariance harness.
+//!
+//! Every parallel kernel in the workspace promises *bit-identical* output at
+//! any worker count. [`assert_thread_invariant`] is the shared test harness
+//! for that promise: it runs an operation under explicit 1-, 2-, and 7-thread
+//! pools and asserts each result equals the ambient-pool run. Downstream
+//! crates (`reorderlab-core`, `reorderlab-partition`, the CLI tests) use it
+//! to pin their kernels, so it lives in the public API rather than behind
+//! `cfg(test)`.
+
+/// Runs `op` once on the ambient pool and once under dedicated pools of 1, 2,
+/// and 7 threads, asserting every run returns the same value. Returns the
+/// reference result so callers can make further assertions on it.
+///
+/// # Panics
+///
+/// Panics if any thread count produces a different result.
+pub fn assert_thread_invariant<R, F>(op: F) -> R
+where
+    R: PartialEq + std::fmt::Debug,
+    F: Fn() -> R,
+{
+    let reference = op();
+    for threads in [1usize, 2, 7] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction is infallible here");
+        let got = pool.install(&op);
+        assert_eq!(got, reference, "result changed at {threads} threads");
+    }
+    reference
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_thread_independent_ops() {
+        assert_eq!(assert_thread_invariant(|| 42), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "result changed at")]
+    fn catches_thread_dependent_ops() {
+        assert_thread_invariant(rayon::current_num_threads);
+    }
+}

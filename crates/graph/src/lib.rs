@@ -35,7 +35,9 @@ mod builder;
 mod coarsen;
 mod components;
 mod csr;
+mod determinism;
 mod error;
+pub mod frontier;
 mod io;
 mod mtx;
 mod perm;
@@ -43,15 +45,20 @@ mod stats;
 mod traversal;
 
 pub use builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
-pub use coarsen::{contract, Contraction};
+pub use coarsen::{contract, contract_serial, Contraction};
 pub use components::{Components, UnionFind};
 pub use csr::{Csr, Edges};
+pub use determinism::assert_thread_invariant;
 pub use error::{GraphError, PermutationDefect};
+pub use frontier::{exclusive_prefix_sum, frontier_candidates, frontier_candidates_by_key};
 pub use io::{read_edge_list, read_metis, write_edge_list, write_metis};
 pub use mtx::{read_matrix_market, write_matrix_market};
 pub use perm::Permutation;
 pub use stats::{approx_diameter, common_neighbors, count_triangles, degree_histogram, GraphStats};
-pub use traversal::{bfs_levels, pseudo_peripheral, Bfs, Dfs, LevelStructure};
+pub use traversal::{
+    bfs_levels, bfs_levels_serial, pseudo_peripheral, pseudo_peripheral_serial, Bfs, Dfs,
+    LevelStructure,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -176,6 +183,48 @@ mod proptests {
                 if lu != u32::MAX && lv != u32::MAX {
                     prop_assert!(lu.abs_diff(lv) <= 1, "edge ({u},{v}) spans levels {lu},{lv}");
                 }
+            }
+        }
+
+        #[test]
+        fn bfs_levels_match_serial_oracle((n, edges) in arb_graph()) {
+            let g = GraphBuilder::undirected(n).edges(edges).build().unwrap();
+            let expected = bfs_levels_serial(&g, 0);
+            let got = assert_thread_invariant(|| bfs_levels(&g, 0));
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn contract_matches_serial_oracle((n, edges) in arb_graph()) {
+            let g = GraphBuilder::undirected(n).edges(edges).build().unwrap();
+            let assignment: Vec<u32> = (0..n as u32).map(|v| v % 3).collect();
+            let expected = contract_serial(&g, &assignment, 3).unwrap();
+            let got = assert_thread_invariant(|| {
+                let c = contract(&g, &assignment, 3).unwrap();
+                (c.coarse, c.cluster_sizes)
+            });
+            prop_assert_eq!(got.0, expected.coarse);
+            prop_assert_eq!(got.1, expected.cluster_sizes);
+        }
+
+        #[test]
+        fn contract_matches_legacy_hashmap_semantics((n, edges) in arb_graph()) {
+            // The pre-scatter implementation accumulated cluster-pair weights
+            // in a HashMap over `edges()`. Summation order differs, so
+            // compare approximately — the logical structure must be equal.
+            let g = GraphBuilder::undirected(n).edges(edges).build().unwrap();
+            let assignment: Vec<u32> = (0..n as u32).map(|v| v % 4).collect();
+            let c = contract(&g, &assignment, 4).unwrap();
+            let mut legacy: std::collections::HashMap<(u32, u32), f64> =
+                std::collections::HashMap::new();
+            for (u, v, w) in g.edges() {
+                let (cu, cv) = (assignment[u as usize], assignment[v as usize]);
+                *legacy.entry((cu.min(cv), cu.max(cv))).or_insert(0.0) += w;
+            }
+            prop_assert_eq!(c.coarse.num_edges(), legacy.len());
+            for (&(a, b), &w) in &legacy {
+                let got = c.coarse.edge_weight(a, b).expect("cluster edge present");
+                prop_assert!((got - w).abs() < 1e-9, "({a},{b}): {got} vs {w}");
             }
         }
     }

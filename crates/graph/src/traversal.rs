@@ -7,6 +7,7 @@
 //! reverse BFS.
 
 use crate::csr::Csr;
+use crate::frontier::frontier_candidates;
 use std::collections::VecDeque;
 
 /// Breadth-first iterator over the vertices reachable from a source.
@@ -152,10 +153,51 @@ impl LevelStructure {
 
 /// Computes the BFS level structure rooted at `source`.
 ///
+/// Levels are expanded level-synchronously with a parallel gather per level
+/// (see [`crate::frontier`]); the result is bit-identical to
+/// [`bfs_levels_serial`] at any thread count because candidates are committed
+/// in the serial FIFO stream order.
+///
 /// # Panics
 ///
 /// Panics if `source` is out of bounds.
 pub fn bfs_levels(graph: &Csr, source: u32) -> LevelStructure {
+    // The gathered candidate stream resolves to the serial visit sequence
+    // (proven equal by the differential proptests), so a single-threaded
+    // pool can skip straight to the cheaper serial loop.
+    if rayon::current_num_threads() <= 1 {
+        return bfs_levels_serial(graph, source);
+    }
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "bfs_levels source out of bounds");
+    let mut levels = vec![u32::MAX; n];
+    let mut tiers: Vec<Vec<u32>> = Vec::new();
+    levels[source as usize] = 0;
+    let mut frontier = vec![source];
+    while !frontier.is_empty() {
+        let depth = tiers.len() as u32;
+        // Gather against the level-start snapshot of `levels`; duplicates are
+        // resolved below by first occurrence, matching the serial loop.
+        let blocks = frontier_candidates(graph, &frontier, |w| levels[w as usize] != u32::MAX);
+        let mut next = Vec::new();
+        for block in blocks {
+            for w in block {
+                if levels[w as usize] == u32::MAX {
+                    levels[w as usize] = depth + 1;
+                    next.push(w);
+                }
+            }
+        }
+        tiers.push(frontier);
+        frontier = next;
+    }
+    LevelStructure { levels, tiers }
+}
+
+/// Reference serial implementation of [`bfs_levels`]: the plain FIFO frontier
+/// loop. Retained as the property-test oracle and bench baseline for the
+/// parallel level gather.
+pub fn bfs_levels_serial(graph: &Csr, source: u32) -> LevelStructure {
     let n = graph.num_vertices();
     assert!((source as usize) < n, "bfs_levels source out of bounds");
     let mut levels = vec![u32::MAX; n];
@@ -193,19 +235,43 @@ pub fn bfs_levels(graph: &Csr, source: u32) -> LevelStructure {
 /// Panics if `start` is out of bounds.
 pub fn pseudo_peripheral(graph: &Csr, start: u32) -> u32 {
     let mut current = start;
-    let mut ls = bfs_levels(graph, current);
+    let (mut ecc, mut candidate) = bfs_summary(graph, current);
+    loop {
+        if candidate == current {
+            return current;
+        }
+        let (next_ecc, next_candidate) = bfs_summary(graph, candidate);
+        if next_ecc > ecc {
+            current = candidate;
+            ecc = next_ecc;
+            candidate = next_candidate;
+        } else {
+            return candidate;
+        }
+    }
+}
+
+/// Reference implementation of [`pseudo_peripheral`] on top of the full
+/// [`bfs_levels_serial`] level structure. Retained as the property-test
+/// oracle and bench baseline for the direction-optimizing summary BFS;
+/// always returns the same vertex.
+pub fn pseudo_peripheral_serial(graph: &Csr, start: u32) -> u32 {
+    let mut current = start;
+    let mut ls = bfs_levels_serial(graph, current);
     let mut ecc = ls.eccentricity();
     loop {
         let last = match ls.tiers.last() {
             Some(t) if !t.is_empty() => t,
             _ => return current,
         };
-        // Min-degree vertex in the deepest level.
-        let candidate = *last.iter().min_by_key(|&&v| graph.degree(v)).expect("non-empty level");
+        // Min-(degree, id) vertex in the deepest level — an order-free rule,
+        // so any traversal producing the same level *sets* agrees.
+        let candidate =
+            *last.iter().min_by_key(|&&v| (graph.degree(v), v)).expect("non-empty level");
         if candidate == current {
             return current;
         }
-        let next_ls = bfs_levels(graph, candidate);
+        let next_ls = bfs_levels_serial(graph, candidate);
         let next_ecc = next_ls.eccentricity();
         if next_ecc > ecc {
             current = candidate;
@@ -215,6 +281,69 @@ pub fn pseudo_peripheral(graph: &Csr, start: u32) -> u32 {
             return candidate;
         }
     }
+}
+
+/// One George–Liu step's worth of BFS, reduced to what [`pseudo_peripheral`]
+/// actually consumes: the root's eccentricity and the min-(degree, id)
+/// vertex of the deepest level. Because only level *sets* matter — never
+/// discovery order — the traversal is free to run direction-optimized
+/// (Beamer-style): top-down while the frontier is narrow, bottom-up over
+/// the unvisited vertices once the frontier's out-degree dominates, which
+/// skips most edge inspections on small-diameter graphs.
+fn bfs_summary(graph: &Csr, source: u32) -> (usize, u32) {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "bfs_summary source out of bounds");
+    let mut levels = vec![u32::MAX; n];
+    levels[source as usize] = 0;
+    let mut frontier: Vec<u32> = vec![source];
+    let mut next: Vec<u32> = Vec::new();
+    let mut depth = 0u32;
+    // Bottom-up is only valid when the adjacency is symmetric.
+    let bottom_up_ok = !graph.is_directed();
+    // Degree mass still unvisited, for the direction heuristic.
+    let mut unvisited_deg = graph.num_arcs() as u64;
+
+    loop {
+        let frontier_deg: u64 = frontier.iter().map(|&v| graph.degree(v) as u64).sum();
+        unvisited_deg = unvisited_deg.saturating_sub(frontier_deg);
+        next.clear();
+        if bottom_up_ok && frontier_deg * 4 > unvisited_deg {
+            // Bottom-up: each unvisited vertex probes its neighbors for a
+            // parent in the current level and exits at the first hit.
+            for v in 0..n as u32 {
+                if levels[v as usize] != u32::MAX {
+                    continue;
+                }
+                for &u in graph.neighbors(v) {
+                    if levels[u as usize] == depth {
+                        levels[v as usize] = depth + 1;
+                        next.push(v);
+                        break;
+                    }
+                }
+            }
+        } else {
+            for &v in &frontier {
+                for &u in graph.neighbors(v) {
+                    if levels[u as usize] == u32::MAX {
+                        levels[u as usize] = depth + 1;
+                        next.push(u);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        depth += 1;
+    }
+    let deepest = frontier
+        .iter()
+        .copied()
+        .min_by_key(|&v| (graph.degree(v), v))
+        .expect("deepest level holds at least the source");
+    (depth as usize, deepest)
 }
 
 #[cfg(test)]
@@ -319,6 +448,66 @@ mod tests {
     fn pseudo_peripheral_isolated_vertex() {
         let g = GraphBuilder::undirected(2).build().unwrap();
         assert_eq!(pseudo_peripheral(&g, 1), 1);
+    }
+
+    #[test]
+    fn levels_match_serial_oracle() {
+        // Dense-ish random-looking graph exercising duplicate candidates.
+        let n = 600u32;
+        let g = GraphBuilder::undirected(n as usize)
+            .edges((0..n).map(|i| (i, (i + 1) % n)))
+            .edges((0..n).map(|i| (i, (i.wrapping_mul(7) + 3) % n)))
+            .build()
+            .unwrap();
+        let got = crate::determinism::assert_thread_invariant(|| bfs_levels(&g, 5));
+        assert_eq!(got, bfs_levels_serial(&g, 5));
+    }
+
+    #[test]
+    fn pseudo_peripheral_matches_serial_oracle() {
+        // Dense enough that the direction-optimizing summary BFS flips to
+        // bottom-up mid-traversal, plus a sparse ring keeping depth > 1.
+        let n = 400u32;
+        let g = GraphBuilder::undirected(n as usize)
+            .edges((0..n).map(|i| (i, (i + 1) % n)))
+            .edges((0..n).map(|i| (i, (i.wrapping_mul(13) + 5) % n)))
+            .edges((0..n / 2).map(|i| (i, (i.wrapping_mul(29) + 11) % n)))
+            .build()
+            .unwrap();
+        for start in [0u32, 7, 123, n - 1] {
+            let got = crate::determinism::assert_thread_invariant(|| pseudo_peripheral(&g, start));
+            assert_eq!(got, pseudo_peripheral_serial(&g, start), "start {start}");
+        }
+    }
+
+    #[test]
+    fn pseudo_peripheral_matches_serial_oracle_on_directed() {
+        // Directed adjacency forbids the bottom-up step; the top-down
+        // summary must still agree with the level-structure oracle.
+        let n = 120u32;
+        let g = GraphBuilder::directed(n as usize)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .edges((0..n).step_by(3).map(|i| (i, (i + 7) % n)))
+            .build()
+            .unwrap();
+        for start in [0u32, 40, 119] {
+            assert_eq!(
+                pseudo_peripheral(&g, start),
+                pseudo_peripheral_serial(&g, start),
+                "start {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn pseudo_peripheral_matches_serial_oracle_on_disconnected() {
+        let g = GraphBuilder::undirected(9)
+            .edges([(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)])
+            .build()
+            .unwrap();
+        for start in 0..9u32 {
+            assert_eq!(pseudo_peripheral(&g, start), pseudo_peripheral_serial(&g, start));
+        }
     }
 
     #[test]

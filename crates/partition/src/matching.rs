@@ -6,7 +6,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use reorderlab_graph::Csr;
+
+/// Speculative batch length for the parallel matching scan. A constant (not
+/// derived from the worker count) so every match decision is identical at
+/// any thread count.
+const BATCH: usize = 512;
 
 /// The result of one matching round: a cluster assignment ready for
 /// contraction.
@@ -18,52 +24,43 @@ pub struct Matching {
     pub num_coarse: usize,
 }
 
-/// Computes a heavy-edge matching of `graph`.
-///
-/// Vertices are visited in a random permutation (seeded); each unmatched
-/// vertex is matched with its unmatched neighbor of maximum edge weight
-/// (ties broken toward lower degree, then lower id, for determinism).
-/// Unmatchable vertices become singleton coarse vertices.
-pub fn heavy_edge_matching(graph: &Csr, seed: u64) -> Matching {
-    let n = graph.num_vertices();
+/// The seeded Fisher–Yates visit permutation shared by both scans.
+fn visit_order(n: usize, seed: u64) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut visit: Vec<u32> = (0..n as u32).collect();
     for i in (1..n).rev() {
         let j = rng.gen_range(0..=i);
         visit.swap(i, j);
     }
+    visit
+}
 
-    let mut mate = vec![u32::MAX; n];
-    for &u in &visit {
-        if mate[u as usize] != u32::MAX {
+/// The heaviest still-unmatched neighbor of `u` (ties toward lower degree,
+/// then lower id) under the matching state `mate`.
+fn best_candidate(graph: &Csr, u: u32, mate: &[u32]) -> Option<u32> {
+    let mut best: Option<(f64, usize, u32)> = None; // (weight, degree, id)
+    for (v, w) in graph.weighted_neighbors(u) {
+        if v == u || mate[v as usize] != u32::MAX {
             continue;
         }
-        let mut best: Option<(f64, usize, u32)> = None; // (weight, -degree key via cmp, id)
-        for (v, w) in graph.weighted_neighbors(u) {
-            if v == u || mate[v as usize] != u32::MAX {
-                continue;
+        let deg = graph.degree(v);
+        let better = match best {
+            None => true,
+            Some((bw, bdeg, bid)) => {
+                w > bw || (w == bw && (deg < bdeg || (deg == bdeg && v < bid)))
             }
-            let deg = graph.degree(v);
-            let better = match best {
-                None => true,
-                Some((bw, bdeg, bid)) => {
-                    w > bw || (w == bw && (deg < bdeg || (deg == bdeg && v < bid)))
-                }
-            };
-            if better {
-                best = Some((w, deg, v));
-            }
-        }
-        match best {
-            Some((_, _, v)) => {
-                mate[u as usize] = v;
-                mate[v as usize] = u;
-            }
-            None => mate[u as usize] = u, // singleton
+        };
+        if better {
+            best = Some((w, deg, v));
         }
     }
+    best.map(|(_, _, v)| v)
+}
 
-    // Assign coarse ids: the lower endpoint of each pair claims the id.
+/// Turns a `mate` array into coarse ids: the lower endpoint of each pair
+/// claims the id, in vertex order.
+fn coarse_ids(mate: &[u32]) -> Matching {
+    let n = mate.len();
     let mut assignment = vec![u32::MAX; n];
     let mut next = 0u32;
     for v in 0..n as u32 {
@@ -78,6 +75,80 @@ pub fn heavy_edge_matching(graph: &Csr, seed: u64) -> Matching {
         next += 1;
     }
     Matching { assignment, num_coarse: next as usize }
+}
+
+/// Computes a heavy-edge matching of `graph`.
+///
+/// Vertices are visited in a random permutation (seeded); each unmatched
+/// vertex is matched with its unmatched neighbor of maximum edge weight
+/// (ties broken toward lower degree, then lower id, for determinism).
+/// Unmatchable vertices become singleton coarse vertices.
+///
+/// The scan proposes candidates for fixed-size batches in parallel against
+/// the batch-start state and commits serially in visit order. A proposal is
+/// exact whenever its candidate is still unmatched at commit time: the
+/// unmatched set only shrinks, so the batch-start maximum that survives is
+/// still the live maximum. Stale proposals (candidate matched by an earlier
+/// commit) are recomputed against live state — the serial semantics — so
+/// the result is bit-identical to [`heavy_edge_matching_serial`] at any
+/// thread count.
+pub fn heavy_edge_matching(graph: &Csr, seed: u64) -> Matching {
+    let n = graph.num_vertices();
+    let visit = visit_order(n, seed);
+    let mut mate = vec![u32::MAX; n];
+    let speculate = rayon::current_num_threads() > 1;
+    for batch in visit.chunks(BATCH) {
+        let proposals: Vec<Option<u32>> = if speculate {
+            let mate_ref = &mate;
+            batch.par_iter().map(|&u| best_candidate(graph, u, mate_ref)).collect()
+        } else {
+            Vec::new()
+        };
+        for (j, &u) in batch.iter().enumerate() {
+            if mate[u as usize] != u32::MAX {
+                continue;
+            }
+            let chosen = match proposals.get(j) {
+                // No candidate at batch start: the unmatched set only
+                // shrinks, so there is none now either.
+                Some(None) => None,
+                // Candidate still free: it is still the live maximum.
+                Some(&Some(v)) if mate[v as usize] == u32::MAX => Some(v),
+                // Stale proposal or serial mode: live recompute.
+                _ => best_candidate(graph, u, &mate),
+            };
+            match chosen {
+                Some(v) => {
+                    mate[u as usize] = v;
+                    mate[v as usize] = u;
+                }
+                None => mate[u as usize] = u, // singleton
+            }
+        }
+    }
+    coarse_ids(&mate)
+}
+
+/// Reference serial implementation of [`heavy_edge_matching`]: one
+/// candidate search per vertex in visit order, no speculation. Retained as
+/// the property-test oracle and bench baseline for the batched scan.
+pub fn heavy_edge_matching_serial(graph: &Csr, seed: u64) -> Matching {
+    let n = graph.num_vertices();
+    let visit = visit_order(n, seed);
+    let mut mate = vec![u32::MAX; n];
+    for &u in &visit {
+        if mate[u as usize] != u32::MAX {
+            continue;
+        }
+        match best_candidate(graph, u, &mate) {
+            Some(v) => {
+                mate[u as usize] = v;
+                mate[v as usize] = u;
+            }
+            None => mate[u as usize] = u, // singleton
+        }
+    }
+    coarse_ids(&mate)
 }
 
 #[cfg(test)]
@@ -148,5 +219,15 @@ mod tests {
         let m = heavy_edge_matching(&g, 0);
         assert_eq!(m.num_coarse, 0);
         assert!(m.assignment.is_empty());
+    }
+
+    #[test]
+    fn batch_spanning_scan_matches_serial() {
+        // A graph larger than one speculative batch, dense enough that
+        // many proposals go stale and take the recompute path.
+        let g = reorderlab_datasets::watts_strogatz(2 * super::BATCH + 93, 6, 0.3, 7);
+        for seed in [0u64, 1, 42] {
+            assert_eq!(heavy_edge_matching(&g, seed), heavy_edge_matching_serial(&g, seed));
+        }
     }
 }

@@ -28,13 +28,31 @@ thread_local! {
 }
 
 /// Number of worker threads parallel calls on this thread will use.
+///
+/// Resolution order matches rayon's global pool: an installed
+/// [`ThreadPool`] bound wins, then the `RAYON_NUM_THREADS` environment
+/// variable, then the machine's available parallelism.
 pub fn current_num_threads() -> usize {
     let installed = INSTALLED_THREADS.with(|t| t.get());
     if installed > 0 {
-        installed
-    } else {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        return installed;
     }
+    if let Some(n) = env_num_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// `RAYON_NUM_THREADS`, parsed once; `None` if unset, empty, zero, or
+/// unparsable (rayon treats those as "use the default").
+fn env_num_threads() -> Option<usize> {
+    static ENV_THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
