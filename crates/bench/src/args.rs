@@ -9,6 +9,8 @@ pub struct HarnessArgs {
     pub threads: usize,
     /// Optional path to also write results as CSV.
     pub csv: Option<String>,
+    /// Optional path to append per-run manifests as JSON Lines.
+    pub manifests: Option<String>,
     /// Run the serial (1-thread) variant where the experiment offers one.
     pub serial: bool,
 }
@@ -30,9 +32,15 @@ impl HarnessArgs {
                 "--csv" => {
                     out.csv = Some(args.next().unwrap_or_else(|| usage(&program, description)));
                 }
+                "--manifests" => {
+                    out.manifests =
+                        Some(args.next().unwrap_or_else(|| usage(&program, description)));
+                }
                 "--help" | "-h" => {
                     println!("{description}");
-                    println!("usage: {program} [--quick] [--serial] [--threads N] [--csv FILE]");
+                    println!(
+                        "usage: {program} [--quick] [--serial] [--threads N] [--csv FILE] [--manifests FILE]"
+                    );
                     std::process::exit(0);
                 }
                 _ => usage(&program, description),
@@ -49,7 +57,9 @@ impl HarnessArgs {
 
 fn usage(program: &str, description: &str) -> ! {
     eprintln!("{description}");
-    eprintln!("usage: {program} [--quick] [--serial] [--threads N] [--csv FILE]");
+    eprintln!(
+        "usage: {program} [--quick] [--serial] [--threads N] [--csv FILE] [--manifests FILE]"
+    );
     std::process::exit(2);
 }
 
@@ -71,6 +81,19 @@ pub fn maybe_write_csv(path: &Option<String>, header: &str, rows: &[String]) {
     println!("(wrote {path})");
 }
 
+/// Appends run manifests as JSON Lines to `path` when `path` is `Some`,
+/// silently doing nothing otherwise. Errors abort (harness context).
+pub fn maybe_append_manifests(path: &Option<String>, manifests: &[reorderlab_trace::Manifest]) {
+    let Some(path) = path else { return };
+    for m in manifests {
+        if let Err(e) = m.append_jsonl(path) {
+            eprintln!("failed to append manifest to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("(appended {} manifests to {path})", manifests.len());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,15 +112,46 @@ mod tests {
         assert!(!a.serial);
         assert_eq!(a.threads, 0);
         assert!(a.csv.is_none());
+        assert!(a.manifests.is_none());
     }
 
     #[test]
     fn parses_flags() {
-        let a = parse(&["--quick", "--threads", "4", "--csv", "out.csv", "--serial"]);
+        let a = parse(&[
+            "--quick",
+            "--threads",
+            "4",
+            "--csv",
+            "out.csv",
+            "--serial",
+            "--manifests",
+            "runs.jsonl",
+        ]);
         assert!(a.quick);
         assert!(a.serial);
         assert_eq!(a.threads, 4);
         assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert_eq!(a.manifests.as_deref(), Some("runs.jsonl"));
+    }
+
+    #[test]
+    fn manifest_appender_noop_without_path() {
+        maybe_append_manifests(&None, &[]);
+    }
+
+    #[test]
+    fn manifest_appender_appends_parseable_lines() {
+        let path = std::env::temp_dir().join("reorderlab_args_manifests.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let p = path.to_string_lossy().to_string();
+        let m = reorderlab_trace::Manifest::new("test", "toy", 4, 3);
+        maybe_append_manifests(&Some(p.clone()), &[m.clone(), m]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            reorderlab_trace::Manifest::parse(line).expect("line parses back");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Expected shape (paper §III-F): Degree Sort and RCM are the cheapest;
 //! Grappolo and METIS-32 cost more but stay within a modest factor.
 
-use reorderlab_bench::args::maybe_write_csv;
+use reorderlab_bench::args::{maybe_append_manifests, maybe_write_csv};
 use reorderlab_bench::sweep::gap_sweep;
 use reorderlab_bench::{render_profile, HarnessArgs, Table};
 use reorderlab_core::schemes::DegreeDirection;
@@ -57,4 +57,5 @@ fn main() {
         }
     }
     maybe_write_csv(&args.csv, "scheme,instance,seconds", &csv);
+    maybe_append_manifests(&args.manifests, &sweep.manifests("fig04_reorder_time"));
 }

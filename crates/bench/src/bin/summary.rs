@@ -6,6 +6,7 @@
 //! This is the "does the whole reproduction hang together" smoke artifact;
 //! the per-figure binaries are the real experiments.
 
+use reorderlab_bench::args::maybe_append_manifests;
 use reorderlab_bench::sweep::gap_sweep;
 use reorderlab_bench::{HarnessArgs, Table};
 use reorderlab_community::{louvain, LouvainConfig};
@@ -107,5 +108,6 @@ fn main() {
     }
     println!("5. Simulated Louvain-scan memory behaviour on livemocha:");
     println!("{}", mem.render());
+    maybe_append_manifests(&args.manifests, &sweep.manifests("summary"));
     println!("See EXPERIMENTS.md for the full per-figure record.");
 }

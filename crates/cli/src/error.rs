@@ -1,0 +1,70 @@
+//! The CLI's typed error, mapped onto process exit codes: `2` for
+//! command-line mistakes the caller can fix by re-invoking (usage, bad
+//! scheme specs), `1` for runtime failures (I/O, unparseable inputs).
+
+use reorderlab_core::SchemeError;
+use std::fmt;
+
+/// Why a CLI invocation failed.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is wrong: unknown command, missing required
+    /// flag, malformed flag value. Exit code 2.
+    Usage(String),
+    /// A `--scheme` spec was rejected by the registry. Exit code 2.
+    Scheme(SchemeError),
+    /// A file could not be opened, created, or written. Exit code 1.
+    Io(String),
+    /// An input file opened but failed to parse. Exit code 1.
+    Parse(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) | CliError::Scheme(_) => 2,
+            CliError::Io(_) | CliError::Parse(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Io(msg) | CliError::Parse(msg) => f.write_str(msg),
+            CliError::Scheme(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<SchemeError> for CliError {
+    fn from(e: SchemeError) -> Self {
+        CliError::Scheme(e)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_split_usage_from_runtime() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::Scheme(SchemeError::UnknownScheme { name: "x".into() }).exit_code(),
+            2
+        );
+        assert_eq!(CliError::Io("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Parse("x".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn scheme_errors_convert() {
+        let e: CliError = SchemeError::PartsTooSmall { parts: 0 }.into();
+        assert!(matches!(e, CliError::Scheme(_)));
+        assert!(e.to_string().contains("at least 1 part"));
+    }
+}

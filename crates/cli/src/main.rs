@@ -3,13 +3,19 @@
 //! ```text
 //! reorderlab list
 //! reorderlab generate delaunay_n12 --out g.mtx
-//! reorderlab stats --input g.mtx
+//! reorderlab stats --input g.mtx --json
 //! reorderlab reorder --scheme rcm --input g.mtx --out reordered.mtx --perm pi.txt
-//! reorderlab measure --instance euroroad --scheme rcm --scheme grappolo
+//! reorderlab measure --instance euroroad --scheme rcm --scheme grappolo --manifest runs.jsonl
+//! reorderlab manifest-check runs.jsonl
 //! ```
+//!
+//! Exit codes: `0` success, `2` command-line mistakes (usage, bad scheme
+//! specs), `1` runtime failures (I/O, unparseable inputs).
 
+mod error;
 mod scheme_arg;
 
+use error::CliError;
 use reorderlab_core::measures::gap_measures;
 use reorderlab_core::Scheme;
 use reorderlab_datasets::{by_name, full_suite};
@@ -17,6 +23,7 @@ use reorderlab_graph::{
     read_edge_list, read_matrix_market, read_metis, write_edge_list, write_matrix_market,
     write_metis, Csr, GraphStats,
 };
+use reorderlab_trace::{Manifest, Recorder, RunRecorder};
 use scheme_arg::{parse_scheme, scheme_help};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -28,12 +35,12 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(1)
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         print_usage();
         return Ok(());
@@ -42,31 +49,34 @@ fn run(args: &[String]) -> Result<(), String> {
     // Global worker-thread bound. Every kernel is thread-count invariant,
     // so this only affects wall-clock time, never any output.
     if let Some(t) = flag_value(rest, "--threads") {
-        let t: usize = t.parse().map_err(|_| format!("--threads needs a number, got {t:?}"))?;
+        let t: usize = t
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--threads needs a number, got {t:?}")))?;
         if t == 0 {
-            return Err("--threads must be at least 1".into());
+            return Err(CliError::Usage("--threads must be at least 1".into()));
         }
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(t)
             .build()
-            .map_err(|e| format!("cannot build thread pool: {e}"))?;
+            .map_err(|e| CliError::Io(format!("cannot build thread pool: {e}")))?;
         return pool.install(|| dispatch(command, rest));
     }
     dispatch(command, rest)
 }
 
-fn dispatch(command: &str, rest: &[String]) -> Result<(), String> {
+fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
     match command {
         "list" => cmd_list(),
         "generate" => cmd_generate(rest),
         "stats" => cmd_stats(rest),
         "reorder" => cmd_reorder(rest),
         "measure" => cmd_measure(rest),
+        "manifest-check" => cmd_manifest_check(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; try `reorderlab help`")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}; try `reorderlab help`"))),
     }
 }
 
@@ -76,18 +86,23 @@ fn print_usage() {
          usage:\n  \
          reorderlab list\n  \
          reorderlab generate <instance> [--out FILE]\n  \
-         reorderlab stats    (--input FILE | --instance NAME)\n  \
+         reorderlab stats    (--input FILE | --instance NAME) [--json] [--manifest FILE]\n  \
          reorderlab reorder  (--scheme NAME | --apply-perm FILE)\n                      \
-         (--input FILE | --instance NAME) [--out FILE] [--perm FILE]\n  \
-         reorderlab measure  (--input FILE | --instance NAME) [--scheme NAME]...\n\n\
+         (--input FILE | --instance NAME) [--out FILE] [--perm FILE]\n                      \
+         [--json] [--manifest FILE]\n  \
+         reorderlab measure  (--input FILE | --instance NAME) [--scheme NAME]...\n                      \
+         [--json] [--manifest FILE]\n  \
+         reorderlab manifest-check FILE...\n\n\
          any command also takes --threads N (worker threads; results are identical at any N)\n\n\
+         --json prints run manifests (JSON) to stdout; --manifest FILE appends them as\n\
+         JSON Lines; manifest-check validates such files against the schema\n\n\
          formats by extension: .mtx (Matrix Market), .graph (METIS), anything else: edge list\n\n\
          schemes:\n{}",
         scheme_help()
     );
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), CliError> {
     println!("instances (25 small + 9 large, Table I stand-ins):");
     for spec in full_suite() {
         let scale = if spec.is_scaled() {
@@ -113,6 +128,11 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
 }
 
+/// True when the bare flag is present.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
 /// Collects all values of a repeatable flag.
 fn flag_values(args: &[String], flag: &str) -> Vec<String> {
     let mut out = Vec::new();
@@ -128,9 +148,33 @@ fn flag_values(args: &[String], flag: &str) -> Vec<String> {
     out
 }
 
-fn load_graph(args: &[String]) -> Result<(Csr, String), String> {
+/// The seed a scheme's manifest should report: the scheme's own seed
+/// parameter where it has one, otherwise the CLI-wide default of 42.
+fn scheme_seed(scheme: &Scheme) -> u64 {
+    match *scheme {
+        Scheme::Random { seed }
+        | Scheme::NestedDissection { seed }
+        | Scheme::Metis { seed, .. } => seed,
+        _ => 42,
+    }
+}
+
+/// Emits a finished manifest: pretty JSON on stdout under `--json`, one
+/// appended JSON line per `--manifest FILE`.
+fn emit_manifest(m: &Manifest, json_out: bool, path: Option<&str>) -> Result<(), CliError> {
+    if json_out {
+        println!("{}", m.to_pretty());
+    }
+    if let Some(p) = path {
+        m.append_jsonl(p).map_err(|e| CliError::Io(format!("cannot append to {p}: {e}")))?;
+    }
+    Ok(())
+}
+
+fn load_graph(args: &[String]) -> Result<(Csr, String), CliError> {
     if let Some(path) = flag_value(args, "--input") {
-        let file = File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let file =
+            File::open(&path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
         let reader = BufReader::new(file);
         let g = if path.ends_with(".mtx") {
             read_matrix_market(reader)
@@ -139,19 +183,21 @@ fn load_graph(args: &[String]) -> Result<(Csr, String), String> {
         } else {
             read_edge_list(reader)
         }
-        .map_err(|e| format!("failed to parse {path}: {e}"))?;
+        .map_err(|e| CliError::Parse(format!("failed to parse {path}: {e}")))?;
         Ok((g, path))
     } else if let Some(name) = flag_value(args, "--instance") {
-        let spec = by_name(&name)
-            .ok_or_else(|| format!("unknown instance {name:?}; see `reorderlab list`"))?;
+        let spec = by_name(&name).ok_or_else(|| {
+            CliError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
+        })?;
         Ok((spec.generate(), name))
     } else {
-        Err("need --input FILE or --instance NAME".into())
+        Err(CliError::Usage("need --input FILE or --instance NAME".into()))
     }
 }
 
-fn save_graph(graph: &Csr, path: &str) -> Result<(), String> {
-    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+fn save_graph(graph: &Csr, path: &str) -> Result<(), CliError> {
+    let file =
+        File::create(path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
     let mut writer = BufWriter::new(file);
     if path.ends_with(".mtx") {
         write_matrix_market(graph, &mut writer)
@@ -160,67 +206,95 @@ fn save_graph(graph: &Csr, path: &str) -> Result<(), String> {
     } else {
         write_edge_list(graph, &mut writer)
     }
-    .map_err(|e| format!("failed to write {path}: {e}"))
+    .map_err(|e| CliError::Io(format!("failed to write {path}: {e}")))
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let name = args
-        .first()
-        .filter(|a| !a.starts_with("--"))
-        .ok_or("usage: reorderlab generate <instance> [--out FILE]")?;
-    let spec =
-        by_name(name).ok_or_else(|| format!("unknown instance {name:?}; see `reorderlab list`"))?;
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
+    let name = args.first().filter(|a| !a.starts_with("--")).ok_or_else(|| {
+        CliError::Usage("usage: reorderlab generate <instance> [--out FILE]".into())
+    })?;
+    let spec = by_name(name).ok_or_else(|| {
+        CliError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
+    })?;
     let g = spec.generate();
     eprintln!("generated {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
     match flag_value(args, "--out") {
         Some(path) => save_graph(&g, &path),
         None => {
             let stdout = std::io::stdout();
-            write_edge_list(&g, stdout.lock()).map_err(|e| e.to_string())
+            write_edge_list(&g, stdout.lock()).map_err(|e| CliError::Io(e.to_string()))
         }
     }
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    let json_out = has_flag(args, "--json");
+    let manifest_path = flag_value(args, "--manifest");
     let (g, name) = load_graph(args)?;
+    let mut rec = RunRecorder::new();
+    rec.span_enter("stats");
     let s = GraphStats::compute(&g);
-    println!("graph: {name}");
-    println!("  vertices:               {}", s.num_vertices);
-    println!("  edges:                  {}", s.num_edges);
-    println!("  max degree:             {}", s.max_degree);
-    println!("  mean degree:            {:.3}", s.mean_degree);
-    println!("  degree std dev:         {:.3}", s.degree_std_dev);
-    println!("  triangles:              {}", s.triangles);
-    println!("  clustering coefficient: {:.4}", s.clustering_coefficient);
+    rec.span_exit("stats");
+    if !json_out {
+        println!("graph: {name}");
+        println!("  vertices:               {}", s.num_vertices);
+        println!("  edges:                  {}", s.num_edges);
+        println!("  max degree:             {}", s.max_degree);
+        println!("  mean degree:            {:.3}", s.mean_degree);
+        println!("  degree std dev:         {:.3}", s.degree_std_dev);
+        println!("  triangles:              {}", s.triangles);
+        println!("  clustering coefficient: {:.4}", s.clustering_coefficient);
+    }
+    if json_out || manifest_path.is_some() {
+        let mut m = Manifest::new("stats", &name, g.num_vertices(), g.num_edges())
+            .with_seed(42)
+            .with_threads(rayon::current_num_threads());
+        m.absorb(&rec);
+        m.push_measure("max_degree", s.max_degree as f64);
+        m.push_measure("mean_degree", s.mean_degree);
+        m.push_measure("degree_std_dev", s.degree_std_dev);
+        m.push_measure("triangles", s.triangles as f64);
+        m.push_measure("clustering_coefficient", s.clustering_coefficient);
+        emit_manifest(&m, json_out, manifest_path.as_deref())?;
+    }
     Ok(())
 }
 
-fn cmd_reorder(args: &[String]) -> Result<(), String> {
+fn cmd_reorder(args: &[String]) -> Result<(), CliError> {
+    let json_out = has_flag(args, "--json");
+    let manifest_path = flag_value(args, "--manifest");
     let (g, name) = load_graph(args)?;
+    let mut rec = RunRecorder::new();
     let t0 = std::time::Instant::now();
     // Either compute an ordering from a scheme, or apply a saved one.
-    let (pi, label) = if let Some(path) = flag_value(args, "--apply-perm") {
-        let file = File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (pi, label, scheme) = if let Some(path) = flag_value(args, "--apply-perm") {
+        let file =
+            File::open(&path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
         let pi = reorderlab_graph::Permutation::read_text(BufReader::new(file))
-            .map_err(|e| format!("failed to parse {path}: {e}"))?;
+            .map_err(|e| CliError::Parse(format!("failed to parse {path}: {e}")))?;
         if pi.len() != g.num_vertices() {
-            return Err(format!(
+            return Err(CliError::Parse(format!(
                 "permutation covers {} vertices but the graph has {}",
                 pi.len(),
                 g.num_vertices()
-            ));
+            )));
         }
-        (pi, format!("perm file {path}"))
+        (pi, format!("perm file {path}"), None)
     } else {
-        let scheme_name = flag_value(args, "--scheme")
-            .ok_or("need --scheme NAME or --apply-perm FILE (see `reorderlab list`)")?;
+        let scheme_name = flag_value(args, "--scheme").ok_or_else(|| {
+            CliError::Usage(
+                "need --scheme NAME or --apply-perm FILE (see `reorderlab list`)".into(),
+            )
+        })?;
         let scheme = parse_scheme(&scheme_name)?;
-        let pi = scheme.reorder(&g);
-        (pi, scheme.name().to_string())
+        let pi = scheme.try_reorder_recorded(&g, &mut rec).map_err(CliError::Scheme)?;
+        (pi, scheme.name().to_string(), Some(scheme))
     };
     let elapsed = t0.elapsed();
+    rec.span_enter("measure");
     let before = gap_measures(&g, &reorderlab_graph::Permutation::identity(g.num_vertices()));
     let after = gap_measures(&g, &pi);
+    rec.span_exit("measure");
     eprintln!(
         "{} on {name}: ξ̂ {:.1} -> {:.1}, β {} -> {}, β̂ {:.1} -> {:.1} ({:.3}s)",
         label,
@@ -233,19 +307,42 @@ fn cmd_reorder(args: &[String]) -> Result<(), String> {
         elapsed.as_secs_f64()
     );
     if let Some(path) = flag_value(args, "--perm") {
-        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        pi.write_text(BufWriter::new(file)).map_err(|e| e.to_string())?;
+        let file =
+            File::create(&path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
+        pi.write_text(BufWriter::new(file)).map_err(|e| CliError::Io(e.to_string()))?;
         eprintln!("wrote permutation to {path}");
     }
     if let Some(path) = flag_value(args, "--out") {
-        let h = g.permuted(&pi).map_err(|e| e.to_string())?;
+        let h = g.permuted(&pi).map_err(|e| CliError::Io(e.to_string()))?;
         save_graph(&h, &path)?;
         eprintln!("wrote reordered graph to {path}");
+    }
+    if json_out || manifest_path.is_some() {
+        let mut m = Manifest::new("reorder", &name, g.num_vertices(), g.num_edges())
+            .with_seed(scheme.as_ref().map_or(42, scheme_seed))
+            .with_threads(rayon::current_num_threads());
+        if let Some(s) = &scheme {
+            m = m.with_scheme(s.name(), &s.spec());
+        } else {
+            m.push_note("source", &label);
+        }
+        m.absorb(&rec);
+        m.push_measure("reorder_wall_s", elapsed.as_secs_f64());
+        m.push_measure("avg_gap_before", before.avg_gap);
+        m.push_measure("avg_gap", after.avg_gap);
+        m.push_measure("bandwidth_before", before.bandwidth as f64);
+        m.push_measure("bandwidth", after.bandwidth as f64);
+        m.push_measure("avg_bandwidth_before", before.avg_bandwidth);
+        m.push_measure("avg_bandwidth", after.avg_bandwidth);
+        m.push_measure("avg_log_gap", after.avg_log_gap);
+        emit_manifest(&m, json_out, manifest_path.as_deref())?;
     }
     Ok(())
 }
 
-fn cmd_measure(args: &[String]) -> Result<(), String> {
+fn cmd_measure(args: &[String]) -> Result<(), CliError> {
+    let json_out = has_flag(args, "--json");
+    let manifest_path = flag_value(args, "--manifest");
     let (g, name) = load_graph(args)?;
     let mut schemes: Vec<Scheme> = Vec::new();
     for s in flag_values(args, "--scheme") {
@@ -254,21 +351,83 @@ fn cmd_measure(args: &[String]) -> Result<(), String> {
     if schemes.is_empty() {
         schemes = Scheme::evaluation_suite(42);
     }
-    println!("gap measures on {name} (|V|={}, |E|={}):", g.num_vertices(), g.num_edges());
-    println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>12}",
-        "scheme", "avg gap", "bandwidth", "avg band", "log gap"
-    );
-    for scheme in schemes {
-        let m = gap_measures(&g, &scheme.reorder(&g));
+    if !json_out {
+        println!("gap measures on {name} (|V|={}, |E|={}):", g.num_vertices(), g.num_edges());
         println!(
-            "{:<16} {:>12.1} {:>12} {:>12.1} {:>12.2}",
-            scheme.name(),
-            m.avg_gap,
-            m.bandwidth,
-            m.avg_bandwidth,
-            m.avg_log_gap
+            "{:<16} {:>12} {:>12} {:>12} {:>12}",
+            "scheme", "avg gap", "bandwidth", "avg band", "log gap"
         );
+    }
+    for scheme in schemes {
+        let mut rec = RunRecorder::new();
+        let pi = scheme.try_reorder_recorded(&g, &mut rec).map_err(CliError::Scheme)?;
+        rec.span_enter("measure");
+        let m = gap_measures(&g, &pi);
+        rec.span_exit("measure");
+        if !json_out {
+            println!(
+                "{:<16} {:>12.1} {:>12} {:>12.1} {:>12.2}",
+                scheme.name(),
+                m.avg_gap,
+                m.bandwidth,
+                m.avg_bandwidth,
+                m.avg_log_gap
+            );
+        }
+        if json_out || manifest_path.is_some() {
+            let mut man = Manifest::new("measure", &name, g.num_vertices(), g.num_edges())
+                .with_scheme(scheme.name(), &scheme.spec())
+                .with_seed(scheme_seed(&scheme))
+                .with_threads(rayon::current_num_threads());
+            man.absorb(&rec);
+            man.push_measure("avg_gap", m.avg_gap);
+            man.push_measure("bandwidth", m.bandwidth as f64);
+            man.push_measure("avg_bandwidth", m.avg_bandwidth);
+            man.push_measure("avg_log_gap", m.avg_log_gap);
+            // One compact line per scheme so stdout stays valid JSON Lines
+            // even when several schemes run.
+            if json_out {
+                println!("{}", man.to_line());
+            }
+            if let Some(p) = &manifest_path {
+                man.append_jsonl(p)
+                    .map_err(|e| CliError::Io(format!("cannot append to {p}: {e}")))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates files of run manifests: a whole-file JSON document or one
+/// JSON document per line (`.jsonl`). Any schema violation is a runtime
+/// error (exit 1) naming the file, line, and cause.
+fn cmd_manifest_check(args: &[String]) -> Result<(), CliError> {
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        return Err(CliError::Usage("usage: reorderlab manifest-check FILE...".into()));
+    }
+    for path in files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+        if let Ok(m) = Manifest::parse(text.trim()) {
+            // A single pretty-printed document.
+            eprintln!("{path}: 1 manifest ok ({})", m.command);
+        } else {
+            let mut checked = 0usize;
+            for (lineno, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                Manifest::parse(line).map_err(|e| {
+                    CliError::Parse(format!("{path}:{}: invalid manifest: {e}", lineno + 1))
+                })?;
+                checked += 1;
+            }
+            if checked == 0 {
+                return Err(CliError::Parse(format!("{path}: no manifests found")));
+            }
+            eprintln!("{path}: {checked} manifest(s) ok");
+        }
     }
     Ok(())
 }

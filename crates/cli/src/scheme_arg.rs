@@ -1,99 +1,48 @@
 //! Parsing of `--scheme` arguments into [`Scheme`] values.
 //!
-//! Grammar: `name[:param]` — e.g. `rcm`, `random:7`, `metis:64`,
-//! `gorder:10`, `slashburn:0.01`.
+//! The grammar lives in [`Scheme::parse`]: `name[:key=val,...]` — e.g.
+//! `rcm`, `random:7`, `metis:parts=64,seed=3`, `gorder:window=10`,
+//! `slashburn:k_frac=0.01` — with single positional parameters accepted for
+//! back-compatibility (`random:7`, `metis:64`). This module only adds the
+//! CLI help text and the [`CliError`] mapping.
 
-use reorderlab_core::schemes::DegreeDirection;
+use crate::error::CliError;
 use reorderlab_core::Scheme;
 
 /// One-line help text listing every accepted scheme spelling.
 pub fn scheme_help() -> String {
     [
-        "  natural              input order",
-        "  random[:seed]        uniform shuffle",
-        "  degree               degree sort, decreasing",
-        "  degree-asc           degree sort, increasing",
-        "  hubsort              hubs first, sorted [38]",
-        "  hubcluster           hubs first, natural order [2]",
-        "  slashburn[:frac]     iterative hub slashing [21] (default 0.005)",
-        "  gorder[:window]      windowed Gscore greedy [37] (default 5)",
-        "  rcm                  Reverse Cuthill-McKee [9]",
-        "  cdfs                 Children-DFS (RCM without degree sort) [3]",
-        "  nd[:seed]            nested dissection [15,23]",
-        "  metis[:parts]        partition-induced order [22] (default 32)",
-        "  grappolo             community-contiguous (parallel Louvain) [28]",
-        "  grappolo-rcm         communities ordered by RCM (this paper)",
-        "  rabbit               incremental-aggregation communities [1]",
+        "  natural                   input order",
+        "  random[:seed=S]           uniform shuffle",
+        "  degree                    degree sort, decreasing",
+        "  degree-asc                degree sort, increasing",
+        "  hubsort                   hubs first, sorted [38]",
+        "  hubcluster                hubs first, natural order [2]",
+        "  slashburn[:k_frac=F]      iterative hub slashing [21] (default 0.005)",
+        "  gorder[:window=W]         windowed Gscore greedy [37] (default 5)",
+        "  rcm                       Reverse Cuthill-McKee [9]",
+        "  cdfs                      Children-DFS (RCM without degree sort) [3]",
+        "  nd[:seed=S]               nested dissection [15,23]",
+        "  metis[:parts=P,seed=S]    partition-induced order [22] (default 32 parts)",
+        "  grappolo[:threads=T]      community-contiguous (parallel Louvain) [28]",
+        "  grappolo-rcm[:threads=T]  communities ordered by RCM (this paper)",
+        "  rabbit                    incremental-aggregation communities [1]",
+        "",
+        "  single positional values keep working: random:7, metis:64,",
+        "  gorder:10, slashburn:0.01, nd:3",
     ]
     .join("\n")
 }
 
-/// Parses a scheme spec.
+/// Parses a scheme spec via [`Scheme::parse`], mapping failures onto
+/// [`CliError::Scheme`] (exit code 2).
 ///
 /// # Errors
 ///
-/// Returns a description of the problem for unknown names or malformed
-/// parameters.
-pub fn parse_scheme(spec: &str) -> Result<Scheme, String> {
-    let (name, param) = match spec.split_once(':') {
-        Some((n, p)) => (n, Some(p)),
-        None => (spec, None),
-    };
-    let parse_u64 = |p: Option<&str>, default: u64| -> Result<u64, String> {
-        p.map_or(Ok(default), |s| s.parse().map_err(|_| format!("invalid integer {s:?}")))
-    };
-    let parse_usize = |p: Option<&str>, default: usize| -> Result<usize, String> {
-        p.map_or(Ok(default), |s| s.parse().map_err(|_| format!("invalid integer {s:?}")))
-    };
-    match name.to_ascii_lowercase().as_str() {
-        "natural" => no_param(param, Scheme::Natural),
-        "random" => Ok(Scheme::Random { seed: parse_u64(param, 42)? }),
-        "degree" | "degreesort" => {
-            no_param(param, Scheme::DegreeSort { direction: DegreeDirection::Decreasing })
-        }
-        "degree-asc" => {
-            no_param(param, Scheme::DegreeSort { direction: DegreeDirection::Increasing })
-        }
-        "hubsort" => no_param(param, Scheme::HubSort),
-        "hubcluster" => no_param(param, Scheme::HubCluster),
-        "slashburn" => {
-            let k_frac = param.map_or(Ok(0.005), |s| {
-                s.parse::<f64>().map_err(|_| format!("invalid fraction {s:?}"))
-            })?;
-            if k_frac <= 0.0 || k_frac > 1.0 {
-                return Err(format!("slashburn fraction {k_frac} must be in (0, 1]"));
-            }
-            Ok(Scheme::SlashBurn { k_frac })
-        }
-        "gorder" => {
-            let window = parse_usize(param, 5)?;
-            if window == 0 {
-                return Err("gorder window must be at least 1".into());
-            }
-            Ok(Scheme::Gorder { window })
-        }
-        "rcm" => no_param(param, Scheme::Rcm),
-        "cdfs" => no_param(param, Scheme::Cdfs),
-        "nd" | "nested-dissection" => Ok(Scheme::NestedDissection { seed: parse_u64(param, 42)? }),
-        "metis" => {
-            let parts = parse_usize(param, 32)?;
-            if parts == 0 {
-                return Err("metis needs at least 1 part".into());
-            }
-            Ok(Scheme::Metis { parts, seed: 42 })
-        }
-        "grappolo" => no_param(param, Scheme::Grappolo { threads: 0 }),
-        "grappolo-rcm" | "grappolorcm" => no_param(param, Scheme::GrappoloRcm { threads: 0 }),
-        "rabbit" | "rabbit-order" => no_param(param, Scheme::RabbitOrder),
-        other => Err(format!("unknown scheme {other:?}")),
-    }
-}
-
-fn no_param(param: Option<&str>, scheme: Scheme) -> Result<Scheme, String> {
-    match param {
-        None => Ok(scheme),
-        Some(p) => Err(format!("scheme {} takes no parameter (got {p:?})", scheme.name())),
-    }
+/// [`CliError::Scheme`] wrapping the registry's typed
+/// [`SchemeError`](reorderlab_core::SchemeError).
+pub fn parse_scheme(spec: &str) -> Result<Scheme, CliError> {
+    Scheme::parse(spec).map_err(CliError::from)
 }
 
 #[cfg(test)]
@@ -114,6 +63,11 @@ mod tests {
         assert_eq!(parse_scheme("metis:64").unwrap(), Scheme::Metis { parts: 64, seed: 42 });
         assert_eq!(parse_scheme("gorder:10").unwrap(), Scheme::Gorder { window: 10 });
         assert_eq!(parse_scheme("slashburn:0.01").unwrap(), Scheme::SlashBurn { k_frac: 0.01 });
+        assert_eq!(
+            parse_scheme("metis:parts=16,seed=9").unwrap(),
+            Scheme::Metis { parts: 16, seed: 9 }
+        );
+        assert_eq!(parse_scheme("grappolo:threads=3").unwrap(), Scheme::Grappolo { threads: 3 });
     }
 
     #[test]
@@ -139,6 +93,14 @@ mod tests {
         assert!(parse_scheme("gorder:x").is_err());
         assert!(parse_scheme("slashburn:2.0").is_err());
         assert!(parse_scheme("metis:0").is_err());
+        assert!(parse_scheme("metis:frobs=3").is_err());
+    }
+
+    #[test]
+    fn failures_carry_exit_code_two() {
+        let err = parse_scheme("nope").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("unknown scheme"));
     }
 
     #[test]

@@ -219,3 +219,121 @@ fn zero_threads_is_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
 }
+
+#[test]
+fn exit_codes_distinguish_usage_from_runtime_failures() {
+    // Usage and scheme mistakes: exit code 2.
+    assert_eq!(run(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(run(&["stats"]).status.code(), Some(2));
+    assert_eq!(run(&["measure", "--input", GOLDEN, "--scheme", "bogus"]).status.code(), Some(2));
+    assert_eq!(
+        run(&["measure", "--input", GOLDEN, "--scheme", "gorder:window=0"]).status.code(),
+        Some(2)
+    );
+    // Runtime failures: exit code 1.
+    assert_eq!(run(&["stats", "--input", "/nonexistent/g.mtx"]).status.code(), Some(1));
+    let out = run(&["measure", "--input", GOLDEN, "--scheme", "metis:parts=100000"]);
+    assert_eq!(out.status.code(), Some(2), "parts > n is a scheme error");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exceed"));
+}
+
+#[test]
+fn stats_json_emits_a_valid_manifest() {
+    let out = run(&["stats", "--input", GOLDEN, "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let m = reorderlab_trace::Manifest::parse(&text).expect("stdout parses as one manifest");
+    assert_eq!(m.command, "stats");
+    assert!(m.measure("triangles").is_some());
+    assert!(m.phases.iter().any(|p| p.name == "stats"), "stats phase timed");
+    // --json replaces the plain-text report entirely.
+    assert!(!text.contains("clustering coefficient:"), "plain text leaked into --json: {text}");
+}
+
+#[test]
+fn reorder_json_manifest_carries_scheme_and_measures() {
+    let out = run(&["reorder", "--scheme", "grappolo", "--input", GOLDEN, "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let m = reorderlab_trace::Manifest::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("stdout parses as one manifest");
+    assert_eq!(m.command, "reorder");
+    let scheme = m.scheme.as_ref().expect("scheme recorded");
+    assert_eq!(scheme.name, "Grappolo");
+    assert_eq!(scheme.spec, "grappolo");
+    assert!(m.graph.vertices > 0 && m.graph.edges > 0);
+    for key in ["avg_gap", "bandwidth", "avg_bandwidth", "avg_log_gap", "reorder_wall_s"] {
+        assert!(m.measure(key).is_some(), "manifest missing measure {key}");
+    }
+    assert!(m.phases.iter().any(|p| p.name == "reorder"), "reorder phase timed");
+    assert!(m.counter("louvain/phases").unwrap_or(0) >= 1, "louvain trajectory recorded");
+}
+
+#[test]
+fn measure_json_is_one_manifest_line_per_scheme() {
+    let out =
+        run(&["measure", "--input", GOLDEN, "--scheme", "rcm", "--scheme", "random:3", "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let manifests: Vec<_> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| reorderlab_trace::Manifest::parse(l).expect("each line is a manifest"))
+        .collect();
+    assert_eq!(manifests.len(), 2, "one JSONL line per scheme:\n{text}");
+    assert_eq!(manifests[0].scheme.as_ref().unwrap().name, "RCM");
+    assert_eq!(manifests[1].scheme.as_ref().unwrap().name, "Random");
+    assert_eq!(manifests[1].seed, 3, "seed comes from the scheme spec");
+    assert!(manifests.iter().all(|m| m.measure("avg_gap").is_some()));
+}
+
+#[test]
+fn manifest_file_appends_and_checks_clean() {
+    let (p, f) = tmp("runs.jsonl");
+    let _ = std::fs::remove_file(&p);
+    for scheme in ["rcm", "cdfs"] {
+        let out = run(&["measure", "--input", GOLDEN, "--scheme", scheme, "--manifest", &f]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let out = run(&["reorder", "--scheme", "rcm", "--input", GOLDEN, "--manifest", &f]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let lines = std::fs::read_to_string(&p).unwrap();
+    assert_eq!(lines.lines().count(), 3, "three runs appended:\n{lines}");
+    let out = run(&["manifest-check", &f]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("3 manifest(s) ok"));
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn manifest_check_rejects_garbage() {
+    let (p, f) = tmp("bad.jsonl");
+    std::fs::write(&p, "{\"not\": \"a manifest\"}\n").unwrap();
+    let out = run(&["manifest-check", &f]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid manifest"));
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn manifest_outputs_are_thread_invariant_apart_from_timings() {
+    let mut fingerprints: Vec<String> = Vec::new();
+    for t in ["1", "2", "7"] {
+        let out =
+            run(&["measure", "--input", GOLDEN, "--scheme", "grappolo", "--json", "--threads", t]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let m = reorderlab_trace::Manifest::parse(&String::from_utf8_lossy(&out.stdout))
+            .expect("one manifest line");
+        // Everything except wall times and the thread count must agree.
+        let mut measures: Vec<String> =
+            m.measures.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        measures.sort();
+        let counters: Vec<String> = m.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        fingerprints.push(format!(
+            "{:?} {} {measures:?} {counters:?}",
+            m.scheme.as_ref().map(|s| (&s.name, &s.spec)),
+            m.seed
+        ));
+    }
+    assert_eq!(fingerprints[0], fingerprints[1], "manifest changed between 1 and 2 threads");
+    assert_eq!(fingerprints[0], fingerprints[2], "manifest changed between 1 and 7 threads");
+}

@@ -33,7 +33,10 @@ mod modularity;
 
 pub use compare::{adjusted_rand_index, nmi};
 pub use config::{LouvainConfig, MoveKernel};
-pub use louvain::{louvain, CommunityResult, IterationStats, LouvainStats, PhaseStats};
+pub use louvain::{
+    louvain, louvain_recorded, record_louvain_stats, CommunityResult, IterationStats, LouvainStats,
+    PhaseStats,
+};
 pub use modularity::{modularity, ModularityContext};
 
 #[cfg(test)]

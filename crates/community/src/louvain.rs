@@ -202,6 +202,45 @@ fn louvain_inner(graph: &Csr, cfg: &LouvainConfig, threads: usize) -> CommunityR
     }
 }
 
+/// [`louvain`] with run recording: emits per-phase wall times (span
+/// `louvain/phase`), sweep counters (`louvain/phases`, `louvain/iterations`,
+/// `louvain/moves`, `louvain/loads`), and the per-iteration modularity
+/// trajectory (series `louvain/modularity`) into `rec`.
+///
+/// Recording happens strictly *after* the computation from the stats the
+/// engine collects anyway, so the result is bit-identical to [`louvain`]
+/// with any recorder at any thread count.
+pub fn louvain_recorded(
+    graph: &Csr,
+    cfg: &LouvainConfig,
+    rec: &mut dyn reorderlab_trace::Recorder,
+) -> CommunityResult {
+    rec.span_enter("louvain");
+    let r = louvain(graph, cfg);
+    rec.span_exit("louvain");
+    record_louvain_stats(&r, rec);
+    r
+}
+
+/// Folds an already-computed [`CommunityResult`]'s instrumentation into a
+/// recorder (shared by [`louvain_recorded`] and harness code that calls
+/// [`louvain`] directly).
+pub fn record_louvain_stats(r: &CommunityResult, rec: &mut dyn reorderlab_trace::Recorder) {
+    let s = &r.stats;
+    rec.counter("louvain/phases", s.phases.len() as u64);
+    rec.counter("louvain/iterations", s.total_iterations() as u64);
+    for phase in &s.phases {
+        rec.span_add("louvain/phase", phase.duration);
+        for it in &phase.iterations {
+            rec.counter("louvain/moves", it.moves as u64);
+            rec.counter("louvain/loads", it.loads);
+            rec.series("louvain/modularity", it.modularity);
+        }
+    }
+    rec.counter("louvain/communities", r.num_communities as u64);
+    rec.series("louvain/final_modularity", r.modularity);
+}
+
 /// Sentinel in the flat kernel's proposal array: vertex proposes no move.
 const NO_MOVE: u32 = u32::MAX;
 
@@ -804,6 +843,34 @@ mod tests {
             assert_eq!(r.modularity.to_bits(), runs[0].modularity.to_bits());
             assert_eq!(r.stats.total_iterations(), runs[0].stats.total_iterations());
         }
+    }
+
+    #[test]
+    fn recorded_run_is_bit_identical_and_emits_trajectory() {
+        let g = grid2d(10, 10);
+        let plain = louvain(&g, &cfg1());
+        let mut rec = reorderlab_trace::RunRecorder::new();
+        let recorded = louvain_recorded(&g, &cfg1(), &mut rec);
+        assert_eq!(plain.assignment, recorded.assignment);
+        assert_eq!(plain.modularity.to_bits(), recorded.modularity.to_bits());
+        assert_eq!(plain.stats.total_iterations(), recorded.stats.total_iterations());
+        // The recorder holds the full modularity trajectory plus counters.
+        let q = &rec.series_map()["louvain/modularity"];
+        assert_eq!(q.len(), plain.stats.total_iterations());
+        let expected: Vec<f64> = plain
+            .stats
+            .phases
+            .iter()
+            .flat_map(|p| p.iterations.iter().map(|i| i.modularity))
+            .collect();
+        assert_eq!(q, &expected);
+        assert_eq!(rec.counters()["louvain/phases"], plain.stats.phases.len() as u64);
+        assert_eq!(rec.counters()["louvain/communities"], plain.num_communities as u64);
+        assert_eq!(rec.spans()["louvain/phase"].count, plain.stats.phases.len() as u64);
+        assert_eq!(rec.spans()["louvain"].count, 1);
+        // The no-op recorder also leaves results untouched.
+        let noop = louvain_recorded(&g, &cfg1(), &mut reorderlab_trace::NoopRecorder);
+        assert_eq!(noop.assignment, plain.assignment);
     }
 
     #[test]

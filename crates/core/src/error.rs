@@ -1,0 +1,117 @@
+//! Typed errors for scheme validation and spec parsing.
+//!
+//! [`SchemeError`](crate::SchemeError) replaces the panics and stringly
+//! errors that previously guarded scheme parameters: construction-time
+//! ranges (`k_frac ∈ (0, 1]`, `window ≥ 1`, `parts ≥ 1`), graph-dependent
+//! constraints (`parts ≤ n`), and the `name[:key=val,...]` spec grammar of
+//! [`Scheme::parse`](crate::Scheme::parse).
+
+/// Why a [`Scheme`](crate::Scheme) could not be validated, parsed, or run.
+///
+/// Returned by [`Scheme::parse`](crate::Scheme::parse),
+/// [`Scheme::validate`](crate::Scheme::validate), and
+/// [`Scheme::try_reorder`](crate::Scheme::try_reorder);
+/// [`Scheme::reorder`](crate::Scheme::reorder) panics with the same
+/// message via [`Display`](std::fmt::Display).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchemeError {
+    /// SlashBurn's hub fraction was outside `(0, 1]` (or NaN).
+    KFracOutOfRange {
+        /// The rejected fraction.
+        k_frac: f64,
+    },
+    /// Gorder's window was zero.
+    WindowTooSmall {
+        /// The rejected window size.
+        window: usize,
+    },
+    /// METIS was asked for zero parts.
+    PartsTooSmall {
+        /// The rejected part count.
+        parts: usize,
+    },
+    /// METIS was asked for more parts than the graph has vertices.
+    PartsExceedVertices {
+        /// The requested part count.
+        parts: usize,
+        /// The graph's vertex count.
+        vertices: usize,
+    },
+    /// A spec named a scheme that is not in the registry.
+    UnknownScheme {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A spec passed a `key=value` parameter the scheme does not accept.
+    UnknownParameter {
+        /// The scheme's display name.
+        scheme: &'static str,
+        /// The unrecognized key.
+        key: String,
+    },
+    /// A spec parameter value failed to parse for its key.
+    InvalidValue {
+        /// The parameter key (or positional parameter name).
+        key: String,
+        /// The unparseable value text.
+        value: String,
+    },
+    /// A spec passed a parameter to a parameterless scheme.
+    UnexpectedParameter {
+        /// The scheme's display name.
+        scheme: &'static str,
+        /// The offending parameter text.
+        param: String,
+    },
+}
+
+impl std::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeError::KFracOutOfRange { k_frac } => {
+                write!(f, "slashburn fraction {k_frac} must be in (0, 1]")
+            }
+            SchemeError::WindowTooSmall { .. } => write!(f, "gorder window must be at least 1"),
+            SchemeError::PartsTooSmall { .. } => write!(f, "metis needs at least 1 part"),
+            SchemeError::PartsExceedVertices { parts, vertices } => {
+                write!(f, "metis parts {parts} exceed the graph's {vertices} vertices")
+            }
+            SchemeError::UnknownScheme { name } => write!(f, "unknown scheme {name:?}"),
+            SchemeError::UnknownParameter { scheme, key } => {
+                write!(f, "scheme {scheme} has no parameter {key:?}")
+            }
+            SchemeError::InvalidValue { key, value } => {
+                write!(f, "invalid value {value:?} for {key}")
+            }
+            SchemeError::UnexpectedParameter { scheme, param } => {
+                write!(f, "scheme {scheme} takes no parameter (got {param:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_value() {
+        let e = SchemeError::KFracOutOfRange { k_frac: 2.0 };
+        assert_eq!(e.to_string(), "slashburn fraction 2 must be in (0, 1]");
+        let e = SchemeError::PartsExceedVertices { parts: 32, vertices: 5 };
+        assert_eq!(e.to_string(), "metis parts 32 exceed the graph's 5 vertices");
+        let e = SchemeError::UnknownScheme { name: "nope".into() };
+        assert_eq!(e.to_string(), "unknown scheme \"nope\"");
+        let e = SchemeError::UnknownParameter { scheme: "RCM", key: "window".into() };
+        assert_eq!(e.to_string(), "scheme RCM has no parameter \"window\"");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&SchemeError::WindowTooSmall { window: 0 });
+    }
+}

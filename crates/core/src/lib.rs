@@ -31,10 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 pub mod measures;
 mod scheme;
 pub mod schemes;
 
+pub use error::SchemeError;
 pub use measures::{GapDistribution, GapMeasures, PerformanceProfile};
 pub use scheme::Scheme;
 
@@ -57,12 +59,22 @@ mod proptests {
         #[test]
         fn all_schemes_yield_valid_permutations((g, seed) in (arb_graph(), any::<u64>())) {
             for scheme in Scheme::evaluation_suite(seed) {
-                let pi = scheme.reorder(&g);
-                prop_assert_eq!(pi.len(), g.num_vertices());
-                prop_assert!(
-                    Permutation::from_ranks(pi.ranks().to_vec()).is_ok(),
-                    "{} invalid", scheme
-                );
+                match scheme.try_reorder(&g) {
+                    Ok(pi) => {
+                        prop_assert_eq!(pi.len(), g.num_vertices());
+                        prop_assert!(
+                            Permutation::from_ranks(pi.ranks().to_vec()).is_ok(),
+                            "{} invalid", scheme
+                        );
+                    }
+                    // The arbitrary graphs here have 3..30 vertices, so
+                    // METIS's 32 parts are rightly rejected — any other
+                    // error would be a bug.
+                    Err(e) => prop_assert!(
+                        matches!(e, SchemeError::PartsExceedVertices { .. }),
+                        "{} unexpectedly failed: {}", scheme, e
+                    ),
+                }
             }
         }
 

@@ -2,14 +2,32 @@
 //! paper evaluates, with uniform dispatch. Harness code sweeps
 //! [`Scheme::evaluation_suite`] to reproduce the 11-scheme comparisons of
 //! §V.
+//!
+//! The registry offers three dispatch entry points:
+//!
+//! - [`Scheme::try_reorder`] — validates parameters against the graph and
+//!   returns a typed [`SchemeError`] instead of panicking;
+//! - [`Scheme::reorder`] — thin wrapper that panics with the error's
+//!   message, for callers that treat bad parameters as bugs;
+//! - [`Scheme::reorder_recorded`] — same computation, with per-phase spans
+//!   and counters folded into a [`Recorder`](reorderlab_trace::Recorder).
+//!   Recording only observes: outputs are bit-identical with any recorder
+//!   at any thread count.
+//!
+//! Specs round-trip through [`Scheme::parse`] / [`Scheme::spec`] using the
+//! grammar `name[:key=val,...]` (e.g. `slashburn:k_frac=0.005`,
+//! `metis:parts=32,seed=42`), with single positional parameters accepted
+//! for back-compatibility (`random:7`, `metis:64`).
 
+use crate::error::SchemeError;
 use crate::schemes::{
-    cdfs_order, degree_sort, gorder, grappolo_order_with, grappolo_rcm_order_with, hub_cluster,
-    hub_sort, metis_order, natural_order, nd_order, rabbit_order, random_order, rcm_order,
-    slashburn_order, DegreeDirection,
+    cdfs_order_recorded, degree_sort, gorder, grappolo_order_recorded, grappolo_rcm_order_recorded,
+    hub_cluster, hub_sort, metis_order, natural_order, nd_order, rabbit_order, random_order,
+    rcm_order_recorded, slashburn_order_recorded, DegreeDirection,
 };
 use reorderlab_community::LouvainConfig;
 use reorderlab_graph::{Csr, Permutation};
+use reorderlab_trace::{NoopRecorder, Recorder};
 
 /// A vertex reordering scheme, parameterized where the paper parameterizes
 /// it (Random's seed, METIS's part count, Gorder's window, SlashBurn's hub
@@ -109,27 +127,203 @@ impl Scheme {
         }
     }
 
-    /// Computes this scheme's permutation for `graph`.
-    pub fn reorder(&self, graph: &Csr) -> Permutation {
+    /// Checks this scheme's parameters against a graph of `vertices`
+    /// vertices: `k_frac ∈ (0, 1]` (NaN rejected), `window ≥ 1`,
+    /// `parts ≥ 1`, and `parts ≤ vertices`.
+    ///
+    /// # Errors
+    ///
+    /// The [`SchemeError`] variant naming the violated constraint.
+    pub fn validate(&self, vertices: usize) -> Result<(), SchemeError> {
         match *self {
+            Scheme::SlashBurn { k_frac } if !(k_frac > 0.0 && k_frac <= 1.0) => {
+                Err(SchemeError::KFracOutOfRange { k_frac })
+            }
+            Scheme::Gorder { window: 0 } => Err(SchemeError::WindowTooSmall { window: 0 }),
+            Scheme::Metis { parts: 0, .. } => Err(SchemeError::PartsTooSmall { parts: 0 }),
+            Scheme::Metis { parts, .. } if parts > vertices => {
+                Err(SchemeError::PartsExceedVertices { parts, vertices })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Computes this scheme's permutation for `graph`, validating
+    /// parameters first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SchemeError`] from [`Scheme::validate`]; the
+    /// computation itself is infallible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reorderlab_core::{Scheme, SchemeError};
+    /// use reorderlab_datasets::grid2d;
+    ///
+    /// let g = grid2d(3, 3); // 9 vertices
+    /// let err = Scheme::Metis { parts: 32, seed: 0 }.try_reorder(&g).unwrap_err();
+    /// assert_eq!(err, SchemeError::PartsExceedVertices { parts: 32, vertices: 9 });
+    /// ```
+    pub fn try_reorder(&self, graph: &Csr) -> Result<Permutation, SchemeError> {
+        self.try_reorder_recorded(graph, &mut NoopRecorder)
+    }
+
+    /// Computes this scheme's permutation for `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`SchemeError`] message when
+    /// [`Scheme::validate`] rejects the parameters; use
+    /// [`Scheme::try_reorder`] to handle that as a value.
+    pub fn reorder(&self, graph: &Csr) -> Permutation {
+        self.try_reorder(graph).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Scheme::try_reorder`] with instrumentation: the whole computation
+    /// runs under a `"reorder"` span, and the recorded kernels (RCM/CDFS
+    /// component BFS, SlashBurn rounds, Louvain phases, coarsening) fold
+    /// their per-phase timings and counters into `rec`.
+    ///
+    /// The recorder only observes — the returned permutation is
+    /// bit-identical to [`Scheme::try_reorder`]'s at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SchemeError`] from [`Scheme::validate`]; nothing is
+    /// recorded on error.
+    pub fn try_reorder_recorded(
+        &self,
+        graph: &Csr,
+        rec: &mut dyn Recorder,
+    ) -> Result<Permutation, SchemeError> {
+        self.validate(graph.num_vertices())?;
+        rec.span_enter("reorder");
+        let pi = match *self {
             Scheme::Natural => natural_order(graph),
             Scheme::Random { seed } => random_order(graph, seed),
             Scheme::DegreeSort { direction } => degree_sort(graph, direction),
             Scheme::HubSort => hub_sort(graph),
             Scheme::HubCluster => hub_cluster(graph),
-            Scheme::SlashBurn { k_frac } => slashburn_order(graph, k_frac),
+            Scheme::SlashBurn { k_frac } => slashburn_order_recorded(graph, k_frac, rec),
             Scheme::Gorder { window } => gorder(graph, window, 4096),
-            Scheme::Rcm => rcm_order(graph),
-            Scheme::Cdfs => cdfs_order(graph),
+            Scheme::Rcm => rcm_order_recorded(graph, rec),
+            Scheme::Cdfs => cdfs_order_recorded(graph, rec),
             Scheme::NestedDissection { seed } => nd_order(graph, seed),
             Scheme::Metis { parts, seed } => metis_order(graph, parts, seed),
             Scheme::Grappolo { threads } => {
-                grappolo_order_with(graph, &LouvainConfig::default().threads(threads))
+                grappolo_order_recorded(graph, &LouvainConfig::default().threads(threads), rec)
             }
             Scheme::GrappoloRcm { threads } => {
-                grappolo_rcm_order_with(graph, &LouvainConfig::default().threads(threads))
+                grappolo_rcm_order_recorded(graph, &LouvainConfig::default().threads(threads), rec)
             }
             Scheme::RabbitOrder => rabbit_order(graph),
+        };
+        rec.span_exit("reorder");
+        Ok(pi)
+    }
+
+    /// [`Scheme::reorder`] with instrumentation — the panicking wrapper
+    /// around [`Scheme::try_reorder_recorded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`SchemeError`] message when validation fails.
+    pub fn reorder_recorded(&self, graph: &Csr, rec: &mut dyn Recorder) -> Permutation {
+        self.try_reorder_recorded(graph, rec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parses a scheme spec: `name[:key=val,...]`, or a single positional
+    /// parameter for the schemes that take one (`random:7` ≡
+    /// `random:seed=7`, `metis:64` ≡ `metis:parts=64`, `gorder:10`,
+    /// `slashburn:0.01`, `nd:3`). Names are case-insensitive; `degreesort`,
+    /// `nested-dissection`, `grappolorcm`, and `rabbit-order` are accepted
+    /// aliases.
+    ///
+    /// Parameter ranges that do not depend on the graph (`k_frac`,
+    /// `window`, `parts ≥ 1`) are validated here; `parts ≤ n` is checked
+    /// by [`Scheme::try_reorder`].
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::UnknownScheme`], [`SchemeError::UnknownParameter`],
+    /// [`SchemeError::InvalidValue`], [`SchemeError::UnexpectedParameter`],
+    /// or a range variant.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reorderlab_core::Scheme;
+    ///
+    /// let s = Scheme::parse("slashburn:k_frac=0.005").unwrap();
+    /// assert_eq!(s, Scheme::SlashBurn { k_frac: 0.005 });
+    /// assert_eq!(Scheme::parse(&s.spec()).unwrap(), s);
+    /// ```
+    pub fn parse(spec: &str) -> Result<Scheme, SchemeError> {
+        let (name, mut params) = match spec.split_once(':') {
+            Some((n, p)) => (n, Params::parse(p)?),
+            None => (spec, Params::default()),
+        };
+        let scheme = match name.to_ascii_lowercase().as_str() {
+            "natural" => Scheme::Natural,
+            "random" => Scheme::Random { seed: params.take_u64("seed", 42)? },
+            "degree" | "degreesort" => {
+                Scheme::DegreeSort { direction: DegreeDirection::Decreasing }
+            }
+            "degree-asc" => Scheme::DegreeSort { direction: DegreeDirection::Increasing },
+            "hubsort" => Scheme::HubSort,
+            "hubcluster" => Scheme::HubCluster,
+            "slashburn" => Scheme::SlashBurn { k_frac: params.take_f64("k_frac", 0.005)? },
+            "gorder" => Scheme::Gorder { window: params.take_usize("window", 5)? },
+            "rcm" => Scheme::Rcm,
+            "cdfs" => Scheme::Cdfs,
+            "nd" | "nested-dissection" => {
+                Scheme::NestedDissection { seed: params.take_u64("seed", 42)? }
+            }
+            "metis" => {
+                // Positional `metis:64` sets parts; `seed` is key-only.
+                let parts = params.take_usize("parts", 32)?;
+                let seed = params.take_u64("seed", 42)?;
+                Scheme::Metis { parts, seed }
+            }
+            "grappolo" => Scheme::Grappolo { threads: params.take_usize("threads", 0)? },
+            "grappolo-rcm" | "grappolorcm" => {
+                Scheme::GrappoloRcm { threads: params.take_usize("threads", 0)? }
+            }
+            "rabbit" | "rabbit-order" => Scheme::RabbitOrder,
+            other => return Err(SchemeError::UnknownScheme { name: other.to_string() }),
+        };
+        params.finish(&scheme)?;
+        // Graph-independent ranges are rejected at parse time; `usize::MAX`
+        // stands in for "any graph" so only `parts ≤ n` is deferred.
+        scheme.validate(usize::MAX)?;
+        Ok(scheme)
+    }
+
+    /// The canonical, round-trippable spec of this scheme: bare names for
+    /// parameterless schemes, `name:key=val[,...]` otherwise
+    /// (`Grappolo { threads: 0 }` — the rayon default — prints bare).
+    /// `Scheme::parse(&s.spec())` reconstructs `s` exactly.
+    pub fn spec(&self) -> String {
+        match *self {
+            Scheme::Natural => "natural".into(),
+            Scheme::Random { seed } => format!("random:seed={seed}"),
+            Scheme::DegreeSort { direction: DegreeDirection::Decreasing } => "degree".into(),
+            Scheme::DegreeSort { direction: DegreeDirection::Increasing } => "degree-asc".into(),
+            Scheme::HubSort => "hubsort".into(),
+            Scheme::HubCluster => "hubcluster".into(),
+            Scheme::SlashBurn { k_frac } => format!("slashburn:k_frac={k_frac}"),
+            Scheme::Gorder { window } => format!("gorder:window={window}"),
+            Scheme::Rcm => "rcm".into(),
+            Scheme::Cdfs => "cdfs".into(),
+            Scheme::NestedDissection { seed } => format!("nd:seed={seed}"),
+            Scheme::Metis { parts, seed } => format!("metis:parts={parts},seed={seed}"),
+            Scheme::Grappolo { threads: 0 } => "grappolo".into(),
+            Scheme::Grappolo { threads } => format!("grappolo:threads={threads}"),
+            Scheme::GrappoloRcm { threads: 0 } => "grappolo-rcm".into(),
+            Scheme::GrappoloRcm { threads } => format!("grappolo-rcm:threads={threads}"),
+            Scheme::RabbitOrder => "rabbit".into(),
         }
     }
 
@@ -183,10 +377,95 @@ impl std::fmt::Display for Scheme {
     }
 }
 
+impl std::str::FromStr for Scheme {
+    type Err = SchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scheme::parse(s)
+    }
+}
+
+/// Parsed `key=val` pairs (or one positional value) from the text after
+/// `name:`. Each key may be consumed once; leftovers are reported by
+/// [`Params::finish`].
+#[derive(Default)]
+struct Params {
+    /// `(key, value)` pairs; the positional form is stored under `""`.
+    pairs: Vec<(String, String)>,
+    taken: Vec<bool>,
+    /// True when the spec used the positional form, which parameterless
+    /// schemes report as [`SchemeError::UnexpectedParameter`].
+    positional: bool,
+}
+
+impl Params {
+    fn parse(text: &str) -> Result<Params, SchemeError> {
+        let mut pairs = Vec::new();
+        let mut positional = false;
+        if text.contains('=') {
+            for item in text.split(',') {
+                let (k, v) = item.split_once('=').ok_or_else(|| SchemeError::InvalidValue {
+                    key: "parameter".into(),
+                    value: item.to_string(),
+                })?;
+                pairs.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        } else {
+            // Positional back-compat: a single bare value for the scheme's
+            // primary parameter.
+            pairs.push((String::new(), text.to_string()));
+            positional = true;
+        }
+        let taken = vec![false; pairs.len()];
+        Ok(Params { pairs, taken, positional })
+    }
+
+    /// Consumes `key` (or the positional value), parsing it as `T`.
+    fn take<T: std::str::FromStr>(&mut self, key: &str, default: T) -> Result<T, SchemeError> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if !self.taken[i] && (k == key || (k.is_empty() && !self.taken.iter().any(|&t| t))) {
+                self.taken[i] = true;
+                return v.parse().map_err(|_| SchemeError::InvalidValue {
+                    key: key.to_string(),
+                    value: v.clone(),
+                });
+            }
+        }
+        Ok(default)
+    }
+
+    fn take_u64(&mut self, key: &str, default: u64) -> Result<u64, SchemeError> {
+        self.take(key, default)
+    }
+
+    fn take_usize(&mut self, key: &str, default: usize) -> Result<usize, SchemeError> {
+        self.take(key, default)
+    }
+
+    fn take_f64(&mut self, key: &str, default: f64) -> Result<f64, SchemeError> {
+        self.take(key, default)
+    }
+
+    /// Reports any parameter no `take` call consumed.
+    fn finish(&self, scheme: &Scheme) -> Result<(), SchemeError> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if !self.taken[i] {
+                return Err(if self.positional {
+                    SchemeError::UnexpectedParameter { scheme: scheme.name(), param: v.clone() }
+                } else {
+                    SchemeError::UnknownParameter { scheme: scheme.name(), key: k.clone() }
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use reorderlab_datasets::{clique_chain, grid2d};
+    use reorderlab_trace::RunRecorder;
 
     #[test]
     fn evaluation_suite_has_eleven_schemes() {
@@ -219,9 +498,10 @@ mod tests {
 
     #[test]
     fn every_scheme_handles_communities_graph() {
-        let g = clique_chain(3, 5);
+        // 4 cliques of 8 = 32 vertices, the minimum for METIS's 32 parts.
+        let g = clique_chain(4, 8);
         for scheme in Scheme::evaluation_suite(1) {
-            assert_eq!(scheme.reorder(&g).len(), 15, "{scheme}");
+            assert_eq!(scheme.reorder(&g).len(), 32, "{scheme}");
         }
     }
 
@@ -233,9 +513,9 @@ mod tests {
         assert_eq!(names.len(), 15);
         assert!(names.contains("HubSort"));
         assert!(names.contains("CDFS"));
-        let g = grid2d(5, 5);
+        let g = grid2d(6, 6);
         for s in &ext {
-            assert_eq!(s.reorder(&g).len(), 25, "{s}");
+            assert_eq!(s.reorder(&g).len(), 36, "{s}");
         }
     }
 
@@ -254,5 +534,124 @@ mod tests {
     fn display_matches_name() {
         assert_eq!(Scheme::Rcm.to_string(), "RCM");
         assert_eq!(Scheme::Metis { parts: 32, seed: 0 }.to_string(), "METIS");
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_parameter() {
+        assert_eq!(
+            Scheme::SlashBurn { k_frac: 0.0 }.validate(10),
+            Err(SchemeError::KFracOutOfRange { k_frac: 0.0 })
+        );
+        assert_eq!(
+            Scheme::Gorder { window: 0 }.validate(10),
+            Err(SchemeError::WindowTooSmall { window: 0 })
+        );
+        assert_eq!(
+            Scheme::Metis { parts: 0, seed: 0 }.validate(10),
+            Err(SchemeError::PartsTooSmall { parts: 0 })
+        );
+        assert_eq!(
+            Scheme::Metis { parts: 11, seed: 0 }.validate(10),
+            Err(SchemeError::PartsExceedVertices { parts: 11, vertices: 10 })
+        );
+        assert_eq!(Scheme::Metis { parts: 10, seed: 0 }.validate(10), Ok(()));
+        assert_eq!(Scheme::SlashBurn { k_frac: 1.0 }.validate(10), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_nan_k_frac() {
+        // Derived PartialEq compares f64 by `==`, which NaN fails, so this
+        // case needs a structural match rather than assert_eq.
+        match (Scheme::SlashBurn { k_frac: f64::NAN }).validate(5) {
+            Err(SchemeError::KFracOutOfRange { k_frac }) => assert!(k_frac.is_nan()),
+            other => panic!("expected KFracOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_reorder_surfaces_typed_errors() {
+        let g = grid2d(3, 3);
+        let err = Scheme::Metis { parts: 32, seed: 1 }.try_reorder(&g).unwrap_err();
+        assert_eq!(err, SchemeError::PartsExceedVertices { parts: 32, vertices: 9 });
+        let err = Scheme::SlashBurn { k_frac: -0.5 }.try_reorder(&g).unwrap_err();
+        assert_eq!(err, SchemeError::KFracOutOfRange { k_frac: -0.5 });
+        assert!(Scheme::Rcm.try_reorder(&g).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "metis parts 32 exceed the graph's 9 vertices")]
+    fn reorder_panics_with_typed_message() {
+        let g = grid2d(3, 3);
+        Scheme::Metis { parts: 32, seed: 1 }.reorder(&g);
+    }
+
+    #[test]
+    fn parse_spec_round_trips_every_suite_scheme() {
+        for scheme in Scheme::extended_suite(7) {
+            let spec = scheme.spec();
+            let parsed =
+                Scheme::parse(&spec).unwrap_or_else(|e| panic!("{spec:?} failed to re-parse: {e}"));
+            assert_eq!(parsed, scheme, "spec {spec:?} did not round-trip");
+        }
+        // Non-default threads round-trip through the key=val form.
+        let s = Scheme::Grappolo { threads: 4 };
+        assert_eq!(s.spec(), "grappolo:threads=4");
+        assert_eq!(Scheme::parse(&s.spec()).unwrap(), s);
+    }
+
+    #[test]
+    fn parse_accepts_key_value_and_positional_forms() {
+        assert_eq!(Scheme::parse("random:7").unwrap(), Scheme::Random { seed: 7 });
+        assert_eq!(Scheme::parse("random:seed=7").unwrap(), Scheme::Random { seed: 7 });
+        assert_eq!(Scheme::parse("metis:64").unwrap(), Scheme::Metis { parts: 64, seed: 42 });
+        assert_eq!(
+            Scheme::parse("metis:parts=64,seed=3").unwrap(),
+            Scheme::Metis { parts: 64, seed: 3 }
+        );
+        assert_eq!(
+            Scheme::parse("slashburn:k_frac=0.01").unwrap(),
+            Scheme::SlashBurn { k_frac: 0.01 }
+        );
+        assert_eq!(Scheme::parse("gorder:window=10").unwrap(), Scheme::Gorder { window: 10 });
+        assert_eq!("rcm".parse::<Scheme>().unwrap(), Scheme::Rcm);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs_with_typed_errors() {
+        assert!(matches!(
+            Scheme::parse("nope"),
+            Err(SchemeError::UnknownScheme { name }) if name == "nope"
+        ));
+        assert!(matches!(
+            Scheme::parse("rcm:5"),
+            Err(SchemeError::UnexpectedParameter { scheme: "RCM", .. })
+        ));
+        assert!(matches!(
+            Scheme::parse("metis:parts=8,window=2"),
+            Err(SchemeError::UnknownParameter { scheme: "METIS", key }) if key == "window"
+        ));
+        assert!(matches!(Scheme::parse("gorder:x"), Err(SchemeError::InvalidValue { .. })));
+        assert_eq!(
+            Scheme::parse("gorder:window=0"),
+            Err(SchemeError::WindowTooSmall { window: 0 })
+        );
+        assert_eq!(
+            Scheme::parse("slashburn:2.0"),
+            Err(SchemeError::KFracOutOfRange { k_frac: 2.0 })
+        );
+        assert_eq!(Scheme::parse("metis:0"), Err(SchemeError::PartsTooSmall { parts: 0 }));
+    }
+
+    #[test]
+    fn recorded_reorder_is_bit_identical_and_times_the_run() {
+        let g = clique_chain(4, 8);
+        for scheme in Scheme::extended_suite(5) {
+            let plain = scheme.reorder(&g);
+            let mut rec = RunRecorder::new();
+            let recorded = scheme.reorder_recorded(&g, &mut rec);
+            assert_eq!(plain, recorded, "{scheme}: recording perturbed the permutation");
+            assert_eq!(rec.spans()["reorder"].count, 1, "{scheme}");
+            assert_eq!(rec.open_spans(), 0, "{scheme}: unbalanced spans");
+        }
     }
 }

@@ -3,10 +3,11 @@
 //! dissection, the Grappolo community ordering, and the Grappolo-RCM
 //! composite introduced by the paper.
 
-use crate::schemes::rcm::rcm_order;
-use reorderlab_community::{louvain, LouvainConfig};
-use reorderlab_graph::{contract, Csr, Permutation};
+use crate::schemes::rcm::{rcm_order, rcm_order_recorded};
+use reorderlab_community::{louvain, louvain_recorded, LouvainConfig};
+use reorderlab_graph::{contract, contract_recorded, Csr, Permutation};
 use reorderlab_partition::{nested_dissection_order, partition_kway, PartitionConfig};
+use reorderlab_trace::Recorder;
 
 /// METIS-induced ordering (§III-D): partition into `parts` parts minimizing
 /// edge cut with near-equal sizes, then label vertices contiguously by part
@@ -64,6 +65,20 @@ pub fn grappolo_order_with(graph: &Csr, cfg: &LouvainConfig) -> Permutation {
     order_by_group(&r.assignment)
 }
 
+/// [`grappolo_order_with`] with instrumentation: Louvain's phase timings,
+/// sweep counters, and modularity trajectory fold into `rec`, plus a
+/// `grappolo/communities` counter. The recorder only observes — output is
+/// bit-identical to [`grappolo_order_with`].
+pub fn grappolo_order_recorded(
+    graph: &Csr,
+    cfg: &LouvainConfig,
+    rec: &mut dyn Recorder,
+) -> Permutation {
+    let r = louvain_recorded(graph, cfg, rec);
+    rec.counter("grappolo/communities", r.num_communities as u64);
+    order_by_group(&r.assignment)
+}
+
 /// Grappolo-RCM (§III-D, introduced by the paper): communities from Louvain
 /// are themselves ordered by running RCM on the community (coarsened) graph,
 /// then vertices are labeled contiguously within each community.
@@ -86,6 +101,29 @@ pub fn grappolo_rcm_order_with(graph: &Csr, cfg: &LouvainConfig) -> Permutation 
         .coarse;
     let comm_rank = rcm_order(&coarse);
     // Order vertices by (RCM rank of their community, vertex id).
+    let mut order: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+    order.sort_by_key(|&v| (comm_rank.rank(r.assignment[v as usize]), v));
+    Permutation::from_order(&order).expect("sorting the identity yields a permutation")
+}
+
+/// [`grappolo_rcm_order_with`] with instrumentation: Louvain stats, the
+/// coarsening's span and size counters, and the community-graph RCM pass
+/// all fold into `rec`. The recorder only observes — output is
+/// bit-identical to [`grappolo_rcm_order_with`].
+pub fn grappolo_rcm_order_recorded(
+    graph: &Csr,
+    cfg: &LouvainConfig,
+    rec: &mut dyn Recorder,
+) -> Permutation {
+    let r = louvain_recorded(graph, cfg, rec);
+    rec.counter("grappolo/communities", r.num_communities as u64);
+    if r.num_communities == 0 {
+        return Permutation::identity(graph.num_vertices());
+    }
+    let coarse = contract_recorded(graph, &r.assignment, r.num_communities, rec)
+        .expect("louvain assignment is valid")
+        .coarse;
+    let comm_rank = rcm_order_recorded(&coarse, rec);
     let mut order: Vec<u32> = (0..graph.num_vertices() as u32).collect();
     order.sort_by_key(|&v| (comm_rank.rank(r.assignment[v as usize]), v));
     Permutation::from_order(&order).expect("sorting the identity yields a permutation")
@@ -198,6 +236,26 @@ mod tests {
         assert!(nd_order(&g, 0).is_empty());
         assert!(grappolo_order(&g).is_empty());
         assert!(grappolo_rcm_order(&g).is_empty());
+    }
+
+    #[test]
+    fn recorded_grappolo_variants_are_identical_and_report_louvain() {
+        use reorderlab_trace::RunRecorder;
+        let g = clique_chain(5, 6);
+        let cfg = LouvainConfig::default().threads(1);
+
+        let mut rec = RunRecorder::new();
+        assert_eq!(grappolo_order_recorded(&g, &cfg, &mut rec), grappolo_order_with(&g, &cfg));
+        assert_eq!(rec.counters()["grappolo/communities"], 5);
+        assert!(rec.counters()["louvain/phases"] >= 1);
+
+        let mut rec = RunRecorder::new();
+        assert_eq!(
+            grappolo_rcm_order_recorded(&g, &cfg, &mut rec),
+            grappolo_rcm_order_with(&g, &cfg)
+        );
+        assert_eq!(rec.counters()["contract/coarse_vertices"], 5);
+        assert_eq!(rec.counters()["rcm/components"], 1, "community graph is one path");
     }
 
     #[test]

@@ -17,13 +17,16 @@ mod slashburn;
 
 pub use basic::{natural_order, random_order};
 pub use composite::{
-    grappolo_order, grappolo_order_with, grappolo_rcm_order, grappolo_rcm_order_with, metis_order,
-    nd_order,
+    grappolo_order, grappolo_order_recorded, grappolo_order_with, grappolo_rcm_order,
+    grappolo_rcm_order_recorded, grappolo_rcm_order_with, metis_order, nd_order,
 };
 pub use degree::{degree_sort, hub_cluster, hub_sort, hub_threshold, DegreeDirection};
 pub use gorder::{gorder, gorder_serial};
 pub use hybrid::{hybrid_multiscale_order, HybridConfig};
 pub use minla::{minla_anneal, MinlaConfig};
 pub use rabbit::{rabbit_order, rabbit_order_serial};
-pub use rcm::{cdfs_order, cdfs_order_serial, cm_order, rcm_order, rcm_order_serial};
-pub use slashburn::{slashburn_order, slashburn_order_serial};
+pub use rcm::{
+    cdfs_order, cdfs_order_recorded, cdfs_order_serial, cm_order, rcm_order, rcm_order_recorded,
+    rcm_order_serial,
+};
+pub use slashburn::{slashburn_order, slashburn_order_recorded, slashburn_order_serial};

@@ -7,9 +7,10 @@
 //! bandwidth measure β (Figure 6a).
 
 use reorderlab_graph::{
-    frontier_candidates, frontier_candidates_by_key, pseudo_peripheral, pseudo_peripheral_serial,
-    Csr, Permutation,
+    frontier_candidates, frontier_candidates_by_key, pseudo_peripheral_recorded,
+    pseudo_peripheral_serial, Csr, Permutation,
 };
+use reorderlab_trace::{NoopRecorder, Recorder};
 use std::collections::VecDeque;
 
 /// Packed `(degree, id)` sort keys: one `u64` comparison replaces a tuple
@@ -45,6 +46,13 @@ fn degree_keys(graph: &Csr) -> Vec<u64> {
 /// assert_eq!(gap_measures(&g, &pi).bandwidth, 1);
 /// ```
 pub fn rcm_order(graph: &Csr) -> Permutation {
+    rcm_order_recorded(graph, &mut NoopRecorder)
+}
+
+/// [`rcm_order`] with instrumentation: per-component
+/// pseudo-peripheral-search spans and an `rcm/components` counter. The
+/// recorder only observes — output is bit-identical to [`rcm_order`].
+pub fn rcm_order_recorded(graph: &Csr, rec: &mut dyn Recorder) -> Permutation {
     let n = graph.num_vertices();
     let mut visited = vec![false; n];
     let mut order: Vec<u32> = Vec::with_capacity(n);
@@ -66,7 +74,8 @@ pub fn rcm_order(graph: &Csr) -> Permutation {
             if visited[s as usize] {
                 continue;
             }
-            let root = pseudo_peripheral(graph, s);
+            rec.counter("rcm/components", 1);
+            let root = pseudo_peripheral_recorded(graph, s, rec);
             visited[root as usize] = true;
             queue.push_back(root);
             while let Some(v) = queue.pop_front() {
@@ -91,7 +100,8 @@ pub fn rcm_order(graph: &Csr) -> Permutation {
         }
         // Improve the start: walk to a pseudo-peripheral vertex of this
         // component so the level structure is deep and narrow.
-        let root = pseudo_peripheral(graph, s);
+        rec.counter("rcm/components", 1);
+        let root = pseudo_peripheral_recorded(graph, s, rec);
         visited[root as usize] = true;
         order.push(root);
         let mut frontier = vec![root];
@@ -176,6 +186,13 @@ pub fn cm_order(graph: &Csr) -> Permutation {
 /// Uses the same parallel level gather as [`rcm_order`], minus the per-list
 /// sort; bit-identical to [`cdfs_order_serial`] at any thread count.
 pub fn cdfs_order(graph: &Csr) -> Permutation {
+    cdfs_order_recorded(graph, &mut NoopRecorder)
+}
+
+/// [`cdfs_order`] with instrumentation: per-component
+/// pseudo-peripheral-search spans and a `cdfs/components` counter. The
+/// recorder only observes — output is bit-identical to [`cdfs_order`].
+pub fn cdfs_order_recorded(graph: &Csr, rec: &mut dyn Recorder) -> Permutation {
     let n = graph.num_vertices();
     let mut visited = vec![false; n];
     let mut order: Vec<u32> = Vec::with_capacity(n);
@@ -191,7 +208,8 @@ pub fn cdfs_order(graph: &Csr) -> Permutation {
             if visited[s as usize] {
                 continue;
             }
-            let root = pseudo_peripheral(graph, s);
+            rec.counter("cdfs/components", 1);
+            let root = pseudo_peripheral_recorded(graph, s, rec);
             visited[root as usize] = true;
             queue.push_back(root);
             while let Some(v) = queue.pop_front() {
@@ -212,7 +230,8 @@ pub fn cdfs_order(graph: &Csr) -> Permutation {
         if visited[s as usize] {
             continue;
         }
-        let root = pseudo_peripheral(graph, s);
+        rec.counter("cdfs/components", 1);
+        let root = pseudo_peripheral_recorded(graph, s, rec);
         visited[root as usize] = true;
         order.push(root);
         let mut frontier = vec![root];
@@ -362,6 +381,20 @@ mod tests {
         assert!(rcm_order(&g0).is_empty());
         let g1 = GraphBuilder::undirected(1).build().unwrap();
         assert!(rcm_order(&g1).is_identity());
+    }
+
+    #[test]
+    fn recorded_variants_are_identical_and_count_components() {
+        use reorderlab_trace::RunRecorder;
+        let g =
+            GraphBuilder::undirected(7).edges([(0, 1), (1, 2), (4, 5), (5, 6)]).build().unwrap();
+        let mut rec = RunRecorder::new();
+        assert_eq!(rcm_order_recorded(&g, &mut rec), rcm_order(&g));
+        assert_eq!(rec.counters()["rcm/components"], 3, "two paths plus isolated vertex 3");
+        assert_eq!(rec.counters()["pseudo_peripheral/runs"], 3);
+        let mut rec = RunRecorder::new();
+        assert_eq!(cdfs_order_recorded(&g, &mut rec), cdfs_order(&g));
+        assert_eq!(rec.counters()["cdfs/components"], 3);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use reorderlab_core::schemes::{
     cdfs_order, cdfs_order_serial, gorder, gorder_serial, rabbit_order, rabbit_order_serial,
     rcm_order, rcm_order_serial, slashburn_order, slashburn_order_serial,
 };
-use reorderlab_core::Scheme;
+use reorderlab_core::{Scheme, SchemeError};
 use reorderlab_datasets::{
     barabasi_albert, clique_chain, erdos_renyi_gnm, grid2d, star, stochastic_block_model, tri_mesh,
     watts_strogatz,
@@ -64,6 +64,18 @@ fn every_scheme_on_every_generator_is_a_thread_invariant_bijection() {
     for (gname, g) in contract_corpus() {
         for scheme in Scheme::extended_suite(42) {
             let ctx = format!("{scheme} on {gname}");
+            if let Err(e) = scheme.validate(g.num_vertices()) {
+                // The degenerate corpus graphs have fewer than 32 vertices,
+                // so METIS's 32 parts are rightly rejected — any other
+                // refusal would be a contract break. The rejection itself
+                // must be consistent between validate and try_reorder.
+                assert!(
+                    matches!(e, SchemeError::PartsExceedVertices { .. }),
+                    "{ctx}: unexpected validation error {e}"
+                );
+                assert_eq!(scheme.try_reorder(&g).unwrap_err(), e, "{ctx}");
+                continue;
+            }
             let pi = assert_thread_invariant(|| scheme.reorder(&g));
             assert_bijective(&pi, g.num_vertices(), &ctx);
             assert_eq!(pi, scheme.reorder(&g), "{ctx}: repeated run diverged");

@@ -41,6 +41,7 @@ pub mod frontier;
 mod io;
 mod mtx;
 mod perm;
+pub mod recorded;
 mod stats;
 mod traversal;
 
@@ -54,6 +55,7 @@ pub use frontier::{exclusive_prefix_sum, frontier_candidates, frontier_candidate
 pub use io::{read_edge_list, read_metis, write_edge_list, write_metis};
 pub use mtx::{read_matrix_market, write_matrix_market};
 pub use perm::Permutation;
+pub use recorded::{bfs_levels_recorded, contract_recorded, pseudo_peripheral_recorded};
 pub use stats::{approx_diameter, common_neighbors, count_triangles, degree_histogram, GraphStats};
 pub use traversal::{
     bfs_levels, bfs_levels_serial, pseudo_peripheral, pseudo_peripheral_serial, Bfs, Dfs,

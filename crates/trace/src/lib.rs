@@ -1,0 +1,52 @@
+//! # reorderlab-trace
+//!
+//! The workspace-wide observability subsystem: phase timers, named
+//! counters, and per-run metadata that roll up into a versioned JSON **run
+//! manifest** — the machine-readable record behind every `--json` /
+//! `--manifest` flag and the bench harness's `results/` trajectory.
+//!
+//! Three pieces:
+//!
+//! - [`Recorder`] — the event sink instrumented pipelines write to, with
+//!   [`NoopRecorder`] as the zero-overhead default and [`RunRecorder`] as
+//!   the live, monotonic-clock implementation.
+//! - [`Json`] — a minimal dependency-free JSON value (the build is
+//!   offline; no serde).
+//! - [`Manifest`] — the versioned run record, with strict parsing
+//!   ([`Manifest::parse`]) and JSON-lines appending for durable perf
+//!   trajectories.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reorderlab_trace::{Manifest, Recorder, RunRecorder};
+//!
+//! let mut rec = RunRecorder::new();
+//! rec.span_enter("reorder");
+//! rec.counter("slashburn/rounds", 12);
+//! rec.span_exit("reorder");
+//!
+//! let mut m = Manifest::new("reorder", "euroroad", 1190, 1305)
+//!     .with_scheme("SlashBurn", "slashburn:k_frac=0.005")
+//!     .with_seed(42)
+//!     .with_threads(2);
+//! m.absorb(&rec);
+//! m.push_measure("avg_gap", 187.2);
+//!
+//! let round_trip = Manifest::parse(&m.to_pretty()).unwrap();
+//! assert_eq!(round_trip, m);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod manifest;
+mod recorder;
+
+pub use json::{Json, JsonError};
+pub use manifest::{
+    GraphInfo, Manifest, ManifestError, PhaseTiming, SchemeInfo, MANIFEST_VERSION, REQUIRED_KEYS,
+    TOOL,
+};
+pub use recorder::{spanned, NoopRecorder, Recorder, RunRecorder, SpanTotals};

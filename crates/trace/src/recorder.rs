@@ -1,0 +1,278 @@
+//! The [`Recorder`] trait and its two implementations: [`NoopRecorder`]
+//! (the zero-overhead default every hot path compiles against) and
+//! [`RunRecorder`] (monotonic span timers, named counters, and value
+//! series that roll up into a run manifest).
+//!
+//! Instrumented kernels take `&mut dyn Recorder` and only ever *read* the
+//! computation state, so recording can never perturb results: a pipeline
+//! run with a live recorder is bit-identical to one run with the no-op at
+//! any thread count (pinned by `recording_differential` tests in
+//! `reorderlab-core`). Instrumentation sites are placed at per-phase /
+//! per-round granularity — never per vertex or per edge — so the disabled
+//! path costs a handful of virtual calls per run.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Sink for observability events emitted by instrumented pipelines.
+///
+/// All methods default to no-ops so implementations opt into exactly the
+/// signals they care about. Span names are `&'static str` by design: the
+/// instrumented code never formats strings on the hot path.
+pub trait Recorder {
+    /// `true` when events are actually retained. Instrumented code may use
+    /// this to skip *preparing* expensive event payloads; it must never
+    /// branch its computation on it.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Opens a named span; spans nest, and a child span's time also counts
+    /// toward its parent.
+    fn span_enter(&mut self, _name: &'static str) {}
+
+    /// Closes the innermost open span named `name`.
+    fn span_exit(&mut self, _name: &'static str) {}
+
+    /// Folds an externally measured duration in as if a span named `name`
+    /// had run under the currently open spans. Used by kernels that already
+    /// collect their own timing structs (Louvain phases, IMM sampling).
+    fn span_add(&mut self, _name: &'static str, _elapsed: Duration) {}
+
+    /// Adds `delta` to a named counter.
+    fn counter(&mut self, _name: &'static str, _delta: u64) {}
+
+    /// Appends one value to a named series (e.g. the per-iteration
+    /// modularity trajectory of a Louvain run).
+    fn series(&mut self, _name: &'static str, _value: f64) {}
+
+    /// Attaches a free-form key/value annotation to the run.
+    fn note(&mut self, _key: &'static str, _value: &str) {}
+}
+
+/// The default recorder: discards everything. Every method is an empty
+/// body, so a `reorder` with recording disabled costs only a few virtual
+/// calls per phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Runs `f` inside a span on `rec`, closing the span on the way out.
+pub fn spanned<T>(
+    rec: &mut dyn Recorder,
+    name: &'static str,
+    f: impl FnOnce(&mut dyn Recorder) -> T,
+) -> T {
+    rec.span_enter(name);
+    let out = f(rec);
+    rec.span_exit(name);
+    out
+}
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanTotals {
+    /// Total wall time accumulated under this path.
+    pub wall: Duration,
+    /// Number of enter/exit (or [`Recorder::span_add`]) events folded in.
+    pub count: u64,
+}
+
+/// A live recorder backed by monotonic clocks.
+///
+/// Span paths are keyed `"outer/inner"`; re-entering the same path
+/// accumulates. All maps are ordered (`BTreeMap`) so the roll-up into a
+/// manifest is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use reorderlab_trace::{Recorder, RunRecorder};
+///
+/// let mut rec = RunRecorder::new();
+/// rec.span_enter("reorder");
+/// rec.counter("graph/vertices", 100);
+/// rec.series("modularity", 0.41);
+/// rec.span_exit("reorder");
+/// assert_eq!(rec.counters()["graph/vertices"], 100);
+/// assert_eq!(rec.spans()["reorder"].count, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunRecorder {
+    stack: Vec<(&'static str, Instant)>,
+    spans: BTreeMap<String, SpanTotals>,
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<f64>>,
+    notes: BTreeMap<String, String>,
+}
+
+impl RunRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RunRecorder::default()
+    }
+
+    /// Aggregated span timings keyed by `"outer/inner"` path.
+    pub fn spans(&self) -> &BTreeMap<String, SpanTotals> {
+        &self.spans
+    }
+
+    /// Counter totals.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Recorded series.
+    pub fn series_map(&self) -> &BTreeMap<String, Vec<f64>> {
+        &self.series
+    }
+
+    /// Free-form annotations.
+    pub fn notes(&self) -> &BTreeMap<String, String> {
+        &self.notes
+    }
+
+    /// Number of spans still open (0 after a balanced run).
+    pub fn open_spans(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn path_with(&self, name: &str) -> String {
+        let mut path = String::new();
+        for (frame, _) in &self.stack {
+            path.push_str(frame);
+            path.push('/');
+        }
+        path.push_str(name);
+        path
+    }
+}
+
+impl Recorder for RunRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&mut self, name: &'static str) {
+        self.stack.push((name, Instant::now()));
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        // Pop the innermost frame with this name; frames above it (left
+        // open by mistake) are folded into their own paths first so no
+        // time is silently lost.
+        let Some(at) = self.stack.iter().rposition(|(n, _)| *n == name) else {
+            return;
+        };
+        while self.stack.len() > at {
+            let (frame, start) = *self.stack.last().unwrap();
+            let wall = start.elapsed();
+            self.stack.pop();
+            let path = self.path_with(frame);
+            let slot = self.spans.entry(path).or_default();
+            slot.wall += wall;
+            slot.count += 1;
+        }
+    }
+
+    fn span_add(&mut self, name: &'static str, elapsed: Duration) {
+        let path = self.path_with(name);
+        let slot = self.spans.entry(path).or_default();
+        slot.wall += elapsed;
+        slot.count += 1;
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn series(&mut self, name: &'static str, value: f64) {
+        self.series.entry(name.to_string()).or_default().push(value);
+    }
+
+    fn note(&mut self, key: &'static str, value: &str) {
+        self.notes.insert(key.to_string(), value.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_silent() {
+        let mut rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.span_enter("a");
+        rec.counter("c", 3);
+        rec.series("s", 1.0);
+        rec.note("k", "v");
+        rec.span_exit("a");
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let mut rec = RunRecorder::new();
+        rec.span_enter("outer");
+        rec.span_enter("inner");
+        rec.span_exit("inner");
+        rec.span_enter("inner");
+        rec.span_exit("inner");
+        rec.span_exit("outer");
+        assert_eq!(rec.open_spans(), 0);
+        assert_eq!(rec.spans()["outer"].count, 1);
+        assert_eq!(rec.spans()["outer/inner"].count, 2);
+        assert!(rec.spans()["outer"].wall >= rec.spans()["outer/inner"].wall);
+    }
+
+    #[test]
+    fn unbalanced_exit_closes_children() {
+        let mut rec = RunRecorder::new();
+        rec.span_enter("a");
+        rec.span_enter("b");
+        rec.span_exit("a"); // b left open: folded as a/b, then a closes
+        assert_eq!(rec.open_spans(), 0);
+        assert_eq!(rec.spans()["a/b"].count, 1);
+        assert_eq!(rec.spans()["a"].count, 1);
+        // Exiting a span that was never entered is a no-op.
+        rec.span_exit("zombie");
+        assert_eq!(rec.open_spans(), 0);
+    }
+
+    #[test]
+    fn span_add_respects_current_path() {
+        let mut rec = RunRecorder::new();
+        rec.span_enter("louvain");
+        rec.span_add("phase", Duration::from_millis(5));
+        rec.span_add("phase", Duration::from_millis(7));
+        rec.span_exit("louvain");
+        assert_eq!(rec.spans()["louvain/phase"].count, 2);
+        assert_eq!(rec.spans()["louvain/phase"].wall, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn counters_accumulate_and_series_append() {
+        let mut rec = RunRecorder::new();
+        rec.counter("x", 2);
+        rec.counter("x", 3);
+        rec.series("q", 0.25);
+        rec.series("q", 0.5);
+        rec.note("kernel", "flat");
+        assert_eq!(rec.counters()["x"], 5);
+        assert_eq!(rec.series_map()["q"], vec![0.25, 0.5]);
+        assert_eq!(rec.notes()["kernel"], "flat");
+    }
+
+    #[test]
+    fn spanned_helper_balances() {
+        let mut rec = RunRecorder::new();
+        let out = spanned(&mut rec, "work", |r| {
+            r.counter("inner", 1);
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(rec.open_spans(), 0);
+        assert_eq!(rec.spans()["work"].count, 1);
+    }
+}

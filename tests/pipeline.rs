@@ -27,7 +27,8 @@ fn all_schemes_on_a_suite_instance() {
 /// Measuring (G, Π) equals measuring (Π(G), identity) for every scheme.
 #[test]
 fn measures_commute_with_relabeling() {
-    let g = clique_chain(6, 5);
+    // 36 vertices: enough for every suite scheme (METIS needs ≥ 32).
+    let g = clique_chain(6, 6);
     for scheme in Scheme::evaluation_suite(9) {
         let pi = scheme.reorder(&g);
         let direct = gap_measures(&g, &pi);
