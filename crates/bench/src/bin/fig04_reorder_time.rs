@@ -46,7 +46,11 @@ fn main() {
         1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
         50000.0,
     ];
-    let profile = PerformanceProfile::new(&sweep.schemes, &sweep.reorder_secs, &taus);
+    let profile = PerformanceProfile::try_new(&sweep.schemes, &sweep.reorder_secs, &taus)
+        .unwrap_or_else(|e| {
+            eprintln!("fig04_reorder_time: cannot build timing profile: {e}");
+            std::process::exit(2);
+        });
     println!("=== Figure 4: fraction of inputs within τ × fastest ===\n");
     println!("{}", render_profile(&profile));
 

@@ -22,19 +22,27 @@ fn main() {
     let schemes = Scheme::evaluation_suite(42);
     let sweep = gap_sweep(&instances, &schemes);
 
-    let band_profile = PerformanceProfile::new(
+    let band_profile = PerformanceProfile::try_new(
         &sweep.schemes,
         &sweep.bandwidth,
         &PerformanceProfile::default_taus(),
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fig06_bandwidth: cannot build bandwidth profile: {e}");
+        std::process::exit(2);
+    });
     println!("=== Figure 6a: graph bandwidth (β) — fraction within τ × best ===\n");
     println!("{}", render_profile(&band_profile));
 
-    let avg_profile = PerformanceProfile::new(
+    let avg_profile = PerformanceProfile::try_new(
         &sweep.schemes,
         &sweep.avg_bandwidth,
         &PerformanceProfile::default_taus(),
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fig06_bandwidth: cannot build avg-bandwidth profile: {e}");
+        std::process::exit(2);
+    });
     println!("=== Figure 6b: average graph bandwidth (β̂) — fraction within τ × best ===\n");
     println!("{}", render_profile(&avg_profile));
 

@@ -80,7 +80,11 @@ fn main() {
 
     let taus = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
     let scheme_names: Vec<String> = pairs.iter().map(|(n, _, _)| n.to_string()).collect();
-    let profile = PerformanceProfile::new(&scheme_names, &kernel_secs, &taus);
+    let profile =
+        PerformanceProfile::try_new(&scheme_names, &kernel_secs, &taus).unwrap_or_else(|e| {
+            eprintln!("reorder_oracle_timings: cannot build timing profile: {e}");
+            std::process::exit(2);
+        });
     println!("\n=== Fig.-4-style profile over kernel times: fraction within τ × fastest ===\n");
     println!("{}", render_profile(&profile));
 }

@@ -27,11 +27,15 @@ fn main() {
 
     // 1. Gap measures (§V).
     let sweep = gap_sweep(&instances, &schemes);
-    let profile = PerformanceProfile::new(
+    let profile = PerformanceProfile::try_new(
         &sweep.schemes,
         &sweep.avg_gap,
         &PerformanceProfile::default_taus(),
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("summary: cannot build avg-gap profile: {e}");
+        std::process::exit(2);
+    });
     let auc = profile.auc();
     let mut ranked: Vec<(String, f64)> =
         profile.methods.iter().cloned().zip(auc.iter().copied()).collect();
@@ -45,11 +49,15 @@ fn main() {
     println!("   Paper §V: partition/community tier on top, degree/random at the bottom.\n");
 
     // 2. Bandwidth winner (Fig. 6a).
-    let band = PerformanceProfile::new(
+    let band = PerformanceProfile::try_new(
         &sweep.schemes,
         &sweep.bandwidth,
         &PerformanceProfile::default_taus(),
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("summary: cannot build bandwidth profile: {e}");
+        std::process::exit(2);
+    });
     let rcm_idx = band.methods.iter().position(|m| m == "RCM").expect("RCM in suite");
     println!(
         "2. Graph bandwidth β: RCM best on {:.0}% of instances (paper: clear winner).\n",

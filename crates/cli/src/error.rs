@@ -1,6 +1,7 @@
 //! The CLI's typed error, mapped onto process exit codes: `2` for
 //! command-line mistakes the caller can fix by re-invoking (usage, bad
-//! scheme specs), `1` for runtime failures (I/O, unparseable inputs).
+//! scheme specs) and for inputs `validate` diagnosed as malformed, `1`
+//! for runtime failures (I/O, unparseable inputs mid-command).
 
 use reorderlab_core::SchemeError;
 use std::fmt;
@@ -17,13 +18,16 @@ pub enum CliError {
     Io(String),
     /// An input file opened but failed to parse. Exit code 1.
     Parse(String),
+    /// `validate` diagnosed at least one input file as malformed — a
+    /// verdict, not a runtime failure. Exit code 2.
+    Malformed(String),
 }
 
 impl CliError {
     /// The process exit code this error maps to.
     pub fn exit_code(&self) -> u8 {
         match self {
-            CliError::Usage(_) | CliError::Scheme(_) => 2,
+            CliError::Usage(_) | CliError::Scheme(_) | CliError::Malformed(_) => 2,
             CliError::Io(_) | CliError::Parse(_) => 1,
         }
     }
@@ -32,7 +36,10 @@ impl CliError {
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CliError::Usage(msg) | CliError::Io(msg) | CliError::Parse(msg) => f.write_str(msg),
+            CliError::Usage(msg)
+            | CliError::Io(msg)
+            | CliError::Parse(msg)
+            | CliError::Malformed(msg) => f.write_str(msg),
             CliError::Scheme(e) => write!(f, "{e}"),
         }
     }
@@ -59,6 +66,7 @@ mod tests {
         );
         assert_eq!(CliError::Io("x".into()).exit_code(), 1);
         assert_eq!(CliError::Parse("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Malformed("x".into()).exit_code(), 2);
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! reorderlab stats --input g.mtx --json
 //! reorderlab reorder --scheme rcm --input g.mtx --out reordered.mtx --perm pi.txt
 //! reorderlab measure --instance euroroad --scheme rcm --scheme grappolo --manifest runs.jsonl
+//! reorderlab validate g.mtx corpus/*.el --json
 //! reorderlab manifest-check runs.jsonl
 //! ```
 //!
 //! Exit codes: `0` success, `2` command-line mistakes (usage, bad scheme
-//! specs), `1` runtime failures (I/O, unparseable inputs).
+//! specs) and malformed inputs diagnosed by `validate`, `1` runtime
+//! failures (I/O, unparseable inputs mid-command).
 
 mod error;
 mod scheme_arg;
@@ -71,6 +73,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(rest),
         "reorder" => cmd_reorder(rest),
         "measure" => cmd_measure(rest),
+        "validate" => cmd_validate(rest),
         "manifest-check" => cmd_manifest_check(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -92,6 +95,8 @@ fn print_usage() {
          [--json] [--manifest FILE]\n  \
          reorderlab measure  (--input FILE | --instance NAME) [--scheme NAME]...\n                      \
          [--json] [--manifest FILE]\n  \
+         reorderlab validate FILE... [--json] [--manifest FILE]\n                      \
+         (exit 0: all clean, 1: unreadable, 2: malformed; errors carry line numbers)\n  \
          reorderlab manifest-check FILE...\n\n\
          any command also takes --threads N (worker threads; results are identical at any N)\n\n\
          --json prints run manifests (JSON) to stdout; --manifest FILE appends them as\n\
@@ -396,6 +401,113 @@ fn cmd_measure(args: &[String]) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// The outcome of validating one input file.
+enum Verdict {
+    /// Parsed cleanly into a graph of this size.
+    Clean { vertices: usize, edges: usize },
+    /// The file could not be opened or read at all.
+    Unreadable(String),
+    /// The file opened but the reader rejected it; the message carries a
+    /// 1-based line number (`parse error at line N: …`).
+    Malformed(String),
+}
+
+/// Parses one file with the reader its extension selects (the same
+/// dispatch as `load_graph`), without building anything downstream.
+fn validate_file(path: &str) -> Verdict {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => return Verdict::Unreadable(e.to_string()),
+    };
+    let reader = BufReader::new(file);
+    let parsed = if path.ends_with(".mtx") {
+        read_matrix_market(reader)
+    } else if path.ends_with(".graph") || path.ends_with(".metis") {
+        read_metis(reader)
+    } else {
+        read_edge_list(reader)
+    };
+    match parsed {
+        Ok(g) => Verdict::Clean { vertices: g.num_vertices(), edges: g.num_edges() },
+        Err(e) => Verdict::Malformed(e.to_string()),
+    }
+}
+
+/// Checks graph input files against the ingestion contract: every file
+/// either parses cleanly or is rejected with a line-numbered diagnosis,
+/// never a panic. Exit 0 when every file is clean, 1 when any file is
+/// unreadable (I/O), 2 when any file is malformed.
+fn cmd_validate(args: &[String]) -> Result<(), CliError> {
+    let json_out = has_flag(args, "--json");
+    let manifest_path = flag_value(args, "--manifest");
+    // Positional arguments are the files to check; skip flags and the
+    // value slot following a value-taking flag.
+    let mut files: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--manifest" || args[i] == "--threads" {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            files.push(&args[i]);
+            i += 1;
+        }
+    }
+    if files.is_empty() {
+        return Err(CliError::Usage(
+            "usage: reorderlab validate FILE... [--json] [--manifest FILE]".into(),
+        ));
+    }
+    let mut malformed = 0usize;
+    let mut unreadable = 0usize;
+    for path in &files {
+        let verdict = validate_file(path);
+        let (status, detail, vertices, edges) = match &verdict {
+            Verdict::Clean { vertices, edges } => ("ok", None, *vertices, *edges),
+            Verdict::Unreadable(msg) => {
+                unreadable += 1;
+                ("unreadable", Some(msg.clone()), 0, 0)
+            }
+            Verdict::Malformed(msg) => {
+                malformed += 1;
+                ("malformed", Some(msg.clone()), 0, 0)
+            }
+        };
+        // Human-readable verdicts go to stderr so stdout stays valid
+        // JSON Lines under --json.
+        match &detail {
+            None => eprintln!("{path}: ok (|V|={vertices}, |E|={edges})"),
+            Some(msg) => eprintln!("{path}: {status}: {msg}"),
+        }
+        if json_out || manifest_path.is_some() {
+            let mut m = Manifest::new("validate", path, vertices, edges)
+                .with_seed(42)
+                .with_threads(rayon::current_num_threads());
+            m.push_note("status", status);
+            if let Some(msg) = &detail {
+                m.push_note("error", msg);
+            }
+            if json_out {
+                println!("{}", m.to_line());
+            }
+            if let Some(p) = &manifest_path {
+                m.append_jsonl(p)
+                    .map_err(|e| CliError::Io(format!("cannot append to {p}: {e}")))?;
+            }
+        }
+    }
+    let total = files.len();
+    if malformed > 0 {
+        Err(CliError::Malformed(format!("{malformed} of {total} file(s) malformed")))
+    } else if unreadable > 0 {
+        Err(CliError::Io(format!("{unreadable} of {total} file(s) unreadable")))
+    } else {
+        eprintln!("{total} file(s) ok");
+        Ok(())
+    }
 }
 
 /// Validates files of run manifests: a whole-file JSON document or one

@@ -314,6 +314,88 @@ fn manifest_check_rejects_garbage() {
     let _ = std::fs::remove_file(p);
 }
 
+/// The adversarial ingestion corpus at the repo root: every file is
+/// malformed on purpose and must be rejected with a line-numbered error.
+const ADVERSARIAL: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/adversarial");
+
+/// A valid Matrix Market file with CRLF line endings and trailing
+/// whitespace — legal input, must validate clean.
+const CRLF: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/crlf.mtx");
+
+#[test]
+fn validate_accepts_clean_files() {
+    let out = run(&["validate", GOLDEN, CRLF]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("|V|=1133"), "golden size reported: {text}");
+    assert!(text.contains("|V|=4"), "crlf fixture size reported: {text}");
+    assert!(text.contains("2 file(s) ok"), "{text}");
+}
+
+#[test]
+fn validate_rejects_every_adversarial_fixture_with_a_line_number() {
+    let fixtures: Vec<std::path::PathBuf> = std::fs::read_dir(ADVERSARIAL)
+        .expect("adversarial corpus exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mtx" || x == "el" || x == "graph"))
+        .collect();
+    assert!(fixtures.len() >= 15, "corpus unexpectedly small: {fixtures:?}");
+    for path in fixtures {
+        let p = path.to_string_lossy().to_string();
+        let out = run(&["validate", &p]);
+        assert_eq!(out.status.code(), Some(2), "{p} must exit 2");
+        let text = String::from_utf8_lossy(&out.stderr);
+        assert!(text.contains("parse error at line "), "{p}: no line-numbered error:\n{text}");
+        assert!(text.contains("malformed"), "{p}: verdict missing:\n{text}");
+    }
+}
+
+#[test]
+fn validate_exit_codes_rank_malformed_over_unreadable() {
+    // A missing file alone: I/O problem, exit 1.
+    let out = run(&["validate", "/nonexistent/g.mtx"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unreadable"));
+    // Malformed beats unreadable and clean when files are mixed.
+    let bad = format!("{ADVERSARIAL}/bad_banner.mtx");
+    let out = run(&["validate", GOLDEN, "/nonexistent/g.mtx", &bad]);
+    assert_eq!(out.status.code(), Some(2));
+    // No files at all is a usage mistake.
+    let out = run(&["validate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn validate_json_and_manifest_report_per_file_status() {
+    let (p, f) = tmp("validate.jsonl");
+    let _ = std::fs::remove_file(&p);
+    let bad = format!("{ADVERSARIAL}/truncated_entries.mtx");
+    let out = run(&["validate", GOLDEN, &bad, "--json", "--manifest", &f]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let manifests: Vec<_> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| reorderlab_trace::Manifest::parse(l).expect("each line is a manifest"))
+        .collect();
+    assert_eq!(manifests.len(), 2, "one manifest per file:\n{text}");
+    assert!(manifests.iter().all(|m| m.command == "validate"));
+    let note = |m: &reorderlab_trace::Manifest, key: &str| -> Option<String> {
+        m.notes.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    assert_eq!(note(&manifests[0], "status").as_deref(), Some("ok"));
+    assert_eq!(note(&manifests[1], "status").as_deref(), Some("malformed"));
+    let err = note(&manifests[1], "error").expect("malformed file carries the error");
+    assert!(err.contains("parse error at line 2"), "line number preserved: {err}");
+    // The JSONL sidecar holds the same two manifests and passes the checker.
+    let appended = std::fs::read_to_string(&p).unwrap();
+    assert_eq!(appended.lines().count(), 2, "{appended}");
+    let out = run(&["manifest-check", &f]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(p);
+}
+
 #[test]
 fn manifest_outputs_are_thread_invariant_apart_from_timings() {
     let mut fingerprints: Vec<String> = Vec::new();

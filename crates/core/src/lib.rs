@@ -36,7 +36,7 @@ pub mod measures;
 mod scheme;
 pub mod schemes;
 
-pub use error::SchemeError;
+pub use error::{MeasureError, SchemeError};
 pub use measures::{GapDistribution, GapMeasures, PerformanceProfile};
 pub use scheme::Scheme;
 

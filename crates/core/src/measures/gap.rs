@@ -6,8 +6,20 @@
 //! bandwidth β (max over all edges), and the average graph bandwidth β̂
 //! (mean vertex bandwidth).
 
+use crate::error::MeasureError;
 use rayon::prelude::*;
 use reorderlab_graph::{Csr, Permutation};
+
+/// Checks that `pi` covers exactly the graph's vertices.
+fn check_cover(graph: &Csr, pi: &Permutation) -> Result<(), MeasureError> {
+    if pi.len() != graph.num_vertices() {
+        return Err(MeasureError::PermutationMismatch {
+            permutation_len: pi.len(),
+            num_vertices: graph.num_vertices(),
+        });
+    }
+    Ok(())
+}
 
 /// The three global gap measures the paper evaluates orderings on (§V).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,10 +69,29 @@ pub struct GapMeasures {
 /// # }
 /// ```
 pub fn gap_measures(graph: &Csr, pi: &Permutation) -> GapMeasures {
-    assert_eq!(pi.len(), graph.num_vertices(), "permutation must cover the graph");
+    try_gap_measures(graph, pi).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`gap_measures`]: returns a typed error instead of panicking
+/// when `pi` does not cover exactly the graph's vertices.
+///
+/// Every field of the result is finite for every graph, including the
+/// degenerate ones (empty, single-vertex, zero-edge): means over empty
+/// edge or vertex sets are defined as 0.
+///
+/// # Errors
+///
+/// [`MeasureError::PermutationMismatch`] when `pi.len() != n`.
+pub fn try_gap_measures(graph: &Csr, pi: &Permutation) -> Result<GapMeasures, MeasureError> {
+    check_cover(graph, pi)?;
     let n = graph.num_vertices();
     if n == 0 {
-        return GapMeasures { avg_gap: 0.0, bandwidth: 0, avg_bandwidth: 0.0, avg_log_gap: 0.0 };
+        return Ok(GapMeasures {
+            avg_gap: 0.0,
+            bandwidth: 0,
+            avg_bandwidth: 0.0,
+            avg_log_gap: 0.0,
+        });
     }
     // Parallel reduction over CSR rows. Integer accumulators are order-free;
     // the f64 log-gap partials are produced per vertex and folded in index
@@ -99,7 +130,7 @@ pub fn gap_measures(graph: &Csr, pi: &Permutation) -> GapMeasures {
     let avg_gap = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
     let avg_log_gap = if count == 0 { 0.0 } else { log_sum / count as f64 };
     let avg_bandwidth = band_sum / n as f64;
-    GapMeasures { avg_gap, bandwidth, avg_bandwidth, avg_log_gap }
+    Ok(GapMeasures { avg_gap, bandwidth, avg_bandwidth, avg_log_gap })
 }
 
 /// Per-row partial reduction of [`gap_measures`].
@@ -143,7 +174,17 @@ fn row_partial(graph: &Csr, pi: &Permutation, u: u32) -> RowPartial {
 ///
 /// Panics if `pi` does not cover exactly the graph's vertices.
 pub fn edge_gaps(graph: &Csr, pi: &Permutation) -> Vec<u32> {
-    assert_eq!(pi.len(), graph.num_vertices(), "permutation must cover the graph");
+    try_edge_gaps(graph, pi).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`edge_gaps`]: returns a typed error instead of panicking when
+/// `pi` does not cover exactly the graph's vertices.
+///
+/// # Errors
+///
+/// [`MeasureError::PermutationMismatch`] when `pi.len() != n`.
+pub fn try_edge_gaps(graph: &Csr, pi: &Permutation) -> Result<Vec<u32>, MeasureError> {
+    check_cover(graph, pi)?;
     let n = graph.num_vertices();
     let directed = graph.is_directed();
     // Gap rows are independent; computing them in parallel and flattening in
@@ -164,7 +205,7 @@ pub fn edge_gaps(graph: &Csr, pi: &Permutation) -> Vec<u32> {
     for row in rows {
         out.extend(row);
     }
-    out
+    Ok(out)
 }
 
 /// Returns the bandwidth `β_v` of every vertex: the maximum gap between `v`
@@ -174,15 +215,25 @@ pub fn edge_gaps(graph: &Csr, pi: &Permutation) -> Vec<u32> {
 ///
 /// Panics if `pi` does not cover exactly the graph's vertices.
 pub fn vertex_bandwidths(graph: &Csr, pi: &Permutation) -> Vec<u32> {
-    assert_eq!(pi.len(), graph.num_vertices(), "permutation must cover the graph");
+    try_vertex_bandwidths(graph, pi).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`vertex_bandwidths`]: returns a typed error instead of
+/// panicking when `pi` does not cover exactly the graph's vertices.
+///
+/// # Errors
+///
+/// [`MeasureError::PermutationMismatch`] when `pi.len() != n`.
+pub fn try_vertex_bandwidths(graph: &Csr, pi: &Permutation) -> Result<Vec<u32>, MeasureError> {
+    check_cover(graph, pi)?;
     let n = graph.num_vertices();
-    (0..n as u32)
+    Ok((0..n as u32)
         .into_par_iter()
         .map(|v| {
             let rv = pi.rank(v);
             graph.neighbors(v).iter().fold(0u32, |b, &u| b.max(rv.abs_diff(pi.rank(u))))
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -433,5 +484,31 @@ mod tests {
     fn rejects_wrong_length() {
         let g = GraphBuilder::undirected(3).edge(0, 1).build().unwrap();
         let _ = gap_measures(&g, &Permutation::identity(2));
+    }
+
+    #[test]
+    fn try_variants_report_typed_mismatch() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).build().unwrap();
+        let short = Permutation::identity(2);
+        let err = MeasureError::PermutationMismatch { permutation_len: 2, num_vertices: 3 };
+        assert_eq!(try_gap_measures(&g, &short), Err(err.clone()));
+        assert_eq!(try_edge_gaps(&g, &short), Err(err.clone()));
+        assert_eq!(try_vertex_bandwidths(&g, &short), Err(err));
+    }
+
+    #[test]
+    fn try_gap_measures_is_finite_on_degenerate_graphs() {
+        for g in [
+            GraphBuilder::undirected(0).build().unwrap(),
+            GraphBuilder::undirected(1).build().unwrap(),
+            GraphBuilder::undirected(4).build().unwrap(),
+            GraphBuilder::undirected(2).edge(0, 0).edge(1, 1).build().unwrap(),
+        ] {
+            let pi = Permutation::identity(g.num_vertices());
+            let m = try_gap_measures(&g, &pi).unwrap();
+            assert!(m.avg_gap.is_finite());
+            assert!(m.avg_bandwidth.is_finite());
+            assert!(m.avg_log_gap.is_finite());
+        }
     }
 }

@@ -6,6 +6,9 @@ mod packing;
 mod profile;
 
 pub use distribution::GapDistribution;
-pub use gap::{edge_gaps, gap_measures, vertex_bandwidths, GapMeasures};
-pub use packing::{packing_factor, PackingFactor};
+pub use gap::{
+    edge_gaps, gap_measures, try_edge_gaps, try_gap_measures, try_vertex_bandwidths,
+    vertex_bandwidths, GapMeasures,
+};
+pub use packing::{packing_factor, try_packing_factor, PackingFactor};
 pub use profile::PerformanceProfile;

@@ -11,6 +11,7 @@
 //! number of lines that could hold it — `1.0` is perfect packing, larger is
 //! worse.
 
+use crate::error::MeasureError;
 use reorderlab_graph::{Csr, Permutation};
 
 /// Packing diagnostics for one ordering of a graph.
@@ -58,12 +59,46 @@ pub fn packing_factor(
     entry_bytes: usize,
     line_bytes: usize,
 ) -> PackingFactor {
+    try_packing_factor(graph, pi, entry_bytes, line_bytes).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`packing_factor`]: returns a typed error instead of panicking
+/// on a mismatched permutation or impossible cache geometry.
+///
+/// Degenerate graphs are well-defined, not errors: `n == 0` or a graph with
+/// no hot vertices yields `factor: 0.0` with zeroed counts.
+///
+/// # Errors
+///
+/// - [`MeasureError::PermutationMismatch`] when `pi.len() != n`.
+/// - [`MeasureError::ZeroEntryBytes`] when `entry_bytes == 0`.
+/// - [`MeasureError::LineTooSmall`] when `line_bytes < entry_bytes`.
+pub fn try_packing_factor(
+    graph: &Csr,
+    pi: &Permutation,
+    entry_bytes: usize,
+    line_bytes: usize,
+) -> Result<PackingFactor, MeasureError> {
     let n = graph.num_vertices();
-    assert_eq!(pi.len(), n, "permutation must cover the graph");
-    assert!(entry_bytes > 0, "entries must occupy at least a byte");
-    assert!(line_bytes >= entry_bytes, "a line must hold at least one entry");
+    if pi.len() != n {
+        return Err(MeasureError::PermutationMismatch {
+            permutation_len: pi.len(),
+            num_vertices: n,
+        });
+    }
+    if entry_bytes == 0 {
+        return Err(MeasureError::ZeroEntryBytes);
+    }
+    if line_bytes < entry_bytes {
+        return Err(MeasureError::LineTooSmall { entry_bytes, line_bytes });
+    }
     if n == 0 {
-        return PackingFactor { hot_vertices: 0, lines_touched: 0, lines_needed: 0, factor: 0.0 };
+        return Ok(PackingFactor {
+            hot_vertices: 0,
+            lines_touched: 0,
+            lines_needed: 0,
+            factor: 0.0,
+        });
     }
     let per_line = line_bytes / entry_bytes;
     let mean = graph.num_arcs() as f64 / n as f64;
@@ -71,19 +106,24 @@ pub fn packing_factor(
         (0..n as u32).filter(|&v| graph.degree(v) as f64 > mean).map(|v| pi.rank(v)).collect();
     let hot = hot_ranks.len();
     if hot == 0 {
-        return PackingFactor { hot_vertices: 0, lines_touched: 0, lines_needed: 0, factor: 0.0 };
+        return Ok(PackingFactor {
+            hot_vertices: 0,
+            lines_touched: 0,
+            lines_needed: 0,
+            factor: 0.0,
+        });
     }
     let mut lines: Vec<u32> = hot_ranks.iter().map(|&r| r / per_line as u32).collect();
     lines.sort_unstable();
     lines.dedup();
     let touched = lines.len();
     let needed = hot.div_ceil(per_line);
-    PackingFactor {
+    Ok(PackingFactor {
         hot_vertices: hot,
         lines_touched: touched,
         lines_needed: needed,
         factor: touched as f64 / needed as f64,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -157,5 +197,33 @@ mod tests {
     fn rejects_bad_geometry() {
         let g = star(4);
         let _ = packing_factor(&g, &Permutation::identity(4), 64, 4);
+    }
+
+    #[test]
+    fn try_variant_reports_typed_errors() {
+        let g = star(4);
+        let pi = Permutation::identity(4);
+        assert_eq!(
+            try_packing_factor(&g, &Permutation::identity(2), 4, 64),
+            Err(MeasureError::PermutationMismatch { permutation_len: 2, num_vertices: 4 })
+        );
+        assert_eq!(try_packing_factor(&g, &pi, 0, 64), Err(MeasureError::ZeroEntryBytes));
+        assert_eq!(
+            try_packing_factor(&g, &pi, 64, 4),
+            Err(MeasureError::LineTooSmall { entry_bytes: 64, line_bytes: 4 })
+        );
+        assert!(try_packing_factor(&g, &pi, 4, 64).is_ok());
+    }
+
+    #[test]
+    fn try_variant_is_total_on_degenerate_graphs() {
+        let empty = GraphBuilder::undirected(0).build().unwrap();
+        let p = try_packing_factor(&empty, &Permutation::identity(0), 4, 64).unwrap();
+        assert_eq!(p.factor, 0.0);
+        assert!(p.factor.is_finite());
+        let regular = cycle(6);
+        let p = try_packing_factor(&regular, &Permutation::identity(6), 4, 64).unwrap();
+        assert_eq!(p.hot_vertices, 0);
+        assert!(p.factor.is_finite());
     }
 }

@@ -7,6 +7,8 @@
 //! best method — as τ sweeps from 1 upward. "The closer a curve is aligned
 //! to the Y-axis, the better its relative performance."
 
+use crate::error::MeasureError;
+
 /// A computed performance profile over a fixed method and instance set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerformanceProfile {
@@ -36,22 +38,64 @@ impl PerformanceProfile {
     /// # Panics
     ///
     /// Panics if the score matrix is ragged or empty, contains a negative or
-    /// non-finite value, or any τ < 1.
+    /// non-finite value, or any τ < 1 — with the message of the
+    /// [`MeasureError`] that [`try_new`](Self::try_new) would have returned.
     pub fn new<S: Into<String> + Clone>(methods: &[S], scores: &[Vec<f64>], taus: &[f64]) -> Self {
-        assert_eq!(methods.len(), scores.len(), "one score row per method");
-        assert!(!scores.is_empty(), "need at least one method");
+        Self::try_new(methods, scores, taus).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`new`](Self::new): validates the score matrix and τ sample
+    /// points, returning a typed [`MeasureError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// - [`MeasureError::MethodCountMismatch`] when `methods.len() != scores.len()`.
+    /// - [`MeasureError::NoMethods`] / [`MeasureError::NoInstances`] /
+    ///   [`MeasureError::NoTaus`] on empty inputs.
+    /// - [`MeasureError::RaggedScores`] when rows differ in length.
+    /// - [`MeasureError::InvalidScore`] on a negative, NaN, or infinite score.
+    /// - [`MeasureError::TauOutOfRange`] when any τ < 1 (or NaN).
+    pub fn try_new<S: Into<String> + Clone>(
+        methods: &[S],
+        scores: &[Vec<f64>],
+        taus: &[f64],
+    ) -> Result<Self, MeasureError> {
+        if methods.len() != scores.len() {
+            return Err(MeasureError::MethodCountMismatch {
+                methods: methods.len(),
+                rows: scores.len(),
+            });
+        }
+        if scores.is_empty() {
+            return Err(MeasureError::NoMethods);
+        }
         let num_instances = scores[0].len();
-        assert!(num_instances > 0, "need at least one instance");
-        for row in scores {
-            assert_eq!(row.len(), num_instances, "score matrix must be rectangular");
-            for &s in row {
-                assert!(s.is_finite() && s >= 0.0, "scores must be finite and non-negative");
+        if num_instances == 0 {
+            return Err(MeasureError::NoInstances);
+        }
+        for (m, row) in scores.iter().enumerate() {
+            if row.len() != num_instances {
+                return Err(MeasureError::RaggedScores {
+                    row: m,
+                    len: row.len(),
+                    expected: num_instances,
+                });
+            }
+            for (i, &s) in row.iter().enumerate() {
+                if !(s.is_finite() && s >= 0.0) {
+                    return Err(MeasureError::InvalidScore { method: m, instance: i, value: s });
+                }
             }
         }
         let mut taus: Vec<f64> = taus.to_vec();
         taus.sort_by(f64::total_cmp);
         taus.dedup();
-        assert!(taus.iter().all(|&t| t >= 1.0), "factors must be at least 1");
+        if taus.is_empty() {
+            return Err(MeasureError::NoTaus);
+        }
+        if let Some(&bad) = taus.iter().find(|&&t| t < 1.0 || t.is_nan()) {
+            return Err(MeasureError::TauOutOfRange { tau: bad });
+        }
 
         // Best per instance.
         let best: Vec<f64> = (0..num_instances)
@@ -90,12 +134,12 @@ impl PerformanceProfile {
             })
             .collect();
 
-        PerformanceProfile {
+        Ok(PerformanceProfile {
             methods: methods.iter().cloned().map(Into::into).collect(),
             taus,
             curves,
             ratios,
-        }
+        })
     }
 
     /// Default τ sample points used across the paper-style figures:
@@ -210,6 +254,42 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn rejects_tau_below_one() {
         let _ = PerformanceProfile::new(&["A"], &[vec![1.0]], &[0.5]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            PerformanceProfile::try_new(&["A", "B"], &[vec![1.0]], &[1.0]),
+            Err(MeasureError::MethodCountMismatch { methods: 2, rows: 1 })
+        );
+        assert_eq!(
+            PerformanceProfile::try_new::<&str>(&[], &[], &[1.0]),
+            Err(MeasureError::NoMethods)
+        );
+        assert_eq!(
+            PerformanceProfile::try_new(&["A"], &[vec![]], &[1.0]),
+            Err(MeasureError::NoInstances)
+        );
+        assert_eq!(
+            PerformanceProfile::try_new(&["A", "B"], &[vec![1.0, 2.0], vec![1.0]], &[1.0]),
+            Err(MeasureError::RaggedScores { row: 1, len: 1, expected: 2 })
+        );
+        assert!(matches!(
+            PerformanceProfile::try_new(&["A"], &[vec![f64::NAN]], &[1.0]),
+            Err(MeasureError::InvalidScore { method: 0, instance: 0, .. })
+        ));
+        assert_eq!(
+            PerformanceProfile::try_new(&["A"], &[vec![1.0]], &[0.5]),
+            Err(MeasureError::TauOutOfRange { tau: 0.5 })
+        );
+        assert_eq!(
+            PerformanceProfile::try_new(&["A"], &[vec![1.0]], &[]),
+            Err(MeasureError::NoTaus)
+        );
+        assert!(matches!(
+            PerformanceProfile::try_new(&["A"], &[vec![1.0]], &[f64::NAN]),
+            Err(MeasureError::TauOutOfRange { tau }) if tau.is_nan()
+        ));
     }
 
     #[test]

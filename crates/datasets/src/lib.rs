@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degenerate;
 mod mesh;
 mod powerlaw;
 mod random;
@@ -35,6 +36,7 @@ mod sbm;
 mod simple;
 pub mod suite;
 
+pub use degenerate::{degenerate_suite, DegenerateCase};
 pub use mesh::{road_fragment, road_network, tri_mesh};
 pub use powerlaw::{barabasi_albert, hub_and_spokes, rmat, RmatParams};
 pub use random::{erdos_renyi_gnm, random_geometric, watts_strogatz};

@@ -7,6 +7,13 @@ use crate::csr::Csr;
 use crate::error::GraphError;
 use std::io::{BufRead, Write};
 
+/// Cap on pre-allocation driven by *declared* sizes in file headers.
+///
+/// A forged header (`nnz` or `m` in the trillions) must not force a huge
+/// up-front allocation before a single entry has been read; genuine large
+/// inputs simply grow past the cap organically.
+pub(crate) const MAX_TRUSTED_RESERVE: usize = 1 << 20;
+
 /// Reads an undirected graph from an edge-list text stream.
 ///
 /// Each non-comment line is `u v` or `u v w` with 0-based vertex ids. Lines
@@ -39,10 +46,19 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
         let w: f64 = match parts.next() {
             Some(tok) => {
                 weighted = true;
-                tok.parse().map_err(|_| GraphError::Parse {
+                let w: f64 = tok.parse().map_err(|_| GraphError::Parse {
                     line: lineno + 1,
                     message: format!("invalid weight {tok:?}"),
-                })?
+                })?;
+                // Validate here rather than in the builder so the error
+                // carries the offending line ("NaN" and "inf" parse as f64).
+                if !w.is_finite() || w < 0.0 {
+                    return Err(GraphError::Parse {
+                        line: lineno + 1,
+                        message: format!("weight {w} must be finite and non-negative"),
+                    });
+                }
+                w
             }
             None => 1.0,
         };
@@ -122,7 +138,7 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
         }
     }
 
-    let mut b = GraphBuilder::undirected(n).reserve(m);
+    let mut b = GraphBuilder::undirected(n).reserve(m.min(MAX_TRUSTED_RESERVE));
     let mut vertex = 0u32;
     for (i, line) in lines {
         let line =
@@ -274,5 +290,60 @@ mod tests {
         let g = read_metis("3 1\n2\n1\n\n".as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn edge_list_handles_crlf() {
+        let text = "0 1\r\n1 2 2.5\r\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.edge_weight(1, 2), Some(2.5));
+    }
+
+    #[test]
+    fn edge_list_rejects_nan_weight_with_line() {
+        let err = read_edge_list("0 1\n1 2 NaN\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "got {err:?}");
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn edge_list_rejects_negative_and_infinite_weights() {
+        for text in ["0 1 -2.0\n", "0 1 inf\n", "0 1 -inf\n"] {
+            let err = read_edge_list(text.as_bytes()).unwrap_err();
+            assert!(matches!(err, GraphError::Parse { line: 1, .. }), "got {err:?} for {text:?}");
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_overflowing_id_with_line() {
+        // 5 × 10^9 does not fit a u32 vertex id.
+        let err = read_edge_list("0 1\n5000000000 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn empty_edge_list_is_the_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        let g = read_edge_list("# only comments\n\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn metis_huge_declared_edge_count_is_capped_not_allocated() {
+        // 4 × 10^9 declared edges with one real one: the mismatch must be
+        // reported without attempting the full reservation.
+        let err = read_metis("2 4000000000\n2\n1\n1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("more adjacency lines"), "got {err}");
+        let g = read_metis("2 4000000000\n2\n1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn metis_missing_header_reports_line_one() {
+        let err = read_metis("".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "got {err:?}");
     }
 }

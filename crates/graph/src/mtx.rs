@@ -11,6 +11,7 @@
 use crate::builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
 use crate::csr::Csr;
 use crate::error::GraphError;
+use crate::io::MAX_TRUSTED_RESERVE;
 use std::io::{BufRead, Write};
 
 /// How a Matrix Market file's symmetry field maps onto graph direction.
@@ -34,9 +35,10 @@ enum MtxSymmetry {
 /// Returns [`GraphError::Parse`] for malformed headers or entries.
 pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
     let mut lines = reader.lines().enumerate();
+    let mut last_line = 0usize;
 
     // Banner.
-    let (banner_line, banner) = next_content_line(&mut lines, true)?;
+    let (banner_line, banner) = next_content_line(&mut lines, &mut last_line, true)?;
     let lower = banner.to_ascii_lowercase();
     let mut parts = lower.split_whitespace();
     if parts.next() != Some("%%matrixmarket") || parts.next() != Some("matrix") {
@@ -74,7 +76,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
     };
 
     // Size line.
-    let (size_line, size) = next_content_line(&mut lines, false)?;
+    let (size_line, size) = next_content_line(&mut lines, &mut last_line, false)?;
     let mut sp = size.split_whitespace();
     let rows: usize = parse_num(sp.next(), size_line, "row count")?;
     let cols: usize = parse_num(sp.next(), size_line, "column count")?;
@@ -85,13 +87,23 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
             message: format!("adjacency matrix must be square, got {rows}x{cols}"),
         });
     }
+    // Vertex ids are u32; a larger declared dimension would silently
+    // truncate every index below.
+    if rows > u32::MAX as usize {
+        return Err(GraphError::Parse {
+            line: size_line,
+            message: format!("dimension {rows} exceeds the supported vertex id space (u32)"),
+        });
+    }
 
     let directed = symmetry == MtxSymmetry::General;
+    // The declared nnz is untrusted until matched against actual entries;
+    // cap the pre-allocation so a forged header cannot balloon memory.
     let mut b =
         if directed { GraphBuilder::directed(rows) } else { GraphBuilder::undirected(rows) }
             .self_loops(SelfLoopPolicy::Drop)
             .duplicates(DuplicatePolicy::MergeSum)
-            .reserve(nnz);
+            .reserve(nnz.min(MAX_TRUSTED_RESERVE));
 
     let mut seen = 0usize;
     for (i, line) in lines {
@@ -111,19 +123,30 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
             });
         }
         seen += 1;
+        if seen > nnz {
+            return Err(GraphError::Parse {
+                line: i + 1,
+                message: format!("more entries than the declared {nnz}"),
+            });
+        }
         let (u, v) = ((r - 1) as u32, (c - 1) as u32);
         if weighted {
-            let w: f64 = ep
-                .next()
-                .ok_or_else(|| GraphError::Parse {
+            let tok = ep.next().ok_or_else(|| GraphError::Parse {
+                line: i + 1,
+                message: "missing value for weighted entry".into(),
+            })?;
+            let w: f64 = tok.parse().map_err(|_| GraphError::Parse {
+                line: i + 1,
+                message: format!("invalid numeric value {tok:?}"),
+            })?;
+            // "NaN"/"inf" parse as f64 — reject here so the error carries
+            // the offending line instead of a builder error without one.
+            if !w.is_finite() {
+                return Err(GraphError::Parse {
                     line: i + 1,
-                    message: "missing value for weighted entry".into(),
-                })?
-                .parse()
-                .map_err(|_| GraphError::Parse {
-                    line: i + 1,
-                    message: "invalid numeric value".into(),
-                })?;
+                    message: format!("value {w} must be finite"),
+                });
+            }
             // Graph weights must be non-negative; matrices may carry signs
             // (e.g. Laplacians) — take magnitudes, the usual adjacency view.
             b = b.weighted_edge(u, v, w.abs());
@@ -169,12 +192,16 @@ pub fn write_matrix_market<W: Write>(graph: &Csr, mut writer: W) -> std::io::Res
 type NumberedLines<'a, R> = &'a mut std::iter::Enumerate<std::io::Lines<R>>;
 
 /// Pulls the next non-empty line; comments (`%…`) are skipped unless the
-/// banner itself is requested.
+/// banner itself is requested. `last_line` tracks the highest 1-based line
+/// number consumed so an unexpected EOF can report the line *after* the
+/// last one read (line 1 for an empty file) instead of a bogus 0.
 fn next_content_line<R: BufRead>(
     lines: NumberedLines<'_, R>,
+    last_line: &mut usize,
     banner: bool,
 ) -> Result<(usize, String), GraphError> {
     for (i, line) in lines.by_ref() {
+        *last_line = i + 1;
         let line =
             line.map_err(|e| GraphError::Parse { line: i + 1, message: format!("io error: {e}") })?;
         let t = line.trim();
@@ -189,7 +216,7 @@ fn next_content_line<R: BufRead>(
         }
         return Ok((i + 1, t.to_string()));
     }
-    Err(GraphError::Parse { line: 0, message: "unexpected end of file".into() })
+    Err(GraphError::Parse { line: *last_line + 1, message: "unexpected end of file".into() })
 }
 
 fn parse_num(tok: Option<&str>, line: usize, what: &str) -> Result<usize, GraphError> {
@@ -293,5 +320,83 @@ mod tests {
     fn rejects_unsupported_field() {
         let text = "%%MatrixMarket matrix coordinate complex symmetric\n2 2 0\n";
         assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_file_reports_line_one() {
+        let err = read_matrix_market("".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "got {err:?}");
+        assert!(err.to_string().contains("end of file"));
+    }
+
+    #[test]
+    fn truncated_after_banner_reports_following_line() {
+        let err =
+            read_matrix_market("%%MatrixMarket matrix coordinate pattern symmetric\n".as_bytes())
+                .unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn handles_crlf_and_trailing_whitespace() {
+        let text =
+            "%%MatrixMarket matrix coordinate pattern symmetric\r\n3 3 2  \r\n2 1 \r\n3 2\t\r\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn huge_declared_nnz_rejected_without_preallocation() {
+        // Declares ~10^18 entries but provides one; must fail on the count
+        // mismatch, not abort on allocation.
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 999999999999999999\n\
+                    2 1\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 999999999999999999 entries"));
+    }
+
+    #[test]
+    fn excess_entries_fail_at_the_offending_line() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n2 1\n3 1\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 4, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn rejects_dimension_beyond_u32() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n5000000000 5000000000 0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("vertex id space"), "got {err}");
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_non_finite_value_with_line() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 NaN\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 3, .. }), "got {err:?}");
+        assert!(err.to_string().contains("finite"));
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 inf\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn every_parse_failure_carries_a_positive_line() {
+        for text in [
+            "",
+            "%%MatrixMarket matrix coordinate pattern symmetric\n",
+            "%%NotMatrixMarket\n",
+            "%%MatrixMarket matrix coordinate pattern symmetric\n3 3\n",
+            "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\nx y\n",
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1\n",
+        ] {
+            let err = read_matrix_market(text.as_bytes()).unwrap_err();
+            match err {
+                GraphError::Parse { line, .. } => assert!(line >= 1, "line 0 for {text:?}"),
+                other => panic!("expected Parse, got {other:?} for {text:?}"),
+            }
+        }
     }
 }

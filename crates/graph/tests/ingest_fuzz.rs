@@ -1,0 +1,200 @@
+//! Fuzz + adversarial-fixture harness for the text readers.
+//!
+//! The ingestion contract: `read_matrix_market`, `read_edge_list`, and
+//! `read_metis` never panic and never pre-allocate from an untrusted
+//! declared size, whatever the input bytes; every rejection is a
+//! `GraphError::Parse` carrying a 1-based line number.
+//!
+//! The checked-in corpus lives in `tests/fixtures/adversarial/` at the
+//! repo root (see its README for the defect catalogue).
+
+use proptest::prelude::*;
+use reorderlab_graph::{read_edge_list, read_matrix_market, read_metis, GraphError};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const ADVERSARIAL_DIR: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/adversarial");
+
+/// Asserts the reader outcome obeys the ingestion contract: any error is a
+/// line-numbered parse error.
+fn assert_contract(result: Result<reorderlab_graph::Csr, GraphError>, ctx: &str) {
+    if let Err(e) = result {
+        match e {
+            GraphError::Parse { line, .. } => {
+                assert!(line >= 1, "{ctx}: parse error with line 0: {e}")
+            }
+            other => panic!("{ctx}: non-parse error {other:?}"),
+        }
+    }
+}
+
+fn run_all_readers(bytes: &[u8], ctx: &str) {
+    assert_contract(read_matrix_market(bytes), &format!("{ctx} as mtx"));
+    assert_contract(read_edge_list(bytes), &format!("{ctx} as edge list"));
+    assert_contract(read_metis(bytes), &format!("{ctx} as metis"));
+}
+
+// ---------------------------------------------------------------------------
+// Checked-in adversarial corpus: every file must fail with a line-numbered
+// parse error under its matching reader.
+// ---------------------------------------------------------------------------
+
+fn corpus_files(ext: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(ADVERSARIAL_DIR)
+        .expect("adversarial fixture directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == ext))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .{ext} fixtures found in {ADVERSARIAL_DIR}");
+    files
+}
+
+fn parse_line_of(result: Result<reorderlab_graph::Csr, GraphError>, path: &Path) -> usize {
+    match result {
+        Ok(_) => panic!("{} parsed successfully; adversarial fixtures must fail", path.display()),
+        Err(GraphError::Parse { line, message }) => {
+            assert!(line >= 1, "{}: line 0 in {message:?}", path.display());
+            line
+        }
+        Err(other) => panic!("{}: non-parse error {other:?}", path.display()),
+    }
+}
+
+#[test]
+fn every_adversarial_mtx_fails_with_a_line_number() {
+    for path in corpus_files("mtx") {
+        let bytes = fs::read(&path).expect("fixture readable");
+        let line = parse_line_of(read_matrix_market(&bytes[..]), &path);
+        // Spot-check the exact line for the defects with a known location.
+        let expected = match path.file_name().and_then(|n| n.to_str()) {
+            Some("bad_banner.mtx") | Some("unsupported_field.mtx") | Some("empty.mtx") => Some(1),
+            Some("truncated_entries.mtx")
+            | Some("huge_nnz.mtx")
+            | Some("overflow_dimension.mtx")
+            | Some("nonsquare.mtx") => Some(2),
+            Some("truncated_header.mtx") | Some("overflow_index.mtx") | Some("nan_value.mtx") => {
+                Some(3)
+            }
+            _ => None,
+        };
+        if let Some(want) = expected {
+            assert_eq!(line, want, "{}: wrong line", path.display());
+        }
+    }
+}
+
+#[test]
+fn every_adversarial_edge_list_fails_with_a_line_number() {
+    for path in corpus_files("el") {
+        let bytes = fs::read(&path).expect("fixture readable");
+        let line = parse_line_of(read_edge_list(&bytes[..]), &path);
+        let expected = match path.file_name().and_then(|n| n.to_str()) {
+            Some("negative_weight.el") => Some(1),
+            Some("nan_weight.el") | Some("overflow_id.el") => Some(2),
+            Some("missing_target.el") => Some(3),
+            _ => None,
+        };
+        if let Some(want) = expected {
+            assert_eq!(line, want, "{}: wrong line", path.display());
+        }
+    }
+}
+
+#[test]
+fn every_adversarial_metis_fails_with_a_line_number() {
+    for path in corpus_files("graph") {
+        let bytes = fs::read(&path).expect("fixture readable");
+        parse_line_of(read_metis(&bytes[..]), &path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property fuzz: byte soup and structured near-valid inputs.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes through every reader: no panics, no line-0 errors.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        run_all_readers(&bytes, "byte soup");
+    }
+
+    /// ASCII-heavy soup (digits, whitespace, separators, signs) hits the
+    /// tokenizers much harder than uniform bytes.
+    #[test]
+    fn ascii_soup_never_panics(picks in proptest::collection::vec(0usize..16, 0..256)) {
+        const ALPHABET: &[u8; 16] = b"0123456789 .\n%-\t";
+        let bytes: Vec<u8> = picks.iter().map(|&i| ALPHABET[i]).collect();
+        run_all_readers(&bytes, "ascii soup");
+    }
+
+    /// Structured Matrix Market inputs with adversarial headers: declared
+    /// sizes never cause over-allocation, and any mismatch is a
+    /// line-numbered error.
+    #[test]
+    fn mtx_with_forged_headers_never_panics(
+        (rows, nnz, entries, weighted) in (
+            0usize..6,
+            0u64..=u64::MAX,
+            proptest::collection::vec((0u32..8, 0u32..8, -2.0f64..2.0), 0..8),
+            any::<bool>(),
+        )
+    ) {
+        let field = if weighted { "real" } else { "pattern" };
+        let mut text = format!("%%MatrixMarket matrix coordinate {field} symmetric\n");
+        text.push_str(&format!("{rows} {rows} {nnz}\n"));
+        for (r, c, w) in &entries {
+            if weighted {
+                text.push_str(&format!("{r} {c} {w}\n"));
+            } else {
+                text.push_str(&format!("{r} {c}\n"));
+            }
+        }
+        assert_contract(read_matrix_market(text.as_bytes()), "forged mtx");
+    }
+
+    /// Structured edge lists with extreme tokens (ids near u32::MAX,
+    /// non-finite weight spellings) never panic.
+    #[test]
+    fn edge_list_with_extreme_tokens_never_panics(
+        (lines, tail) in (
+            proptest::collection::vec((0u64..=u64::MAX, 0u32..64, 0usize..6), 0..12),
+            0usize..4,
+        )
+    ) {
+        const WEIRD: [&str; 6] = ["NaN", "inf", "-inf", "1e308", "-0.0", "0.5"];
+        let mut text = String::new();
+        for (u, v, pick) in &lines {
+            text.push_str(&format!("{u} {v} {}\n", WEIRD[*pick]));
+        }
+        // Optionally truncate the final newline / token to simulate EOF
+        // mid-record.
+        for _ in 0..tail {
+            text.pop();
+        }
+        assert_contract(read_edge_list(text.as_bytes()), "extreme edge list");
+    }
+
+    /// Structured METIS inputs with forged headers (n/m disagreeing with
+    /// the body) never panic or over-allocate.
+    #[test]
+    fn metis_with_forged_headers_never_panics(
+        (n, m, rows) in (
+            0u32..6,
+            0u32..=u32::MAX,
+            proptest::collection::vec(proptest::collection::vec(0u32..9, 0..4), 0..8),
+        )
+    ) {
+        let mut text = format!("{n} {m}\n");
+        for row in &rows {
+            let toks: Vec<String> = row.iter().map(|t| t.to_string()).collect();
+            text.push_str(&toks.join(" "));
+            text.push('\n');
+        }
+        assert_contract(read_metis(text.as_bytes()), "forged metis");
+    }
+}

@@ -1,0 +1,3 @@
+# a comment line
+0 1
+2
