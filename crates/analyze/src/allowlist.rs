@@ -1,0 +1,270 @@
+//! The committed allowlist (`analyze.toml`): a registry of audited
+//! exceptions to the static-analysis contract.
+//!
+//! Format — a deliberate subset of TOML, parsed locally so the crate stays
+//! dependency-free:
+//!
+//! ```toml
+//! schema = 1
+//!
+//! [[allow]]
+//! rule = "P1"
+//! path = "crates/trace/src/recorder.rs"
+//! line = 169                     # pin one diagnostic at this exact line
+//! reason = "why this is sound"
+//!
+//! [[allow]]
+//! rule = "C1"
+//! path = "crates/core/src/schemes/rcm.rs"
+//! count = 6                      # budget: exactly this many in the file
+//! reason = "vertex counts are bounded by the Csr u32 invariant"
+//! ```
+//!
+//! Every entry must carry `rule`, `path`, `reason`, and exactly one of
+//! `line` (pin a single diagnostic) or `count` (a per-file budget — an
+//! exact-match ratchet, so adding *or* removing a site forces a re-audit).
+//! The analyzer additionally requires a `// SAFETY:` or `// DETERMINISM:`
+//! comment at the blessed site (`line` entries) or at module level before
+//! the first blessed site (`count` entries); an allowlist entry alone is
+//! never sufficient.
+
+use crate::rules::RULE_IDS;
+
+/// How an [`AllowEntry`] selects diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowKind {
+    /// Exactly one diagnostic, at this 1-based line.
+    Line(u32),
+    /// Every diagnostic of the rule in the file; the total must equal this.
+    Count(u32),
+}
+
+/// One audited exception.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id (`"D1"`, `"P1"`, …).
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Line pin or per-file budget.
+    pub kind: AllowKind,
+    /// Human justification; must be non-empty.
+    pub reason: String,
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Schema version (`schema = 1`).
+    pub schema: u32,
+    /// All entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A parse or validation failure, with the offending 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowlistError {
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowlistError {}
+
+/// Partial entry being accumulated while parsing.
+#[derive(Debug, Default)]
+struct Draft {
+    start_line: usize,
+    rule: Option<String>,
+    path: Option<String>,
+    line: Option<u32>,
+    count: Option<u32>,
+    reason: Option<String>,
+}
+
+fn finish(draft: Draft) -> Result<AllowEntry, AllowlistError> {
+    let at = draft.start_line;
+    let err = |m: &str| AllowlistError { line: at, message: m.to_string() };
+    let rule = draft.rule.ok_or_else(|| err("entry is missing `rule`"))?;
+    if !RULE_IDS.contains(&rule.as_str()) {
+        return Err(err(&format!("unknown rule {rule:?} (expected one of {RULE_IDS:?})")));
+    }
+    let path = draft.path.ok_or_else(|| err("entry is missing `path`"))?;
+    let reason = draft.reason.ok_or_else(|| err("entry is missing `reason`"))?;
+    if reason.trim().is_empty() {
+        return Err(err("`reason` must not be empty"));
+    }
+    let kind = match (draft.line, draft.count) {
+        (Some(l), None) => AllowKind::Line(l),
+        (None, Some(c)) => AllowKind::Count(c),
+        (Some(_), Some(_)) => return Err(err("entry has both `line` and `count`")),
+        (None, None) => return Err(err("entry needs exactly one of `line` or `count`")),
+    };
+    Ok(AllowEntry { rule, path, kind, reason })
+}
+
+/// Parses the allowlist text.
+///
+/// # Errors
+///
+/// Returns the first syntactic or semantic problem with its line number.
+pub fn parse(text: &str) -> Result<Allowlist, AllowlistError> {
+    let mut list = Allowlist::default();
+    let mut draft: Option<Draft> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(d) = draft.take() {
+                list.entries.push(finish(d)?);
+            }
+            draft = Some(Draft { start_line: lineno, ..Draft::default() });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(AllowlistError {
+                line: lineno,
+                message: format!("unsupported table {line:?} (only [[allow]] is recognized)"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(AllowlistError {
+                line: lineno,
+                message: format!("expected `key = value`, got {line:?}"),
+            });
+        };
+        let key = key.trim();
+        // Strip a trailing `# comment` only outside quoted strings.
+        let value = strip_comment(value.trim());
+        match (key, &mut draft) {
+            ("schema", None) => {
+                list.schema = parse_int(value, lineno)?;
+            }
+            (_, None) => {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("key {key:?} outside any [[allow]] entry"),
+                });
+            }
+            ("rule", Some(d)) => d.rule = Some(parse_str(value, lineno)?),
+            ("path", Some(d)) => d.path = Some(parse_str(value, lineno)?),
+            ("reason", Some(d)) => d.reason = Some(parse_str(value, lineno)?),
+            ("line", Some(d)) => d.line = Some(parse_int(value, lineno)?),
+            ("count", Some(d)) => d.count = Some(parse_int(value, lineno)?),
+            (other, Some(_)) => {
+                return Err(AllowlistError {
+                    line: lineno,
+                    message: format!("unknown key {other:?} in [[allow]] entry"),
+                });
+            }
+        }
+    }
+    if let Some(d) = draft.take() {
+        list.entries.push(finish(d)?);
+    }
+    Ok(list)
+}
+
+fn strip_comment(value: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in value.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return value[..i].trim_end(),
+            _ => {}
+        }
+    }
+    value
+}
+
+fn parse_str(value: &str, line: usize) -> Result<String, AllowlistError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(AllowlistError { line, message: format!("expected a quoted string, got {v:?}") })
+    }
+}
+
+fn parse_int(value: &str, line: usize) -> Result<u32, AllowlistError> {
+    value.trim().parse().map_err(|_| AllowlistError {
+        line,
+        message: format!("expected an integer, got {value:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_entry_kinds() {
+        let text = r#"
+schema = 1
+
+# an audited panic site
+[[allow]]
+rule = "P1"
+path = "crates/x/src/a.rs"
+line = 12   # pinned
+reason = "cannot fail: invariant"
+
+[[allow]]
+rule = "C1"
+path = "crates/x/src/b.rs"
+count = 3
+reason = "bounded casts"
+"#;
+        let list = parse(text).unwrap();
+        assert_eq!(list.schema, 1);
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].kind, AllowKind::Line(12));
+        assert_eq!(list.entries[1].kind, AllowKind::Count(3));
+        assert_eq!(list.entries[1].rule, "C1");
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let text = "[[allow]]\nrule = \"P1\"\npath = \"x.rs\"\nline = 1\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_line_and_count_together() {
+        let text =
+            "[[allow]]\nrule = \"P1\"\npath = \"x.rs\"\nline = 1\ncount = 2\nreason = \"r\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("both"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        let text = "[[allow]]\nrule = \"Z9\"\npath = \"x.rs\"\nline = 1\nreason = \"r\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn rejects_keys_outside_entries() {
+        let err = parse("rule = \"P1\"\n").unwrap_err();
+        assert!(err.message.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn empty_text_is_an_empty_allowlist() {
+        let list = parse("").unwrap();
+        assert_eq!(list.entries.len(), 0);
+    }
+}

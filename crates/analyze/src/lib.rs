@@ -1,0 +1,391 @@
+#![forbid(unsafe_code)]
+//! `reorderlab-analyze` — repo-native static analysis for reorderlab.
+//!
+//! Clippy and rustc enforce language-level hygiene; this crate enforces the
+//! *repo's* contracts — the determinism and panic-safety rules that DESIGN.md
+//! §8 spells out and that no off-the-shelf lint knows about. It tokenizes
+//! every workspace `.rs` file (no rustc, no syn, no network) and emits typed,
+//! line-numbered diagnostics, filtered through a committed allowlist
+//! (`analyze.toml`) whose every entry must be justified by a `// SAFETY:` or
+//! `// DETERMINISM:` comment in the code it blesses.
+//!
+//! The pieces:
+//! - [`lexer`]: a line-aware Rust lexer (comments, raw strings, lifetimes).
+//! - [`rules`]: the five contracts (D1, D2, P1, C1, U1) over token streams.
+//! - [`allowlist`]: the `analyze.toml` subset-of-TOML parser and ratchet.
+//! - [`analyze_workspace`]: the driver that walks `crates/*/src`, applies
+//!   per-file scopes, and reconciles findings against the allowlist.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use allowlist::{AllowKind, Allowlist};
+use rules::{Diagnostic, Scope};
+
+/// Crates whose `src` trees are library code for P1 (no panicking calls).
+/// `cli` and `bench` are binaries: aborting the process there is an
+/// acceptable failure mode, and `analyze` itself is excluded from P1 only
+/// through this list — it still gets D1/D2/C1-narrow/U1 like everyone else.
+pub const LIB_CRATES: [&str; 9] = [
+    "graph",
+    "core",
+    "kernels",
+    "community",
+    "influence",
+    "partition",
+    "trace",
+    "memsim",
+    "datasets",
+];
+
+/// Crates where C1 (narrowing `as` casts) applies.
+pub const C1_CRATES: [&str; 3] = ["graph", "core", "kernels"];
+
+/// Ingestion files: stricter C1 (all integer casts) plus P1's index leg,
+/// because these parse untrusted bytes.
+pub const INGESTION_FILES: [&str; 2] = ["crates/graph/src/io.rs", "crates/graph/src/mtx.rs"];
+
+/// The blessed D2 wrapper module: the one place order-fixed reductions live.
+pub const D2_BLESSED: &str = "crates/graph/src/determinism.rs";
+
+/// The blessed C1 module: checked conversions with compile-time width proofs.
+pub const C1_BLESSED: &str = "crates/graph/src/cast.rs";
+
+/// Computes the rule scope for one workspace-relative path (forward slashes).
+pub fn scope_for(rel: &str) -> Scope {
+    let crate_name =
+        rel.strip_prefix("crates/").and_then(|rest| rest.split('/').next()).unwrap_or("");
+    let is_bin = rel.contains("/src/bin/");
+    let ingestion = INGESTION_FILES.contains(&rel);
+    Scope {
+        d1: true,
+        d2: rel != D2_BLESSED,
+        p1: LIB_CRATES.contains(&crate_name) && !is_bin,
+        p1_index: ingestion,
+        c1: C1_CRATES.contains(&crate_name) && rel != C1_BLESSED,
+        c1_all_int: ingestion,
+        u1: true,
+        u1_root: rel == "src/lib.rs"
+            || rel.ends_with("/src/lib.rs")
+            || rel.ends_with("/src/main.rs")
+            || is_bin,
+    }
+}
+
+/// Walks `root/crates/*/src` plus the root facade's `src/`, collecting
+/// every `.rs` file sorted by path. `shims/`, `target/`, and per-crate
+/// `tests/` trees are outside `src` and therefore never visited.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut files)?;
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        walk_rs(&facade_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// One unsuppressed finding, tied to its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileDiagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The finding itself.
+    pub diagnostic: Diagnostic,
+}
+
+/// The reconciled result of a workspace run.
+#[derive(Debug, Default)]
+pub struct AnalysisReport {
+    /// How many `.rs` files were lexed and checked.
+    pub files_scanned: usize,
+    /// Findings not covered by the allowlist, sorted by path then line.
+    pub diagnostics: Vec<FileDiagnostic>,
+    /// Allowlist problems: unused entries, count drift, missing
+    /// justification comments. Any problem fails the run.
+    pub problems: Vec<String>,
+    /// Findings covered by a valid allowlist entry.
+    pub suppressed: usize,
+}
+
+impl AnalysisReport {
+    /// True when the workspace satisfies the contract: no stray findings
+    /// and no allowlist problems.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.problems.is_empty()
+    }
+}
+
+/// Runs the full pass: walk, lex, check, reconcile against `allow`.
+///
+/// # Errors
+///
+/// Returns the first I/O failure while walking or reading files.
+pub fn analyze_workspace(root: &Path, allow: &Allowlist) -> io::Result<AnalysisReport> {
+    let files = collect_files(root)?;
+    let mut per_file: BTreeMap<String, (Vec<Diagnostic>, lexer::Lexed)> = BTreeMap::new();
+    for path in &files {
+        let rel = relative_slash(root, path);
+        let source = fs::read_to_string(path)?;
+        let lexed = lexer::lex(&source);
+        let diags = rules::check(&lexed, &scope_for(&rel));
+        per_file.insert(rel, (diags, lexed));
+    }
+    let mut report = reconcile(&mut per_file, allow);
+    report.files_scanned = files.len();
+    Ok(report)
+}
+
+/// Converts an absolute path under `root` to a `/`-separated relative path.
+pub fn relative_slash(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+const JUSTIFICATIONS: [&str; 2] = ["SAFETY:", "DETERMINISM:"];
+
+/// How close (in lines, at or above) a justification comment must sit to a
+/// line-pinned allowlist site. Five lines accommodates a comment above a
+/// multi-line method chain whose `.expect` sits on the final line.
+const JUSTIFICATION_WINDOW: u32 = 5;
+
+fn reconcile(
+    per_file: &mut BTreeMap<String, (Vec<Diagnostic>, lexer::Lexed)>,
+    allow: &Allowlist,
+) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+    if allow.schema != 1 && !allow.entries.is_empty() {
+        report.problems.push(format!(
+            "allowlist: unsupported schema {} (this analyzer understands schema = 1)",
+            allow.schema
+        ));
+    }
+
+    // Suppression marks, parallel to each file's diagnostics vector.
+    let mut taken: BTreeMap<String, Vec<bool>> =
+        per_file.iter().map(|(p, (d, _))| (p.clone(), vec![false; d.len()])).collect();
+
+    for entry in &allow.entries {
+        let Some((diags, lexed)) = per_file.get(&entry.path) else {
+            report.problems.push(format!(
+                "allowlist: entry for {} {} matches no analyzed file",
+                entry.rule, entry.path
+            ));
+            continue;
+        };
+        let marks = taken.get_mut(&entry.path).expect("taken is keyed identically to per_file");
+        match entry.kind {
+            AllowKind::Line(line) => {
+                let hits: Vec<usize> = diags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.rule == entry.rule && d.line == line)
+                    .map(|(i, _)| i)
+                    .collect();
+                if hits.is_empty() {
+                    report.problems.push(format!(
+                        "allowlist: unused entry {} {}:{} — the diagnostic it blesses no \
+                         longer fires; remove it",
+                        entry.rule, entry.path, line
+                    ));
+                    continue;
+                }
+                let justified = JUSTIFICATIONS
+                    .iter()
+                    .any(|n| lexed.comment_near(line, JUSTIFICATION_WINDOW, n));
+                if !justified {
+                    report.problems.push(format!(
+                        "allowlist: {} {}:{} has no // SAFETY: or // DETERMINISM: comment \
+                         within {} lines of the site",
+                        entry.rule, entry.path, line, JUSTIFICATION_WINDOW
+                    ));
+                }
+                for i in hits {
+                    marks[i] = true;
+                    report.suppressed += 1;
+                }
+            }
+            AllowKind::Count(expected) => {
+                let hits: Vec<usize> = diags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.rule == entry.rule)
+                    .map(|(i, _)| i)
+                    .collect();
+                if hits.len() as u32 != expected {
+                    report.problems.push(format!(
+                        "allowlist: count drift for {} {} — entry budgets {expected} \
+                         site(s) but the analyzer found {}; re-audit the file and update \
+                         the count",
+                        entry.rule,
+                        entry.path,
+                        hits.len()
+                    ));
+                }
+                if let Some(&first) = hits.first() {
+                    let first_line = diags[first].line;
+                    let justified =
+                        JUSTIFICATIONS.iter().any(|n| lexed.comment_at_or_before(first_line, n));
+                    if !justified {
+                        report.problems.push(format!(
+                            "allowlist: {} {} (count = {expected}) has no module-level \
+                             // SAFETY: or // DETERMINISM: comment at or before the first \
+                             site (line {first_line})",
+                            entry.rule, entry.path
+                        ));
+                    }
+                }
+                for i in hits {
+                    marks[i] = true;
+                    report.suppressed += 1;
+                }
+            }
+        }
+    }
+
+    for (path, (diags, _)) in per_file.iter() {
+        let marks = &taken[path];
+        for (i, d) in diags.iter().enumerate() {
+            if !marks[i] {
+                report
+                    .diagnostics
+                    .push(FileDiagnostic { path: path.clone(), diagnostic: d.clone() });
+            }
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.diagnostic.line.cmp(&b.diagnostic.line)));
+    report
+}
+
+/// Schema version of the `--json` report. Bump on breaking layout changes.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Serializes the report as stable, sorted JSON (local writer; the crate is
+/// dependency-free by design).
+pub fn to_json(report: &AnalysisReport, allow: &Allowlist) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"analyze_report_version\": {REPORT_SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str(&format!("  \"allowlist_entries\": {},\n", allow.entries.len()));
+    s.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
+    s.push_str(&format!("  \"clean\": {},\n", report.is_clean()));
+    s.push_str("  \"problems\": [");
+    for (i, p) in report.problems.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\"", json_escape(p)));
+    }
+    if !report.problems.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    s.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            d.diagnostic.rule,
+            json_escape(&d.path),
+            d.diagnostic.line,
+            json_escape(&d.diagnostic.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_match_the_contract_table() {
+        let graph = scope_for("crates/graph/src/csr.rs");
+        assert!(graph.p1 && graph.c1 && !graph.c1_all_int && !graph.p1_index);
+
+        let ingest = scope_for("crates/graph/src/io.rs");
+        assert!(ingest.p1 && ingest.p1_index && ingest.c1 && ingest.c1_all_int);
+
+        let cast = scope_for("crates/graph/src/cast.rs");
+        assert!(!cast.c1, "cast.rs is the blessed C1 module");
+
+        let det = scope_for("crates/graph/src/determinism.rs");
+        assert!(!det.d2, "determinism.rs is the blessed D2 module");
+
+        let cli = scope_for("crates/cli/src/main.rs");
+        assert!(!cli.p1 && cli.u1_root, "binaries may panic but must forbid unsafe");
+
+        let bench_bin = scope_for("crates/bench/src/bin/runner.rs");
+        assert!(!bench_bin.p1 && bench_bin.u1_root);
+
+        let lib_root = scope_for("crates/trace/src/lib.rs");
+        assert!(lib_root.u1_root && lib_root.p1 && !lib_root.c1);
+    }
+
+    #[test]
+    fn json_report_is_schema_versioned_and_escaped() {
+        let mut report = AnalysisReport { files_scanned: 2, ..AnalysisReport::default() };
+        report.diagnostics.push(FileDiagnostic {
+            path: "crates/x/src/a.rs".to_string(),
+            diagnostic: rules::Diagnostic {
+                rule: "P1",
+                line: 7,
+                message: "has \"quotes\"".to_string(),
+            },
+        });
+        let json = to_json(&report, &Allowlist::default());
+        assert!(json.contains("\"analyze_report_version\": 1"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"clean\": false"));
+    }
+}

@@ -1,0 +1,129 @@
+#![forbid(unsafe_code)]
+//! `reorderlab-analyze` CLI.
+//!
+//! ```text
+//! reorderlab-analyze [--root DIR] [--allowlist FILE] [--json FILE]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` contract violations or allowlist problems,
+//! `2` usage or I/O errors. CI runs this as the `static-analysis` leg.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use reorderlab_analyze::{allowlist, analyze_workspace, to_json};
+
+struct Args {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: reorderlab-analyze [--root DIR] [--allowlist FILE] [--json FILE]\n\
+     \n\
+     Runs the reorderlab static-analysis contract (DESIGN.md §8) over every\n\
+     workspace .rs file under <root>/crates/*/src.\n\
+     \n\
+       --root DIR        workspace root (default: .)\n\
+       --allowlist FILE  allowlist (default: <root>/analyze.toml)\n\
+       --json FILE       also write a schema-versioned JSON report\n"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: PathBuf::from("."), allowlist: None, json: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory argument")?);
+            }
+            "--allowlist" => {
+                args.allowlist =
+                    Some(PathBuf::from(it.next().ok_or("--allowlist needs a file argument")?));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a file argument")?));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let allowlist_path = args.allowlist.clone().unwrap_or_else(|| args.root.join("analyze.toml"));
+    let allow = if allowlist_path.is_file() {
+        match std::fs::read_to_string(&allowlist_path) {
+            Ok(text) => match allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", allowlist_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.allowlist.is_some() {
+        eprintln!("error: allowlist {} does not exist", allowlist_path.display());
+        return ExitCode::from(2);
+    } else {
+        allowlist::Allowlist { schema: 1, entries: Vec::new() }
+    };
+
+    let report = match analyze_workspace(&args.root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: analyzing {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!(
+            "{}:{}: {} {}",
+            d.path, d.diagnostic.line, d.diagnostic.rule, d.diagnostic.message
+        );
+    }
+    for p in &report.problems {
+        println!("problem: {p}");
+    }
+
+    if let Some(json_path) = &args.json {
+        let json = to_json(&report, &allow);
+        if let Err(e) = std::fs::write(json_path, json) {
+            eprintln!("error: writing {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    println!(
+        "reorderlab-analyze: {} file(s), {} allowlisted site(s), {} violation(s), {} problem(s) — {}",
+        report.files_scanned,
+        report.suppressed,
+        report.diagnostics.len(),
+        report.problems.len(),
+        if report.is_clean() { "clean" } else { "FAILED" }
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,546 @@
+//! The five repo contracts, enforced at token level.
+//!
+//! | Rule | Contract |
+//! |------|----------|
+//! | D1   | No `HashMap`/`HashSet` in modules that touch the parallel runtime: iteration order is seeded per process, so any traversal is schedule-visible. |
+//! | D2   | No order-sensitive reductions (`.sum`/`.fold`/`.reduce`/`.product`) chained directly on a parallel iterator outside the blessed wrapper (`reorderlab_graph::det_sum_f64`). |
+//! | P1   | No `.unwrap()` / `.expect("…")` / `panic!` / `todo!` / `unimplemented!` in library crates outside `#[cfg(test)]`; ingestion files additionally ban slice indexing `[…]`. |
+//! | C1   | No lossy `as` integer casts in the graph/core/kernels crates; ingestion files ban *all* integer `as` casts. Use `reorderlab_graph::cast` or `TryFrom`. |
+//! | U1   | Every crate root carries `#![forbid(unsafe_code)]`, and any `unsafe` token anywhere is a diagnostic (audited exceptions live in `analyze.toml`). |
+//!
+//! All checks run on the token stream from [`crate::lexer`], so words inside
+//! strings, comments, and doc examples never fire. Code under `#[cfg(test)]`
+//! is exempt from D1/D2/P1/C1 (tests are allowed to panic and to cast), but
+//! not from U1 (unsafe in tests still needs an audit).
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Every rule id the analyzer knows, in report order.
+pub const RULE_IDS: [&str; 5] = ["D1", "D2", "P1", "C1", "U1"];
+
+/// One finding: rule id, 1-based line, human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id from [`RULE_IDS`].
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+/// Which rules apply to a given file. Computed from the workspace path by
+/// the driver; fixtures and unit tests construct it directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// D1 applies (file is in an analyzed crate and not D1-blessed).
+    pub d1: bool,
+    /// D2 applies (not the blessed `determinism.rs` wrapper module).
+    pub d2: bool,
+    /// P1 applies (library crate, not a binary).
+    pub p1: bool,
+    /// P1's slice-index leg applies (ingestion files only).
+    pub p1_index: bool,
+    /// C1 applies (graph/core/kernels, not the blessed `cast.rs`).
+    pub c1: bool,
+    /// C1 bans *all* integer casts, not just narrowing ones (ingestion).
+    pub c1_all_int: bool,
+    /// U1's `unsafe`-token check applies.
+    pub u1: bool,
+    /// U1's `#![forbid(unsafe_code)]` requirement applies (crate/bin roots).
+    pub u1_root: bool,
+}
+
+impl Scope {
+    /// Everything on — used by the fixture corpus.
+    pub fn all() -> Self {
+        Scope {
+            d1: true,
+            d2: true,
+            p1: true,
+            p1_index: true,
+            c1: true,
+            c1_all_int: true,
+            u1: true,
+            u1_root: true,
+        }
+    }
+}
+
+/// Identifiers that mark a file as touching the parallel runtime (gates D1).
+const PAR_HINTS: [&str; 6] =
+    ["rayon", "par_iter", "par_iter_mut", "into_par_iter", "par_chunks", "par_chunks_mut"];
+
+/// Identifiers that start a parallel iterator chain (activates D2).
+const PAR_ITER_STARTS: [&str; 5] =
+    ["par_iter", "par_iter_mut", "into_par_iter", "par_chunks", "par_chunks_mut"];
+
+/// `.sum` / `.fold` / `.reduce` / `.product` directly on a par chain.
+const D2_REDUCERS: [&str; 4] = ["sum", "fold", "reduce", "product"];
+
+/// Adapters that hand the chain back to a serial iterator (deactivate D2).
+const SERIAL_REENTRY: [&str; 7] =
+    ["iter", "into_iter", "chars", "bytes", "drain", "windows", "chunks"];
+
+/// Integer targets where `as` can truncate from any wider source.
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// The remaining integer targets, banned only in ingestion files.
+const WIDE_INTS: [&str; 6] = ["u64", "i64", "usize", "isize", "u128", "i128"];
+
+/// Keywords that can legitimately precede `[` without it being an index.
+const NON_INDEX_BEFORE_BRACKET: [&str; 12] =
+    ["in", "return", "break", "else", "match", "if", "while", "loop", "move", "as", "let", "use"];
+
+/// Runs every in-scope rule over one lexed file.
+pub fn check(lexed: &Lexed, scope: &Scope) -> Vec<Diagnostic> {
+    let toks = &lexed.toks;
+    let test_ranges = cfg_test_ranges(toks);
+    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| (a..=b).contains(&line));
+    let mut out = Vec::new();
+
+    let file_has_par =
+        toks.iter().any(|t| t.kind == TokKind::Ident && PAR_HINTS.contains(&t.text.as_str()));
+
+    if scope.d1 && file_has_par {
+        check_d1(toks, &in_test, &mut out);
+    }
+    if scope.d2 {
+        check_d2(toks, &in_test, &mut out);
+    }
+    if scope.p1 {
+        check_p1(toks, &in_test, &mut out);
+    }
+    if scope.p1 && scope.p1_index {
+        check_p1_index(toks, &in_test, &mut out);
+    }
+    if scope.c1 {
+        check_c1(toks, scope.c1_all_int, &in_test, &mut out);
+    }
+    if scope.u1 {
+        check_u1(toks, scope.u1_root, &mut out);
+    }
+
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    out
+}
+
+/// Collects `(start_line, end_line)` spans of every item annotated
+/// `#[cfg(test)]` — any item kind (`mod tests`, `mod proptests`, a lone
+/// `fn`, a `use`), tracked by brace depth so nested items stay inside.
+fn cfg_test_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].text == "#"
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+            && toks[i + 4].text == "test"
+            && toks[i + 5].text == ")"
+            && toks[i + 6].text == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        let mut j = i + 7;
+        // Skip any further attributes on the same item.
+        while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+            let mut depth = 0i32;
+            j += 1;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Consume the item: up to the matching `}` of its first top-level
+        // brace, or to a `;` if none comes first (e.g. `use`, `mod m;`).
+        let mut depth = 0i32;
+        let mut end_line = start_line;
+        let mut closed = false;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = toks[j].line;
+                        j += 1;
+                        closed = true;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end_line = toks[j].line;
+                    j += 1;
+                    closed = true;
+                }
+                _ => {}
+            }
+            if closed {
+                break;
+            }
+            j += 1;
+        }
+        if !closed {
+            end_line = toks.last().map_or(start_line, |t| t.line);
+        }
+        ranges.push((start_line, end_line));
+        i = j;
+    }
+    ranges
+}
+
+fn check_d1(toks: &[Tok], in_test: &dyn Fn(u32) -> bool, out: &mut Vec<Diagnostic>) {
+    for (idx, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || (t.text != "HashMap" && t.text != "HashSet")
+            || in_test(t.line)
+        {
+            continue;
+        }
+        // `Qualifier::HashMap` where the qualifier is not `collections` is a
+        // path into some other namespace (e.g. an enum variant named after
+        // the kernel it mirrors), not the std type.
+        let variant_path = idx >= 3
+            && toks[idx - 1].text == ":"
+            && toks[idx - 2].text == ":"
+            && toks[idx - 3].kind == TokKind::Ident
+            && toks[idx - 3].text != "collections";
+        if variant_path {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "D1",
+            line: t.line,
+            message: format!(
+                "`{}` in a module that touches the parallel runtime: iteration \
+                 order is seeded per process; use a sorted Vec or an \
+                 index-keyed scatter array instead",
+                t.text
+            ),
+        });
+    }
+}
+
+fn check_d2(toks: &[Tok], in_test: &dyn Fn(u32) -> bool, out: &mut Vec<Diagnostic>) {
+    let mut active = false;
+    let mut rel = 0i32;
+    let mut idx = 0usize;
+    while idx < toks.len() {
+        let t = &toks[idx];
+        let starts_chain = t.kind == TokKind::Ident
+            && PAR_ITER_STARTS.contains(&t.text.as_str())
+            && toks.get(idx + 1).is_some_and(|n| n.text == "(");
+        if starts_chain {
+            active = true;
+            rel = 0;
+            idx += 1;
+            continue;
+        }
+        if active {
+            match t.text.as_str() {
+                "(" | "{" | "[" => rel += 1,
+                ")" | "}" | "]" => {
+                    rel -= 1;
+                    if rel < 0 {
+                        active = false;
+                    }
+                }
+                ";" if rel <= 0 => active = false,
+                _ => {}
+            }
+            // Only method calls chained directly on the parallel iterator
+            // (relative depth 0) are part of the chain; anything inside a
+            // closure body sits at depth > 0 and is serial code.
+            if active
+                && rel == 0
+                && t.kind == TokKind::Ident
+                && idx > 0
+                && toks[idx - 1].text == "."
+            {
+                if D2_REDUCERS.contains(&t.text.as_str()) {
+                    if !in_test(t.line) {
+                        out.push(Diagnostic {
+                            rule: "D2",
+                            line: t.line,
+                            message: format!(
+                                "`.{}` chained on a parallel iterator: the \
+                                 reduction order depends on the schedule; \
+                                 collect in input order and reduce through \
+                                 reorderlab_graph::det_sum_f64 (or allowlist \
+                                 with a DETERMINISM comment if the operation \
+                                 is order-free)",
+                                t.text
+                            ),
+                        });
+                    }
+                } else if SERIAL_REENTRY.contains(&t.text.as_str()) {
+                    active = false;
+                }
+            }
+        }
+        idx += 1;
+    }
+}
+
+fn check_p1(toks: &[Tok], in_test: &dyn Fn(u32) -> bool, out: &mut Vec<Diagnostic>) {
+    for (idx, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let prev_dot = idx > 0 && toks[idx - 1].text == ".";
+        let next_paren = toks.get(idx + 1).is_some_and(|n| n.text == "(");
+        match t.text.as_str() {
+            "unwrap" if prev_dot && next_paren => out.push(Diagnostic {
+                rule: "P1",
+                line: t.line,
+                message: "`.unwrap()` in library code: return a typed error, or prove the \
+                          invariant and allowlist the site with a SAFETY comment"
+                    .to_string(),
+            }),
+            // Only `.expect("…")` with a string-literal message is the
+            // panicking Option/Result method; `self.expect(b'[')`-style
+            // parser methods take non-string arguments.
+            "expect"
+                if prev_dot
+                    && next_paren
+                    && toks.get(idx + 2).is_some_and(|a| a.kind == TokKind::Str) =>
+            {
+                out.push(Diagnostic {
+                    rule: "P1",
+                    line: t.line,
+                    message: "`.expect(\"…\")` in library code: return a typed error, or prove \
+                              the invariant and allowlist the site with a SAFETY comment"
+                        .to_string(),
+                });
+            }
+            "panic" | "todo" | "unimplemented"
+                if toks.get(idx + 1).is_some_and(|n| n.text == "!") =>
+            {
+                out.push(Diagnostic {
+                    rule: "P1",
+                    line: t.line,
+                    message: format!(
+                        "`{}!` in library code: return a typed error instead of aborting the \
+                         caller",
+                        t.text
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_p1_index(toks: &[Tok], in_test: &dyn Fn(u32) -> bool, out: &mut Vec<Diagnostic>) {
+    for (idx, t) in toks.iter().enumerate() {
+        if t.text != "[" || t.kind != TokKind::Punct || idx == 0 || in_test(t.line) {
+            continue;
+        }
+        let p = &toks[idx - 1];
+        let indexing = (p.kind == TokKind::Ident
+            && !NON_INDEX_BEFORE_BRACKET.contains(&p.text.as_str()))
+            || p.text == ")"
+            || p.text == "]";
+        if indexing {
+            out.push(Diagnostic {
+                rule: "P1",
+                line: t.line,
+                message: "slice index `[…]` in an ingestion path can panic on malformed \
+                          input: use `.get()` and surface a typed parse error"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn check_c1(toks: &[Tok], all_int: bool, in_test: &dyn Fn(u32) -> bool, out: &mut Vec<Diagnostic>) {
+    for (idx, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as" || in_test(t.line) {
+            continue;
+        }
+        let Some(target) = toks.get(idx + 1) else { continue };
+        if target.kind != TokKind::Ident {
+            continue;
+        }
+        let narrow = NARROW_INTS.contains(&target.text.as_str());
+        let wide = WIDE_INTS.contains(&target.text.as_str());
+        if narrow || (all_int && wide) {
+            out.push(Diagnostic {
+                rule: "C1",
+                line: t.line,
+                message: format!(
+                    "`as {}` silently truncates out-of-range values: use \
+                     reorderlab_graph::cast or TryFrom, or allowlist the site with a \
+                     SAFETY comment proving the bound",
+                    target.text
+                ),
+            });
+        }
+    }
+}
+
+fn check_u1(toks: &[Tok], require_forbid: bool, out: &mut Vec<Diagnostic>) {
+    for t in toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            out.push(Diagnostic {
+                rule: "U1",
+                line: t.line,
+                message: "`unsafe` requires an audit: add a // SAFETY: comment and register \
+                          the site in analyze.toml"
+                    .to_string(),
+            });
+        }
+    }
+    if require_forbid && !has_forbid_unsafe(toks) {
+        out.push(Diagnostic {
+            rule: "U1",
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    for i in 0..toks.len().saturating_sub(5) {
+        let head = toks[i].text == "#"
+            && toks[i + 1].text == "!"
+            && toks[i + 2].text == "["
+            && toks[i + 3].text == "forbid"
+            && toks[i + 4].text == "(";
+        if !head {
+            continue;
+        }
+        let mut j = i + 5;
+        while j < toks.len() && toks[j].text != ")" {
+            if toks[j].kind == TokKind::Ident && toks[j].text == "unsafe_code" {
+                return true;
+            }
+            j += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&lex(src), &Scope::all())
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn d1_flags_hashmap_in_par_file() {
+        let src =
+            "#![forbid(unsafe_code)]\nuse rayon::prelude::*;\nuse std::collections::HashMap;\n";
+        let d = run(src);
+        assert!(d.iter().any(|d| d.rule == "D1" && d.line == 3), "{d:?}");
+    }
+
+    #[test]
+    fn d1_silent_without_par_tokens() {
+        let src = "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\n";
+        assert!(!rules_of(&run(src)).contains(&"D1"));
+    }
+
+    #[test]
+    fn d1_skips_enum_variant_paths() {
+        let src = "#![forbid(unsafe_code)]\nuse rayon::prelude::*;\nfn f() { let k = MoveKernel::HashMap; }\n";
+        assert!(!rules_of(&run(src)).contains(&"D1"));
+    }
+
+    #[test]
+    fn d2_flags_sum_on_par_chain() {
+        let src = "#![forbid(unsafe_code)]\nfn f(v: &[f64]) -> f64 { v.par_iter().map(|x| x * 2.0).sum() }\n";
+        let d = run(src);
+        assert!(d.iter().any(|d| d.rule == "D2" && d.line == 2), "{d:?}");
+    }
+
+    #[test]
+    fn d2_ignores_serial_fold_inside_closure() {
+        let src = "#![forbid(unsafe_code)]\nfn f(v: &[Vec<f64>]) { v.par_iter().for_each(|row| { let _s = row.iter().fold(0.0, |a, b| a + b); }); }\n";
+        assert!(!rules_of(&run(src)).contains(&"D2"));
+    }
+
+    #[test]
+    fn d2_chain_ends_at_statement() {
+        let src = "#![forbid(unsafe_code)]\nfn f(v: &[f64]) -> f64 { let parts: Vec<f64> = v.par_iter().map(|x| *x).collect();\n parts.iter().fold(0.0, |a, b| a + b) }\n";
+        assert!(!rules_of(&run(src)).contains(&"D2"));
+    }
+
+    #[test]
+    fn p1_flags_unwrap_expect_panic() {
+        let src = "#![forbid(unsafe_code)]\nfn f(x: Option<u32>) -> u32 {\n let a = x.unwrap();\n let b = x.expect(\"must\");\n if a == b { panic!(\"boom\"); }\n a\n}\n";
+        let lines: Vec<u32> = run(src).iter().filter(|d| d.rule == "P1").map(|d| d.line).collect();
+        assert_eq!(lines, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn p1_skips_non_string_expect_and_unwrap_or() {
+        let src = "#![forbid(unsafe_code)]\nfn f(p: &mut P, x: Option<u32>) -> u32 {\n p.expect(b'[');\n x.unwrap_or(0)\n}\n";
+        assert!(!rules_of(&run(src)).contains(&"P1"));
+    }
+
+    #[test]
+    fn p1_suppressed_in_cfg_test() {
+        let src = "#![forbid(unsafe_code)]\nfn lib() {}\n#[cfg(test)]\nmod proptests {\n fn t(x: Option<u32>) { x.unwrap(); }\n}\n";
+        assert!(!rules_of(&run(src)).contains(&"P1"));
+    }
+
+    #[test]
+    fn p1_index_flags_indexing_not_attributes() {
+        let src = "#![forbid(unsafe_code)]\n#[derive(Debug)]\nstruct S;\nfn f(v: &[u32]) -> u32 { v[0] }\nfn g() { for _x in [1, 2] {} }\n";
+        let p1: Vec<u32> = run(src).iter().filter(|d| d.rule == "P1").map(|d| d.line).collect();
+        assert_eq!(p1, vec![4]);
+    }
+
+    #[test]
+    fn c1_flags_narrow_casts_only_unless_all_int() {
+        let src = "#![forbid(unsafe_code)]\nfn f(n: usize) -> u32 { n as u32 }\nfn g(n: u32) -> f64 { n as f64 }\nfn h(n: u32) -> usize { n as usize }\n";
+        let mut scope = Scope::all();
+        scope.c1_all_int = false;
+        let d = check(&lex(src), &scope);
+        let c1: Vec<u32> = d.iter().filter(|d| d.rule == "C1").map(|d| d.line).collect();
+        assert_eq!(c1, vec![2], "narrow mode flags only `as u32`");
+        let d = run(src);
+        let c1: Vec<u32> = d.iter().filter(|d| d.rule == "C1").map(|d| d.line).collect();
+        assert_eq!(c1, vec![2, 4], "ingestion mode also flags `as usize`");
+    }
+
+    #[test]
+    fn u1_missing_forbid_and_unsafe_token() {
+        let src = "fn f() { let p = 0 as *const u8; unsafe { let _ = *p; } }\n";
+        let d = run(src);
+        assert!(d.iter().any(|d| d.rule == "U1" && d.line == 1));
+        assert!(d.iter().filter(|d| d.rule == "U1").count() >= 2, "{d:?}");
+    }
+
+    #[test]
+    fn u1_satisfied_by_forbid_attribute() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        assert!(!rules_of(&run(src)).contains(&"U1"));
+    }
+
+    #[test]
+    fn clean_file_has_no_diagnostics() {
+        let src = "#![forbid(unsafe_code)]\n/// Docs mentioning unwrap() and panic! are fine.\npub fn f(x: Option<u32>) -> Option<u32> { x.map(|v| v.saturating_add(1)) }\n";
+        assert_eq!(run(src), Vec::new());
+    }
+}

@@ -1,0 +1,222 @@
+//! Integration tests: the fixture corpus (one offending file per rule, with
+//! exact rule ids and 1-based lines), end-to-end allowlist semantics over a
+//! synthetic workspace, the CLI binary's exit codes, and — the acceptance
+//! gate — the real workspace analyzing clean against the committed
+//! `analyze.toml`.
+
+use std::path::{Path, PathBuf};
+
+use reorderlab_analyze::{allowlist, analyze_workspace, lexer, rules, to_json};
+use rules::{Diagnostic, Scope};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn check_fixture(name: &str, scope: &Scope) -> Vec<Diagnostic> {
+    rules::check(&lexer::lex(&fixture(name)), scope)
+}
+
+fn lines_of(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+}
+
+#[test]
+fn d1_fixture_flags_each_hashmap_site() {
+    let d = check_fixture("d1.rs", &Scope::all());
+    assert_eq!(lines_of(&d, "D1"), vec![3, 5, 6], "{d:?}");
+    assert_eq!(d.len(), 3, "no other rule fires on the D1 fixture: {d:?}");
+}
+
+#[test]
+fn d2_fixture_flags_the_par_sum_only() {
+    let d = check_fixture("d2.rs", &Scope::all());
+    assert_eq!(lines_of(&d, "D2"), vec![5], "{d:?}");
+    assert_eq!(d.len(), 1, "the serial fold inside the closure must not fire: {d:?}");
+}
+
+#[test]
+fn p1_fixture_flags_unwrap_expect_panic_index() {
+    let d = check_fixture("p1.rs", &Scope::all());
+    assert_eq!(lines_of(&d, "P1"), vec![5, 9, 13, 17], "{d:?}");
+    assert_eq!(d.len(), 4, "parser-method expect and unwrap_or must not fire: {d:?}");
+}
+
+#[test]
+fn c1_fixture_distinguishes_narrow_from_ingestion_mode() {
+    let all = check_fixture("c1.rs", &Scope::all());
+    assert_eq!(lines_of(&all, "C1"), vec![3, 7], "ingestion mode bans all int casts: {all:?}");
+
+    let mut narrow = Scope::all();
+    narrow.c1_all_int = false;
+    let d = check_fixture("c1.rs", &narrow);
+    assert_eq!(lines_of(&d, "C1"), vec![3], "narrow mode allows `as usize`: {d:?}");
+}
+
+#[test]
+fn u1_fixture_flags_missing_forbid_and_unsafe() {
+    let d = check_fixture("u1.rs", &Scope::all());
+    assert_eq!(lines_of(&d, "U1"), vec![1, 2], "{d:?}");
+    assert_eq!(d.len(), 2, "{d:?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let d = check_fixture("clean.rs", &Scope::all());
+    assert_eq!(d, Vec::new());
+}
+
+/// Builds a throwaway one-crate workspace under the target temp dir.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(tag: &str, lib_source: &str) -> Self {
+        let root = std::env::temp_dir()
+            .join(format!("reorderlab-analyze-it-{}-{tag}", std::process::id()));
+        let src = root.join("crates/graph/src");
+        std::fs::create_dir_all(&src).expect("temp workspace");
+        std::fs::write(src.join("lib.rs"), lib_source).expect("temp lib.rs");
+        TempWorkspace { root }
+    }
+
+    fn run(&self, allow_text: &str) -> reorderlab_analyze::AnalysisReport {
+        let allow = allowlist::parse(allow_text).expect("valid allowlist text");
+        analyze_workspace(&self.root, &allow).expect("workspace walk")
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const OFFENDING_LIB: &str = "#![forbid(unsafe_code)]\n\
+    // SAFETY: fixture justification for the blessed unwrap below.\n\
+    pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+
+#[test]
+fn allowlisted_site_with_justification_is_clean() {
+    let ws = TempWorkspace::new("ok", OFFENDING_LIB);
+    let report = ws.run(
+        "schema = 1\n[[allow]]\nrule = \"P1\"\npath = \"crates/graph/src/lib.rs\"\nline = 4\nreason = \"fixture\"\n",
+    );
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn missing_justification_comment_is_a_problem() {
+    let no_comment =
+        "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let ws = TempWorkspace::new("nojust", no_comment);
+    let report = ws.run(
+        "schema = 1\n[[allow]]\nrule = \"P1\"\npath = \"crates/graph/src/lib.rs\"\nline = 3\nreason = \"fixture\"\n",
+    );
+    assert!(!report.is_clean());
+    assert!(
+        report.problems.iter().any(|p| p.contains("SAFETY")),
+        "expects a missing-justification problem: {:?}",
+        report.problems
+    );
+}
+
+#[test]
+fn unused_entry_is_a_problem() {
+    let ws = TempWorkspace::new("unused", OFFENDING_LIB);
+    let report = ws.run(
+        "schema = 1\n[[allow]]\nrule = \"P1\"\npath = \"crates/graph/src/lib.rs\"\nline = 999\nreason = \"stale\"\n",
+    );
+    assert!(report.problems.iter().any(|p| p.contains("unused")), "{:?}", report.problems);
+    assert_eq!(report.diagnostics.len(), 1, "the real finding still surfaces");
+}
+
+#[test]
+fn count_entries_ratchet_exactly() {
+    let ws = TempWorkspace::new("count", OFFENDING_LIB);
+    let ok = ws.run(
+        "schema = 1\n[[allow]]\nrule = \"P1\"\npath = \"crates/graph/src/lib.rs\"\ncount = 1\nreason = \"fixture\"\n",
+    );
+    assert!(ok.is_clean(), "{ok:?}");
+    let drift = ws.run(
+        "schema = 1\n[[allow]]\nrule = \"P1\"\npath = \"crates/graph/src/lib.rs\"\ncount = 2\nreason = \"fixture\"\n",
+    );
+    assert!(drift.problems.iter().any(|p| p.contains("count drift")), "{:?}", drift.problems);
+}
+
+#[test]
+fn unallowed_violation_reaches_the_report_and_json() {
+    let ws = TempWorkspace::new("report", OFFENDING_LIB);
+    let report = ws.run("schema = 1\n");
+    assert_eq!(report.diagnostics.len(), 1);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.diagnostic.rule, "P1");
+    assert_eq!(d.diagnostic.line, 4);
+    assert_eq!(d.path, "crates/graph/src/lib.rs");
+    let json = to_json(&report, &allowlist::Allowlist { schema: 1, entries: Vec::new() });
+    assert!(json.contains("\"analyze_report_version\": 1"));
+    assert!(json.contains("\"rule\": \"P1\""));
+    assert!(json.contains("\"line\": 4"));
+}
+
+#[test]
+fn cli_exits_nonzero_on_violations_and_zero_on_clean() {
+    let ws = TempWorkspace::new("cli", OFFENDING_LIB);
+    let bin = env!("CARGO_BIN_EXE_reorderlab-analyze");
+
+    let dirty = std::process::Command::new(bin)
+        .args(["--root", ws.root.to_str().expect("utf8 temp path")])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(dirty.status.code(), Some(1), "violations exit 1");
+
+    let allow_path = ws.root.join("analyze.toml");
+    std::fs::write(
+        &allow_path,
+        "schema = 1\n[[allow]]\nrule = \"P1\"\npath = \"crates/graph/src/lib.rs\"\nline = 4\nreason = \"fixture\"\n",
+    )
+    .expect("write allowlist");
+    let clean = std::process::Command::new(bin)
+        .args(["--root", ws.root.to_str().expect("utf8 temp path")])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "clean exit 0; stdout: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    let usage =
+        std::process::Command::new(bin).args(["--no-such-flag"]).output().expect("spawn analyzer");
+    assert_eq!(usage.status.code(), Some(2), "usage errors exit 2");
+}
+
+/// The acceptance gate: the real workspace must satisfy the contract with
+/// the committed allowlist. Runs as part of tier-1 `cargo test`.
+#[test]
+fn the_workspace_is_clean_under_the_committed_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allow_text =
+        std::fs::read_to_string(root.join("analyze.toml")).expect("committed analyze.toml");
+    let allow = allowlist::parse(&allow_text).expect("committed allowlist parses");
+    let report = analyze_workspace(&root, &allow).expect("workspace walk");
+    assert!(
+        report.is_clean(),
+        "workspace violates the static-analysis contract:\n{}\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!(
+                "{}:{}: {} {}",
+                d.path, d.diagnostic.line, d.diagnostic.rule, d.diagnostic.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        report.problems.join("\n")
+    );
+    assert!(report.files_scanned > 90, "the walker saw the whole workspace");
+}

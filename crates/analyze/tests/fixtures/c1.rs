@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+pub fn narrowing(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn wide_cast(n: i64) -> usize {
+    n as usize
+}
+
+pub fn float_casts_are_not_c1(n: u32) -> f64 {
+    n as f64
+}
+
+pub use std::collections::BTreeMap as RenamesAreFine;

@@ -1,0 +1,28 @@
+#![forbid(unsafe_code)]
+//! A file that satisfies every contract.
+//!
+//! Doc examples may mention `unwrap()` and `panic!` freely — prose is not
+//! tokens — and `#[cfg(test)]` code may use both for real.
+
+use rayon::prelude::*;
+
+/// Doubles every value; the reduction stays elementwise, so no D2.
+pub fn doubled(xs: &[u64]) -> Vec<u64> {
+    xs.par_iter().map(|x| x.saturating_mul(2)).collect()
+}
+
+/// Widening casts are always lossless.
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_cast() {
+        let v = doubled(&[1, 2]);
+        assert_eq!(*v.first().unwrap(), 1usize as u64 * 2);
+    }
+}

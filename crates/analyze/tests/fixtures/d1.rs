@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn double(xs: &[u32]) -> Vec<u32> {
+    xs.par_iter().map(|x| x * 2).collect()
+}

@@ -1,0 +1,30 @@
+#![forbid(unsafe_code)]
+pub struct Parser;
+
+pub fn bare(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn described(x: Option<u32>) -> u32 {
+    x.expect("present by construction")
+}
+
+pub fn aborts() {
+    panic!("library code must not abort the caller")
+}
+
+pub fn indexed(v: &[u32]) -> u32 {
+    v[0]
+}
+
+impl Parser {
+    pub fn expect(&mut self, _byte: u8) {}
+}
+
+pub fn parser_method_named_expect_is_fine(p: &mut Parser) {
+    p.expect(b'[');
+}
+
+pub fn fallback_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

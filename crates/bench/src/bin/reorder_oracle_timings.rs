@@ -6,6 +6,8 @@
 //!
 //! Output is committed as `results/reorder_parallel_timings.txt`.
 
+#![forbid(unsafe_code)]
+
 use reorderlab_bench::{render_profile, HarnessArgs, Table};
 use reorderlab_core::schemes::{
     cdfs_order, cdfs_order_serial, rabbit_order, rabbit_order_serial, rcm_order, rcm_order_serial,

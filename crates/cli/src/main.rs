@@ -14,6 +14,8 @@
 //! specs) and malformed inputs diagnosed by `validate`, `1` runtime
 //! failures (I/O, unparseable inputs mid-command).
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod scheme_arg;
 

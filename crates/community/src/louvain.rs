@@ -14,6 +14,12 @@ use crate::modularity::{modularity, ModularityContext};
 use rayon::prelude::*;
 use reorderlab_graph::{contract, Csr};
 use std::borrow::Cow;
+// DETERMINISM: this module's `HashMap` use is confined to the *reference*
+// move kernel (`MoveKernel::HashMap`), kept to mirror Grappolo's published
+// formulation; the default kernel is the flat scatter-array one. Iteration
+// order never escapes: per-vertex neighbor-community weights are reduced by
+// max-gain with an id tie-break, so both kernels agree bit-for-bit (pinned
+// by the kernel-differential tests). Budgeted under D1 in analyze.toml.
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -142,10 +148,7 @@ pub fn louvain(graph: &Csr, cfg: &LouvainConfig) -> CommunityResult {
     if cfg.threads == 0 {
         louvain_inner(graph, cfg, rayon::current_num_threads())
     } else {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(cfg.threads)
-            .build()
-            .expect("failed to build rayon pool");
+        let pool = reorderlab_graph::build_pool(cfg.threads);
         pool.install(|| louvain_inner(graph, cfg, cfg.threads))
     }
 }
@@ -184,6 +187,8 @@ fn louvain_inner(graph: &Csr, cfg: &LouvainConfig, threads: usize) -> CommunityR
         if no_merge || num_comms <= 1 {
             break;
         }
+        // SAFETY: `renum` densely renumbers communities into 0..num_comms
+        // immediately above, so the contraction cannot reject it.
         let contraction =
             contract(&level, &renum, num_comms).expect("renumbered assignment is valid");
         level = Cow::Owned(contraction.coarse);

@@ -54,6 +54,8 @@ impl GapDistribution {
         let mut sorted = gaps.to_vec();
         sorted.sort_unstable();
         let count = sorted.len();
+        // SAFETY: the empty-input case returned early above, so `sorted`
+        // holds at least one gap.
         let max = *sorted.last().expect("non-empty");
         let decades = if max < 10 { 1 } else { (max as f64).log10().floor() as usize + 1 };
         // Parallel reduction over fixed-size chunks: each yields an exact

@@ -6,6 +6,11 @@
 //! bandwidth β (max over all edges), and the average graph bandwidth β̂
 //! (mean vertex bandwidth).
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use crate::error::MeasureError;
 use rayon::prelude::*;
 use reorderlab_graph::{Csr, Permutation};
@@ -69,6 +74,8 @@ pub struct GapMeasures {
 /// # }
 /// ```
 pub fn gap_measures(graph: &Csr, pi: &Permutation) -> GapMeasures {
+    // SAFETY: documented panicking twin over `try_gap_measures` (# Panics
+    // in the doc above); the error carries the validation message.
     try_gap_measures(graph, pi).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -174,6 +181,8 @@ fn row_partial(graph: &Csr, pi: &Permutation, u: u32) -> RowPartial {
 ///
 /// Panics if `pi` does not cover exactly the graph's vertices.
 pub fn edge_gaps(graph: &Csr, pi: &Permutation) -> Vec<u32> {
+    // SAFETY: documented panicking twin over `try_edge_gaps` (# Panics
+    // in the doc above).
     try_edge_gaps(graph, pi).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -215,6 +224,8 @@ pub fn try_edge_gaps(graph: &Csr, pi: &Permutation) -> Result<Vec<u32>, MeasureE
 ///
 /// Panics if `pi` does not cover exactly the graph's vertices.
 pub fn vertex_bandwidths(graph: &Csr, pi: &Permutation) -> Vec<u32> {
+    // SAFETY: documented panicking twin over `try_vertex_bandwidths`
+    // (# Panics in the doc above).
     try_vertex_bandwidths(graph, pi).unwrap_or_else(|e| panic!("{e}"))
 }
 

@@ -11,6 +11,11 @@
 //! number of lines that could hold it — `1.0` is perfect packing, larger is
 //! worse.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use crate::error::MeasureError;
 use reorderlab_graph::{Csr, Permutation};
 
@@ -59,6 +64,8 @@ pub fn packing_factor(
     entry_bytes: usize,
     line_bytes: usize,
 ) -> PackingFactor {
+    // SAFETY: documented panicking twin over `try_packing_factor`
+    // (# Panics in the doc above).
     try_packing_factor(graph, pi, entry_bytes, line_bytes).unwrap_or_else(|e| panic!("{e}"))
 }
 

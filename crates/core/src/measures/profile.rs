@@ -41,6 +41,8 @@ impl PerformanceProfile {
     /// non-finite value, or any τ < 1 — with the message of the
     /// [`MeasureError`] that [`try_new`](Self::try_new) would have returned.
     pub fn new<S: Into<String> + Clone>(methods: &[S], scores: &[Vec<f64>], taus: &[f64]) -> Self {
+        // SAFETY: documented panicking twin over `try_new` (# Panics in
+        // the doc above).
         Self::try_new(methods, scores, taus).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -164,7 +166,10 @@ impl PerformanceProfile {
                     let width = self.taus[t] - self.taus[t - 1];
                     area += width * (curve[t] + curve[t - 1]) / 2.0;
                 }
-                let span = self.taus.last().unwrap() - self.taus[0];
+                let span = match (self.taus.first(), self.taus.last()) {
+                    (Some(&first), Some(&last)) => last - first,
+                    _ => 0.0,
+                };
                 if span > 0.0 {
                     area / span
                 } else {

@@ -178,6 +178,8 @@ impl Scheme {
     /// [`Scheme::validate`] rejects the parameters; use
     /// [`Scheme::try_reorder`] to handle that as a value.
     pub fn reorder(&self, graph: &Csr) -> Permutation {
+        // SAFETY: documented panicking twin over `try_reorder` (# Panics
+        // in the doc above).
         self.try_reorder(graph).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -231,6 +233,8 @@ impl Scheme {
     ///
     /// Panics with the [`SchemeError`] message when validation fails.
     pub fn reorder_recorded(&self, graph: &Csr, rec: &mut dyn Recorder) -> Permutation {
+        // SAFETY: documented panicking twin over `try_reorder_recorded`
+        // (# Panics in the doc above).
         self.try_reorder_recorded(graph, rec).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -3,6 +3,11 @@
 //! dissection, the Grappolo community ordering, and the Grappolo-RCM
 //! composite introduced by the paper.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use crate::schemes::rcm::{rcm_order, rcm_order_recorded};
 use reorderlab_community::{louvain, louvain_recorded, LouvainConfig};
 use reorderlab_graph::{contract, contract_recorded, Csr, Permutation};
@@ -48,7 +53,7 @@ pub fn metis_order(graph: &Csr, parts: usize, seed: u64) -> Permutation {
 /// first, separators last.
 pub fn nd_order(graph: &Csr, seed: u64) -> Permutation {
     let order = nested_dissection_order(graph, 32, &PartitionConfig::new(2).seed(seed));
-    Permutation::from_order(&order).expect("nested dissection covers every vertex once")
+    super::order_permutation(&order)
 }
 
 /// Grappolo ordering (§III-D): detect communities with parallel Louvain and
@@ -96,6 +101,8 @@ pub fn grappolo_rcm_order_with(graph: &Csr, cfg: &LouvainConfig) -> Permutation 
     if r.num_communities == 0 {
         return Permutation::identity(graph.num_vertices());
     }
+    // SAFETY: louvain returns a dense assignment over exactly
+    // `num_communities` labels, which is what `contract` validates.
     let coarse = contract(graph, &r.assignment, r.num_communities)
         .expect("louvain assignment is valid")
         .coarse;
@@ -103,7 +110,7 @@ pub fn grappolo_rcm_order_with(graph: &Csr, cfg: &LouvainConfig) -> Permutation 
     // Order vertices by (RCM rank of their community, vertex id).
     let mut order: Vec<u32> = (0..graph.num_vertices() as u32).collect();
     order.sort_by_key(|&v| (comm_rank.rank(r.assignment[v as usize]), v));
-    Permutation::from_order(&order).expect("sorting the identity yields a permutation")
+    super::order_permutation(&order)
 }
 
 /// [`grappolo_rcm_order_with`] with instrumentation: Louvain stats, the
@@ -120,13 +127,15 @@ pub fn grappolo_rcm_order_recorded(
     if r.num_communities == 0 {
         return Permutation::identity(graph.num_vertices());
     }
+    // SAFETY: louvain returns a dense assignment over exactly
+    // `num_communities` labels, which is what `contract` validates.
     let coarse = contract_recorded(graph, &r.assignment, r.num_communities, rec)
         .expect("louvain assignment is valid")
         .coarse;
     let comm_rank = rcm_order_recorded(&coarse, rec);
     let mut order: Vec<u32> = (0..graph.num_vertices() as u32).collect();
     order.sort_by_key(|&v| (comm_rank.rank(r.assignment[v as usize]), v));
-    Permutation::from_order(&order).expect("sorting the identity yields a permutation")
+    super::order_permutation(&order)
 }
 
 /// Labels vertices contiguously by group id: rank key is
@@ -134,7 +143,7 @@ pub fn grappolo_rcm_order_recorded(
 fn order_by_group(group: &[u32]) -> Permutation {
     let mut order: Vec<u32> = (0..group.len() as u32).collect();
     order.sort_by_key(|&v| (group[v as usize], v));
-    Permutation::from_order(&order).expect("sorting the identity yields a permutation")
+    super::order_permutation(&order)
 }
 
 #[cfg(test)]

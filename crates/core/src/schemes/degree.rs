@@ -6,6 +6,11 @@
 //! their (large) adjacency data shares cache lines, without attempting to
 //! optimize any gap measure directly.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use reorderlab_graph::{Csr, Permutation};
 
 /// Sort direction for [`degree_sort`].
@@ -42,7 +47,7 @@ pub fn degree_sort(graph: &Csr, direction: DegreeDirection) -> Permutation {
             order.sort_by_key(|&v| (graph.degree(v), v));
         }
     }
-    Permutation::from_order(&order).expect("sorted identity is a permutation")
+    super::order_permutation(&order)
 }
 
 /// The hub threshold used by [`hub_sort`] and [`hub_cluster`]: a vertex is a
@@ -74,7 +79,7 @@ pub fn hub_sort(graph: &Csr) -> Permutation {
         flags
     };
     order.extend((0..n as u32).filter(|&v| !is_hub[v as usize]));
-    Permutation::from_order(&order).expect("hub partition covers all vertices")
+    super::order_permutation(&order)
 }
 
 /// Hub Clustering \[2\]: the lighter-weight variant — hubs are made
@@ -89,7 +94,7 @@ pub fn hub_cluster(graph: &Csr) -> Permutation {
     order.extend((0..n as u32).filter(|&v| graph.degree(v) as f64 <= threshold));
     debug_assert_eq!(order.len(), n);
     let _ = hub_count;
-    Permutation::from_order(&order).expect("hub partition covers all vertices")
+    super::order_permutation(&order)
 }
 
 #[cfg(test)]

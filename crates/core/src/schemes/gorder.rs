@@ -9,6 +9,11 @@
 //! degrees, with the usual hub cap that skips two-hop score propagation
 //! through very-high-degree intermediates.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use rayon::prelude::*;
 use reorderlab_graph::{Csr, Permutation};
 use std::cmp::Ordering;
@@ -156,7 +161,7 @@ pub fn gorder(graph: &Csr, window: usize, hub_cap: usize) -> Permutation {
                 continue;
             }
             if top.key > 0 {
-                chosen = Some(heap.pop().expect("peeked").vertex);
+                chosen = heap.pop().map(|entry| entry.vertex);
             }
             break;
         }
@@ -175,12 +180,13 @@ pub fn gorder(graph: &Csr, window: usize, hub_cap: usize) -> Permutation {
         recent.push_back(v);
         apply(v, 1, &mut key, &placed, &mut heap);
         if recent.len() > window {
-            let e = recent.pop_front().expect("window non-empty");
-            apply(e, -1, &mut key, &placed, &mut heap);
+            if let Some(evicted) = recent.pop_front() {
+                apply(evicted, -1, &mut key, &placed, &mut heap);
+            }
         }
     }
 
-    Permutation::from_order(&order).expect("greedy placement covers every vertex once")
+    super::order_permutation(&order)
 }
 
 /// Reference serial implementation of [`gorder`]: the original single-pass
@@ -234,7 +240,7 @@ pub fn gorder_serial(graph: &Csr, window: usize, hub_cap: usize) -> Permutation 
                 continue;
             }
             if top.key > 0 {
-                chosen = Some(heap.pop().expect("peeked").vertex);
+                chosen = heap.pop().map(|entry| entry.vertex);
             }
             break;
         }
@@ -253,12 +259,13 @@ pub fn gorder_serial(graph: &Csr, window: usize, hub_cap: usize) -> Permutation 
         recent.push_back(v);
         apply(v, 1, &mut key, &placed, &mut heap);
         if recent.len() > window {
-            let e = recent.pop_front().expect("window non-empty");
-            apply(e, -1, &mut key, &placed, &mut heap);
+            if let Some(evicted) = recent.pop_front() {
+                apply(evicted, -1, &mut key, &placed, &mut heap);
+            }
         }
     }
 
-    Permutation::from_order(&order).expect("greedy placement covers every vertex once")
+    super::order_permutation(&order)
 }
 
 #[cfg(test)]

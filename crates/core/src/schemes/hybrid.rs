@@ -8,6 +8,11 @@
 //! inside of each community*, so every level of the hierarchy — not just
 //! the top — gets a bandwidth-aware arrangement.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use crate::schemes::rcm::rcm_order;
 use reorderlab_community::{louvain, LouvainConfig};
 use reorderlab_graph::{contract, Csr, Permutation};
@@ -71,7 +76,7 @@ pub fn hybrid_multiscale_order(graph: &Csr, config: &HybridConfig) -> Permutatio
     let mut order = Vec::with_capacity(n);
     let all: Vec<u32> = (0..n as u32).collect();
     recurse(graph, &all, config, 0, &mut order);
-    Permutation::from_order(&order).expect("recursion emits every vertex once")
+    super::order_permutation(&order)
 }
 
 fn recurse(
@@ -93,6 +98,8 @@ fn recurse(
         return;
     }
     // Order the communities themselves by RCM on the coarse graph.
+    // SAFETY: louvain's assignment is dense over exactly `k` labels,
+    // which is what `contract` validates.
     let coarse =
         contract(&sub, &communities.assignment, k).expect("louvain assignment is valid").coarse;
     let comm_rank = rcm_order(&coarse);

@@ -9,6 +9,11 @@
 //! scheme's output as the starting arrangement and anneals the total gap
 //! downward with incremental swap evaluation.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reorderlab_graph::{Csr, Permutation};

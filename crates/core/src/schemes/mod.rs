@@ -30,3 +30,33 @@ pub use rcm::{
     rcm_order_serial,
 };
 pub use slashburn::{slashburn_order, slashburn_order_recorded, slashburn_order_serial};
+
+use reorderlab_graph::Permutation;
+
+/// Finalizes a scheme's emission order (vertex ids in visit sequence) into a
+/// validated [`Permutation`]. Every scheme routes through here so the
+/// "emits each vertex exactly once" invariant has a single audited
+/// enforcement point instead of a panic call per scheme.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..n` — a bug in the calling
+/// scheme, never an input condition.
+pub(crate) fn order_permutation(order: &[u32]) -> Permutation {
+    // SAFETY: schemes emit each vertex exactly once by construction (their
+    // contract tests pin this); the workspace's single P1-allowlisted
+    // order-finalization site.
+    Permutation::from_order(order).expect("scheme emitted a non-permutation order (scheme bug)")
+}
+
+/// Finalizes a scheme's rank table (`ranks[v]` = new position of `v`) into a
+/// validated [`Permutation`]; the rank-shaped twin of [`order_permutation`].
+///
+/// # Panics
+///
+/// Panics if `ranks` is not a bijection onto `0..n` — a scheme bug.
+pub(crate) fn ranks_permutation(ranks: Vec<u32>) -> Permutation {
+    // SAFETY: callers assign each rank exactly once by construction; the
+    // single P1-allowlisted rank-finalization site.
+    Permutation::from_ranks(ranks).expect("scheme emitted a non-bijective rank table (scheme bug)")
+}

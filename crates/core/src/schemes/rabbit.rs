@@ -18,6 +18,11 @@
 //! parallel, and a serial commit replays proposals in scan order, recomputing
 //! any proposal whose community footprint changed inside the batch.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use rayon::prelude::*;
 use reorderlab_graph::{Csr, Permutation, UnionFind};
 
@@ -164,7 +169,7 @@ fn dendrogram_order(
             }
         }
     }
-    Permutation::from_order(&order).expect("dendrogram DFS covers every vertex once")
+    super::order_permutation(&order)
 }
 
 /// Shared setup: Louvain-style degree sums, their total, and the

@@ -7,6 +7,11 @@
 //! The result concentrates the adjacency matrix near block-diagonal-plus-
 //! hub form.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use rayon::prelude::*;
 use reorderlab_graph::{Components, Csr, Permutation};
 use reorderlab_trace::{NoopRecorder, Recorder};
@@ -182,7 +187,7 @@ pub fn slashburn_order_recorded(graph: &Csr, k_frac: f64, rec: &mut dyn Recorder
         sub = next_sub;
     }
     debug_assert!(front <= back, "front {front} crossed back {back}");
-    Permutation::from_ranks(ranks).expect("every vertex received exactly one rank")
+    super::ranks_permutation(ranks)
 }
 
 /// Reference serial implementation of [`slashburn_order`]: full
@@ -254,7 +259,7 @@ pub fn slashburn_order_serial(graph: &Csr, k_frac: f64) -> Permutation {
         sub = next_sub;
     }
     debug_assert!(front <= back, "front {front} crossed back {back}");
-    Permutation::from_ranks(ranks).expect("every vertex received exactly one rank")
+    super::ranks_permutation(ranks)
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ pub fn tri_mesh(rows: usize, cols: usize, flip_prob: f64, seed: u64) -> Csr {
             }
         }
     }
-    b.build().expect("mesh edges are in bounds")
+    b.build_expect()
 }
 
 /// A road-network-like graph: a random spanning tree of the `rows x cols`
@@ -85,7 +85,7 @@ pub fn road_network(rows: usize, cols: usize, keep_prob: f64, seed: u64) -> Csr 
             edges.push((u, v));
         }
     }
-    GraphBuilder::undirected(n).edges(edges).build().expect("road edges are in bounds")
+    GraphBuilder::undirected(n).edges(edges).build_expect()
 }
 
 /// A sparse forest-like road fragment: `road_network` with some tree edges
@@ -96,10 +96,7 @@ pub fn road_fragment(rows: usize, cols: usize, drop_prob: f64, seed: u64) -> Csr
     let tree = road_network(rows, cols, 0.0, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     let kept = tree.edges().filter(|_| rng.gen::<f64>() >= drop_prob).map(|(u, v, _)| (u, v));
-    GraphBuilder::undirected(tree.num_vertices())
-        .edges(kept)
-        .build()
-        .expect("road fragment edges are in bounds")
+    GraphBuilder::undirected(tree.num_vertices()).edges(kept).build_expect()
 }
 
 #[cfg(test)]

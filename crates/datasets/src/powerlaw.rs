@@ -61,7 +61,7 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Csr {
             endpoints.push(t);
         }
     }
-    GraphBuilder::undirected(n).edges(edges).build().expect("BA edges are in bounds")
+    GraphBuilder::undirected(n).edges(edges).build_expect()
 }
 
 /// Parameters of the RMAT recursive quadrant model.
@@ -143,7 +143,7 @@ pub fn rmat(n: usize, m: usize, params: RmatParams, seed: u64) -> Csr {
             edges.push(key);
         }
     }
-    GraphBuilder::undirected(n).edges(edges).build().expect("rmat edges are in bounds")
+    GraphBuilder::undirected(n).edges(edges).build_expect()
 }
 
 /// A hub-and-spokes graph modelling ego networks: `num_hubs` designated hubs
@@ -186,7 +186,7 @@ pub fn hub_and_spokes(
             edges.push((u, v));
         }
     }
-    GraphBuilder::undirected(n).edges(edges).build().expect("hub edges are in bounds")
+    GraphBuilder::undirected(n).edges(edges).build_expect()
 }
 
 #[cfg(test)]

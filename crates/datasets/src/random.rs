@@ -32,7 +32,7 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Csr {
             edges.push(key);
         }
     }
-    GraphBuilder::undirected(n).edges(edges).build().expect("sampled edges are in bounds")
+    GraphBuilder::undirected(n).edges(edges).build_expect()
 }
 
 /// A random geometric graph: `n` points uniform in the unit square, an edge
@@ -66,7 +66,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Csr {
             }
         }
     }
-    b.build().expect("geometric edges are in bounds")
+    b.build_expect()
 }
 
 /// A Watts–Strogatz small-world graph: a ring lattice where each vertex
@@ -97,11 +97,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Csr {
             }
         }
     }
-    GraphBuilder::undirected(n)
-        .duplicates(DuplicatePolicy::KeepFirst)
-        .edges(edges)
-        .build()
-        .expect("rewired edges are in bounds")
+    GraphBuilder::undirected(n).duplicates(DuplicatePolicy::KeepFirst).edges(edges).build_expect()
 }
 
 #[cfg(test)]

@@ -87,7 +87,7 @@ pub fn stochastic_block_model(
         }
     }
 
-    let graph = GraphBuilder::undirected(n).edges(edges).build().expect("pairs are in bounds");
+    let graph = GraphBuilder::undirected(n).edges(edges).build_expect();
     PlantedPartition { graph, blocks, num_blocks: k }
 }
 

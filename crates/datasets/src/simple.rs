@@ -16,7 +16,7 @@ use reorderlab_graph::{Csr, GraphBuilder};
 /// ```
 pub fn path(n: usize) -> Csr {
     let edges = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1));
-    GraphBuilder::undirected(n).edges(edges).build().expect("path edges are in bounds")
+    GraphBuilder::undirected(n).edges(edges).build_expect()
 }
 
 /// A cycle graph on `n >= 3` vertices (for `n < 3` this degenerates to a
@@ -27,13 +27,13 @@ pub fn cycle(n: usize) -> Csr {
     if n >= 3 {
         b = b.edge(n as u32 - 1, 0);
     }
-    b.build().expect("cycle edges are in bounds")
+    b.build_expect()
 }
 
 /// A star: vertex 0 is the hub connected to all others.
 pub fn star(n: usize) -> Csr {
     let edges = (1..n as u32).map(|i| (0, i));
-    GraphBuilder::undirected(n).edges(edges).build().expect("star edges are in bounds")
+    GraphBuilder::undirected(n).edges(edges).build_expect()
 }
 
 /// The complete graph `K_n`.
@@ -44,7 +44,7 @@ pub fn complete(n: usize) -> Csr {
             b = b.edge(u, v);
         }
     }
-    b.build().expect("complete edges are in bounds")
+    b.build_expect()
 }
 
 /// A `rows x cols` 4-neighbor lattice (the skeleton of road networks).
@@ -62,7 +62,7 @@ pub fn grid2d(rows: usize, cols: usize) -> Csr {
             }
         }
     }
-    b.build().expect("grid edges are in bounds")
+    b.build_expect()
 }
 
 /// A complete binary tree on `n` vertices (vertex `i` has children `2i+1`,
@@ -72,7 +72,7 @@ pub fn binary_tree(n: usize) -> Csr {
     for v in 1..n as u32 {
         b = b.edge((v - 1) / 2, v);
     }
-    b.build().expect("tree edges are in bounds")
+    b.build_expect()
 }
 
 /// `k` disjoint cliques of `size` vertices each, with consecutive cliques
@@ -92,7 +92,7 @@ pub fn clique_chain(k: usize, size: usize) -> Csr {
             b = b.edge(base + size as u32 - 1, base + size as u32);
         }
     }
-    b.build().expect("clique chain edges are in bounds")
+    b.build_expect()
 }
 
 #[cfg(test)]

@@ -4,6 +4,11 @@
 //! validates endpoints, applies the configured self-loop and duplicate-edge
 //! policies, and produces a [`Csr`] with sorted neighbor lists.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use crate::csr::Csr;
 use crate::error::GraphError;
 
@@ -123,6 +128,18 @@ impl GraphBuilder {
     /// Number of edges added so far (before any policy is applied).
     pub fn pending_edges(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Panicking twin of [`build`](Self::build), for callers whose edges are
+    /// in-bounds by construction (the synthetic dataset generators).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`GraphError`] message where `build` would return it.
+    pub fn build_expect(self) -> Csr {
+        // SAFETY: documented panicking twin over the fallible `build`; the
+        // single P1-allowlisted site for generator-side graph assembly.
+        self.build().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Validates, normalizes, and assembles the [`Csr`].

@@ -13,6 +13,11 @@
 //! values serially, so the coarse adjacency is bit-for-bit symmetric at any
 //! thread count.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use crate::csr::Csr;
 use crate::error::GraphError;
 use crate::frontier::exclusive_prefix_sum;

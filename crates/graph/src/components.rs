@@ -5,6 +5,11 @@
 //! SlashBurn orders spokes per component), so component discovery is part of
 //! the substrate.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use crate::csr::Csr;
 
 /// The connected components of an undirected graph (weakly connected

@@ -8,6 +8,38 @@
 //! to pin their kernels, so it lives in the public API rather than behind
 //! `cfg(test)`.
 
+/// Order-fixed reduction of parallel-computed float parts.
+///
+/// Float addition is not associative, so reducing a parallel iterator
+/// directly (`par_iter().map(..).sum()`) ties the result to however the
+/// scheduler grouped the work. The repo's D2 static-analysis contract
+/// (see `crates/analyze`) therefore requires parallel float reductions to
+/// go through this wrapper: compute the parts in parallel, `collect` them
+/// in input order, and fold sequentially here, so the accumulation order
+/// never depends on thread count or schedule.
+#[inline]
+pub fn det_sum_f64(parts: Vec<f64>) -> f64 {
+    parts.iter().sum()
+}
+
+/// Builds a dedicated pool of exactly `threads` workers.
+///
+/// The single audited construction point for explicit pools: every kernel
+/// that honors a `threads` configuration goes through here rather than
+/// calling the builder (and unwrapping its `Result`) itself.
+///
+/// # Panics
+///
+/// Panics if the pool cannot be constructed. The shim builder only fails on
+/// a zero-size stack request, which this function never issues.
+pub fn build_pool(threads: usize) -> rayon::ThreadPool {
+    // SAFETY: the builder is configured with thread count only, the one
+    // parameter combination its contract documents as infallible; this is
+    // the workspace's single P1-allowlisted pool-construction site.
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build();
+    pool.expect("thread pool construction with default stack size cannot fail")
+}
+
 /// Runs `op` once on the ambient pool and once under dedicated pools of 1, 2,
 /// and 7 threads, asserting every run returns the same value. Returns the
 /// reference result so callers can make further assertions on it.
@@ -22,11 +54,7 @@ where
 {
     let reference = op();
     for threads in [1usize, 2, 7] {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool construction is infallible here");
-        let got = pool.install(&op);
+        let got = build_pool(threads).install(&op);
         assert_eq!(got, reference, "result changed at {threads} threads");
     }
     reference

@@ -3,6 +3,7 @@
 //! format.
 
 use crate::builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
+use crate::cast;
 use crate::csr::Csr;
 use crate::error::GraphError;
 use std::io::{BufRead, Write};
@@ -62,10 +63,12 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
             }
             None => 1.0,
         };
-        max_vertex = max_vertex.max(u as i64).max(v as i64);
+        max_vertex = max_vertex.max(i64::from(u)).max(i64::from(v));
         edges.push((u, v, w));
     }
-    let n = (max_vertex + 1) as usize;
+    // max_vertex is -1 (empty input) or a u32 id, so the +1 always fits a
+    // usize; the checked conversion keeps that reasoning local.
+    let n = cast::try_usize_from_i64(max_vertex + 1).unwrap_or(0);
     let mut b = GraphBuilder::undirected(n)
         .self_loops(SelfLoopPolicy::Drop)
         .duplicates(DuplicatePolicy::MergeSum);
@@ -127,8 +130,8 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
         }
     };
     let mut hp = header.split_whitespace();
-    let n: usize = parse_field(hp.next(), header_line, "vertex count")? as usize;
-    let m: usize = parse_field(hp.next(), header_line, "edge count")? as usize;
+    let n: usize = cast::usize_from_u32(parse_field(hp.next(), header_line, "vertex count")?);
+    let m: usize = cast::usize_from_u32(parse_field(hp.next(), header_line, "edge count")?);
     if let Some(fmt) = hp.next() {
         if fmt.chars().any(|c| c != '0') {
             return Err(GraphError::Parse {
@@ -147,7 +150,7 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
         if t.starts_with('%') {
             continue;
         }
-        if vertex as usize >= n {
+        if cast::usize_from_u32(vertex) >= n {
             if t.is_empty() {
                 continue;
             }
@@ -161,7 +164,7 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
                 line: i + 1,
                 message: format!("invalid neighbor {tok:?}"),
             })?;
-            if nbr == 0 || nbr as usize > n {
+            if nbr == 0 || cast::usize_from_u32(nbr) > n {
                 return Err(GraphError::Parse {
                     line: i + 1,
                     message: format!("neighbor {nbr} out of 1..={n}"),
@@ -174,7 +177,7 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
         }
         vertex += 1;
     }
-    if (vertex as usize) < n {
+    if cast::usize_from_u32(vertex) < n {
         return Err(GraphError::Parse {
             line: header_line,
             message: format!("expected {n} adjacency lines, found {vertex}"),

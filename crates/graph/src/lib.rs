@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod cast;
 mod coarsen;
 mod components;
 mod csr;
@@ -49,7 +50,7 @@ pub use builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
 pub use coarsen::{contract, contract_serial, Contraction};
 pub use components::{Components, UnionFind};
 pub use csr::{Csr, Edges};
-pub use determinism::assert_thread_invariant;
+pub use determinism::{assert_thread_invariant, build_pool, det_sum_f64};
 pub use error::{GraphError, PermutationDefect};
 pub use frontier::{exclusive_prefix_sum, frontier_candidates, frontier_candidates_by_key};
 pub use io::{read_edge_list, read_metis, write_edge_list, write_metis};

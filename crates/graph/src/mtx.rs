@@ -9,6 +9,7 @@
 //! self loops (dropped by default, matching the builder policy).
 
 use crate::builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
+use crate::cast;
 use crate::csr::Csr;
 use crate::error::GraphError;
 use crate::io::MAX_TRUSTED_RESERVE;
@@ -89,7 +90,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
     }
     // Vertex ids are u32; a larger declared dimension would silently
     // truncate every index below.
-    if rows > u32::MAX as usize {
+    if cast::try_vertex_id(rows).is_none() {
         return Err(GraphError::Parse {
             line: size_line,
             message: format!("dimension {rows} exceeds the supported vertex id space (u32)"),
@@ -129,7 +130,17 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, GraphError> {
                 message: format!("more entries than the declared {nnz}"),
             });
         }
-        let (u, v) = ((r - 1) as u32, (c - 1) as u32);
+        // In-range per the check above (r, c <= rows <= u32::MAX), but the
+        // narrowing stays checked so a future refactor cannot truncate.
+        let (u, v) = match (cast::try_vertex_id(r - 1), cast::try_vertex_id(c - 1)) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: i + 1,
+                    message: format!("entry ({r},{c}) exceeds the vertex id space (u32)"),
+                })
+            }
+        };
         if weighted {
             let tok = ep.next().ok_or_else(|| GraphError::Parse {
                 line: i + 1,

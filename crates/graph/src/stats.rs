@@ -3,6 +3,11 @@
 //! connectivity indicators the paper mentions (clustering coefficient,
 //! triangle count).
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use crate::csr::Csr;
 
 /// Summary statistics of a graph, as reported in Table I of the paper.
@@ -136,6 +141,8 @@ pub fn approx_diameter(graph: &Csr) -> usize {
         return 0;
     }
     let comps = Components::find(graph);
+    // SAFETY: the n == 0 case returned early above, so at least one
+    // component exists and its members are enumerable.
     let giant = comps.largest().expect("non-empty graph has a component");
     let start = (0..n as u32)
         .find(|&v| comps.component_of(v) == giant)

@@ -6,6 +6,11 @@
 //! component searches, and the influence-maximization sampler runs stochastic
 //! reverse BFS.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use crate::csr::Csr;
 use crate::frontier::frontier_candidates;
 use std::collections::VecDeque;
@@ -267,6 +272,8 @@ pub fn pseudo_peripheral_serial(graph: &Csr, start: u32) -> u32 {
         // Min-(degree, id) vertex in the deepest level — an order-free rule,
         // so any traversal producing the same level *sets* agrees.
         let candidate =
+        // SAFETY: `last` is a BFS level, and levels are non-empty by
+        // construction of `bfs_levels`.
             *last.iter().min_by_key(|&&v| (graph.degree(v), v)).expect("non-empty level");
         if candidate == current {
             return current;
@@ -342,6 +349,8 @@ fn bfs_summary(graph: &Csr, source: u32) -> (usize, u32) {
         .iter()
         .copied()
         .min_by_key(|&v| (graph.degree(v), v))
+        // SAFETY: the deepest BFS level always holds at least the
+        // search source.
         .expect("deepest level holds at least the source");
     (depth as usize, deepest)
 }

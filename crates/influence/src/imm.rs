@@ -62,10 +62,7 @@ pub fn imm(graph: &Csr, cfg: &ImmConfig) -> ImmResult {
     if cfg.threads == 0 {
         imm_inner(graph, cfg)
     } else {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(cfg.threads)
-            .build()
-            .expect("failed to build rayon pool");
+        let pool = reorderlab_graph::build_pool(cfg.threads);
         pool.install(|| imm_inner(graph, cfg))
     }
 }

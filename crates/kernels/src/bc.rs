@@ -3,6 +3,11 @@
 //! sources, or estimated from a sampled source subset; sources are
 //! processed in parallel with per-thread accumulation.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use rayon::prelude::*;
 use reorderlab_graph::Csr;
 

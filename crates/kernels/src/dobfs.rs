@@ -4,6 +4,11 @@
 //! neighbor list until an active parent is found) is among the most
 //! layout-sensitive access patterns in graph processing.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use reorderlab_graph::Csr;
 
 /// Counters from a direction-optimizing BFS run.

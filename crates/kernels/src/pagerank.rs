@@ -3,8 +3,13 @@
 //! power iteration whose per-edge indirection (`scores[neighbor]`) is
 //! exactly the access pattern vertex reordering tries to make local.
 
+// SAFETY: every `as u32` in this module narrows a vertex count, degree, or
+// index that the Csr construction invariant bounds by `u32::MAX` (graphs
+// with more vertices are rejected at build/ingest time), so the casts are
+// lossless; the C1 budget in analyze.toml pins the audited site count.
+
 use rayon::prelude::*;
-use reorderlab_graph::Csr;
+use reorderlab_graph::{det_sum_f64, Csr};
 
 /// Configuration for [`pagerank`].
 #[derive(Debug, Clone, PartialEq)]
@@ -133,7 +138,11 @@ pub fn pagerank(graph: &Csr, config: &PageRankConfig) -> PageRankResult {
             *slot = base + dangling_share + d * acc;
         });
 
-        let delta: f64 = scores.par_iter().zip(next.par_iter()).map(|(a, b)| (a - b).abs()).sum();
+        // D2 contract: the float reduction goes through the order-fixed
+        // wrapper so the accumulation never depends on the schedule.
+        let delta = det_sum_f64(
+            scores.par_iter().zip(next.par_iter()).map(|(a, b)| (a - b).abs()).collect(),
+        );
         std::mem::swap(&mut scores, &mut next);
         if delta < config.tolerance {
             converged = true;

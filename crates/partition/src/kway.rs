@@ -51,10 +51,7 @@ pub fn partition_kway(graph: &Csr, cfg: &PartitionConfig) -> Partitioning {
         // The kernels are thread-count invariant, so installing a dedicated
         // pool only bounds parallelism; the partition is unchanged.
         Some(t) => {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(t)
-                .build()
-                .expect("thread pool construction");
+            let pool = reorderlab_graph::build_pool(t);
             pool.install(|| partition_kway_inner(graph, cfg))
         }
         None => partition_kway_inner(graph, cfg),

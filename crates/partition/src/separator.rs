@@ -8,7 +8,6 @@
 use crate::bisect::bisect;
 use crate::config::PartitionConfig;
 use reorderlab_graph::Csr;
-use std::collections::HashMap;
 
 /// A three-way split: two disconnected sides plus the separating vertex set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,24 +41,38 @@ pub fn vertex_separator(graph: &Csr, cfg: &PartitionConfig) -> Separator {
         .collect();
 
     // Greedy vertex cover: repeatedly take the endpoint covering the most
-    // uncovered cut edges.
-    let mut incident: HashMap<u32, Vec<usize>> = HashMap::new();
+    // uncovered cut edges. The incidence structure is a flat vertex-indexed
+    // table plus an ascending candidate list, not a HashMap: scanning in
+    // vertex order makes the smallest-id tie-break explicit instead of
+    // relying on hash-iteration order (the repo's D1 determinism contract).
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut candidates: Vec<u32> = Vec::new();
     for (i, &(u, v)) in cut_edges.iter().enumerate() {
-        incident.entry(u).or_default().push(i);
-        incident.entry(v).or_default().push(i);
+        for x in [u, v] {
+            if incident[x as usize].is_empty() {
+                candidates.push(x);
+            }
+            incident[x as usize].push(i);
+        }
     }
+    candidates.sort_unstable();
     let mut covered = vec![false; cut_edges.len()];
     let mut uncovered = cut_edges.len();
     let mut in_separator = vec![false; n];
     while uncovered > 0 {
-        let (&best, _) = incident
-            .iter()
-            .max_by_key(|(&v, edges)| {
-                let live = edges.iter().filter(|&&e| !covered[e]).count();
-                (live, std::cmp::Reverse(v))
-            })
-            .expect("uncovered edges imply candidate endpoints");
-        let edges = incident.remove(&best).expect("candidate present");
+        // Most live edges wins; the ascending scan with a strict `>` keeps
+        // the smallest vertex id among ties.
+        let mut best: Option<(usize, u32)> = None;
+        for &v in &candidates {
+            let live = incident[v as usize].iter().filter(|&&e| !covered[e]).count();
+            if live > 0 && best.is_none_or(|(bl, _)| live > bl) {
+                best = Some((live, v));
+            }
+        }
+        // While any edge is uncovered its endpoints are live candidates, so
+        // `best` is always present; break keeps the loop total regardless.
+        let Some((_, pick)) = best else { break };
+        let edges = std::mem::take(&mut incident[pick as usize]);
         let mut newly = 0usize;
         for e in edges {
             if !covered[e] {
@@ -67,10 +80,7 @@ pub fn vertex_separator(graph: &Csr, cfg: &PartitionConfig) -> Separator {
                 newly += 1;
             }
         }
-        if newly == 0 {
-            continue;
-        }
-        in_separator[best as usize] = true;
+        in_separator[pick as usize] = true;
         uncovered -= newly;
     }
 

@@ -284,7 +284,9 @@ impl Manifest {
         if tool != TOOL {
             return Err(ManifestError::WrongTool(tool.to_string()));
         }
-        let graph = v.get("graph").unwrap();
+        // Present per the REQUIRED_KEYS check above; stays fallible so the
+        // check and this lookup cannot drift apart.
+        let graph = v.get("graph").ok_or(ManifestError::MissingKey("graph"))?;
         let scheme = match v.get("scheme") {
             None => None,
             Some(s) => Some(SchemeInfo {

@@ -166,9 +166,8 @@ impl Recorder for RunRecorder {
             return;
         };
         while self.stack.len() > at {
-            let (frame, start) = *self.stack.last().unwrap();
+            let Some((frame, start)) = self.stack.pop() else { break };
             let wall = start.elapsed();
-            self.stack.pop();
             let path = self.path_with(frame);
             let slot = self.spans.entry(path).or_default();
             slot.wall += wall;

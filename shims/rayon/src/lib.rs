@@ -18,6 +18,134 @@
 
 use std::cell::Cell;
 
+/// Seeded adversarial scheduler, compiled only under `--features chaos`.
+///
+/// The shim's static scheduling is *too* tame to catch order-dependent
+/// bugs: every run at a given thread count splits work identically. This
+/// module deterministically derives, from `REORDERLAB_CHAOS_SEED` (or an
+/// in-process [`chaos::set_seed`] override), a different schedule per
+/// parallel call: uneven chunk boundaries, a permuted spawn order, permuted
+/// yield pressure per worker, and swapped `join` arms. Results must still be
+/// bit-identical to the serial path — the chaos-schedules test tier asserts
+/// exactly that. The one-thread path stays untouched as the oracle.
+#[cfg(feature = "chaos")]
+pub mod chaos {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+
+    /// Sentinel for "no in-process override; read the environment".
+    const UNSET: u64 = u64::MAX;
+    static SEED_OVERRIDE: AtomicU64 = AtomicU64::new(UNSET);
+    /// Per-process call counter so successive parallel calls under one seed
+    /// still see distinct schedules.
+    static CALL: AtomicU64 = AtomicU64::new(0);
+
+    fn env_seed() -> u64 {
+        static ENV: OnceLock<u64> = OnceLock::new();
+        *ENV.get_or_init(|| {
+            std::env::var("REORDERLAB_CHAOS_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .unwrap_or(0)
+        })
+    }
+
+    /// The active chaos seed: the in-process override if one was set, else
+    /// `REORDERLAB_CHAOS_SEED`, else 0.
+    pub fn seed() -> u64 {
+        match SEED_OVERRIDE.load(Ordering::Relaxed) {
+            UNSET => env_seed(),
+            s => s,
+        }
+    }
+
+    /// Overrides the seed for this process and restarts the call counter,
+    /// so test tiers can iterate many schedules without respawning.
+    pub fn set_seed(seed: u64) {
+        SEED_OVERRIDE.store(seed, Ordering::Relaxed);
+        CALL.store(0, Ordering::Relaxed);
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// A splitmix64 counter stream; cheap, stateless between calls.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(self.0)
+        }
+
+        /// Uniform-ish draw in `0..n` (modulo bias is irrelevant here:
+        /// any schedule is a valid schedule).
+        fn below(&mut self, n: usize) -> usize {
+            if n <= 1 {
+                0
+            } else {
+                (self.next() % n as u64) as usize
+            }
+        }
+    }
+
+    /// One RNG per parallel call, derived from seed × call index. When
+    /// parallel calls nest, the counter order (and thus which schedule each
+    /// call draws) may itself race — that is fine: chaos schedules need not
+    /// be reproducible, only the *results* computed under them.
+    fn call_rng() -> Rng {
+        let call = CALL.fetch_add(1, Ordering::Relaxed);
+        Rng(splitmix64(seed()) ^ splitmix64(call.wrapping_mul(0xA076_1D64_78BD_642F)))
+    }
+
+    /// Whether the next [`crate::join`] should run its arms in swapped order.
+    pub(crate) fn swap_join() -> bool {
+        call_rng().next() & 1 == 1
+    }
+
+    /// An adversarial schedule for one chunked parallel call.
+    pub(crate) struct Plan {
+        /// Uneven chunk sizes in input order; each ≥ 1, summing to `len`.
+        pub(crate) sizes: Vec<usize>,
+        /// Spawn-order permutation over chunk indices.
+        pub(crate) spawn_order: Vec<usize>,
+        /// `yield_now` count injected before each chunk starts.
+        pub(crate) yields: Vec<u32>,
+    }
+
+    /// Draws a schedule for `len` items across at most `threads` workers.
+    /// Callers guarantee `len > 1` and `threads > 1`.
+    pub(crate) fn plan(len: usize, threads: usize) -> Plan {
+        let mut rng = call_rng();
+        let max_chunks = threads.min(len).max(2);
+        let k = 2 + rng.below(max_chunks - 1);
+        let mut sizes = Vec::with_capacity(k);
+        let mut remaining = len;
+        for i in 0..k {
+            let slots_left = k - i;
+            let take = if slots_left == 1 {
+                remaining
+            } else {
+                // Leave at least one item for every remaining slot.
+                1 + rng.below(remaining - (slots_left - 1))
+            };
+            sizes.push(take);
+            remaining -= take;
+        }
+        let mut spawn_order: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            let j = rng.below(i + 1);
+            spawn_order.swap(i, j);
+        }
+        let yields = (0..k).map(|_| rng.below(4) as u32).collect();
+        Plan { sizes, spawn_order, yields }
+    }
+}
+
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
@@ -114,6 +242,16 @@ where
     if current_num_threads() <= 1 {
         return (a(), b());
     }
+    #[cfg(feature = "chaos")]
+    if chaos::swap_join() {
+        // Adversarial order: `b` runs on the caller thread while `a` is
+        // spawned; the result tuple keeps its (ra, rb) contract.
+        return std::thread::scope(|s| {
+            let ha = s.spawn(a);
+            let rb = b();
+            (ha.join().expect("rayon-shim join worker panicked"), rb)
+        });
+    }
     std::thread::scope(|s| {
         let hb = s.spawn(b);
         let ra = a();
@@ -137,6 +275,23 @@ where
         let mut scratch = init();
         return items.into_iter().map(|t| f(&mut scratch, t)).collect();
     }
+    #[cfg(feature = "chaos")]
+    return run_chunked_chaos(items, init, f, threads);
+    #[cfg(not(feature = "chaos"))]
+    run_chunked_static(items, init, f, threads)
+}
+
+/// The default static schedule: even contiguous chunks, spawned and joined
+/// in order.
+#[cfg(not(feature = "chaos"))]
+fn run_chunked_static<T, I, R, INIT, F>(items: Vec<T>, init: INIT, f: F, threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> I + Sync,
+    F: Fn(&mut I, T) -> R + Sync,
+{
+    let len = items.len();
     let chunk_len = len.div_ceil(threads);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
     let mut items = items;
@@ -163,6 +318,62 @@ where
     let mut out = Vec::with_capacity(len);
     while let Some(chunk) = outputs.pop() {
         out.extend(chunk);
+    }
+    out
+}
+
+/// The adversarial schedule: uneven chunk boundaries, permuted spawn order,
+/// and per-worker yield pressure, all drawn from the chaos seed. Each chunk
+/// carries its original index, and outputs are reassembled by that index, so
+/// the result is identical to the static path no matter how workers race.
+#[cfg(feature = "chaos")]
+fn run_chunked_chaos<T, I, R, INIT, F>(items: Vec<T>, init: INIT, f: F, threads: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    INIT: Fn() -> I + Sync,
+    F: Fn(&mut I, T) -> R + Sync,
+{
+    let len = items.len();
+    let plan = chaos::plan(len, threads);
+    // Split front-to-back into the planned uneven chunks, tagged with their
+    // original position.
+    let mut rest = items;
+    let mut chunks: Vec<Option<(usize, Vec<T>)>> = Vec::with_capacity(plan.sizes.len());
+    for (idx, &size) in plan.sizes.iter().enumerate() {
+        let tail = rest.split_off(size);
+        chunks.push(Some((idx, rest)));
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "plan sizes must cover every item");
+    let init = &init;
+    let f = &f;
+    let mut slots: Vec<Option<Vec<R>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = plan
+            .spawn_order
+            .iter()
+            .map(|&orig| {
+                let (idx, chunk) = chunks[orig].take().expect("each chunk spawns exactly once");
+                let yields = plan.yields[idx];
+                s.spawn(move || {
+                    for _ in 0..yields {
+                        std::thread::yield_now();
+                    }
+                    let mut scratch = init();
+                    (idx, chunk.into_iter().map(|t| f(&mut scratch, t)).collect::<Vec<R>>())
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<Vec<R>>> = (0..plan.sizes.len()).map(|_| None).collect();
+        for h in handles {
+            let (idx, chunk_out) = h.join().expect("rayon-shim chaos worker panicked");
+            slots[idx] = Some(chunk_out);
+        }
+        slots
+    });
+    let mut out = Vec::with_capacity(len);
+    for slot in &mut slots {
+        out.extend(slot.take().expect("every chunk completed"));
     }
     out
 }
@@ -425,5 +636,74 @@ mod tests {
         let b = vec![4, 5, 6];
         let s: i32 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
         assert_eq!(s, 4 + 10 + 18);
+    }
+}
+
+/// Chaos-mode invariants. These run alongside the ordinary tests under
+/// `--features chaos`; the assertions hold for *any* seed, so concurrent
+/// tests mutating the global seed cannot make them flaky.
+#[cfg(all(test, feature = "chaos"))]
+mod chaos_tests {
+    use super::*;
+
+    #[test]
+    fn chaos_schedules_preserve_order_across_seeds() {
+        let expected: Vec<usize> = (0..997).map(|x| x * 3).collect();
+        for seed in 0..8 {
+            chaos::set_seed(seed);
+            let out: Vec<usize> = (0..997usize).into_par_iter().map(|x| x * 3).collect();
+            assert_eq!(out, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chaos_sum_stays_bit_identical_to_serial() {
+        let v: Vec<f64> = (0..5000).map(|i| (i as f64).sqrt()).collect();
+        let serial: f64 = v.iter().sum();
+        for seed in [0u64, 1, 5, 17, 0xDEAD_BEEF] {
+            chaos::set_seed(seed);
+            let par: f64 = v.par_iter().map(|&x| x).sum();
+            assert_eq!(par.to_bits(), serial.to_bits(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chaos_plans_are_exhaustive_uneven_permutations() {
+        chaos::set_seed(3);
+        for len in [2usize, 3, 17, 1000] {
+            for threads in [2usize, 4, 7] {
+                let plan = chaos::plan(len, threads);
+                assert_eq!(plan.sizes.iter().sum::<usize>(), len, "sizes cover every item");
+                assert!(plan.sizes.iter().all(|&s| s >= 1), "no empty chunk");
+                let k = plan.sizes.len();
+                assert!((2..=threads.min(len).max(2)).contains(&k), "chunk count in range");
+                let mut spawn = plan.spawn_order.clone();
+                spawn.sort_unstable();
+                assert_eq!(spawn, (0..k).collect::<Vec<_>>(), "spawn order is a permutation");
+                assert_eq!(plan.yields.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_join_keeps_the_result_contract() {
+        for seed in 0..8 {
+            chaos::set_seed(seed);
+            for _ in 0..4 {
+                let (a, b) = join(|| 41 + 1, || "y".to_string());
+                assert_eq!(a, 42);
+                assert_eq!(b, "y");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_for_each_mut_still_writes_every_slot() {
+        for seed in 0..4 {
+            chaos::set_seed(seed);
+            let mut v = vec![0usize; 509];
+            v.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = i + 1);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1), "seed {seed}");
+        }
     }
 }
