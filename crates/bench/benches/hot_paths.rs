@@ -1,10 +1,12 @@
 //! Criterion regression gate for the four optimized hot paths:
 //!
-//! 1. the Louvain move phase — flat scatter-array kernel vs the HashMap
-//!    reference it replaced (same assignments, traces, and load counts);
+//! 1. the Louvain move phase — every selectable kernel (flat scatter,
+//!    cache-line-blocked, packed stamp+weight, and the HashMap reference
+//!    they all replay bit-identically);
 //! 2. the gap/bandwidth measure sweep (parallel row reductions);
 //! 3. CSR relabeling (`permuted`) and transposition (`transposed`);
-//! 4. RR-set sampling with a reusable scratch vs per-sample allocation;
+//! 4. RR-set sampling — classic vs hub/cold split visited-set kernels,
+//!    with a reusable scratch vs per-sample allocation;
 //! 5. the parallel reordering kernels vs their retained serial oracles
 //!    (`reorder_parallel`): RCM's level gather + packed keys, SlashBurn's
 //!    linear-time top-k hub extraction, Rabbit's speculative batched scan,
@@ -22,7 +24,7 @@ use reorderlab_community::{louvain, LouvainConfig, MoveKernel};
 use reorderlab_core::measures::{edge_gaps, gap_measures, vertex_bandwidths};
 use reorderlab_datasets::by_name;
 use reorderlab_graph::{Csr, Permutation};
-use reorderlab_influence::{DiffusionModel, RrSampler, SampleScratch};
+use reorderlab_influence::{DiffusionModel, RrSampler, SampleKernel, SampleScratch};
 use std::hint::black_box;
 
 /// The large-suite instance all hot-path benches run on (the same one the
@@ -47,12 +49,13 @@ fn bench_louvain_move_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("louvain_move_kernel");
     group.sample_size(10);
     for threads in [1usize, 4] {
-        for (name, kernel) in [("flat", MoveKernel::FlatScatter), ("hashmap", MoveKernel::HashMap)]
-        {
+        for kernel in MoveKernel::ALL {
             let cfg = LouvainConfig::default().kernel(kernel).threads(threads).max_phases(1);
-            group.bench_with_input(BenchmarkId::new(name, format!("{threads}t")), &g, |b, g| {
-                b.iter(|| black_box(louvain(black_box(g), &cfg)))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name(), format!("{threads}t")),
+                &g,
+                |b, g| b.iter(|| black_box(louvain(black_box(g), &cfg))),
+            );
         }
     }
     group.finish();
@@ -101,21 +104,24 @@ fn bench_relabel(c: &mut Criterion) {
 fn bench_rr_sampling(c: &mut Criterion) {
     let g = instance();
     let model = DiffusionModel::IndependentCascade { probability: 0.02 };
-    let sampler = RrSampler::new(&g, model);
     let mut group = c.benchmark_group("rr_sampling");
     group.sample_size(10);
     const SETS: u64 = 512;
-    group.bench_function(BenchmarkId::from_parameter("scratch"), |b| {
-        let mut scratch = SampleScratch::new(sampler.num_vertices());
-        b.iter(|| {
-            let mut visited = 0u64;
-            for i in 0..SETS {
-                let (_, t) = sampler.sample_with(7, i, &mut scratch);
-                visited += t.vertices_visited;
-            }
-            black_box(visited)
-        })
-    });
+    for kernel in SampleKernel::ALL {
+        let sampler = RrSampler::with_kernel(&g, model, kernel);
+        group.bench_function(BenchmarkId::new("scratch", kernel.name()), |b| {
+            let mut scratch = SampleScratch::new(sampler.num_vertices());
+            b.iter(|| {
+                let mut visited = 0u64;
+                for i in 0..SETS {
+                    let (_, t) = sampler.sample_with(7, i, &mut scratch);
+                    visited += t.vertices_visited;
+                }
+                black_box(visited)
+            })
+        });
+    }
+    let sampler = RrSampler::new(&g, model);
     group.bench_function(BenchmarkId::from_parameter("alloc"), |b| {
         b.iter(|| {
             let mut visited = 0u64;

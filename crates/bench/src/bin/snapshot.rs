@@ -1,0 +1,344 @@
+//! `bench snapshot` — the machine-readable perf trajectory.
+//!
+//! Emits a schema-versioned `BENCH_*.json` snapshot over a fixed small
+//! corpus: for every (graph, scheme, workload, kernel variant) it records
+//! the deterministic memsim counters (loads, per-level hits, fixed-point
+//! latency and boundedness) and, with `--wall`, wall-time summaries from
+//! the criterion shim. Memsim fields are byte-reproducible across runs and
+//! thread counts; wall fields are not and are therefore compared with a
+//! percentage band (or skipped when absent) by `--diff`.
+//!
+//! ```text
+//! snapshot --out BENCH_0006.json --wall     # regenerate the snapshot
+//! snapshot --diff BENCH_0006.json fresh.json [--wall-tol 0.25]
+//! ```
+//!
+//! `--diff` exits 0 when the snapshots agree, 1 on schema or counter drift
+//! (exact matching on every memsim field) or a wall-time excursion beyond
+//! the band, and 2 on usage errors.
+
+#![forbid(unsafe_code)]
+
+use reorderlab_community::{louvain, LouvainConfig, MoveKernel};
+use reorderlab_core::Scheme;
+use reorderlab_influence::{DiffusionModel, RrSampler, SampleKernel, SampleScratch};
+use reorderlab_memsim::{
+    replay_louvain_move, replay_pagerank_iteration, replay_rr_kernel, Hierarchy, HierarchyConfig,
+    LouvainReplayKernel, RrReplayKernel,
+};
+use reorderlab_trace::Json;
+
+/// Snapshot schema identifier; bump `SCHEMA_VERSION` on layout changes.
+const SCHEMA: &str = "reorderlab-bench-snapshot";
+const SCHEMA_VERSION: u64 = 1;
+
+/// Fixed corpus: small suite instances small enough for CI yet large enough
+/// that the replays leave L1.
+const CORPUS: [&str; 2] = ["euroroad", "pgp"];
+/// Fixed scheme specs (parsed through the registry, one per family).
+const SCHEMES: [&str; 3] = ["natural", "rcm", "degree"];
+/// RR replay parameters (the paper's p = 0.25 setting).
+const RR_PROBABILITY: f64 = 0.25;
+const RR_SETS: usize = 64;
+const RR_SEED: u64 = 7;
+/// Map slots of the HashMap replay (Grappolo's per-vertex map working set).
+const MAP_SLOTS: u64 = 4096;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
+    let mut wall = false;
+    let mut wall_tol = 0.25f64;
+    let mut quick = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--diff" => {
+                let a = args.next().unwrap_or_else(|| usage());
+                let b = args.next().unwrap_or_else(|| usage());
+                diff = Some((a, b));
+            }
+            "--wall" => wall = true,
+            "--quick" => quick = true,
+            "--wall-tol" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                wall_tol = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => {
+                println!("bench snapshot: emit or diff BENCH_*.json perf snapshots");
+                println!("usage: snapshot [--out FILE] [--wall] [--quick]");
+                println!("       snapshot --diff BASELINE CANDIDATE [--wall-tol FRAC]");
+                std::process::exit(0);
+            }
+            _ => usage(),
+        }
+    }
+
+    if let Some((a, b)) = diff {
+        let drift = diff_snapshots(&a, &b, wall_tol);
+        std::process::exit(if drift == 0 { 0 } else { 1 });
+    }
+
+    let snapshot = build_snapshot(wall, quick);
+    let text = snapshot.to_pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("(wrote {path})");
+        }
+        None => println!("{text}"),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: snapshot [--out FILE] [--wall] [--quick]");
+    eprintln!("       snapshot --diff BASELINE CANDIDATE [--wall-tol FRAC]");
+    std::process::exit(2);
+}
+
+// ---------------------------------------------------------------- emission
+
+fn build_snapshot(wall: bool, quick: bool) -> Json {
+    let corpus: &[&str] = if quick { &CORPUS[..1] } else { &CORPUS };
+    let mut entries: Vec<Json> = Vec::new();
+    for graph_name in corpus {
+        let spec = reorderlab_datasets::by_name(graph_name).expect("corpus instance exists");
+        let g = spec.generate();
+        for scheme_spec in SCHEMES {
+            let scheme = Scheme::parse(scheme_spec).expect("fixed scheme spec parses");
+            let pi = scheme.reorder(&g);
+            let laid_out = g.permuted(&pi).expect("valid permutation");
+            // Stable labels so every layout replays the same logical RR
+            // traversal (see replay_rr_kernel).
+            let labels: Vec<u32> = pi.to_order();
+
+            for kernel in MoveKernel::ALL {
+                entries.push(entry(
+                    graph_name,
+                    scheme.name(),
+                    "louvain_move",
+                    kernel.name(),
+                    |h| replay_louvain_move(&laid_out, louvain_replay(kernel), h),
+                    wall.then(|| measure_louvain(&laid_out, kernel)).flatten(),
+                ));
+            }
+            for kernel in SampleKernel::ALL {
+                entries.push(entry(
+                    graph_name,
+                    scheme.name(),
+                    "rr_sample",
+                    kernel.name(),
+                    |h| {
+                        replay_rr_kernel(
+                            &laid_out,
+                            &labels,
+                            RR_PROBABILITY,
+                            RR_SETS,
+                            RR_SEED,
+                            rr_replay(kernel),
+                            h,
+                        )
+                    },
+                    wall.then(|| measure_rr(&laid_out, kernel)).flatten(),
+                ));
+            }
+            entries.push(entry(
+                graph_name,
+                scheme.name(),
+                "pagerank",
+                "pull",
+                |h| replay_pagerank_iteration(&laid_out, h),
+                None,
+            ));
+        }
+    }
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+        ("hierarchy".into(), Json::Str("scaled_cascade_lake".into())),
+        ("corpus".into(), Json::Arr(corpus.iter().map(|&c| Json::Str(c.into())).collect())),
+        ("entries".into(), Json::Arr(entries)),
+    ])
+}
+
+fn louvain_replay(k: MoveKernel) -> LouvainReplayKernel {
+    match k {
+        MoveKernel::FlatScatter => LouvainReplayKernel::FlatScatter,
+        MoveKernel::Blocked => LouvainReplayKernel::Blocked,
+        MoveKernel::Packed => LouvainReplayKernel::Packed,
+        MoveKernel::HashMap => LouvainReplayKernel::HashMap { map_slots: MAP_SLOTS },
+    }
+}
+
+fn rr_replay(k: SampleKernel) -> RrReplayKernel {
+    match k {
+        SampleKernel::Classic => RrReplayKernel::Classic,
+        SampleKernel::HubSplit => RrReplayKernel::HubSplit,
+    }
+}
+
+/// Builds one snapshot entry: replays the workload through a cold scaled
+/// Cascade Lake hierarchy and attaches the (optional) wall summary.
+fn entry(
+    graph: &str,
+    scheme: &str,
+    workload: &str,
+    kernel: &str,
+    replay: impl FnOnce(&mut Hierarchy),
+    wall: Option<criterion::Summary>,
+) -> Json {
+    let mut hier = Hierarchy::new(HierarchyConfig::scaled_cascade_lake());
+    replay(&mut hier);
+    let r = hier.report();
+    let latency = hier.config().latency;
+    let hits = r.level_hits;
+    // Fixed-point integer metrics derived *only* from the integer counters,
+    // so the serialized fields are byte-identical across runs/platforms.
+    let cycles: [u128; 4] = [
+        hits[0] as u128 * latency[0] as u128,
+        hits[1] as u128 * latency[1] as u128,
+        hits[2] as u128 * latency[2] as u128,
+        hits[3] as u128 * latency[3] as u128,
+    ];
+    let total_cycles: u128 = cycles.iter().sum();
+    let loads = r.loads as u128;
+    let ratio_milli = |num: u128, den: u128| -> u64 {
+        (num * 1000 + den / 2).checked_div(den).unwrap_or(0) as u64
+    };
+    let memsim = Json::Obj(vec![
+        ("loads".into(), Json::Num(r.loads as f64)),
+        ("level_hits".into(), Json::Arr(hits.iter().map(|&h| Json::Num(h as f64)).collect())),
+        ("avg_latency_milli".into(), Json::Num(ratio_milli(total_cycles, loads) as f64)),
+        (
+            "bound_milli".into(),
+            Json::Arr(
+                cycles.iter().map(|&c| Json::Num(ratio_milli(c, total_cycles) as f64)).collect(),
+            ),
+        ),
+        ("l1_hit_rate_milli".into(), Json::Num(ratio_milli(hits[0] as u128, loads) as f64)),
+    ]);
+    let wall_json = match wall {
+        None => Json::Null,
+        Some(s) => Json::Obj(vec![
+            ("samples".into(), Json::Num(s.samples as f64)),
+            ("min_ns".into(), Json::Num(s.min_ns as f64)),
+            ("mean_ns".into(), Json::Num(s.mean_ns as f64)),
+            ("median_ns".into(), Json::Num(s.median_ns as f64)),
+            ("max_ns".into(), Json::Num(s.max_ns as f64)),
+        ]),
+    };
+    Json::Obj(vec![
+        ("graph".into(), Json::Str(graph.into())),
+        ("scheme".into(), Json::Str(scheme.into())),
+        ("workload".into(), Json::Str(workload.into())),
+        ("kernel".into(), Json::Str(kernel.into())),
+        ("memsim".into(), memsim),
+        ("wall".into(), wall_json),
+    ])
+}
+
+fn measure_louvain(g: &reorderlab_graph::Csr, kernel: MoveKernel) -> Option<criterion::Summary> {
+    let cfg = LouvainConfig::default().threads(1).max_phases(1).kernel(kernel);
+    criterion::measure(|| criterion::black_box(louvain(g, &cfg)))
+}
+
+fn measure_rr(g: &reorderlab_graph::Csr, kernel: SampleKernel) -> Option<criterion::Summary> {
+    let model = DiffusionModel::IndependentCascade { probability: RR_PROBABILITY };
+    let sampler = RrSampler::with_kernel(g, model, kernel);
+    let mut scratch = SampleScratch::new(g.num_vertices());
+    criterion::measure(move || {
+        let mut edges = 0u64;
+        for i in 0..RR_SETS as u64 {
+            let (_, t) = sampler.sample_with(RR_SEED, i, &mut scratch);
+            edges += t.edges_examined;
+        }
+        criterion::black_box(edges)
+    })
+}
+
+// -------------------------------------------------------------------- diff
+
+/// Compares two snapshot files; returns the number of drifts found (0 = in
+/// agreement). Memsim fields must match exactly; wall means may differ by
+/// `wall_tol` (relative) and are skipped when either side lacks them.
+fn diff_snapshots(baseline: &str, candidate: &str, wall_tol: f64) -> usize {
+    let a = load(baseline);
+    let b = load(candidate);
+    let mut drifts = 0usize;
+
+    for key in ["schema", "schema_version", "hierarchy"] {
+        if a.get(key) != b.get(key) {
+            println!("DRIFT {key}: {:?} vs {:?}", a.get(key), b.get(key));
+            drifts += 1;
+        }
+    }
+
+    let empty: Vec<Json> = Vec::new();
+    let ea = a.get("entries").and_then(|e| e.as_arr()).unwrap_or(&empty);
+    let eb = b.get("entries").and_then(|e| e.as_arr()).unwrap_or(&empty);
+    let keyed = |es: &[Json]| -> Vec<(String, Json)> {
+        es.iter().map(|e| (entry_key(e), e.clone())).collect()
+    };
+    let (ka, kb) = (keyed(ea), keyed(eb));
+
+    for (k, ent_a) in &ka {
+        let Some((_, ent_b)) = kb.iter().find(|(kk, _)| kk == k) else {
+            println!("DRIFT entry only in baseline: {k}");
+            drifts += 1;
+            continue;
+        };
+        // Exact matching on the deterministic memsim counters.
+        if ent_a.get("memsim") != ent_b.get("memsim") {
+            println!(
+                "DRIFT memsim counters for {k}:\n  baseline:  {}\n  candidate: {}",
+                ent_a.get("memsim").map(Json::to_line).unwrap_or_default(),
+                ent_b.get("memsim").map(Json::to_line).unwrap_or_default(),
+            );
+            drifts += 1;
+        }
+        // Percentage band on wall means, when both sides measured them.
+        let wall = |e: &Json| e.get("wall").and_then(|w| w.get("mean_ns")).and_then(Json::as_f64);
+        if let (Some(wa), Some(wb)) = (wall(ent_a), wall(ent_b)) {
+            if wa > 0.0 && ((wb - wa) / wa).abs() > wall_tol {
+                println!(
+                    "DRIFT wall time for {k}: {wa:.0} ns vs {wb:.0} ns (tol {:.0}%)",
+                    wall_tol * 100.0
+                );
+                drifts += 1;
+            }
+        }
+    }
+    for (k, _) in &kb {
+        if !ka.iter().any(|(kk, _)| kk == k) {
+            println!("DRIFT entry only in candidate: {k}");
+            drifts += 1;
+        }
+    }
+
+    if drifts == 0 {
+        println!("snapshots agree ({} entries, memsim counters exact)", ka.len());
+    } else {
+        println!("{drifts} drift(s) found");
+    }
+    drifts
+}
+
+fn entry_key(e: &Json) -> String {
+    let s = |k: &str| e.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+    format!("{}/{}/{}/{}", s("graph"), s("scheme"), s("workload"), s("kernel"))
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("failed to read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("failed to parse {path}: {e}");
+        std::process::exit(2);
+    })
+}

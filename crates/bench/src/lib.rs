@@ -22,6 +22,7 @@
 //! | `prior_kernels` | Beyond the paper — PageRank/SSSP/BC baseline suite |
 //! | `sbm_transition` | Beyond the paper — community-detectability mechanism |
 //! | `summary` | One-page end-to-end summary card |
+//! | `snapshot` | `BENCH_*.json` perf trajectory: emit + `--diff` (DESIGN.md §9) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

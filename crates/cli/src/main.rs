@@ -75,6 +75,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(rest),
         "reorder" => cmd_reorder(rest),
         "measure" => cmd_measure(rest),
+        "memsim" => cmd_memsim(rest),
         "validate" => cmd_validate(rest),
         "manifest-check" => cmd_manifest_check(rest),
         "help" | "--help" | "-h" => {
@@ -97,6 +98,11 @@ fn print_usage() {
          [--json] [--manifest FILE]\n  \
          reorderlab measure  (--input FILE | --instance NAME) [--scheme NAME]...\n                      \
          [--json] [--manifest FILE]\n  \
+         reorderlab memsim   (--input FILE | --instance NAME) [--scheme NAME]\n                      \
+         [--workload louvain|rr|pagerank] [--kernel NAME] [--json]\n                      \
+         (replay a hot kernel's access stream through the simulated\n                      \
+         L1/L2/L3/DRAM hierarchy; kernels: flat|blocked|packed|hashmap\n                      \
+         for louvain, classic|hubsplit for rr)\n  \
          reorderlab validate FILE... [--json] [--manifest FILE]\n                      \
          (exit 0: all clean, 1: unreadable, 2: malformed; errors carry line numbers)\n  \
          reorderlab manifest-check FILE...\n\n\
@@ -435,6 +441,131 @@ fn validate_file(path: &str) -> Verdict {
         Ok(g) => Verdict::Clean { vertices: g.num_vertices(), edges: g.num_edges() },
         Err(e) => Verdict::Malformed(e.to_string()),
     }
+}
+
+/// Replays one hot kernel's memory-access stream through the simulated
+/// scaled-Cascade-Lake hierarchy and reports loads, per-level hit ratios,
+/// average latency, and the boundedness breakdown — memsim-as-VTune from
+/// the shell (DESIGN.md §9). The replay is deterministic: identical
+/// arguments always print identical counters.
+fn cmd_memsim(args: &[String]) -> Result<(), CliError> {
+    use reorderlab_memsim::{
+        replay_louvain_move, replay_pagerank_iteration, replay_rr_kernel, Hierarchy,
+        HierarchyConfig, LouvainReplayKernel, RrReplayKernel,
+    };
+
+    let json_out = has_flag(args, "--json");
+    let workload = flag_value(args, "--workload").unwrap_or_else(|| "louvain".into());
+    let kernel = flag_value(args, "--kernel");
+    let kernel = kernel.as_deref();
+    let (g, name) = load_graph(args)?;
+
+    // Optional reordering pass first: replay the laid-out graph, keeping
+    // the original vertex labels so every layout walks the same logical
+    // traversal (matching the `bench snapshot` corpus semantics).
+    let (g, scheme_name, labels) = match flag_value(args, "--scheme") {
+        Some(spec) => {
+            let scheme = parse_scheme(&spec)?;
+            scheme
+                .validate(g.num_vertices())
+                .map_err(|e| CliError::Usage(format!("scheme {spec:?}: {e}")))?;
+            let pi = scheme.reorder(&g);
+            let labels = pi.to_order();
+            let laid_out = g
+                .permuted(&pi)
+                .map_err(|e| CliError::Parse(format!("permutation rejected: {e}")))?;
+            (laid_out, scheme.name().to_string(), labels)
+        }
+        None => {
+            let labels = (0..g.num_vertices() as u32).collect();
+            (g, "Natural".to_string(), labels)
+        }
+    };
+
+    let mut hier = Hierarchy::new(HierarchyConfig::scaled_cascade_lake());
+    let kernel_name: String = match workload.as_str() {
+        "louvain" => {
+            let k = match kernel.unwrap_or("flat") {
+                "flat" => LouvainReplayKernel::FlatScatter,
+                "blocked" => LouvainReplayKernel::Blocked,
+                "packed" => LouvainReplayKernel::Packed,
+                "hashmap" => LouvainReplayKernel::HashMap { map_slots: 4096 },
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown louvain kernel {other:?}; try flat|blocked|packed|hashmap"
+                    )))
+                }
+            };
+            replay_louvain_move(&g, k, &mut hier);
+            kernel.unwrap_or("flat").to_string()
+        }
+        "rr" => {
+            let k = match kernel.unwrap_or("classic") {
+                "classic" => RrReplayKernel::Classic,
+                "hubsplit" => RrReplayKernel::HubSplit,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown rr kernel {other:?}; try classic|hubsplit"
+                    )))
+                }
+            };
+            // Snapshot-corpus parameters: p = 0.25, 64 sets, seed 7.
+            replay_rr_kernel(&g, &labels, 0.25, 64, 7, k, &mut hier);
+            kernel.unwrap_or("classic").to_string()
+        }
+        "pagerank" => {
+            if let Some(other) = kernel {
+                return Err(CliError::Usage(format!(
+                    "pagerank has a single pull kernel, got --kernel {other:?}"
+                )));
+            }
+            replay_pagerank_iteration(&g, &mut hier);
+            "pull".to_string()
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown workload {other:?}; try louvain|rr|pagerank"
+            )))
+        }
+    };
+
+    let r = hier.report();
+    if json_out {
+        use reorderlab_trace::Json;
+        let j = Json::Obj(vec![
+            ("graph".into(), Json::Str(name)),
+            ("scheme".into(), Json::Str(scheme_name)),
+            ("workload".into(), Json::Str(workload)),
+            ("kernel".into(), Json::Str(kernel_name)),
+            ("hierarchy".into(), Json::Str("scaled_cascade_lake".into())),
+            ("loads".into(), Json::Num(r.loads as f64)),
+            (
+                "level_hits".into(),
+                Json::Arr(r.level_hits.iter().map(|&h| Json::Num(h as f64)).collect()),
+            ),
+            ("avg_latency".into(), Json::Num(r.avg_latency)),
+            ("bound".into(), Json::Arr(r.bound.iter().map(|&b| Json::Num(b)).collect())),
+            ("l1_hit_rate".into(), Json::Num(r.l1_hit_rate())),
+        ]);
+        println!("{}", j.to_pretty());
+    } else {
+        println!("memsim replay: {workload}/{kernel_name} on {name} ({scheme_name} layout)");
+        println!("  loads        {}", r.loads);
+        let levels = ["L1", "L2", "L3", "DRAM"];
+        for (i, level) in levels.iter().enumerate() {
+            let rate = if r.loads == 0 { 0.0 } else { r.level_hits[i] as f64 / r.loads as f64 };
+            println!("  {level:<4} hits    {:<10} ({:.1}%)", r.level_hits[i], rate * 100.0);
+        }
+        println!("  avg latency  {:.3} cycles", r.avg_latency);
+        println!(
+            "  boundedness  L1 {:.1}% | L2 {:.1}% | L3 {:.1}% | DRAM {:.1}%",
+            r.bound[0] * 100.0,
+            r.bound[1] * 100.0,
+            r.bound[2] * 100.0,
+            r.bound[3] * 100.0
+        );
+    }
+    Ok(())
 }
 
 /// Checks graph input files against the ingestion contract: every file

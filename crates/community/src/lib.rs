@@ -34,8 +34,8 @@ mod modularity;
 pub use compare::{adjusted_rand_index, nmi};
 pub use config::{LouvainConfig, MoveKernel};
 pub use louvain::{
-    louvain, louvain_recorded, record_louvain_stats, CommunityResult, IterationStats, LouvainStats,
-    PhaseStats,
+    louvain, louvain_recorded, move_scan, record_louvain_stats, CommunityResult, IterationStats,
+    LouvainStats, MoveScanner, PhaseStats,
 };
 pub use modularity::{modularity, ModularityContext};
 

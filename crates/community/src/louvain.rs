@@ -249,27 +249,60 @@ pub fn record_louvain_stats(r: &CommunityResult, rec: &mut dyn reorderlab_trace:
 /// Sentinel in the flat kernel's proposal array: vertex proposes no move.
 const NO_MOVE: u32 = u32::MAX;
 
-/// Per-worker scratch for the flat scatter-array kernel: a weight
-/// accumulator indexed by community id, reset lazily through an epoch stamp
-/// so processing a vertex costs O(deg) regardless of the level size, plus
-/// the list of communities the current vertex touches. Allocated once per
-/// phase and reused by every iteration.
+/// One slot of the packed scatter array: stamp and weight share a 16-byte
+/// entry so a community touch costs one cache line instead of the two the
+/// split `stamp`/`weights` arrays cost.
+#[derive(Debug, Clone, Copy)]
+struct PackedSlot {
+    /// `stamp == epoch` marks `weight` as live for the current vertex.
+    stamp: u64,
+    /// Accumulated edge weight from the current vertex into this community.
+    weight: f64,
+}
+
+/// Targets per 64-byte cache line (4-byte vertex ids): the block size of the
+/// line-blocked neighbor scan.
+const LINE_TARGETS: usize = 16;
+
+/// Per-worker scratch for the scatter-array kernels: a weight accumulator
+/// indexed by community id, reset lazily through an epoch stamp so
+/// processing a vertex costs O(deg) regardless of the level size, plus the
+/// list of communities the current vertex touches. Allocated once per phase
+/// and reused by every iteration. Only the arrays the selected kernel reads
+/// are allocated.
 #[derive(Debug, Clone)]
 struct MoveScratch {
     /// `weights[c]`: accumulated edge weight from the current vertex into
-    /// community `c`; only meaningful where `stamp[c] == epoch`.
+    /// community `c`; only meaningful where `stamp[c] == epoch`. Used by the
+    /// flat and blocked kernels.
     weights: Vec<f64>,
     /// `stamp[c] == epoch` marks `weights[c]` as live for the current vertex.
     stamp: Vec<u64>,
+    /// Interleaved (stamp, weight) slots for [`MoveKernel::Packed`].
+    packed: Vec<PackedSlot>,
     /// Current vertex epoch; bumping it invalidates the whole scatter array.
     epoch: u64,
     /// Distinct neighbor communities of the current vertex, first-seen order.
     touched: Vec<u32>,
+    /// Preallocated variant of `touched` for [`MoveKernel::Packed`]: the
+    /// scan stores the candidate community unconditionally and advances a
+    /// cursor by `fresh as usize`, so the hot loop carries no push branch.
+    /// Sized `n + 1` so the speculative store past the last fresh slot stays
+    /// in bounds even when every community has been touched.
+    touched_buf: Vec<u32>,
 }
 
 impl MoveScratch {
-    fn new(n: usize) -> Self {
-        MoveScratch { weights: vec![0.0; n], stamp: vec![0; n], epoch: 0, touched: Vec::new() }
+    fn for_kernel(n: usize, kernel: MoveKernel) -> Self {
+        let packed = matches!(kernel, MoveKernel::Packed);
+        MoveScratch {
+            weights: if packed { Vec::new() } else { vec![0.0; n] },
+            stamp: if packed { Vec::new() } else { vec![0; n] },
+            packed: if packed { vec![PackedSlot { stamp: 0, weight: 0.0 }; n] } else { Vec::new() },
+            epoch: 0,
+            touched: Vec::new(),
+            touched_buf: if packed { vec![0; n + 1] } else { Vec::new() },
+        }
     }
 
     /// Proposes the best move for `v` against the iteration's snapshot of
@@ -312,33 +345,203 @@ impl MoveScratch {
             }
         }
         *loads += self.touched.len() as u64; // final scan of touched communities
-        let kv = k[v as usize];
-        let tot_cur_less = tot[cur as usize] - kv;
-        // Gain of moving v from `cur` to `c`:
-        //   ΔQ = 2(k_{v,c} − k_{v,cur'})/2m − 2 k_v (tot_c − tot_cur')/(2m)²
-        // We compare the (monotone) score k_{v,c} − k_v·tot_c/2m.
-        let base = self_to_cur - kv * tot_cur_less / m2;
-        let mut best: Option<(f64, u32)> = None;
-        for &c in &self.touched {
-            if c == cur {
-                continue;
+        best_move(
+            &self.touched,
+            |c| self.weights[c as usize],
+            cur,
+            k[v as usize],
+            tot,
+            m2,
+            self_to_cur,
+        )
+    }
+
+    /// [`MoveScratch::propose`] with a cache-line-blocked neighbor scan:
+    /// targets (and weights) are walked one line-sized block at a time, the
+    /// block's community payloads are gathered into a stack buffer, and only
+    /// then scattered into the accumulator — two clean streams instead of an
+    /// interleaved walk. Accumulation order is the neighbor-scan order, so
+    /// every float operation (and the `loads` accounting) is identical to the
+    /// flat kernel's.
+    #[allow(clippy::too_many_arguments)]
+    fn propose_blocked(
+        &mut self,
+        level: &Csr,
+        v: u32,
+        comm: &[u32],
+        tot: &[f64],
+        k: &[f64],
+        m2: f64,
+        loads: &mut u64,
+    ) -> u32 {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.touched.clear();
+        let cur = comm[v as usize];
+        let mut self_to_cur = 0.0f64;
+        let mut gathered = [(0u32, 0.0f64); LINE_TARGETS];
+        for (targets, weights) in level.neighbor_blocks(v, LINE_TARGETS) {
+            // Gather pass: pull the block's communities (the random reads)
+            // into a line-resident buffer, skipping self loops.
+            let mut m = 0usize;
+            for (i, &u) in targets.iter().enumerate() {
+                if u == v {
+                    continue;
+                }
+                gathered[m] = (comm[u as usize], weights.map_or(1.0, |ws| ws[i]));
+                m += 1;
             }
-            let score = self.weights[c as usize] - kv * tot[c as usize] / m2;
-            let gain = score - base;
-            if gain > 1e-12 {
-                let better = match best {
-                    None => true,
-                    Some((bg, bc)) => gain > bg + 1e-15 || (gain >= bg - 1e-15 && c < bc),
-                };
-                if better {
-                    best = Some((gain, c));
+            // Scatter pass: accumulate the gathered block in scan order.
+            for &(cu, w) in &gathered[..m] {
+                *loads += 2; // neighbor/community read + scatter-array access
+                let ci = cu as usize;
+                if self.stamp[ci] == epoch {
+                    self.weights[ci] += w;
+                } else {
+                    self.stamp[ci] = epoch;
+                    self.weights[ci] = w;
+                    self.touched.push(cu);
+                }
+                if cu == cur {
+                    self_to_cur += w;
                 }
             }
         }
-        match best {
-            Some((_, c)) => c,
-            None => NO_MOVE,
+        *loads += self.touched.len() as u64; // final scan of touched communities
+        best_move(
+            &self.touched,
+            |c| self.weights[c as usize],
+            cur,
+            k[v as usize],
+            tot,
+            m2,
+            self_to_cur,
+        )
+    }
+
+    /// [`MoveScratch::propose`] on the packed (stamp, weight) slots with a
+    /// branch-light accumulate: the stamp is written unconditionally and the
+    /// running weight is a select (`fresh ? 0 : slot.weight`) plus the edge
+    /// weight, so the hot loop carries no taken/not-taken stamp branch and
+    /// touches one cache line per community instead of two. The row is
+    /// walked as direct slices ([`Csr::row`]) with the weighted/unweighted
+    /// dispatch and the `loads` accounting hoisted out of the per-neighbor
+    /// path. The arithmetic performed is the same sequence of additions as
+    /// the flat kernel's (`0.0 + w` on first touch, `+ 1.0` per unweighted
+    /// arc), so decisions — and therefore assignments, traces, and `loads` —
+    /// are identical.
+    #[allow(clippy::too_many_arguments)]
+    fn propose_packed(
+        &mut self,
+        level: &Csr,
+        v: u32,
+        comm: &[u32],
+        tot: &[f64],
+        k: &[f64],
+        m2: f64,
+        loads: &mut u64,
+    ) -> u32 {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let cur = comm[v as usize];
+        let (targets, weights) = level.row(v);
+        let packed = &mut self.packed[..];
+        let touched = &mut self.touched_buf[..];
+        let mut t = 0usize;
+        let mut selfs = 0u64;
+        match weights {
+            None => {
+                for &u in targets {
+                    if u == v {
+                        selfs += 1;
+                        continue;
+                    }
+                    let cu = comm[u as usize];
+                    let slot = &mut packed[cu as usize];
+                    let fresh = slot.stamp != epoch;
+                    slot.weight = if fresh { 0.0 } else { slot.weight } + 1.0;
+                    slot.stamp = epoch;
+                    touched[t] = cu;
+                    t += fresh as usize;
+                }
+            }
+            Some(ws) => {
+                for (&u, &w) in targets.iter().zip(ws) {
+                    if u == v {
+                        selfs += 1;
+                        continue;
+                    }
+                    let cu = comm[u as usize];
+                    let slot = &mut packed[cu as usize];
+                    let fresh = slot.stamp != epoch;
+                    slot.weight = if fresh { 0.0 } else { slot.weight } + w;
+                    slot.stamp = epoch;
+                    touched[t] = cu;
+                    t += fresh as usize;
+                }
+            }
         }
+        // The slot for `cur` accumulated `0.0 + w1 + w2 + …` over exactly the
+        // neighbors the flat kernel folds into `self_to_cur`, in the same scan
+        // order, so reading it once here reproduces that sum bit-for-bit
+        // without the per-neighbor `cu == cur` test.
+        let cur_slot = &packed[cur as usize];
+        let self_to_cur = if cur_slot.stamp == epoch { cur_slot.weight } else { 0.0 };
+        // Same accounting as the flat kernel: 2 per non-self neighbor
+        // (neighbor/community read + scatter-array access) plus the final
+        // scan of touched communities.
+        *loads += 2 * (targets.len() as u64 - selfs) + t as u64;
+        best_move(
+            &touched[..t],
+            |c| packed[c as usize].weight,
+            cur,
+            k[v as usize],
+            tot,
+            m2,
+            self_to_cur,
+        )
+    }
+}
+
+/// Scores every touched community and returns the best strictly-positive
+/// move for the current vertex, or [`NO_MOVE`]. Shared by all scatter
+/// kernels (and mirrored by the hash-map reference) so the gain arithmetic
+/// — and therefore the selected community — is identical across kernels.
+///
+/// Gain of moving v from `cur` to `c`:
+///   ΔQ = 2(k_{v,c} − k_{v,cur'})/2m − 2 k_v (tot_c − tot_cur')/(2m)²
+/// We compare the (monotone) score k_{v,c} − k_v·tot_c/2m.
+fn best_move(
+    touched: &[u32],
+    weight_of: impl Fn(u32) -> f64,
+    cur: u32,
+    kv: f64,
+    tot: &[f64],
+    m2: f64,
+    self_to_cur: f64,
+) -> u32 {
+    let tot_cur_less = tot[cur as usize] - kv;
+    let base = self_to_cur - kv * tot_cur_less / m2;
+    let mut best: Option<(f64, u32)> = None;
+    for &c in touched {
+        if c == cur {
+            continue;
+        }
+        let score = weight_of(c) - kv * tot[c as usize] / m2;
+        let gain = score - base;
+        if gain > 1e-12 {
+            let better = match best {
+                None => true,
+                Some((bg, bc)) => gain > bg + 1e-15 || (gain >= bg - 1e-15 && c < bc),
+            };
+            if better {
+                best = Some((gain, c));
+            }
+        }
+    }
+    match best {
+        Some((_, c)) => c,
+        None => NO_MOVE,
     }
 }
 
@@ -393,7 +596,9 @@ fn apply_move(
 /// per-iteration stats.
 fn one_phase(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>) {
     match cfg.kernel {
-        MoveKernel::FlatScatter => one_phase_flat(level, cfg),
+        MoveKernel::FlatScatter | MoveKernel::Blocked | MoveKernel::Packed => {
+            one_phase_flat(level, cfg)
+        }
         MoveKernel::HashMap => one_phase_hashmap(level, cfg),
     }
 }
@@ -419,7 +624,8 @@ fn one_phase_flat(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationS
     // worker the epoch stamp makes per-vertex resets O(touched).
     let workers = rayon::current_num_threads().clamp(1, n);
     let span = n.div_ceil(workers);
-    let mut scratches: Vec<MoveScratch> = (0..workers).map(|_| MoveScratch::new(n)).collect();
+    let mut scratches: Vec<MoveScratch> =
+        (0..workers).map(|_| MoveScratch::for_kernel(n, cfg.kernel)).collect();
     let mut proposals: Vec<u32> = vec![NO_MOVE; n];
 
     for _iter in 0..cfg.max_iterations {
@@ -437,9 +643,33 @@ fn one_phase_flat(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationS
                 let t0 = Instant::now();
                 let mut loads = 0u64;
                 let first = (w * span) as u32;
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    let v = first + i as u32;
-                    *slot = scratch.propose(level, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads);
+                // Kernel dispatch is hoisted out of the per-vertex loop so
+                // each variant benches its own hot loop, not a per-vertex
+                // match.
+                match cfg.kernel {
+                    MoveKernel::Blocked => {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            let v = first + i as u32;
+                            *slot = scratch.propose_blocked(
+                                level, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads,
+                            );
+                        }
+                    }
+                    MoveKernel::Packed => {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            let v = first + i as u32;
+                            *slot = scratch.propose_packed(
+                                level, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads,
+                            );
+                        }
+                    }
+                    _ => {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            let v = first + i as u32;
+                            *slot = scratch
+                                .propose(level, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads);
+                        }
+                    }
                 }
                 (loads, t0.elapsed())
             })
@@ -480,6 +710,142 @@ fn one_phase_flat(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationS
         }
     }
     (comm, iterations)
+}
+
+/// One parallel move-scan pass of the selected scatter kernel over the
+/// level's initial singleton partition — the kernel-isolated benchmarking
+/// hook behind `bench kernel_suite`. Where [`louvain`] interleaves the scan
+/// with move application, modularity evaluation, and contraction (all
+/// shared across kernels), this measures only the work the kernel variants
+/// actually vary: the neighbor-community scan and proposal scoring.
+///
+/// Returns the scan's `loads` count and an order-sensitive FNV checksum of
+/// the proposal array, so callers can keep the work observable and assert
+/// every kernel proposes identically. [`MoveKernel::HashMap`] has no
+/// scatter scratch and is routed through the flat path; compare the
+/// reference kernel end-to-end via [`louvain`] instead.
+pub fn move_scan(level: &Csr, kernel: MoveKernel) -> (u64, u64) {
+    MoveScanner::new(level, kernel, 0).map_or((0, 0), |mut s| s.run(level))
+}
+
+/// Reusable state for repeated [`move_scan`] passes: the modularity context,
+/// partition state, per-worker scratches, and proposal buffer are built
+/// once here, so a timed [`MoveScanner::run`] spends its wall time on the
+/// kernel alone — not on the O(n + m) degree sweep and allocations the
+/// one-shot wrapper folds in. `bench kernel_suite` times this.
+pub struct MoveScanner {
+    kernel: MoveKernel,
+    ctx: ModularityContext,
+    comm: Vec<u32>,
+    tot: Vec<f64>,
+    span: usize,
+    scratches: Vec<MoveScratch>,
+    proposals: Vec<u32>,
+}
+
+impl MoveScanner {
+    /// Prepares scan state for `level`, sized to the installed rayon pool.
+    /// Returns `None` for graphs the scan has nothing to do on (no vertices
+    /// or no edge weight), mirroring the one-shot wrapper's `(0, 0)`.
+    ///
+    /// `warm` runs that many full move iterations (snapshot propose + the
+    /// sequential apply of [`louvain`], flat kernel, serial) before freezing
+    /// the partition, so [`MoveScanner::run`] measures the scan at the
+    /// coalesced mid-phase states Louvain actually spends its iterations on
+    /// rather than only the singleton first pass. The warm-up is
+    /// kernel-independent: every scanner built with the same `warm` sees the
+    /// identical partition, keeping cross-kernel comparisons exact.
+    pub fn new(level: &Csr, kernel: MoveKernel, warm: usize) -> Option<Self> {
+        let n = level.num_vertices();
+        let ctx = ModularityContext::new(level);
+        if n == 0 || ctx.total == 0.0 {
+            return None;
+        }
+        let mut comm: Vec<u32> = (0..n as u32).collect();
+        let mut tot: Vec<f64> = ctx.k.clone();
+        if warm > 0 {
+            let mut scratch = MoveScratch::for_kernel(n, MoveKernel::FlatScatter);
+            let mut props: Vec<u32> = vec![NO_MOVE; n];
+            let mut sink = 0u64;
+            for _ in 0..warm {
+                for v in 0..n as u32 {
+                    props[v as usize] =
+                        scratch.propose(level, v, &comm, &tot, &ctx.k, ctx.total, &mut sink);
+                }
+                let mut moves = 0usize;
+                for v in 0..n as u32 {
+                    let c = props[v as usize];
+                    if c != NO_MOVE
+                        && apply_move(
+                            level, &ctx.k, ctx.total, &mut comm, &mut tot, v, c, &mut sink,
+                        )
+                    {
+                        moves += 1;
+                    }
+                }
+                if moves == 0 {
+                    break;
+                }
+            }
+        }
+        let workers = rayon::current_num_threads().clamp(1, n);
+        let span = n.div_ceil(workers);
+        let scratches: Vec<MoveScratch> =
+            (0..workers).map(|_| MoveScratch::for_kernel(n, kernel)).collect();
+        let proposals: Vec<u32> = vec![NO_MOVE; n];
+        Some(MoveScanner { kernel, ctx, comm, tot, span, scratches, proposals })
+    }
+
+    /// One parallel propose pass over `level` (which must be the graph this
+    /// scanner was built for). Scratch epochs persist across calls, so
+    /// repeated runs reuse the lazily-reset scatter arrays exactly as
+    /// consecutive Louvain iterations do.
+    pub fn run(&mut self, level: &Csr) -> (u64, u64) {
+        let m2 = self.ctx.total; // 2m
+        let kernel = self.kernel;
+        let comm_snap: &[u32] = &self.comm;
+        let tot_snap: &[f64] = &self.tot;
+        let k: &[f64] = &self.ctx.k;
+        let per_worker: Vec<u64> = self
+            .scratches
+            .par_iter_mut()
+            .zip(self.proposals.chunks_mut(self.span).collect::<Vec<_>>())
+            .enumerate()
+            .map(|(w, (scratch, slice))| {
+                let mut loads = 0u64;
+                let first = (w * self.span) as u32;
+                match kernel {
+                    MoveKernel::Blocked => {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            let v = first + i as u32;
+                            *slot = scratch
+                                .propose_blocked(level, v, comm_snap, tot_snap, k, m2, &mut loads);
+                        }
+                    }
+                    MoveKernel::Packed => {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            let v = first + i as u32;
+                            *slot = scratch
+                                .propose_packed(level, v, comm_snap, tot_snap, k, m2, &mut loads);
+                        }
+                    }
+                    _ => {
+                        for (i, slot) in slice.iter_mut().enumerate() {
+                            let v = first + i as u32;
+                            *slot =
+                                scratch.propose(level, v, comm_snap, tot_snap, k, m2, &mut loads);
+                        }
+                    }
+                }
+                loads
+            })
+            .collect();
+        let loads: u64 = per_worker.iter().sum();
+        let checksum = self.proposals.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &p| {
+            (h ^ u64::from(p)).wrapping_mul(0x1_0000_0000_01b3)
+        });
+        (loads, checksum)
+    }
 }
 
 /// The original per-chunk `HashMap` move phase, retained as the behavioral
@@ -782,24 +1148,34 @@ mod tests {
         assert_eq!(k, 3);
     }
 
-    /// Asserts the flat and hash-map kernels produce bit-identical results
-    /// on `g`: assignment, final modularity, per-phase iteration counts,
-    /// per-iteration modularity trace, move counts, and `loads` accounting.
+    /// Asserts every kernel produces bit-identical results on `g` relative
+    /// to the hash-map reference: assignment, final modularity, per-phase
+    /// iteration counts, per-iteration modularity trace, move counts, and
+    /// `loads` accounting.
     fn assert_kernels_equivalent(g: &Csr, threads: usize) {
         let base = LouvainConfig::default().threads(threads);
-        let flat = louvain(g, &base.clone().kernel(MoveKernel::FlatScatter));
-        let hash = louvain(g, &base.kernel(MoveKernel::HashMap));
-        assert_eq!(flat.assignment, hash.assignment);
-        assert_eq!(flat.num_communities, hash.num_communities);
-        assert_eq!(flat.modularity.to_bits(), hash.modularity.to_bits());
-        assert_eq!(flat.stats.phases.len(), hash.stats.phases.len());
-        for (pf, ph) in flat.stats.phases.iter().zip(&hash.stats.phases) {
-            assert_eq!(pf.iterations.len(), ph.iterations.len());
-            assert_eq!(pf.modularity.to_bits(), ph.modularity.to_bits());
-            for (fi, hi) in pf.iterations.iter().zip(&ph.iterations) {
-                assert_eq!(fi.moves, hi.moves);
-                assert_eq!(fi.modularity.to_bits(), hi.modularity.to_bits());
-                assert_eq!(fi.loads, hi.loads, "work-per-edge accounting must match");
+        let hash = louvain(g, &base.clone().kernel(MoveKernel::HashMap));
+        for kernel in MoveKernel::ALL {
+            if kernel == MoveKernel::HashMap {
+                continue;
+            }
+            let r = louvain(g, &base.clone().kernel(kernel));
+            let tag = kernel.name();
+            assert_eq!(r.assignment, hash.assignment, "kernel {tag}");
+            assert_eq!(r.num_communities, hash.num_communities, "kernel {tag}");
+            assert_eq!(r.modularity.to_bits(), hash.modularity.to_bits(), "kernel {tag}");
+            assert_eq!(r.stats.phases.len(), hash.stats.phases.len(), "kernel {tag}");
+            for (pf, ph) in r.stats.phases.iter().zip(&hash.stats.phases) {
+                assert_eq!(pf.iterations.len(), ph.iterations.len(), "kernel {tag}");
+                assert_eq!(pf.modularity.to_bits(), ph.modularity.to_bits(), "kernel {tag}");
+                for (fi, hi) in pf.iterations.iter().zip(&ph.iterations) {
+                    assert_eq!(fi.moves, hi.moves, "kernel {tag}");
+                    assert_eq!(fi.modularity.to_bits(), hi.modularity.to_bits(), "kernel {tag}");
+                    assert_eq!(
+                        fi.loads, hi.loads,
+                        "kernel {tag}: work-per-edge accounting must match"
+                    );
+                }
             }
         }
     }
@@ -834,6 +1210,34 @@ mod tests {
             let g = spec.generate();
             assert_kernels_equivalent(&g, 2);
         }
+    }
+
+    #[test]
+    fn all_kernels_bit_identical_at_acceptance_thread_counts() {
+        // The acceptance criterion: every kernel variant is proven
+        // bit-identical to its retained oracle at 1, 2, and 7 threads.
+        let spec = reorderlab_datasets::by_name("rovira").expect("suite instance exists");
+        for g in [clique_chain(5, 6), grid2d(12, 12), spec.generate()] {
+            for threads in [1usize, 2, 7] {
+                assert_kernels_equivalent(&g, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_handles_hub_rows_spanning_many_blocks() {
+        // A star hub with degree well past LINE_TARGETS plus a weighted ring,
+        // so blocked rows cover multiple full blocks and a partial tail.
+        let mut b = GraphBuilder::undirected(40);
+        for v in 1..40u32 {
+            b = b.weighted_edge(0, v, 1.0 + f64::from(v) * 0.25);
+        }
+        for v in 1..39u32 {
+            b = b.weighted_edge(v, v + 1, 2.0);
+        }
+        let g = b.build().unwrap();
+        assert_kernels_equivalent(&g, 1);
+        assert_kernels_equivalent(&g, 7);
     }
 
     #[test]

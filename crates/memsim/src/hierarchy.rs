@@ -112,6 +112,20 @@ impl MemReport {
         }
         (self.level_hits[0] + self.level_hits[1]) as f64 / self.loads as f64
     }
+
+    /// Fraction of loads satisfied at `level` (0 for a zero-load replay).
+    pub fn hit_rate(&self, level: MemLevel) -> f64 {
+        if self.loads == 0 {
+            return 0.0;
+        }
+        self.level_hits[level_index(level)] as f64 / self.loads as f64
+    }
+
+    /// Fraction of loads satisfied by L1 — the headline per-kernel hit
+    /// ratio the snapshot records.
+    pub fn l1_hit_rate(&self) -> f64 {
+        self.hit_rate(MemLevel::L1)
+    }
 }
 
 /// A simulated L1/L2/L3/DRAM hierarchy accepting a load trace.
@@ -362,6 +376,38 @@ mod tests {
         h.load(0); // miss, prefetches line 1
         assert_eq!(h.loads(), 1, "prefetch fills are not demand loads");
         assert_eq!(h.load(64), MemLevel::L1, "prefetched line must be resident");
+    }
+
+    #[test]
+    fn prefetch_miss_on_last_line_of_a_set_fills_the_next_set() {
+        // tiny L1: 1 KiB, 64 B lines, 2-way => 8 sets; line k maps to set
+        // k % 8. A miss on a line in the last set (set 7) prefetches the
+        // following line, which wraps into set 0 — the fill must land there,
+        // not alias back into set 7.
+        let mut h = Hierarchy::new(HierarchyConfig::tiny().with_next_line_prefetch());
+        assert_eq!(h.load(7 * 64), MemLevel::Dram); // set 7: miss, prefetch line 8
+        assert_eq!(h.prefetch_fills(), 1);
+        assert_eq!(h.load(8 * 64), MemLevel::L1, "prefetched line must sit in set 0");
+        // Set 7 still holds only line 7: a conflicting line (15) misses.
+        assert_eq!(h.load(15 * 64), MemLevel::Dram);
+        assert_eq!(h.load(7 * 64), MemLevel::L1, "line 7 must not have been evicted");
+    }
+
+    #[test]
+    fn prefetch_stream_crossing_set_boundaries_alternates_hits() {
+        // A line-strided stream walks sets 0,1,2,…; each miss prefetches
+        // exactly the next line (the next set), so demand accesses alternate
+        // miss (even lines) / L1 hit (odd lines) regardless of set wraps.
+        let mut h = Hierarchy::new(HierarchyConfig::tiny().with_next_line_prefetch());
+        for line in 0..20u64 {
+            let level = h.load(line * 64);
+            if line % 2 == 0 {
+                assert_ne!(level, MemLevel::L1, "even line {line} is a demand miss");
+            } else {
+                assert_eq!(level, MemLevel::L1, "odd line {line} was prefetched");
+            }
+        }
+        assert_eq!(h.prefetch_fills(), 10);
     }
 
     #[test]

@@ -48,31 +48,118 @@ fn visited_addr(v: u64) -> u64 {
     VISITED_BASE + v
 }
 
+/// Base address of the scatter-kernel epoch-stamp array (8 bytes/entry).
+const STAMP_BASE: u64 = 0x7000_0000_0000;
+/// Base address of the scatter-kernel weight array (8 bytes/entry).
+const WEIGHTS_BASE: u64 = 0x8000_0000_0000;
+/// Base address of the packed (stamp, weight) slots (16 bytes/entry).
+const PACKED_BASE: u64 = 0x9000_0000_0000;
+/// Base address of the hub-slot map of the split sampler (4 bytes/entry).
+const HUBMAP_BASE: u64 = 0xA000_0000_0000;
+/// Base address of the compact hub stamps of the split sampler (8 B/entry).
+const HUBSTAMP_BASE: u64 = 0xB000_0000_0000;
+/// Base address of the sampler's full-size visited stamps (8 bytes/entry).
+const SAMPLER_STAMP_BASE: u64 = 0xC000_0000_0000;
+
+/// Which Louvain move-kernel access stream [`replay_louvain_move`] replays.
+/// These mirror the selectable kernels of the community crate's move phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LouvainReplayKernel {
+    /// Grappolo's per-vertex `HashMap` accumulation: one hashed 16-byte map
+    /// access per neighbor (`map_slots` entries model the map working set).
+    HashMap {
+        /// Number of 16-byte map slots.
+        map_slots: u64,
+    },
+    /// Flat scatter arrays: per neighbor one 8-byte stamp access plus one
+    /// 8-byte weight access, in two separate community-indexed arrays.
+    FlatScatter,
+    /// The flat stream reordered into line-sized blocks: targets and
+    /// community payloads for a whole block are gathered before the block's
+    /// scatter accesses are issued.
+    Blocked,
+    /// Packed scatter: stamp and weight share one 16-byte slot, so each
+    /// community touch costs a single line instead of two.
+    Packed,
+}
+
+/// Targets per 64-byte cache line — the block size the blocked replay (and
+/// the real blocked kernel) uses.
+const LINE_TARGETS: u64 = 16;
+
 /// Replays the address stream of one Louvain move iteration over `graph`
 /// *as laid out* (i.e. pass the CSR already permuted by the ordering under
-/// study).
+/// study), under the given kernel's memory layout.
 ///
 /// Per vertex `v`: one offsets load; per neighbor: one targets load, one
-/// community load (the ordering-sensitive indirection), and one hashed map
-/// access modelling the neighbor-community weight map (`map_slots` entries
-/// of 16 bytes each; Grappolo's per-vertex map working set).
-pub fn replay_louvain_scan(graph: &Csr, map_slots: u64, hier: &mut Hierarchy) {
+/// community load (the ordering-sensitive indirection), and the kernel's
+/// accumulator accesses (communities are taken as the initial self-labels,
+/// so accumulator indices mix the neighbor id).
+pub fn replay_louvain_move(graph: &Csr, kernel: LouvainReplayKernel, hier: &mut Hierarchy) {
     let n = graph.num_vertices() as u64;
     let offsets = graph.offsets();
+    let targets = graph.targets();
     for v in 0..n {
         hier.load(offsets_addr(v));
         let lo = offsets[v as usize] as u64;
         let hi = offsets[v as usize + 1] as u64;
-        for i in lo..hi {
-            hier.load(targets_addr(i));
-            let t = graph.targets()[i as usize] as u64;
-            hier.load(community_addr(t));
-            // Map update keyed by the neighbor's community; initially the
-            // community of a vertex is itself, so the hash mixes `t`.
-            let slot = splitmix(t) % map_slots.max(1);
-            hier.load(MAP_BASE + slot * 16);
+        match kernel {
+            LouvainReplayKernel::HashMap { map_slots } => {
+                for i in lo..hi {
+                    hier.load(targets_addr(i));
+                    let t = targets[i as usize] as u64;
+                    hier.load(community_addr(t));
+                    // Map update keyed by the neighbor's community;
+                    // initially the community of a vertex is itself, so the
+                    // hash mixes `t`.
+                    let slot = splitmix(t) % map_slots.max(1);
+                    hier.load(MAP_BASE + slot * 16);
+                }
+            }
+            LouvainReplayKernel::FlatScatter => {
+                for i in lo..hi {
+                    hier.load(targets_addr(i));
+                    let t = targets[i as usize] as u64;
+                    hier.load(community_addr(t));
+                    hier.load(STAMP_BASE + t * 8);
+                    hier.load(WEIGHTS_BASE + t * 8);
+                }
+            }
+            LouvainReplayKernel::Blocked => {
+                // Same loads as FlatScatter, re-ordered: the whole block's
+                // sequential reads first, then its scatter accesses.
+                let mut b = lo;
+                while b < hi {
+                    let e = (b + LINE_TARGETS).min(hi);
+                    for i in b..e {
+                        hier.load(targets_addr(i));
+                        let t = targets[i as usize] as u64;
+                        hier.load(community_addr(t));
+                    }
+                    for i in b..e {
+                        let t = targets[i as usize] as u64;
+                        hier.load(STAMP_BASE + t * 8);
+                        hier.load(WEIGHTS_BASE + t * 8);
+                    }
+                    b = e;
+                }
+            }
+            LouvainReplayKernel::Packed => {
+                for i in lo..hi {
+                    hier.load(targets_addr(i));
+                    let t = targets[i as usize] as u64;
+                    hier.load(community_addr(t));
+                    hier.load(PACKED_BASE + t * 16);
+                }
+            }
         }
     }
+}
+
+/// [`replay_louvain_move`] under the [`LouvainReplayKernel::HashMap`]
+/// stream — the original replay entry point, kept for existing callers.
+pub fn replay_louvain_scan(graph: &Csr, map_slots: u64, hier: &mut Hierarchy) {
+    replay_louvain_move(graph, LouvainReplayKernel::HashMap { map_slots }, hier);
 }
 
 /// Replays the address stream of `num_sets` IC reverse-BFS samples over
@@ -134,6 +221,112 @@ pub fn replay_rr_sampling(
                 hier.load(targets_addr(i as u64));
                 let t = targets[i];
                 hier.load(visited_addr(t as u64));
+                if visited[t as usize] != epoch
+                    && edge_coin(set_seed, labels[v as usize], labels[t as usize]) < probability
+                {
+                    visited[t as usize] = epoch;
+                    frontier.push(t);
+                }
+            }
+        }
+    }
+}
+
+/// Which RR-sampler visited-stamp layout [`replay_rr_kernel`] replays.
+/// These mirror the influence crate's selectable sampler kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrReplayKernel {
+    /// One full-size epoch-stamp array (8 bytes/vertex).
+    Classic,
+    /// Hub/cold split: a visited check first reads the hub-slot map
+    /// (4 bytes/vertex); hubs then probe a compact cache-resident stamp
+    /// array, cold vertices the full-size one.
+    HubSplit,
+}
+
+/// Replays the address stream of `num_sets` IC reverse-BFS samples under
+/// the given visited-stamp layout. The logical traversal (roots, coins,
+/// visit order) is identical across kernels — it is keyed on the stable
+/// `labels` exactly like [`replay_rr_sampling`] — so any counter delta is
+/// attributable purely to the layout.
+///
+/// The hub set mirrors the real sampler's partition: the top `n/64`
+/// (clamped to `[1, 4096]`) vertices by degree, ties broken by id.
+///
+/// # Panics
+///
+/// Panics if `labels` does not cover every vertex or `probability` is not
+/// in `\[0, 1\]`.
+pub fn replay_rr_kernel(
+    graph: &Csr,
+    labels: &[u32],
+    probability: f64,
+    num_sets: usize,
+    seed: u64,
+    kernel: RrReplayKernel,
+    hier: &mut Hierarchy,
+) {
+    assert!((0.0..=1.0).contains(&probability), "probability must be in [0, 1]");
+    let n = graph.num_vertices();
+    assert_eq!(labels.len(), n, "labels must cover every vertex");
+    if n == 0 {
+        return;
+    }
+    // Hub partition mirroring the influence crate's `hub_partition`.
+    let hub_slot: Vec<u32> = match kernel {
+        RrReplayKernel::Classic => Vec::new(),
+        RrReplayKernel::HubSplit => {
+            let k = (n / 64).clamp(1, 4096).min(n);
+            let mut by_degree: Vec<u32> = (0..n as u32).collect();
+            by_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+            let mut slots = vec![u32::MAX; n];
+            for (slot, &v) in by_degree[..k].iter().enumerate() {
+                slots[v as usize] = slot as u32;
+            }
+            slots
+        }
+    };
+    let stamp_check = |hier: &mut Hierarchy, t: u64| match kernel {
+        RrReplayKernel::Classic => {
+            hier.load(SAMPLER_STAMP_BASE + t * 8);
+        }
+        RrReplayKernel::HubSplit => {
+            hier.load(HUBMAP_BASE + t * 4);
+            let s = hub_slot[t as usize];
+            if s != u32::MAX {
+                hier.load(HUBSTAMP_BASE + u64::from(s) * 8);
+            } else {
+                hier.load(SAMPLER_STAMP_BASE + t * 8);
+            }
+        }
+    };
+    // stable id -> layout vertex, for picking roots deterministically.
+    let mut by_label = vec![0u32; n];
+    for (v, &l) in labels.iter().enumerate() {
+        by_label[l as usize] = v as u32;
+    }
+    let offsets = graph.offsets();
+    let targets = graph.targets();
+    let mut visited = vec![u32::MAX; n]; // epoch-tagged visited array
+    for s in 0..num_sets {
+        let set_seed = splitmix(seed ^ (s as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let root = by_label[(set_seed % n as u64) as usize];
+        let epoch = s as u32;
+        visited[root as usize] = epoch;
+        let mut frontier = vec![root];
+        let mut head = 0usize;
+        while head < frontier.len() {
+            let v = frontier[head];
+            head += 1;
+            hier.load(offsets_addr(v as u64));
+            let lo = offsets[v as usize];
+            let hi = offsets[v as usize + 1];
+            // `i` doubles as the simulated address of the adjacency slot.
+            #[allow(clippy::needless_range_loop)]
+            for i in lo..hi {
+                hier.load(targets_addr(i as u64));
+                let t = targets[i];
+                stamp_check(hier, t as u64);
                 if visited[t as usize] != epoch
                     && edge_coin(set_seed, labels[v as usize], labels[t as usize]) < probability
                 {
@@ -345,6 +538,173 @@ mod tests {
         replay_rr_sampling(&g, &[], 0.5, 10, 0, &mut h);
         replay_louvain_scan(&g, 64, &mut h);
         replay_pagerank_iteration(&g, &mut h);
+        replay_louvain_move(&g, LouvainReplayKernel::Packed, &mut h);
+        replay_rr_kernel(&g, &[], 0.5, 10, 0, RrReplayKernel::HubSplit, &mut h);
         assert_eq!(h.loads(), 0);
+    }
+
+    #[test]
+    fn louvain_move_kernel_load_counts() {
+        let g = ring(100);
+        let arcs = g.num_arcs() as u64;
+        // HashMap: 3 loads per arc; flat/blocked: 4 (stamp + weights split);
+        // packed: 3 (one 16-byte slot) — plus one offsets load per vertex.
+        let per_arc = [
+            (LouvainReplayKernel::HashMap { map_slots: 4096 }, 3),
+            (LouvainReplayKernel::FlatScatter, 4),
+            (LouvainReplayKernel::Blocked, 4),
+            (LouvainReplayKernel::Packed, 3),
+        ];
+        for (kernel, k) in per_arc {
+            let mut h = Hierarchy::new(HierarchyConfig::tiny());
+            replay_louvain_move(&g, kernel, &mut h);
+            assert_eq!(h.loads(), 100 + k * arcs, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn louvain_scan_is_the_hashmap_stream() {
+        let g = ring(200);
+        let mut a = Hierarchy::new(HierarchyConfig::tiny());
+        replay_louvain_scan(&g, 512, &mut a);
+        let mut b = Hierarchy::new(HierarchyConfig::tiny());
+        replay_louvain_move(&g, LouvainReplayKernel::HashMap { map_slots: 512 }, &mut b);
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn packed_layout_beats_split_arrays_on_scattered_access() {
+        // On a shuffled layout the scatter indices are random; the packed
+        // slot touches one line per community where the split arrays touch
+        // two, so its hit ratio is strictly better and it issues fewer
+        // loads. This is the fig10-style "why it wins" delta.
+        let g = ring(20_000);
+        let shuffled = {
+            let n = g.num_vertices();
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            let mut x = 3u64;
+            for i in (1..n).rev() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                order.swap(i, (x >> 33) as usize % (i + 1));
+            }
+            g.permuted(&Permutation::from_order(&order).unwrap()).unwrap()
+        };
+        let mut flat = Hierarchy::new(HierarchyConfig::tiny());
+        replay_louvain_move(&shuffled, LouvainReplayKernel::FlatScatter, &mut flat);
+        let mut packed = Hierarchy::new(HierarchyConfig::tiny());
+        replay_louvain_move(&shuffled, LouvainReplayKernel::Packed, &mut packed);
+        let (rf, rp) = (flat.report(), packed.report());
+        assert!(rp.loads < rf.loads);
+        assert!(
+            rp.avg_latency < rf.avg_latency,
+            "packed {} vs flat {}",
+            rp.avg_latency,
+            rf.avg_latency
+        );
+    }
+
+    #[test]
+    fn blocked_replays_same_loads_in_blocked_order() {
+        let g = ring(5_000);
+        let mut flat = Hierarchy::new(HierarchyConfig::tiny());
+        replay_louvain_move(&g, LouvainReplayKernel::FlatScatter, &mut flat);
+        let mut blocked = Hierarchy::new(HierarchyConfig::tiny());
+        replay_louvain_move(&g, LouvainReplayKernel::Blocked, &mut blocked);
+        // Identical loads — only the issue order differs.
+        assert_eq!(flat.loads(), blocked.loads());
+    }
+
+    #[test]
+    fn rr_kernel_replay_deterministic_and_accounted() {
+        let g = ring(400);
+        let labels: Vec<u32> = (0..400).collect();
+        // p = 0: only roots visit, so per sample the stream is exactly
+        // 1 offsets load + 2 checks of (targets + visited stamps).
+        let mut classic = Hierarchy::new(HierarchyConfig::tiny());
+        replay_rr_kernel(&g, &labels, 0.0, 8, 5, RrReplayKernel::Classic, &mut classic);
+        assert_eq!(classic.loads(), 8 * (1 + 2 * 2));
+        // Hub split adds exactly one hub-map load per visited check.
+        let mut hub = Hierarchy::new(HierarchyConfig::tiny());
+        replay_rr_kernel(&g, &labels, 0.0, 8, 5, RrReplayKernel::HubSplit, &mut hub);
+        assert_eq!(hub.loads(), 8 * (1 + 2 * 3));
+        // Re-running replays the identical stream.
+        let mut again = Hierarchy::new(HierarchyConfig::tiny());
+        replay_rr_kernel(&g, &labels, 0.0, 8, 5, RrReplayKernel::HubSplit, &mut again);
+        assert_eq!(hub.report(), again.report());
+    }
+
+    #[test]
+    fn rr_kernel_traversal_matches_legacy_replay() {
+        // The kernel replay performs the same logical traversal as
+        // `replay_rr_sampling`: same roots, same coins, so the offsets and
+        // targets portions of the stream are identical and only the
+        // visited-stamp addresses differ. Load counts under Classic match
+        // the legacy replay's exactly (1 visited access per check each).
+        let g = ring(600);
+        let labels: Vec<u32> = (0..600).collect();
+        let mut legacy = Hierarchy::new(HierarchyConfig::tiny());
+        replay_rr_sampling(&g, &labels, 0.35, 20, 11, &mut legacy);
+        let mut classic = Hierarchy::new(HierarchyConfig::tiny());
+        replay_rr_kernel(&g, &labels, 0.35, 20, 11, RrReplayKernel::Classic, &mut classic);
+        assert_eq!(legacy.loads(), classic.loads());
+    }
+
+    #[test]
+    fn hub_split_replay_records_layout_delta_on_skewed_graph() {
+        // The referee's job is the *delta*: the split path issues exactly
+        // one extra hub-map load per visited check on top of the classic
+        // stream's `visits + 2·checks`, and both reports are deterministic,
+        // so the snapshot can attribute any hit-ratio change to the layout.
+        let spec = reorderlab_datasets::by_name("twitter_lists").expect("suite instance");
+        let g = spec.generate();
+        let labels: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let mut classic = Hierarchy::new(HierarchyConfig::tiny());
+        replay_rr_kernel(&g, &labels, 0.25, 64, 7, RrReplayKernel::Classic, &mut classic);
+        let mut hub = Hierarchy::new(HierarchyConfig::tiny());
+        replay_rr_kernel(&g, &labels, 0.25, 64, 7, RrReplayKernel::HubSplit, &mut hub);
+        let (rc, rh) = (classic.report(), hub.report());
+        let checks = rh.loads - rc.loads;
+        assert!(checks > 0, "the traversal must examine edges");
+        // classic = visits + 2·checks, so visits falls out consistently.
+        let visits = rc.loads - 2 * checks;
+        assert!(visits > 0 && visits < checks, "visits {visits}, checks {checks}");
+        // Per-level hit ratios are finite and differ between the layouts —
+        // the quantity the BENCH snapshot records per kernel.
+        use crate::hierarchy::MemLevel;
+        for level in MemLevel::ALL {
+            assert!(rc.hit_rate(level).is_finite() && rh.hit_rate(level).is_finite());
+        }
+        assert_ne!(rc.level_hits, rh.level_hits);
+    }
+
+    #[test]
+    fn degenerate_suite_replays_stay_finite() {
+        // Satellite regression: zero-load and near-zero-load replays (empty
+        // and edgeless graphs) must report finite metrics, never NaN.
+        for case in reorderlab_datasets::degenerate_suite() {
+            let g = &case.graph;
+            let labels: Vec<u32> = (0..g.num_vertices() as u32).collect();
+            let mut h = Hierarchy::new(HierarchyConfig::tiny());
+            for kernel in [
+                LouvainReplayKernel::HashMap { map_slots: 64 },
+                LouvainReplayKernel::FlatScatter,
+                LouvainReplayKernel::Blocked,
+                LouvainReplayKernel::Packed,
+            ] {
+                replay_louvain_move(g, kernel, &mut h);
+            }
+            replay_pagerank_iteration(g, &mut h);
+            if g.num_vertices() > 0 {
+                replay_rr_kernel(g, &labels, 0.5, 4, 1, RrReplayKernel::Classic, &mut h);
+                replay_rr_kernel(g, &labels, 0.5, 4, 1, RrReplayKernel::HubSplit, &mut h);
+            }
+            let r = h.report();
+            assert!(r.avg_latency.is_finite(), "{}: avg_latency", case.name);
+            assert!(r.bound.iter().all(|b| b.is_finite()), "{}: bound", case.name);
+            assert!(r.private_hit_rate().is_finite(), "{}", case.name);
+            assert!(r.l1_hit_rate().is_finite(), "{}", case.name);
+            let bound_sum: f64 = r.bound.iter().sum();
+            assert!(bound_sum == 0.0 || (bound_sum - 1.0).abs() < 1e-9, "{}", case.name);
+        }
     }
 }

@@ -159,6 +159,48 @@ impl Bencher {
     }
 }
 
+/// Statistics from one [`measure`] call, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of (batch-mean) samples collected.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Mean over samples.
+    pub mean_ns: u64,
+    /// Median sample.
+    pub median_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+}
+
+/// Programmatic benchmarking entry point: runs `routine` through the same
+/// warm-up / batched-sampling loop the macro-driven benches use and returns
+/// the summary instead of printing it. Honors `CRITERION_MEASURE_MS` /
+/// `CRITERION_WARMUP_MS`. Returns `None` if no sample completed inside the
+/// window.
+pub fn measure<R, F: FnMut() -> R>(mut routine: F) -> Option<Summary> {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        measure_window: env_ms("CRITERION_MEASURE_MS", 900),
+        warmup_window: env_ms("CRITERION_WARMUP_MS", 150),
+    };
+    bencher.iter(&mut routine);
+    if bencher.samples.is_empty() {
+        return None;
+    }
+    bencher.samples.sort_unstable();
+    let n = bencher.samples.len();
+    let mean = bencher.samples.iter().sum::<Duration>() / n as u32;
+    Some(Summary {
+        samples: n,
+        min_ns: bencher.samples[0].as_nanos() as u64,
+        mean_ns: mean.as_nanos() as u64,
+        median_ns: bencher.samples[n / 2].as_nanos() as u64,
+        max_ns: bencher.samples[n - 1].as_nanos() as u64,
+    })
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
     let mut bencher = Bencher {
         samples: Vec::new(),
@@ -248,6 +290,16 @@ mod tests {
         });
         group.finish();
         c.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn measure_returns_ordered_summary() {
+        std::env::set_var("CRITERION_MEASURE_MS", "20");
+        std::env::set_var("CRITERION_WARMUP_MS", "5");
+        let s = measure(|| black_box((0..100u64).sum::<u64>())).expect("samples collected");
+        assert!(s.samples >= 1);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.min_ns <= s.mean_ns && s.mean_ns <= s.max_ns);
     }
 
     #[test]
