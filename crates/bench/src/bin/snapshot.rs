@@ -35,8 +35,10 @@ const SCHEMA_VERSION: u64 = 1;
 /// Fixed corpus: small suite instances small enough for CI yet large enough
 /// that the replays leave L1.
 const CORPUS: [&str; 2] = ["euroroad", "pgp"];
-/// Fixed scheme specs (parsed through the registry, one per family).
-const SCHEMES: [&str; 3] = ["natural", "rcm", "degree"];
+/// Fixed scheme specs (parsed through the registry, one per family):
+/// identity, BFS-based, degree-based, degree-grouped, community-traversal,
+/// and the feature-driven adaptive selector.
+const SCHEMES: [&str; 6] = ["natural", "rcm", "degree", "dbg", "comm-bfs", "adaptive"];
 /// RR replay parameters (the paper's p = 0.25 setting).
 const RR_PROBABILITY: f64 = 0.25;
 const RR_SETS: usize = 64;

@@ -27,6 +27,13 @@ pub fn scheme_help() -> String {
         "  grappolo[:threads=T]      community-contiguous (parallel Louvain) [28]",
         "  grappolo-rcm[:threads=T]  communities ordered by RCM (this paper)",
         "  rabbit                    incremental-aggregation communities [1]",
+        "  dbg                       degree-based grouping, log2 buckets",
+        "  hubsort-dbg               DBG with hubs degree-sorted in-bucket",
+        "  hubcluster-dbg            DBG hot buckets + natural cold block",
+        "  comm-bfs                  Louvain communities, BFS within each",
+        "  comm-dfs                  Louvain communities, DFS within each",
+        "  comm-degree               Louvain communities, degree-sorted within",
+        "  adaptive                  picks a scheme from structural features",
         "",
         "  single positional values keep working: random:7, metis:64,",
         "  gorder:10, slashburn:0.01, nd:3",
@@ -106,22 +113,28 @@ mod tests {
     #[test]
     fn help_mentions_every_scheme() {
         let help = scheme_help();
-        for name in [
-            "natural",
-            "random",
-            "degree",
-            "hubsort",
-            "hubcluster",
-            "slashburn",
-            "gorder",
-            "rcm",
-            "cdfs",
-            "nd",
-            "metis",
-            "grappolo",
-            "rabbit",
-        ] {
+        for name in Scheme::ACCEPTED_NAMES {
             assert!(help.contains(name), "help missing {name}");
+        }
+    }
+
+    #[test]
+    fn parses_the_lightweight_and_adaptive_family() {
+        assert_eq!(parse_scheme("dbg").unwrap(), Scheme::Dbg);
+        assert_eq!(parse_scheme("hubsort-dbg").unwrap(), Scheme::HubSortDbg);
+        assert_eq!(parse_scheme("HubClusterDBG").unwrap(), Scheme::HubClusterDbg);
+        assert_eq!(parse_scheme("comm-bfs").unwrap(), Scheme::CommunityBfs);
+        assert_eq!(parse_scheme("commdfs").unwrap(), Scheme::CommunityDfs);
+        assert_eq!(parse_scheme("comm-degree").unwrap(), Scheme::CommunityDegree);
+        assert_eq!(parse_scheme("adaptive").unwrap(), Scheme::Adaptive);
+    }
+
+    #[test]
+    fn unknown_scheme_error_lists_accepted_names() {
+        let msg = parse_scheme("nope").unwrap_err().to_string();
+        assert!(msg.contains("accepted schemes:"), "{msg}");
+        for name in Scheme::ACCEPTED_NAMES {
+            assert!(msg.contains(name), "error must list {name}: {msg}");
         }
     }
 }

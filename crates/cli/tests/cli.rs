@@ -18,7 +18,18 @@ fn help_lists_commands_and_schemes() {
     let out = run(&["help"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for needle in ["generate", "reorder", "measure", "stats", "rcm", "grappolo", "slashburn"] {
+    for needle in [
+        "generate",
+        "reorder",
+        "measure",
+        "stats",
+        "rcm",
+        "grappolo",
+        "slashburn",
+        "dbg",
+        "comm-bfs",
+        "adaptive",
+    ] {
         assert!(text.contains(needle), "help missing {needle}");
     }
 }
@@ -97,6 +108,36 @@ fn bad_scheme_is_reported() {
     let out = run(&["measure", "--instance", "chicago_road", "--scheme", "bogus"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scheme"));
+}
+
+#[test]
+fn lightweight_and_adaptive_family_reorders_end_to_end() {
+    for scheme in
+        ["dbg", "hubsort-dbg", "hubcluster-dbg", "comm-bfs", "comm-dfs", "comm-degree", "adaptive"]
+    {
+        let (p, f) = tmp(&format!("{scheme}.perm"));
+        let out = run(&["reorder", "--scheme", scheme, "--input", GOLDEN, "--perm", &f]);
+        assert!(out.status.success(), "{scheme}: {}", String::from_utf8_lossy(&out.stderr));
+        let perm: Vec<u32> =
+            std::fs::read_to_string(&p).unwrap().lines().map(|l| l.parse().unwrap()).collect();
+        let n = perm.len();
+        let mut sorted = perm;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "{scheme}: permutation must be a bijection");
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn unknown_scheme_error_lists_every_accepted_name_exactly() {
+    let out = run(&["measure", "--instance", "chicago_road", "--scheme", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let expected = format!(
+        "error: unknown scheme \"bogus\"; accepted schemes: {}\n",
+        reorderlab_core::Scheme::ACCEPTED_NAMES.join(", ")
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stderr), expected);
 }
 
 #[test]

@@ -85,7 +85,11 @@ impl std::fmt::Display for SchemeError {
             SchemeError::PartsExceedVertices { parts, vertices } => {
                 write!(f, "metis parts {parts} exceed the graph's {vertices} vertices")
             }
-            SchemeError::UnknownScheme { name } => write!(f, "unknown scheme {name:?}"),
+            SchemeError::UnknownScheme { name } => write!(
+                f,
+                "unknown scheme {name:?}; accepted schemes: {}",
+                crate::Scheme::ACCEPTED_NAMES.join(", ")
+            ),
             SchemeError::UnknownParameter { scheme, key } => {
                 write!(f, "scheme {scheme} has no parameter {key:?}")
             }
@@ -212,7 +216,11 @@ mod tests {
         let e = SchemeError::PartsExceedVertices { parts: 32, vertices: 5 };
         assert_eq!(e.to_string(), "metis parts 32 exceed the graph's 5 vertices");
         let e = SchemeError::UnknownScheme { name: "nope".into() };
-        assert_eq!(e.to_string(), "unknown scheme \"nope\"");
+        let msg = e.to_string();
+        assert!(msg.starts_with("unknown scheme \"nope\"; accepted schemes: natural, "), "{msg}");
+        for name in crate::Scheme::ACCEPTED_NAMES {
+            assert!(msg.contains(name), "error must list accepted scheme {name:?}");
+        }
         let e = SchemeError::UnknownParameter { scheme: "RCM", key: "window".into() };
         assert_eq!(e.to_string(), "scheme RCM has no parameter \"window\"");
     }

@@ -21,9 +21,11 @@
 
 use crate::error::SchemeError;
 use crate::schemes::{
-    cdfs_order_recorded, degree_sort, gorder, grappolo_order_recorded, grappolo_rcm_order_recorded,
-    hub_cluster, hub_sort, metis_order, natural_order, nd_order, rabbit_order, random_order,
-    rcm_order_recorded, slashburn_order_recorded, DegreeDirection,
+    adaptive_order_recorded, cdfs_order_recorded, comm_order_recorded, dbg_order_recorded,
+    degree_sort, gorder, grappolo_order_recorded, grappolo_rcm_order_recorded, hub_cluster,
+    hub_cluster_dbg_order_recorded, hub_sort, hub_sort_dbg_order_recorded, metis_order,
+    natural_order, nd_order, rabbit_order, random_order, rcm_order_recorded,
+    slashburn_order_recorded, CommIntra, DegreeDirection,
 };
 use reorderlab_community::LouvainConfig;
 use reorderlab_graph::{Csr, Permutation};
@@ -103,6 +105,23 @@ pub enum Scheme {
     },
     /// Incremental-aggregation community ordering \[1\].
     RabbitOrder,
+    /// Degree-Based Grouping: power-of-two degree buckets, hottest first,
+    /// natural order within (Faldu et al.).
+    Dbg,
+    /// DBG with each bucket's hubs degree-sorted to its front.
+    HubSortDbg,
+    /// Hub/cold split with DBG bucket grouping of the hubs only.
+    HubClusterDbg,
+    /// Louvain communities cluster-major, BFS inside each community.
+    CommunityBfs,
+    /// Louvain communities cluster-major, DFS inside each community.
+    CommunityDfs,
+    /// Louvain communities cluster-major, degree-sorted inside each.
+    CommunityDegree,
+    /// Feature-driven selection among the lightweight schemes, with a
+    /// recorded decision trail (see
+    /// [`adaptive_decide`](crate::schemes::adaptive_decide)).
+    Adaptive,
 }
 
 impl Scheme {
@@ -124,6 +143,13 @@ impl Scheme {
             Scheme::Grappolo { .. } => "Grappolo",
             Scheme::GrappoloRcm { .. } => "Grappolo-RCM",
             Scheme::RabbitOrder => "Rabbit",
+            Scheme::Dbg => "DBG",
+            Scheme::HubSortDbg => "HubSortDBG",
+            Scheme::HubClusterDbg => "HubClusterDBG",
+            Scheme::CommunityBfs => "CommBFS",
+            Scheme::CommunityDfs => "CommDFS",
+            Scheme::CommunityDegree => "CommDegree",
+            Scheme::Adaptive => "Adaptive",
         }
     }
 
@@ -221,6 +247,13 @@ impl Scheme {
                 grappolo_rcm_order_recorded(graph, &LouvainConfig::default().threads(threads), rec)
             }
             Scheme::RabbitOrder => rabbit_order(graph),
+            Scheme::Dbg => dbg_order_recorded(graph, rec),
+            Scheme::HubSortDbg => hub_sort_dbg_order_recorded(graph, rec),
+            Scheme::HubClusterDbg => hub_cluster_dbg_order_recorded(graph, rec),
+            Scheme::CommunityBfs => comm_order_recorded(graph, CommIntra::Bfs, rec),
+            Scheme::CommunityDfs => comm_order_recorded(graph, CommIntra::Dfs, rec),
+            Scheme::CommunityDegree => comm_order_recorded(graph, CommIntra::Degree, rec),
+            Scheme::Adaptive => adaptive_order_recorded(graph, rec),
         };
         rec.span_exit("reorder");
         Ok(pi)
@@ -296,6 +329,13 @@ impl Scheme {
                 Scheme::GrappoloRcm { threads: params.take_usize("threads", 0)? }
             }
             "rabbit" | "rabbit-order" => Scheme::RabbitOrder,
+            "dbg" => Scheme::Dbg,
+            "hubsort-dbg" | "hubsortdbg" => Scheme::HubSortDbg,
+            "hubcluster-dbg" | "hubclusterdbg" => Scheme::HubClusterDbg,
+            "comm-bfs" | "commbfs" => Scheme::CommunityBfs,
+            "comm-dfs" | "commdfs" => Scheme::CommunityDfs,
+            "comm-degree" | "commdegree" => Scheme::CommunityDegree,
+            "adaptive" => Scheme::Adaptive,
             other => return Err(SchemeError::UnknownScheme { name: other.to_string() }),
         };
         params.finish(&scheme)?;
@@ -328,6 +368,13 @@ impl Scheme {
             Scheme::GrappoloRcm { threads: 0 } => "grappolo-rcm".into(),
             Scheme::GrappoloRcm { threads } => format!("grappolo-rcm:threads={threads}"),
             Scheme::RabbitOrder => "rabbit".into(),
+            Scheme::Dbg => "dbg".into(),
+            Scheme::HubSortDbg => "hubsort-dbg".into(),
+            Scheme::HubClusterDbg => "hubcluster-dbg".into(),
+            Scheme::CommunityBfs => "comm-bfs".into(),
+            Scheme::CommunityDfs => "comm-dfs".into(),
+            Scheme::CommunityDegree => "comm-degree".into(),
+            Scheme::Adaptive => "adaptive".into(),
         }
     }
 
@@ -360,6 +407,53 @@ impl Scheme {
         all.push(Scheme::HubCluster);
         all.push(Scheme::DegreeSort { direction: DegreeDirection::Increasing });
         all.push(Scheme::Cdfs);
+        all
+    }
+
+    /// Every canonical spec name [`Scheme::parse`] accepts (aliases and
+    /// parameter forms excluded), in the order schemes are listed by the
+    /// suites. [`SchemeError::UnknownScheme`] messages enumerate this list.
+    pub const ACCEPTED_NAMES: [&'static str; 22] = [
+        "natural",
+        "random",
+        "degree",
+        "degree-asc",
+        "hubsort",
+        "hubcluster",
+        "slashburn",
+        "gorder",
+        "rcm",
+        "cdfs",
+        "nd",
+        "metis",
+        "grappolo",
+        "grappolo-rcm",
+        "rabbit",
+        "dbg",
+        "hubsort-dbg",
+        "hubcluster-dbg",
+        "comm-bfs",
+        "comm-dfs",
+        "comm-degree",
+        "adaptive",
+    ];
+
+    /// Every scheme in the registry with its suite parameterization: the
+    /// extended suite plus the lightweight + adaptive family. This is the
+    /// canonical enumeration the contract, degenerate, chaos, and recording
+    /// test matrices sweep — a scheme absent here escapes every gate, so
+    /// the registry's own tests assert each enum variant appears.
+    pub fn all_schemes(seed: u64) -> Vec<Scheme> {
+        let mut all = Scheme::extended_suite(seed);
+        all.extend([
+            Scheme::Dbg,
+            Scheme::HubSortDbg,
+            Scheme::HubClusterDbg,
+            Scheme::CommunityBfs,
+            Scheme::CommunityDfs,
+            Scheme::CommunityDegree,
+            Scheme::Adaptive,
+        ]);
         all
     }
 
@@ -589,9 +683,86 @@ mod tests {
         Scheme::Metis { parts: 32, seed: 1 }.reorder(&g);
     }
 
+    /// One slot per enum variant. The `match` has no wildcard arm, so
+    /// adding a `Scheme` variant fails to compile until it is listed here —
+    /// and the `all_schemes_covers_every_variant` test then fails until the
+    /// variant joins [`Scheme::all_schemes`], keeping every test matrix
+    /// exhaustive by construction.
+    fn variant_slot(s: &Scheme) -> usize {
+        match s {
+            Scheme::Natural => 0,
+            Scheme::Random { .. } => 1,
+            Scheme::DegreeSort { direction: DegreeDirection::Decreasing } => 2,
+            Scheme::DegreeSort { direction: DegreeDirection::Increasing } => 3,
+            Scheme::HubSort => 4,
+            Scheme::HubCluster => 5,
+            Scheme::SlashBurn { .. } => 6,
+            Scheme::Gorder { .. } => 7,
+            Scheme::Rcm => 8,
+            Scheme::Cdfs => 9,
+            Scheme::NestedDissection { .. } => 10,
+            Scheme::Metis { .. } => 11,
+            Scheme::Grappolo { .. } => 12,
+            Scheme::GrappoloRcm { .. } => 13,
+            Scheme::RabbitOrder => 14,
+            Scheme::Dbg => 15,
+            Scheme::HubSortDbg => 16,
+            Scheme::HubClusterDbg => 17,
+            Scheme::CommunityBfs => 18,
+            Scheme::CommunityDfs => 19,
+            Scheme::CommunityDegree => 20,
+            Scheme::Adaptive => 21,
+        }
+    }
+
+    #[test]
+    fn all_schemes_covers_every_variant() {
+        let all = Scheme::all_schemes(42);
+        assert_eq!(all.len(), 22);
+        let mut seen = [false; 22];
+        for s in &all {
+            seen[variant_slot(s)] = true;
+        }
+        assert!(seen.iter().all(|&hit| hit), "a Scheme variant is missing from all_schemes");
+        let names: std::collections::HashSet<&str> = all.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 22, "scheme names must be unique");
+    }
+
+    #[test]
+    fn accepted_names_parse_and_cover_all_schemes() {
+        for name in Scheme::ACCEPTED_NAMES {
+            Scheme::parse(name).unwrap_or_else(|e| panic!("accepted name {name:?} rejected: {e}"));
+        }
+        for scheme in Scheme::all_schemes(3) {
+            let spec = scheme.spec();
+            let head = spec.split(':').next().unwrap_or(&spec);
+            assert!(
+                Scheme::ACCEPTED_NAMES.contains(&head),
+                "spec head {head:?} missing from ACCEPTED_NAMES"
+            );
+        }
+    }
+
+    #[test]
+    fn lightweight_family_dispatches() {
+        let g = clique_chain(4, 8);
+        for scheme in [
+            Scheme::Dbg,
+            Scheme::HubSortDbg,
+            Scheme::HubClusterDbg,
+            Scheme::CommunityBfs,
+            Scheme::CommunityDfs,
+            Scheme::CommunityDegree,
+            Scheme::Adaptive,
+        ] {
+            assert_eq!(scheme.reorder(&g).len(), 32, "{scheme}");
+            assert_eq!(scheme.validate(0), Ok(()), "{scheme} takes no parameters");
+        }
+    }
+
     #[test]
     fn parse_spec_round_trips_every_suite_scheme() {
-        for scheme in Scheme::extended_suite(7) {
+        for scheme in Scheme::all_schemes(7) {
             let spec = scheme.spec();
             let parsed =
                 Scheme::parse(&spec).unwrap_or_else(|e| panic!("{spec:?} failed to re-parse: {e}"));

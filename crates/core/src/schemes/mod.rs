@@ -5,17 +5,25 @@
 //! [`Scheme`](crate::Scheme) enum provides uniform dispatch over all of
 //! them.
 
+mod adaptive;
 mod basic;
+mod comm;
 mod composite;
 mod degree;
 mod gorder;
 mod hybrid;
+mod lightweight;
 mod minla;
 mod rabbit;
 mod rcm;
 mod slashburn;
 
+pub use adaptive::{
+    adaptive_decide, adaptive_order, adaptive_order_recorded, adaptive_order_serial,
+    AdaptiveChoice, AdaptiveDecision,
+};
 pub use basic::{natural_order, random_order};
+pub use comm::{comm_order, comm_order_recorded, comm_order_serial, CommIntra};
 pub use composite::{
     grappolo_order, grappolo_order_recorded, grappolo_order_with, grappolo_rcm_order,
     grappolo_rcm_order_recorded, grappolo_rcm_order_with, metis_order, nd_order,
@@ -23,6 +31,11 @@ pub use composite::{
 pub use degree::{degree_sort, hub_cluster, hub_sort, hub_threshold, DegreeDirection};
 pub use gorder::{gorder, gorder_serial};
 pub use hybrid::{hybrid_multiscale_order, HybridConfig};
+pub use lightweight::{
+    dbg_order, dbg_order_recorded, dbg_order_serial, hub_cluster_dbg_order,
+    hub_cluster_dbg_order_recorded, hub_cluster_dbg_order_serial, hub_sort_dbg_order,
+    hub_sort_dbg_order_recorded, hub_sort_dbg_order_serial,
+};
 pub use minla::{minla_anneal, MinlaConfig};
 pub use rabbit::{rabbit_order, rabbit_order_serial};
 pub use rcm::{

@@ -62,7 +62,7 @@ fn measure_bits(g: &Csr, pi: &Permutation) -> [u64; 4] {
 #[test]
 fn every_scheme_is_bit_identical_under_adversarial_schedules() {
     for (gname, g) in corpus() {
-        for scheme in Scheme::extended_suite(42) {
+        for scheme in Scheme::all_schemes(42) {
             if scheme.validate(g.num_vertices()).is_err() {
                 continue; // e.g. METIS parts > n on the tiny graphs
             }
@@ -96,7 +96,7 @@ fn every_scheme_is_bit_identical_under_adversarial_schedules() {
 #[test]
 fn recorded_runs_are_bit_identical_under_adversarial_schedules() {
     for (gname, g) in corpus() {
-        for scheme in Scheme::extended_suite(42) {
+        for scheme in Scheme::all_schemes(42) {
             if scheme.validate(g.num_vertices()).is_err() {
                 continue;
             }

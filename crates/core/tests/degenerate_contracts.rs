@@ -56,7 +56,7 @@ fn every_scheme_and_measure_is_total_and_finite_on_the_degenerate_corpus() {
     for case in degenerate_suite() {
         let g = &case.graph;
         let n = g.num_vertices();
-        for scheme in Scheme::extended_suite(42) {
+        for scheme in Scheme::all_schemes(42) {
             let ctx = format!("{scheme} on {}", case.name);
             match scheme.try_reorder(g) {
                 Ok(pi) => {

@@ -27,7 +27,7 @@ fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
 #[test]
 fn recording_never_changes_any_result_at_any_thread_count() {
     for (graph_name, g) in corpus() {
-        for scheme in Scheme::extended_suite(42) {
+        for scheme in Scheme::all_schemes(42) {
             if scheme.validate(g.num_vertices()).is_err() {
                 continue; // e.g. METIS parts > n on the tiny graphs
             }

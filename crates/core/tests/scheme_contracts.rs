@@ -7,8 +7,11 @@
 //! exactly equal to its retained serial oracle.
 
 use reorderlab_core::schemes::{
-    cdfs_order, cdfs_order_serial, gorder, gorder_serial, rabbit_order, rabbit_order_serial,
-    rcm_order, rcm_order_serial, slashburn_order, slashburn_order_serial,
+    adaptive_order, adaptive_order_serial, cdfs_order, cdfs_order_serial, comm_order,
+    comm_order_serial, dbg_order, dbg_order_serial, gorder, gorder_serial, hub_cluster_dbg_order,
+    hub_cluster_dbg_order_serial, hub_sort_dbg_order, hub_sort_dbg_order_serial, rabbit_order,
+    rabbit_order_serial, rcm_order, rcm_order_serial, slashburn_order, slashburn_order_serial,
+    CommIntra,
 };
 use reorderlab_core::{Scheme, SchemeError};
 use reorderlab_datasets::{
@@ -62,7 +65,7 @@ fn assert_bijective(pi: &Permutation, n: usize, ctx: &str) {
 #[test]
 fn every_scheme_on_every_generator_is_a_thread_invariant_bijection() {
     for (gname, g) in contract_corpus() {
-        for scheme in Scheme::extended_suite(42) {
+        for scheme in Scheme::all_schemes(42) {
             let ctx = format!("{scheme} on {gname}");
             if let Err(e) = scheme.validate(g.num_vertices()) {
                 // The degenerate corpus graphs have fewer than 32 vertices,
@@ -138,6 +141,33 @@ fn gorder_matches_serial_oracle() {
 #[test]
 fn rabbit_matches_serial_oracle() {
     assert_matches_oracle("rabbit_order", rabbit_order, rabbit_order_serial);
+}
+
+#[test]
+fn dbg_family_matches_serial_oracle() {
+    assert_matches_oracle("dbg_order", dbg_order, dbg_order_serial);
+    assert_matches_oracle("hub_sort_dbg_order", hub_sort_dbg_order, hub_sort_dbg_order_serial);
+    assert_matches_oracle(
+        "hub_cluster_dbg_order",
+        hub_cluster_dbg_order,
+        hub_cluster_dbg_order_serial,
+    );
+}
+
+#[test]
+fn community_traversal_matches_serial_oracle() {
+    for intra in [CommIntra::Bfs, CommIntra::Dfs, CommIntra::Degree] {
+        assert_matches_oracle(
+            &format!("comm_order({intra:?})"),
+            |g| comm_order(g, intra),
+            |g| comm_order_serial(g, intra),
+        );
+    }
+}
+
+#[test]
+fn adaptive_matches_serial_oracle() {
+    assert_matches_oracle("adaptive_order", adaptive_order, adaptive_order_serial);
 }
 
 /// Gorder's parallel two-hop gather only engages for vertices with degree
