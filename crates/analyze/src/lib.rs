@@ -32,7 +32,7 @@ use rules::{Diagnostic, Scope};
 /// `cli` and `bench` are binaries: aborting the process there is an
 /// acceptable failure mode, and `analyze` itself is excluded from P1 only
 /// through this list — it still gets D1/D2/C1-narrow/U1 like everyone else.
-pub const LIB_CRATES: [&str; 9] = [
+pub const LIB_CRATES: [&str; 11] = [
     "graph",
     "core",
     "kernels",
@@ -42,6 +42,8 @@ pub const LIB_CRATES: [&str; 9] = [
     "trace",
     "memsim",
     "datasets",
+    "ops",
+    "serve",
 ];
 
 /// Crates where C1 (narrowing `as` casts) applies.

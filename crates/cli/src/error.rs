@@ -1,53 +1,42 @@
-//! The CLI's typed error, mapped onto process exit codes: `2` for
-//! command-line mistakes the caller can fix by re-invoking (usage, bad
-//! scheme specs) and for inputs `validate` diagnosed as malformed, `1`
-//! for runtime failures (I/O, unparseable inputs mid-command).
+//! The CLI's typed error: a thin wrapper over the shared [`OpError`]
+//! taxonomy, which specifies the exit-code mapping once for every
+//! frontend — `2` for caller mistakes (usage, bad scheme specs, inputs
+//! `validate` diagnosed as malformed), `1` for runtime failures (I/O,
+//! unparseable inputs mid-command).
 
 use reorderlab_core::SchemeError;
+use reorderlab_ops::OpError;
 use std::fmt;
 
-/// Why a CLI invocation failed.
+/// Why a CLI invocation failed. Wraps [`OpError`] so the exit-code
+/// contract lives in `reorderlab-ops`, shared with the serve daemon's
+/// response status codes.
 #[derive(Debug)]
-pub enum CliError {
-    /// The command line itself is wrong: unknown command, missing required
-    /// flag, malformed flag value. Exit code 2.
-    Usage(String),
-    /// A `--scheme` spec was rejected by the registry. Exit code 2.
-    Scheme(SchemeError),
-    /// A file could not be opened, created, or written. Exit code 1.
-    Io(String),
-    /// An input file opened but failed to parse. Exit code 1.
-    Parse(String),
-    /// `validate` diagnosed at least one input file as malformed — a
-    /// verdict, not a runtime failure. Exit code 2.
-    Malformed(String),
-}
+pub struct CliError(pub OpError);
 
 impl CliError {
-    /// The process exit code this error maps to.
+    /// The process exit code this error maps to (delegates to
+    /// [`OpError::exit_code`]).
     pub fn exit_code(&self) -> u8 {
-        match self {
-            CliError::Usage(_) | CliError::Scheme(_) | CliError::Malformed(_) => 2,
-            CliError::Io(_) | CliError::Parse(_) => 1,
-        }
+        self.0.exit_code()
     }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CliError::Usage(msg)
-            | CliError::Io(msg)
-            | CliError::Parse(msg)
-            | CliError::Malformed(msg) => f.write_str(msg),
-            CliError::Scheme(e) => write!(f, "{e}"),
-        }
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<OpError> for CliError {
+    fn from(e: OpError) -> Self {
+        CliError(e)
     }
 }
 
 impl From<SchemeError> for CliError {
     fn from(e: SchemeError) -> Self {
-        CliError::Scheme(e)
+        CliError(OpError::Scheme(e))
     }
 }
 
@@ -59,20 +48,21 @@ mod tests {
 
     #[test]
     fn exit_codes_split_usage_from_runtime() {
-        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError(OpError::Usage("x".into())).exit_code(), 2);
         assert_eq!(
-            CliError::Scheme(SchemeError::UnknownScheme { name: "x".into() }).exit_code(),
+            CliError(OpError::Scheme(SchemeError::UnknownScheme { name: "x".into() }))
+                .exit_code(),
             2
         );
-        assert_eq!(CliError::Io("x".into()).exit_code(), 1);
-        assert_eq!(CliError::Parse("x".into()).exit_code(), 1);
-        assert_eq!(CliError::Malformed("x".into()).exit_code(), 2);
+        assert_eq!(CliError(OpError::Io("x".into())).exit_code(), 1);
+        assert_eq!(CliError(OpError::Parse("x".into())).exit_code(), 1);
+        assert_eq!(CliError(OpError::Malformed("x".into())).exit_code(), 2);
     }
 
     #[test]
     fn scheme_errors_convert() {
         let e: CliError = SchemeError::PartsTooSmall { parts: 0 }.into();
-        assert!(matches!(e, CliError::Scheme(_)));
+        assert!(matches!(e.0, OpError::Scheme(_)));
         assert!(e.to_string().contains("at least 1 part"));
     }
 }

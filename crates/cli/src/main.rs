@@ -13,24 +13,24 @@
 //! Exit codes: `0` success, `2` command-line mistakes (usage, bad scheme
 //! specs) and malformed inputs diagnosed by `validate`, `1` runtime
 //! failures (I/O, unparseable inputs mid-command).
+//!
+//! This binary is a thin argv shell: every command builds a typed
+//! [`OpRequest`], hands it to [`reorderlab_ops::execute`], and renders the
+//! typed report. The serve daemon executes the same requests, so CLI and
+//! daemon results are identical by construction.
 
 #![forbid(unsafe_code)]
 
 mod error;
-mod scheme_arg;
 
 use error::CliError;
-use reorderlab_core::measures::gap_measures;
-use reorderlab_core::Scheme;
-use reorderlab_datasets::{by_name, full_suite};
-use reorderlab_graph::{
-    read_edge_list, read_matrix_market, read_metis, write_edge_list, write_matrix_market,
-    write_metis, Csr, GraphStats,
+use reorderlab_datasets::{by_name, full_suite, large_suite, small_suite};
+use reorderlab_ops::args::{flag_value, flag_values, has_flag};
+use reorderlab_ops::{
+    execute, run_with_threads, scheme_help, write_graph_auto, FsResolver, GraphSource, OpError,
+    OpReport, OpRequest,
 };
-use reorderlab_trace::{Manifest, Recorder, RunRecorder};
-use scheme_arg::{parse_scheme, scheme_help};
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use reorderlab_trace::Manifest;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -55,20 +55,13 @@ fn run(args: &[String]) -> Result<(), CliError> {
     if let Some(t) = flag_value(rest, "--threads") {
         let t: usize = t
             .parse()
-            .map_err(|_| CliError::Usage(format!("--threads needs a number, got {t:?}")))?;
-        if t == 0 {
-            return Err(CliError::Usage("--threads must be at least 1".into()));
-        }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(t)
-            .build()
-            .map_err(|e| CliError::Io(format!("cannot build thread pool: {e}")))?;
-        return pool.install(|| dispatch(command, rest));
+            .map_err(|_| OpError::Usage(format!("--threads needs a number, got {t:?}")))?;
+        return Ok(run_with_threads(Some(t), || dispatch(command, rest))?);
     }
-    dispatch(command, rest)
+    Ok(dispatch(command, rest)?)
 }
 
-fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
+fn dispatch(command: &str, rest: &[String]) -> Result<(), OpError> {
     match command {
         "list" => cmd_list(),
         "generate" => cmd_generate(rest),
@@ -82,7 +75,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), CliError> {
             print_usage();
             Ok(())
         }
-        other => Err(CliError::Usage(format!("unknown command {other:?}; try `reorderlab help`"))),
+        other => Err(OpError::Usage(format!("unknown command {other:?}; try `reorderlab help`"))),
     }
 }
 
@@ -109,14 +102,19 @@ fn print_usage() {
          any command also takes --threads N (worker threads; results are identical at any N)\n\n\
          --json prints run manifests (JSON) to stdout; --manifest FILE appends them as\n\
          JSON Lines; manifest-check validates such files against the schema\n\n\
-         formats by extension: .mtx (Matrix Market), .graph (METIS), anything else: edge list\n\n\
+         formats by extension: .mtx (Matrix Market), .graph (METIS), .csrbin (checksummed\n\
+         binary CSR), anything else: edge list\n\n\
          schemes:\n{}",
         scheme_help()
     );
 }
 
-fn cmd_list() -> Result<(), CliError> {
-    println!("instances (25 small + 9 large, Table I stand-ins):");
+fn cmd_list() -> Result<(), OpError> {
+    println!(
+        "instances ({} small + {} large, Table I stand-ins):",
+        small_suite().len(),
+        large_suite().len()
+    );
     for spec in full_suite() {
         let scale = if spec.is_scaled() {
             format!(" (scaled 1/{})", spec.scale_denominator)
@@ -136,311 +134,133 @@ fn cmd_list() -> Result<(), CliError> {
     Ok(())
 }
 
-/// Simple flag scanner: returns the value following `flag`, if present.
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
-}
-
-/// True when the bare flag is present.
-fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
-/// Collects all values of a repeatable flag.
-fn flag_values(args: &[String], flag: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < args.len() {
-        if args[i] == flag {
-            out.push(args[i + 1].clone());
-            i += 2;
-        } else {
-            i += 1;
-        }
-    }
-    out
-}
-
-/// The seed a scheme's manifest should report: the scheme's own seed
-/// parameter where it has one, otherwise the CLI-wide default of 42.
-fn scheme_seed(scheme: &Scheme) -> u64 {
-    match *scheme {
-        Scheme::Random { seed }
-        | Scheme::NestedDissection { seed }
-        | Scheme::Metis { seed, .. } => seed,
-        _ => 42,
-    }
-}
-
 /// Emits a finished manifest: pretty JSON on stdout under `--json`, one
 /// appended JSON line per `--manifest FILE`.
-fn emit_manifest(m: &Manifest, json_out: bool, path: Option<&str>) -> Result<(), CliError> {
+fn emit_manifest(m: &Manifest, json_out: bool, path: Option<&str>) -> Result<(), OpError> {
     if json_out {
         println!("{}", m.to_pretty());
     }
     if let Some(p) = path {
-        m.append_jsonl(p).map_err(|e| CliError::Io(format!("cannot append to {p}: {e}")))?;
+        m.append_jsonl(p).map_err(|e| OpError::Io(format!("cannot append to {p}: {e}")))?;
     }
     Ok(())
 }
 
-fn load_graph(args: &[String]) -> Result<(Csr, String), CliError> {
+/// The graph source the `--input` / `--instance` flags select.
+fn graph_source(args: &[String]) -> Result<GraphSource, OpError> {
     if let Some(path) = flag_value(args, "--input") {
-        let file =
-            File::open(&path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
-        let reader = BufReader::new(file);
-        let g = if path.ends_with(".mtx") {
-            read_matrix_market(reader)
-        } else if path.ends_with(".graph") || path.ends_with(".metis") {
-            read_metis(reader)
-        } else {
-            read_edge_list(reader)
-        }
-        .map_err(|e| CliError::Parse(format!("failed to parse {path}: {e}")))?;
-        Ok((g, path))
+        Ok(GraphSource::Path(path))
     } else if let Some(name) = flag_value(args, "--instance") {
-        let spec = by_name(&name).ok_or_else(|| {
-            CliError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
-        })?;
-        Ok((spec.generate(), name))
+        Ok(GraphSource::Instance(name))
     } else {
-        Err(CliError::Usage("need --input FILE or --instance NAME".into()))
+        Err(OpError::Usage("need --input FILE or --instance NAME".into()))
     }
 }
 
-fn save_graph(graph: &Csr, path: &str) -> Result<(), CliError> {
-    let file =
-        File::create(path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
-    let mut writer = BufWriter::new(file);
-    if path.ends_with(".mtx") {
-        write_matrix_market(graph, &mut writer)
-    } else if path.ends_with(".graph") || path.ends_with(".metis") {
-        write_metis(graph, &mut writer)
-    } else {
-        write_edge_list(graph, &mut writer)
-    }
-    .map_err(|e| CliError::Io(format!("failed to write {path}: {e}")))
-}
-
-fn cmd_generate(args: &[String]) -> Result<(), CliError> {
+fn cmd_generate(args: &[String]) -> Result<(), OpError> {
     let name = args.first().filter(|a| !a.starts_with("--")).ok_or_else(|| {
-        CliError::Usage("usage: reorderlab generate <instance> [--out FILE]".into())
+        OpError::Usage("usage: reorderlab generate <instance> [--out FILE]".into())
     })?;
     let spec = by_name(name).ok_or_else(|| {
-        CliError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
+        OpError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
     })?;
     let g = spec.generate();
     eprintln!("generated {} (|V|={}, |E|={})", spec.name, g.num_vertices(), g.num_edges());
     match flag_value(args, "--out") {
-        Some(path) => save_graph(&g, &path),
+        Some(path) => write_graph_auto(&g, &path),
         None => {
             let stdout = std::io::stdout();
-            write_edge_list(&g, stdout.lock()).map_err(|e| CliError::Io(e.to_string()))
+            reorderlab_graph::write_edge_list(&g, stdout.lock())
+                .map_err(|e| OpError::Io(e.to_string()))
         }
     }
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+fn cmd_stats(args: &[String]) -> Result<(), OpError> {
     let json_out = has_flag(args, "--json");
     let manifest_path = flag_value(args, "--manifest");
-    let (g, name) = load_graph(args)?;
-    let mut rec = RunRecorder::new();
-    rec.span_enter("stats");
-    let s = GraphStats::compute(&g);
-    rec.span_exit("stats");
+    let req = OpRequest::Stats { source: graph_source(args)? };
+    let out = execute(&req, &FsResolver)?;
+    let OpReport::Stats(s) = &out.report else {
+        return Err(OpError::Io("stats returned the wrong report kind".into()));
+    };
     if !json_out {
-        println!("graph: {name}");
-        println!("  vertices:               {}", s.num_vertices);
-        println!("  edges:                  {}", s.num_edges);
-        println!("  max degree:             {}", s.max_degree);
-        println!("  mean degree:            {:.3}", s.mean_degree);
-        println!("  degree std dev:         {:.3}", s.degree_std_dev);
-        println!("  triangles:              {}", s.triangles);
-        println!("  clustering coefficient: {:.4}", s.clustering_coefficient);
+        println!("{}", s.render_text());
     }
     if json_out || manifest_path.is_some() {
-        let mut m = Manifest::new("stats", &name, g.num_vertices(), g.num_edges())
-            .with_seed(42)
-            .with_threads(rayon::current_num_threads());
-        m.absorb(&rec);
-        m.push_measure("max_degree", s.max_degree as f64);
-        m.push_measure("mean_degree", s.mean_degree);
-        m.push_measure("degree_std_dev", s.degree_std_dev);
-        m.push_measure("triangles", s.triangles as f64);
-        m.push_measure("clustering_coefficient", s.clustering_coefficient);
-        emit_manifest(&m, json_out, manifest_path.as_deref())?;
+        emit_manifest(&s.manifest, json_out, manifest_path.as_deref())?;
     }
     Ok(())
 }
 
-fn cmd_reorder(args: &[String]) -> Result<(), CliError> {
+fn cmd_reorder(args: &[String]) -> Result<(), OpError> {
     let json_out = has_flag(args, "--json");
     let manifest_path = flag_value(args, "--manifest");
-    let (g, name) = load_graph(args)?;
-    let mut rec = RunRecorder::new();
-    let t0 = std::time::Instant::now();
-    // Either compute an ordering from a scheme, or apply a saved one.
-    let (pi, label, scheme) = if let Some(path) = flag_value(args, "--apply-perm") {
-        let file =
-            File::open(&path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
-        let pi = reorderlab_graph::Permutation::read_text(BufReader::new(file))
-            .map_err(|e| CliError::Parse(format!("failed to parse {path}: {e}")))?;
-        if pi.len() != g.num_vertices() {
-            return Err(CliError::Parse(format!(
-                "permutation covers {} vertices but the graph has {}",
-                pi.len(),
-                g.num_vertices()
-            )));
-        }
-        (pi, format!("perm file {path}"), None)
-    } else {
-        let scheme_name = flag_value(args, "--scheme").ok_or_else(|| {
-            CliError::Usage(
-                "need --scheme NAME or --apply-perm FILE (see `reorderlab list`)".into(),
-            )
-        })?;
-        let scheme = parse_scheme(&scheme_name)?;
-        let pi = scheme.try_reorder_recorded(&g, &mut rec).map_err(CliError::Scheme)?;
-        (pi, scheme.name().to_string(), Some(scheme))
+    let req = OpRequest::Reorder {
+        source: graph_source(args)?,
+        scheme: flag_value(args, "--scheme"),
+        apply_perm: flag_value(args, "--apply-perm"),
+        return_perm: false,
     };
-    let elapsed = t0.elapsed();
-    rec.span_enter("measure");
-    let before = gap_measures(&g, &reorderlab_graph::Permutation::identity(g.num_vertices()));
-    let after = gap_measures(&g, &pi);
-    rec.span_exit("measure");
-    eprintln!(
-        "{} on {name}: ξ̂ {:.1} -> {:.1}, β {} -> {}, β̂ {:.1} -> {:.1} ({:.3}s)",
-        label,
-        before.avg_gap,
-        after.avg_gap,
-        before.bandwidth,
-        after.bandwidth,
-        before.avg_bandwidth,
-        after.avg_bandwidth,
-        elapsed.as_secs_f64()
-    );
+    let out = execute(&req, &FsResolver)?;
+    let OpReport::Reorder(r) = &out.report else {
+        return Err(OpError::Io("reorder returned the wrong report kind".into()));
+    };
+    eprintln!("{}", r.summary_line());
     if let Some(path) = flag_value(args, "--perm") {
-        let file =
-            File::create(&path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
-        pi.write_text(BufWriter::new(file)).map_err(|e| CliError::Io(e.to_string()))?;
+        let pi = out
+            .permutation
+            .as_ref()
+            .ok_or_else(|| OpError::Io("reorder produced no permutation".into()))?;
+        let file = std::fs::File::create(&path)
+            .map_err(|e| OpError::Io(format!("cannot create {path}: {e}")))?;
+        pi.write_text(std::io::BufWriter::new(file)).map_err(|e| OpError::Io(e.to_string()))?;
         eprintln!("wrote permutation to {path}");
     }
     if let Some(path) = flag_value(args, "--out") {
-        let h = g.permuted(&pi).map_err(|e| CliError::Io(e.to_string()))?;
-        save_graph(&h, &path)?;
+        let (g, pi) = match (&out.graph, &out.permutation) {
+            (Some(g), Some(pi)) => (g, pi),
+            _ => return Err(OpError::Io("reorder produced no graph".into())),
+        };
+        let h = g.permuted(pi).map_err(|e| OpError::Io(e.to_string()))?;
+        write_graph_auto(&h, &path)?;
         eprintln!("wrote reordered graph to {path}");
     }
     if json_out || manifest_path.is_some() {
-        let mut m = Manifest::new("reorder", &name, g.num_vertices(), g.num_edges())
-            .with_seed(scheme.as_ref().map_or(42, scheme_seed))
-            .with_threads(rayon::current_num_threads());
-        if let Some(s) = &scheme {
-            m = m.with_scheme(s.name(), &s.spec());
-        } else {
-            m.push_note("source", &label);
-        }
-        m.absorb(&rec);
-        m.push_measure("reorder_wall_s", elapsed.as_secs_f64());
-        m.push_measure("avg_gap_before", before.avg_gap);
-        m.push_measure("avg_gap", after.avg_gap);
-        m.push_measure("bandwidth_before", before.bandwidth as f64);
-        m.push_measure("bandwidth", after.bandwidth as f64);
-        m.push_measure("avg_bandwidth_before", before.avg_bandwidth);
-        m.push_measure("avg_bandwidth", after.avg_bandwidth);
-        m.push_measure("avg_log_gap", after.avg_log_gap);
-        emit_manifest(&m, json_out, manifest_path.as_deref())?;
+        emit_manifest(&r.manifest, json_out, manifest_path.as_deref())?;
     }
     Ok(())
 }
 
-fn cmd_measure(args: &[String]) -> Result<(), CliError> {
+fn cmd_measure(args: &[String]) -> Result<(), OpError> {
     let json_out = has_flag(args, "--json");
     let manifest_path = flag_value(args, "--manifest");
-    let (g, name) = load_graph(args)?;
-    let mut schemes: Vec<Scheme> = Vec::new();
-    for s in flag_values(args, "--scheme") {
-        schemes.push(parse_scheme(&s)?);
-    }
-    if schemes.is_empty() {
-        schemes = Scheme::evaluation_suite(42);
-    }
+    let req = OpRequest::Measure {
+        source: graph_source(args)?,
+        schemes: flag_values(args, "--scheme"),
+    };
+    let out = execute(&req, &FsResolver)?;
+    let OpReport::Measure(m) = &out.report else {
+        return Err(OpError::Io("measure returned the wrong report kind".into()));
+    };
     if !json_out {
-        println!("gap measures on {name} (|V|={}, |E|={}):", g.num_vertices(), g.num_edges());
-        println!(
-            "{:<16} {:>12} {:>12} {:>12} {:>12}",
-            "scheme", "avg gap", "bandwidth", "avg band", "log gap"
-        );
+        println!("{}", m.render_text());
     }
-    for scheme in schemes {
-        let mut rec = RunRecorder::new();
-        let pi = scheme.try_reorder_recorded(&g, &mut rec).map_err(CliError::Scheme)?;
-        rec.span_enter("measure");
-        let m = gap_measures(&g, &pi);
-        rec.span_exit("measure");
-        if !json_out {
-            println!(
-                "{:<16} {:>12.1} {:>12} {:>12.1} {:>12.2}",
-                scheme.name(),
-                m.avg_gap,
-                m.bandwidth,
-                m.avg_bandwidth,
-                m.avg_log_gap
-            );
-        }
-        if json_out || manifest_path.is_some() {
-            let mut man = Manifest::new("measure", &name, g.num_vertices(), g.num_edges())
-                .with_scheme(scheme.name(), &scheme.spec())
-                .with_seed(scheme_seed(&scheme))
-                .with_threads(rayon::current_num_threads());
-            man.absorb(&rec);
-            man.push_measure("avg_gap", m.avg_gap);
-            man.push_measure("bandwidth", m.bandwidth as f64);
-            man.push_measure("avg_bandwidth", m.avg_bandwidth);
-            man.push_measure("avg_log_gap", m.avg_log_gap);
+    if json_out || manifest_path.is_some() {
+        for row in &m.rows {
             // One compact line per scheme so stdout stays valid JSON Lines
             // even when several schemes run.
             if json_out {
-                println!("{}", man.to_line());
+                println!("{}", row.manifest.to_line());
             }
             if let Some(p) = &manifest_path {
-                man.append_jsonl(p)
-                    .map_err(|e| CliError::Io(format!("cannot append to {p}: {e}")))?;
+                row.manifest
+                    .append_jsonl(p)
+                    .map_err(|e| OpError::Io(format!("cannot append to {p}: {e}")))?;
             }
         }
     }
     Ok(())
-}
-
-/// The outcome of validating one input file.
-enum Verdict {
-    /// Parsed cleanly into a graph of this size.
-    Clean { vertices: usize, edges: usize },
-    /// The file could not be opened or read at all.
-    Unreadable(String),
-    /// The file opened but the reader rejected it; the message carries a
-    /// 1-based line number (`parse error at line N: …`).
-    Malformed(String),
-}
-
-/// Parses one file with the reader its extension selects (the same
-/// dispatch as `load_graph`), without building anything downstream.
-fn validate_file(path: &str) -> Verdict {
-    let file = match File::open(path) {
-        Ok(f) => f,
-        Err(e) => return Verdict::Unreadable(e.to_string()),
-    };
-    let reader = BufReader::new(file);
-    let parsed = if path.ends_with(".mtx") {
-        read_matrix_market(reader)
-    } else if path.ends_with(".graph") || path.ends_with(".metis") {
-        read_metis(reader)
-    } else {
-        read_edge_list(reader)
-    };
-    match parsed {
-        Ok(g) => Verdict::Clean { vertices: g.num_vertices(), edges: g.num_edges() },
-        Err(e) => Verdict::Malformed(e.to_string()),
-    }
 }
 
 /// Replays one hot kernel's memory-access stream through the simulated
@@ -448,122 +268,22 @@ fn validate_file(path: &str) -> Verdict {
 /// average latency, and the boundedness breakdown — memsim-as-VTune from
 /// the shell (DESIGN.md §9). The replay is deterministic: identical
 /// arguments always print identical counters.
-fn cmd_memsim(args: &[String]) -> Result<(), CliError> {
-    use reorderlab_memsim::{
-        replay_louvain_move, replay_pagerank_iteration, replay_rr_kernel, Hierarchy,
-        HierarchyConfig, LouvainReplayKernel, RrReplayKernel,
-    };
-
+fn cmd_memsim(args: &[String]) -> Result<(), OpError> {
     let json_out = has_flag(args, "--json");
-    let workload = flag_value(args, "--workload").unwrap_or_else(|| "louvain".into());
-    let kernel = flag_value(args, "--kernel");
-    let kernel = kernel.as_deref();
-    let (g, name) = load_graph(args)?;
-
-    // Optional reordering pass first: replay the laid-out graph, keeping
-    // the original vertex labels so every layout walks the same logical
-    // traversal (matching the `bench snapshot` corpus semantics).
-    let (g, scheme_name, labels) = match flag_value(args, "--scheme") {
-        Some(spec) => {
-            let scheme = parse_scheme(&spec)?;
-            scheme
-                .validate(g.num_vertices())
-                .map_err(|e| CliError::Usage(format!("scheme {spec:?}: {e}")))?;
-            let pi = scheme.reorder(&g);
-            let labels = pi.to_order();
-            let laid_out = g
-                .permuted(&pi)
-                .map_err(|e| CliError::Parse(format!("permutation rejected: {e}")))?;
-            (laid_out, scheme.name().to_string(), labels)
-        }
-        None => {
-            let labels = (0..g.num_vertices() as u32).collect();
-            (g, "Natural".to_string(), labels)
-        }
+    let req = OpRequest::Memsim {
+        source: graph_source(args)?,
+        scheme: flag_value(args, "--scheme"),
+        workload: flag_value(args, "--workload").unwrap_or_else(|| "louvain".into()),
+        kernel: flag_value(args, "--kernel"),
     };
-
-    let mut hier = Hierarchy::new(HierarchyConfig::scaled_cascade_lake());
-    let kernel_name: String = match workload.as_str() {
-        "louvain" => {
-            let k = match kernel.unwrap_or("flat") {
-                "flat" => LouvainReplayKernel::FlatScatter,
-                "blocked" => LouvainReplayKernel::Blocked,
-                "packed" => LouvainReplayKernel::Packed,
-                "hashmap" => LouvainReplayKernel::HashMap { map_slots: 4096 },
-                other => {
-                    return Err(CliError::Usage(format!(
-                        "unknown louvain kernel {other:?}; try flat|blocked|packed|hashmap"
-                    )))
-                }
-            };
-            replay_louvain_move(&g, k, &mut hier);
-            kernel.unwrap_or("flat").to_string()
-        }
-        "rr" => {
-            let k = match kernel.unwrap_or("classic") {
-                "classic" => RrReplayKernel::Classic,
-                "hubsplit" => RrReplayKernel::HubSplit,
-                other => {
-                    return Err(CliError::Usage(format!(
-                        "unknown rr kernel {other:?}; try classic|hubsplit"
-                    )))
-                }
-            };
-            // Snapshot-corpus parameters: p = 0.25, 64 sets, seed 7.
-            replay_rr_kernel(&g, &labels, 0.25, 64, 7, k, &mut hier);
-            kernel.unwrap_or("classic").to_string()
-        }
-        "pagerank" => {
-            if let Some(other) = kernel {
-                return Err(CliError::Usage(format!(
-                    "pagerank has a single pull kernel, got --kernel {other:?}"
-                )));
-            }
-            replay_pagerank_iteration(&g, &mut hier);
-            "pull".to_string()
-        }
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown workload {other:?}; try louvain|rr|pagerank"
-            )))
-        }
+    let out = execute(&req, &FsResolver)?;
+    let OpReport::Memsim(m) = &out.report else {
+        return Err(OpError::Io("memsim returned the wrong report kind".into()));
     };
-
-    let r = hier.report();
     if json_out {
-        use reorderlab_trace::Json;
-        let j = Json::Obj(vec![
-            ("graph".into(), Json::Str(name)),
-            ("scheme".into(), Json::Str(scheme_name)),
-            ("workload".into(), Json::Str(workload)),
-            ("kernel".into(), Json::Str(kernel_name)),
-            ("hierarchy".into(), Json::Str("scaled_cascade_lake".into())),
-            ("loads".into(), Json::Num(r.loads as f64)),
-            (
-                "level_hits".into(),
-                Json::Arr(r.level_hits.iter().map(|&h| Json::Num(h as f64)).collect()),
-            ),
-            ("avg_latency".into(), Json::Num(r.avg_latency)),
-            ("bound".into(), Json::Arr(r.bound.iter().map(|&b| Json::Num(b)).collect())),
-            ("l1_hit_rate".into(), Json::Num(r.l1_hit_rate())),
-        ]);
-        println!("{}", j.to_pretty());
+        println!("{}", m.render_json().to_pretty());
     } else {
-        println!("memsim replay: {workload}/{kernel_name} on {name} ({scheme_name} layout)");
-        println!("  loads        {}", r.loads);
-        let levels = ["L1", "L2", "L3", "DRAM"];
-        for (i, level) in levels.iter().enumerate() {
-            let rate = if r.loads == 0 { 0.0 } else { r.level_hits[i] as f64 / r.loads as f64 };
-            println!("  {level:<4} hits    {:<10} ({:.1}%)", r.level_hits[i], rate * 100.0);
-        }
-        println!("  avg latency  {:.3} cycles", r.avg_latency);
-        println!(
-            "  boundedness  L1 {:.1}% | L2 {:.1}% | L3 {:.1}% | DRAM {:.1}%",
-            r.bound[0] * 100.0,
-            r.bound[1] * 100.0,
-            r.bound[2] * 100.0,
-            r.bound[3] * 100.0
-        );
+        println!("{}", m.render_text());
     }
     Ok(())
 }
@@ -572,12 +292,12 @@ fn cmd_memsim(args: &[String]) -> Result<(), CliError> {
 /// either parses cleanly or is rejected with a line-numbered diagnosis,
 /// never a panic. Exit 0 when every file is clean, 1 when any file is
 /// unreadable (I/O), 2 when any file is malformed.
-fn cmd_validate(args: &[String]) -> Result<(), CliError> {
+fn cmd_validate(args: &[String]) -> Result<(), OpError> {
     let json_out = has_flag(args, "--json");
     let manifest_path = flag_value(args, "--manifest");
     // Positional arguments are the files to check; skip flags and the
     // value slot following a value-taking flag.
-    let mut files: Vec<&String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--manifest" || args[i] == "--threads" {
@@ -585,75 +305,48 @@ fn cmd_validate(args: &[String]) -> Result<(), CliError> {
         } else if args[i].starts_with("--") {
             i += 1;
         } else {
-            files.push(&args[i]);
+            files.push(args[i].clone());
             i += 1;
         }
     }
     if files.is_empty() {
-        return Err(CliError::Usage(
+        return Err(OpError::Usage(
             "usage: reorderlab validate FILE... [--json] [--manifest FILE]".into(),
         ));
     }
-    let mut malformed = 0usize;
-    let mut unreadable = 0usize;
-    for path in &files {
-        let verdict = validate_file(path);
-        let (status, detail, vertices, edges) = match &verdict {
-            Verdict::Clean { vertices, edges } => ("ok", None, *vertices, *edges),
-            Verdict::Unreadable(msg) => {
-                unreadable += 1;
-                ("unreadable", Some(msg.clone()), 0, 0)
-            }
-            Verdict::Malformed(msg) => {
-                malformed += 1;
-                ("malformed", Some(msg.clone()), 0, 0)
-            }
-        };
+    let out = execute(&OpRequest::Validate { files }, &FsResolver)?;
+    let OpReport::Validate(v) = &out.report else {
+        return Err(OpError::Io("validate returned the wrong report kind".into()));
+    };
+    for f in &v.files {
         // Human-readable verdicts go to stderr so stdout stays valid
         // JSON Lines under --json.
-        match &detail {
-            None => eprintln!("{path}: ok (|V|={vertices}, |E|={edges})"),
-            Some(msg) => eprintln!("{path}: {status}: {msg}"),
+        eprintln!("{}", f.verdict_line());
+        if json_out {
+            println!("{}", f.manifest.to_line());
         }
-        if json_out || manifest_path.is_some() {
-            let mut m = Manifest::new("validate", path, vertices, edges)
-                .with_seed(42)
-                .with_threads(rayon::current_num_threads());
-            m.push_note("status", status);
-            if let Some(msg) = &detail {
-                m.push_note("error", msg);
-            }
-            if json_out {
-                println!("{}", m.to_line());
-            }
-            if let Some(p) = &manifest_path {
-                m.append_jsonl(p)
-                    .map_err(|e| CliError::Io(format!("cannot append to {p}: {e}")))?;
-            }
+        if let Some(p) = &manifest_path {
+            f.manifest
+                .append_jsonl(p)
+                .map_err(|e| OpError::Io(format!("cannot append to {p}: {e}")))?;
         }
     }
-    let total = files.len();
-    if malformed > 0 {
-        Err(CliError::Malformed(format!("{malformed} of {total} file(s) malformed")))
-    } else if unreadable > 0 {
-        Err(CliError::Io(format!("{unreadable} of {total} file(s) unreadable")))
-    } else {
-        eprintln!("{total} file(s) ok");
-        Ok(())
-    }
+    let summary = v.overall()?;
+    eprintln!("{summary}");
+    Ok(())
 }
 
 /// Validates files of run manifests: a whole-file JSON document or one
 /// JSON document per line (`.jsonl`). Any schema violation is a runtime
 /// error (exit 1) naming the file, line, and cause.
-fn cmd_manifest_check(args: &[String]) -> Result<(), CliError> {
+fn cmd_manifest_check(args: &[String]) -> Result<(), OpError> {
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() {
-        return Err(CliError::Usage("usage: reorderlab manifest-check FILE...".into()));
+        return Err(OpError::Usage("usage: reorderlab manifest-check FILE...".into()));
     }
     for path in files {
         let text = std::fs::read_to_string(path)
-            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+            .map_err(|e| OpError::Io(format!("cannot read {path}: {e}")))?;
         if let Ok(m) = Manifest::parse(text.trim()) {
             // A single pretty-printed document.
             eprintln!("{path}: 1 manifest ok ({})", m.command);
@@ -664,12 +357,12 @@ fn cmd_manifest_check(args: &[String]) -> Result<(), CliError> {
                     continue;
                 }
                 Manifest::parse(line).map_err(|e| {
-                    CliError::Parse(format!("{path}:{}: invalid manifest: {e}", lineno + 1))
+                    OpError::Parse(format!("{path}:{}: invalid manifest: {e}", lineno + 1))
                 })?;
                 checked += 1;
             }
             if checked == 0 {
-                return Err(CliError::Parse(format!("{path}: no manifests found")));
+                return Err(OpError::Parse(format!("{path}: no manifests found")));
             }
             eprintln!("{path}: {checked} manifest(s) ok");
         }

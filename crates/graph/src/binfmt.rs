@@ -1,0 +1,638 @@
+//! Checksummed binary CSR serialization (`.csrbin`).
+//!
+//! Text ingestion (`io.rs` / `mtx.rs`) pays a full tokenize-and-validate
+//! pass on every load. A long-lived server cannot afford that per request,
+//! so this module defines a binary on-disk form of [`Csr`] that is parsed
+//! once when a corpus is built and then loaded with two checksum passes and
+//! a structural validation — no text parsing at all.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size      field
+//! 0       8         magic  b"RLCSRB01"
+//! 8       4         format version (u32, currently 1)
+//! 12      4         flags  (bit 0: directed, bit 1: weighted)
+//! 16      8         num_vertices  n            (u64)
+//! 24      8         num_arcs      a            (u64)
+//! 32      8         num_edges     m (logical)  (u64)
+//! 40      8         payload checksum (FNV-1a 64 over the payload bytes)
+//! 48      8         header checksum  (FNV-1a 64 over bytes 0..48)
+//! 56      8(n+1)    offsets, u64 each
+//! …       4a        targets, u32 each
+//! …       8a        weight bits (f64::to_bits), only when bit 1 of flags set
+//! ```
+//!
+//! Every deviation — wrong magic, unknown version, a flipped byte anywhere
+//! in header or payload, truncation, or a structurally impossible graph
+//! (non-monotone offsets, out-of-range targets, non-finite weights) — is a
+//! typed [`BinCsrError`], never a panic. The reader allocates organically
+//! while streaming (capped initial reserve), so forged headers declaring
+//! absurd sizes fail with [`BinCsrError::Truncated`] instead of exhausting
+//! memory.
+//!
+//! [`csr_digest`] hashes the same canonical byte stream without touching
+//! disk; it is the graph-identity half of the serve layer's permutation
+//! cache key (DESIGN.md §11).
+
+use crate::csr::Csr;
+use crate::io::MAX_TRUSTED_RESERVE;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Magic bytes opening every binary CSR file.
+pub const BINARY_CSR_MAGIC: [u8; 8] = *b"RLCSRB01";
+
+/// Current format version written by [`write_binary_csr`].
+pub const BINARY_CSR_VERSION: u32 = 1;
+
+/// Canonical file extension for the format.
+pub const BINARY_CSR_EXTENSION: &str = "csrbin";
+
+/// Size of the fixed header in bytes.
+const HEADER_LEN: usize = 56;
+
+/// Why a binary CSR stream was rejected.
+#[derive(Debug)]
+pub enum BinCsrError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// The stream does not start with [`BINARY_CSR_MAGIC`].
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The version field names a format this build cannot read.
+    UnsupportedVersion {
+        /// The version the header declared.
+        found: u32,
+    },
+    /// The header checksum does not match the header bytes: the header
+    /// itself is corrupt, so none of its fields can be trusted.
+    HeaderChecksum {
+        /// Checksum recorded in the stream.
+        stored: u64,
+        /// Checksum recomputed over the received header bytes.
+        computed: u64,
+    },
+    /// The payload checksum does not match the payload bytes.
+    PayloadChecksum {
+        /// Checksum recorded in the stream.
+        stored: u64,
+        /// Checksum recomputed over the received payload bytes.
+        computed: u64,
+    },
+    /// The stream ended before the declared payload was complete.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// Header and payload are self-consistent bytes but describe an
+    /// impossible graph (non-monotone offsets, out-of-range target,
+    /// non-finite weight, contradictory edge counts).
+    Inconsistent {
+        /// What contradiction was found.
+        message: String,
+    },
+    /// The declared dimensions overflow this platform's address space.
+    TooLarge {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The declared value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for BinCsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinCsrError::Io(e) => write!(f, "binary csr io error: {e}"),
+            BinCsrError::BadMagic { found } => {
+                write!(f, "not a binary csr stream (magic {found:?})")
+            }
+            BinCsrError::UnsupportedVersion { found } => {
+                write!(f, "unsupported binary csr version {found} (this build reads 1)")
+            }
+            BinCsrError::HeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            BinCsrError::PayloadChecksum { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            BinCsrError::Truncated { expected, got } => {
+                write!(f, "truncated payload: header declares {expected} bytes, stream has {got}")
+            }
+            BinCsrError::Inconsistent { message } => {
+                write!(f, "inconsistent binary csr: {message}")
+            }
+            BinCsrError::TooLarge { field, value } => {
+                write!(f, "{field} {value} exceeds this platform's address space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinCsrError {}
+
+impl From<std::io::Error> for BinCsrError {
+    fn from(e: std::io::Error) -> Self {
+        BinCsrError::Io(e)
+    }
+}
+
+/// Streaming FNV-1a 64-bit hasher — dependency-free and byte-exact across
+/// platforms, which is all a corruption check and cache key need.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Feeds the canonical payload byte stream of `graph` to `sink` in layout
+/// order: offsets (u64 LE), targets (u32 LE), weight bits (f64 LE).
+fn visit_payload(graph: &Csr, mut sink: impl FnMut(&[u8])) -> Result<(), BinCsrError> {
+    for &off in graph.offsets() {
+        let off = u64::try_from(off)
+            .map_err(|_| BinCsrError::TooLarge { field: "offset", value: u64::MAX })?;
+        sink(&off.to_le_bytes());
+    }
+    for &t in graph.targets() {
+        sink(&t.to_le_bytes());
+    }
+    if let Some(ws) = graph.weights_raw() {
+        for &w in ws {
+            sink(&w.to_bits().to_le_bytes());
+        }
+    }
+    Ok(())
+}
+
+/// Field-for-field header metadata, extracted so writing and digesting hash
+/// exactly the same bytes.
+struct Header {
+    flags: u32,
+    n: u64,
+    arcs: u64,
+    edges: u64,
+}
+
+impl Header {
+    fn of(graph: &Csr) -> Result<Header, BinCsrError> {
+        let as_u64 = |x: usize, field: &'static str| {
+            u64::try_from(x).map_err(|_| BinCsrError::TooLarge { field, value: u64::MAX })
+        };
+        let mut flags = 0u32;
+        if graph.is_directed() {
+            flags |= 1;
+        }
+        if graph.is_weighted() {
+            flags |= 2;
+        }
+        Ok(Header {
+            flags,
+            n: as_u64(graph.num_vertices(), "num_vertices")?,
+            arcs: as_u64(graph.num_arcs(), "num_arcs")?,
+            edges: as_u64(graph.num_edges(), "num_edges")?,
+        })
+    }
+
+    /// The first 40 header bytes (everything hashed by the header checksum
+    /// except the payload checksum itself, which is appended by callers).
+    fn prefix_bytes(&self) -> [u8; 40] {
+        let mut out = [0u8; 40];
+        out[0..8].copy_from_slice(&BINARY_CSR_MAGIC);
+        out[8..12].copy_from_slice(&BINARY_CSR_VERSION.to_le_bytes());
+        out[12..16].copy_from_slice(&self.flags.to_le_bytes());
+        out[16..24].copy_from_slice(&self.n.to_le_bytes());
+        out[24..32].copy_from_slice(&self.arcs.to_le_bytes());
+        out[32..40].copy_from_slice(&self.edges.to_le_bytes());
+        out
+    }
+}
+
+/// Writes `graph` to `writer` in the checksummed binary CSR format.
+///
+/// The output is byte-deterministic: the same graph always serializes to
+/// the same bytes, so `write → read → write` is bit-identical.
+///
+/// # Errors
+///
+/// [`BinCsrError::Io`] on write failures; [`BinCsrError::TooLarge`] when a
+/// dimension does not fit the 64-bit header fields (unreachable for graphs
+/// this workspace can hold in memory).
+pub fn write_binary_csr<W: Write>(graph: &Csr, writer: &mut W) -> Result<(), BinCsrError> {
+    let header = Header::of(graph)?;
+    let mut payload_hash = Fnv64::new();
+    visit_payload(graph, |bytes| payload_hash.update(bytes))?;
+    let payload_checksum = payload_hash.finish();
+
+    let prefix = header.prefix_bytes();
+    let mut header_hash = Fnv64::new();
+    header_hash.update(&prefix);
+    header_hash.update(&payload_checksum.to_le_bytes());
+    let header_checksum = header_hash.finish();
+
+    writer.write_all(&prefix)?;
+    writer.write_all(&payload_checksum.to_le_bytes())?;
+    writer.write_all(&header_checksum.to_le_bytes())?;
+    let mut io_err: Option<std::io::Error> = None;
+    visit_payload(graph, |bytes| {
+        if io_err.is_none() {
+            if let Err(e) = writer.write_all(bytes) {
+                io_err = Some(e);
+            }
+        }
+    })?;
+    match io_err {
+        Some(e) => Err(BinCsrError::Io(e)),
+        None => Ok(()),
+    }
+}
+
+/// The 64-bit identity digest of a graph: FNV-1a over the header metadata
+/// and the canonical payload byte stream — exactly the bytes
+/// [`write_binary_csr`] emits, minus the checksums themselves.
+///
+/// Two graphs share a digest iff they serialize identically, so the digest
+/// is a stable cache key for anything derived purely from the graph (the
+/// serve layer keys permutations by `(digest, scheme spec)`).
+pub fn csr_digest(graph: &Csr) -> u64 {
+    let mut hash = Fnv64::new();
+    match Header::of(graph) {
+        Ok(h) => hash.update(&h.prefix_bytes()),
+        // Unreachable for in-memory graphs (usize always fits u64 on
+        // supported platforms); fold the failure into the digest rather
+        // than panicking in library code.
+        Err(_) => hash.update(b"header-overflow"),
+    }
+    if visit_payload(graph, |bytes| hash.update(bytes)).is_err() {
+        hash.update(b"payload-overflow");
+    }
+    hash.finish()
+}
+
+/// Reads exactly `expected` payload bytes, growing the buffer organically
+/// (initial reserve capped by `MAX_TRUSTED_RESERVE`) so a forged header
+/// cannot force a huge allocation before the stream proves it has the
+/// bytes.
+fn read_payload<R: Read>(reader: &mut R, expected: u64) -> Result<Vec<u8>, BinCsrError> {
+    let cap = usize::try_from(expected.min(
+        u64::try_from(MAX_TRUSTED_RESERVE).unwrap_or(u64::MAX),
+    ))
+    .unwrap_or(MAX_TRUSTED_RESERVE);
+    let mut buf: Vec<u8> = Vec::with_capacity(cap);
+    let mut chunk = [0u8; 64 * 1024];
+    let mut remaining = expected;
+    while remaining > 0 {
+        let want = usize::try_from(remaining.min(
+            u64::try_from(chunk.len()).unwrap_or(u64::MAX),
+        ))
+        .unwrap_or(chunk.len());
+        let Some(window) = chunk.get_mut(..want) else {
+            // Unreachable: `want` is clamped to the chunk length above.
+            break;
+        };
+        let got = reader.read(window)?;
+        if got == 0 {
+            return Err(BinCsrError::Truncated { expected, got: expected - remaining });
+        }
+        buf.extend_from_slice(window.get(..got).unwrap_or(&[]));
+        remaining -= u64::try_from(got).unwrap_or(0);
+    }
+    Ok(buf)
+}
+
+/// Little-endian u64 from a (possibly short) byte window; short windows
+/// zero-fill, which the checksum pass has already ruled out on real input.
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    for (slot, b) in raw.iter_mut().zip(bytes) {
+        *slot = *b;
+    }
+    u64::from_le_bytes(raw)
+}
+
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    for (slot, b) in raw.iter_mut().zip(bytes) {
+        *slot = *b;
+    }
+    u32::from_le_bytes(raw)
+}
+
+/// Reads a graph from the checksummed binary CSR format.
+///
+/// Verification order: magic → version → header checksum → payload length →
+/// payload checksum → structural validation. The first failure wins, so a
+/// flipped header byte is always reported as a header problem, never as a
+/// confusing downstream structural error.
+///
+/// # Errors
+///
+/// Every rejection is a typed [`BinCsrError`]; this function never panics
+/// on any byte stream.
+pub fn read_binary_csr<R: Read>(reader: &mut R) -> Result<Csr, BinCsrError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        let Some(window) = header.get_mut(filled..) else { break };
+        let got = reader.read(window)?;
+        if got == 0 {
+            return Err(BinCsrError::Truncated {
+                expected: u64::try_from(HEADER_LEN).unwrap_or(0),
+                got: u64::try_from(filled).unwrap_or(0),
+            });
+        }
+        filled += got;
+    }
+
+    let magic = header.get(0..8).unwrap_or(&[]);
+    if magic != BINARY_CSR_MAGIC {
+        let mut found = [0u8; 8];
+        for (slot, b) in found.iter_mut().zip(magic) {
+            *slot = *b;
+        }
+        return Err(BinCsrError::BadMagic { found });
+    }
+    let version = le_u32(header.get(8..12).unwrap_or(&[]));
+    if version != BINARY_CSR_VERSION {
+        return Err(BinCsrError::UnsupportedVersion { found: version });
+    }
+    let flags = le_u32(header.get(12..16).unwrap_or(&[]));
+    let n = le_u64(header.get(16..24).unwrap_or(&[]));
+    let arcs = le_u64(header.get(24..32).unwrap_or(&[]));
+    let edges = le_u64(header.get(32..40).unwrap_or(&[]));
+    let payload_checksum = le_u64(header.get(40..48).unwrap_or(&[]));
+    let stored_header_checksum = le_u64(header.get(48..56).unwrap_or(&[]));
+
+    let mut header_hash = Fnv64::new();
+    header_hash.update(header.get(0..48).unwrap_or(&[]));
+    let computed = header_hash.finish();
+    if computed != stored_header_checksum {
+        return Err(BinCsrError::HeaderChecksum { stored: stored_header_checksum, computed });
+    }
+
+    let directed = flags & 1 != 0;
+    let weighted = flags & 2 != 0;
+    if flags & !3 != 0 {
+        return Err(BinCsrError::Inconsistent { message: format!("unknown flags {flags:#x}") });
+    }
+
+    let offsets_len = n
+        .checked_add(1)
+        .ok_or(BinCsrError::TooLarge { field: "num_vertices", value: n })?;
+    let payload_len = offsets_len
+        .checked_mul(8)
+        .and_then(|x| x.checked_add(arcs.checked_mul(4)?))
+        .and_then(|x| if weighted { x.checked_add(arcs.checked_mul(8)?) } else { Some(x) })
+        .ok_or(BinCsrError::TooLarge { field: "payload", value: u64::MAX })?;
+
+    let payload = read_payload(reader, payload_len)?;
+    let mut payload_hash = Fnv64::new();
+    payload_hash.update(&payload);
+    let computed = payload_hash.finish();
+    if computed != payload_checksum {
+        return Err(BinCsrError::PayloadChecksum { stored: payload_checksum, computed });
+    }
+
+    // Checksums passed: the bytes are what the writer produced (or a
+    // collision-grade forgery); structural validation now guards against
+    // writers that were themselves handed garbage.
+    let n_usize = usize::try_from(n)
+        .ok()
+        .and_then(|x| x.checked_add(1).map(|_| x))
+        .ok_or(BinCsrError::TooLarge { field: "num_vertices", value: n })?;
+    let arcs_usize =
+        usize::try_from(arcs).map_err(|_| BinCsrError::TooLarge { field: "num_arcs", value: arcs })?;
+    let edges_usize = usize::try_from(edges)
+        .map_err(|_| BinCsrError::TooLarge { field: "num_edges", value: edges })?;
+    let vertex_bound = u32::try_from(n).map_err(|_| BinCsrError::Inconsistent {
+        message: format!("num_vertices {n} exceeds the u32 vertex-id space"),
+    })?;
+
+    let mut cursor = payload.as_slice();
+    let mut take = |len: usize| -> &[u8] {
+        let (head, tail) = cursor.split_at(len.min(cursor.len()));
+        cursor = tail;
+        head
+    };
+
+    let mut offsets: Vec<usize> = Vec::with_capacity(n_usize + 1);
+    let mut prev = 0u64;
+    for (i, raw) in take(
+        (n_usize + 1).saturating_mul(8),
+    )
+    .chunks_exact(8)
+    .enumerate()
+    {
+        let off = le_u64(raw);
+        if off < prev {
+            return Err(BinCsrError::Inconsistent {
+                message: format!("offsets not monotone at vertex {i}: {off} < {prev}"),
+            });
+        }
+        prev = off;
+        let off = usize::try_from(off)
+            .map_err(|_| BinCsrError::TooLarge { field: "offset", value: off })?;
+        offsets.push(off);
+    }
+    if offsets.len() != n_usize + 1 {
+        return Err(BinCsrError::Inconsistent {
+            message: format!("expected {} offsets, payload holds {}", n_usize + 1, offsets.len()),
+        });
+    }
+    if offsets.first().copied() != Some(0) {
+        return Err(BinCsrError::Inconsistent {
+            message: "offsets must start at 0".to_string(),
+        });
+    }
+    if offsets.last().copied() != Some(arcs_usize) {
+        return Err(BinCsrError::Inconsistent {
+            message: format!(
+                "final offset {} disagrees with num_arcs {}",
+                offsets.last().copied().unwrap_or(0),
+                arcs_usize
+            ),
+        });
+    }
+
+    let mut targets: Vec<u32> = Vec::with_capacity(arcs_usize.min(MAX_TRUSTED_RESERVE));
+    for raw in take(arcs_usize.saturating_mul(4)).chunks_exact(4) {
+        let t = le_u32(raw);
+        if t >= vertex_bound {
+            return Err(BinCsrError::Inconsistent {
+                message: format!("target {t} out of range for {n} vertices"),
+            });
+        }
+        targets.push(t);
+    }
+    if targets.len() != arcs_usize {
+        return Err(BinCsrError::Inconsistent {
+            message: format!("expected {arcs_usize} targets, payload holds {}", targets.len()),
+        });
+    }
+
+    let weights = if weighted {
+        let mut ws: Vec<f64> = Vec::with_capacity(arcs_usize.min(MAX_TRUSTED_RESERVE));
+        for raw in take(arcs_usize.saturating_mul(8)).chunks_exact(8) {
+            let w = f64::from_bits(le_u64(raw));
+            if !w.is_finite() || w < 0.0 {
+                return Err(BinCsrError::Inconsistent {
+                    message: format!("weight {w} must be finite and non-negative"),
+                });
+            }
+            ws.push(w);
+        }
+        if ws.len() != arcs_usize {
+            return Err(BinCsrError::Inconsistent {
+                message: format!("expected {arcs_usize} weights, payload holds {}", ws.len()),
+            });
+        }
+        Some(ws)
+    } else {
+        None
+    };
+
+    // Logical-vs-stored edge accounting: a directed graph stores each edge
+    // as one arc; an undirected graph stores non-loop edges twice and self
+    // loops once, so `m <= arcs <= 2m`.
+    let plausible = if directed {
+        edges_usize == arcs_usize
+    } else {
+        edges_usize <= arcs_usize && arcs_usize <= edges_usize.saturating_mul(2)
+    };
+    if !plausible {
+        return Err(BinCsrError::Inconsistent {
+            message: format!(
+                "num_edges {edges_usize} impossible for {arcs_usize} stored arcs \
+                 (directed: {directed})"
+            ),
+        });
+    }
+
+    Ok(Csr::from_raw_parts(offsets, targets, weights, edges_usize, directed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> Csr {
+        GraphBuilder::undirected(5)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        let h = read_binary_csr(&mut buf.as_slice()).unwrap();
+        assert_eq!(g, h);
+        let mut buf2 = Vec::new();
+        write_binary_csr(&h, &mut buf2).unwrap();
+        assert_eq!(buf, buf2, "write→read→write must be byte-stable");
+    }
+
+    #[test]
+    fn digest_matches_identity_semantics() {
+        let g = sample();
+        let h = GraphBuilder::undirected(5)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+            .build()
+            .unwrap();
+        assert_eq!(csr_digest(&g), csr_digest(&h), "equal graphs share a digest");
+        let k = GraphBuilder::undirected(5).edges([(0, 1), (1, 2)]).build().unwrap();
+        assert_ne!(csr_digest(&g), csr_digest(&k), "different graphs differ");
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        for i in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[i] ^= 0x40;
+            let err = read_binary_csr(&mut corrupt.as_slice())
+                .expect_err(&format!("flip at byte {i} must be rejected"));
+            match err {
+                BinCsrError::BadMagic { .. }
+                | BinCsrError::UnsupportedVersion { .. }
+                | BinCsrError::HeaderChecksum { .. }
+                | BinCsrError::PayloadChecksum { .. }
+                | BinCsrError::Truncated { .. } => {}
+                other => panic!("flip at byte {i}: unexpected error class {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        for len in [0, 7, HEADER_LEN - 1, HEADER_LEN, buf.len() - 1] {
+            let err = read_binary_csr(&mut &buf[..len]).unwrap_err();
+            assert!(
+                matches!(err, BinCsrError::Truncated { .. }),
+                "prefix of {len} bytes: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_giant_header_fails_without_huge_allocation() {
+        // A syntactically valid header (checksums recomputed) declaring a
+        // petabyte-scale payload must fail at EOF, not OOM.
+        let mut header = [0u8; HEADER_LEN];
+        header[0..8].copy_from_slice(&BINARY_CSR_MAGIC);
+        header[8..12].copy_from_slice(&BINARY_CSR_VERSION.to_le_bytes());
+        header[16..24].copy_from_slice(&(1u64 << 45).to_le_bytes()); // n
+        header[24..32].copy_from_slice(&(1u64 << 46).to_le_bytes()); // arcs
+        header[32..40].copy_from_slice(&(1u64 << 45).to_le_bytes()); // edges
+        let mut hash = Fnv64::new();
+        hash.update(&header[0..48]);
+        let checksum = hash.finish();
+        header[48..56].copy_from_slice(&checksum.to_le_bytes());
+        let err = read_binary_csr(&mut header.as_slice()).unwrap_err();
+        assert!(matches!(err, BinCsrError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn weighted_graphs_round_trip() {
+        let g = GraphBuilder::undirected(4)
+            .weighted_edges([(0u32, 1u32, 2.5f64), (1, 2, 0.25), (2, 3, 7.0)])
+            .build()
+            .unwrap();
+        assert!(g.is_weighted());
+        let mut buf = Vec::new();
+        write_binary_csr(&g, &mut buf).unwrap();
+        let h = read_binary_csr(&mut buf.as_slice()).unwrap();
+        assert_eq!(g, h);
+        assert_eq!(h.edge_weight(0, 1), Some(2.5));
+    }
+}

@@ -163,6 +163,13 @@ impl Csr {
         self.weights.is_some()
     }
 
+    /// The raw per-arc weight array in layout order, if weights are stored.
+    /// Used by the binary serializer, which needs the flat array rather
+    /// than per-vertex rows.
+    pub(crate) fn weights_raw(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
     /// Out-neighbors of `v` (all neighbors, for undirected graphs).
     ///
     /// # Panics

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod binfmt;
 mod builder;
 pub mod cast;
 mod coarsen;
@@ -46,6 +47,10 @@ pub mod recorded;
 mod stats;
 mod traversal;
 
+pub use binfmt::{
+    csr_digest, read_binary_csr, write_binary_csr, BinCsrError, BINARY_CSR_EXTENSION,
+    BINARY_CSR_MAGIC, BINARY_CSR_VERSION,
+};
 pub use builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
 pub use coarsen::{contract, contract_serial, Contraction};
 pub use components::{Components, UnionFind};

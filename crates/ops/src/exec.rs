@@ -1,0 +1,618 @@
+//! Execution: turning an [`OpRequest`] into an [`OpReport`].
+//!
+//! `execute` is the single implementation behind both frontends; the CLI
+//! calls it with the filesystem resolver and the compute-always
+//! permutation source, the daemon injects its corpus resolver and its
+//! permutation cache. Behavior (numbers, manifests, error strings) is
+//! identical by construction.
+
+use crate::error::OpError;
+use crate::report::{
+    FileVerdict, GapRow, MeasureReport, MeasureRow, MemsimReport, OpReport, ReorderReport,
+    StatsReport, ValidateReport,
+};
+use crate::request::OpRequest;
+use crate::schemes::{parse_scheme, scheme_seed};
+use crate::source::{read_graph_auto, ResolveGraph, ResolvedGraph};
+use reorderlab_core::measures::{gap_measures, GapMeasures};
+use reorderlab_core::Scheme;
+use reorderlab_graph::{Csr, GraphStats, Permutation};
+use reorderlab_trace::{Manifest, Recorder, RunRecorder};
+use std::fs::File;
+use std::io::BufReader;
+use std::sync::Arc;
+
+/// Where `reorder`/`measure` orderings come from.
+///
+/// The CLI always computes ([`ComputePerm`]); the daemon consults its
+/// permutation cache first and reports whether the request hit it.
+pub trait PermSource {
+    /// Produces the ordering `scheme` defines on `resolved`, together with
+    /// whether it came from a cache.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::Scheme`] when the scheme rejects the graph.
+    fn ordering(
+        &mut self,
+        resolved: &ResolvedGraph,
+        scheme: &Scheme,
+        rec: &mut RunRecorder,
+    ) -> Result<(Arc<Permutation>, bool), OpError>;
+}
+
+/// The cache-free permutation source: always runs the scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComputePerm;
+
+impl PermSource for ComputePerm {
+    fn ordering(
+        &mut self,
+        resolved: &ResolvedGraph,
+        scheme: &Scheme,
+        rec: &mut RunRecorder,
+    ) -> Result<(Arc<Permutation>, bool), OpError> {
+        let pi = scheme.try_reorder_recorded(&resolved.graph, rec).map_err(OpError::Scheme)?;
+        Ok((Arc::new(pi), false))
+    }
+}
+
+/// An executed operation: the report plus the artifacts a frontend may
+/// still need (the CLI writes `--out`/`--perm` files from these).
+#[derive(Debug, Clone)]
+pub struct OpOutcome {
+    /// The typed result.
+    pub report: OpReport,
+    /// The ordering a `reorder` produced.
+    pub permutation: Option<Arc<Permutation>>,
+    /// The resolved input graph of a `reorder` (for writing the permuted
+    /// graph out).
+    pub graph: Option<Arc<Csr>>,
+}
+
+impl OpOutcome {
+    fn report_only(report: OpReport) -> OpOutcome {
+        OpOutcome { report, permutation: None, graph: None }
+    }
+}
+
+/// Runs `f` under a worker-thread bound, like the CLI's global
+/// `--threads N`. Every kernel is thread-count invariant, so the bound
+/// only affects wall-clock time, never any output.
+///
+/// # Errors
+///
+/// [`OpError::Usage`] for a zero bound, [`OpError::Io`] when the pool
+/// cannot be built, plus whatever `f` returns.
+pub fn run_with_threads<T>(
+    threads: Option<usize>,
+    f: impl FnOnce() -> Result<T, OpError> + Send,
+) -> Result<T, OpError>
+where
+    T: Send,
+{
+    match threads {
+        None => f(),
+        Some(0) => Err(OpError::Usage("--threads must be at least 1".into())),
+        Some(t) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .map_err(|e| OpError::Io(format!("cannot build thread pool: {e}")))?;
+            pool.install(f)
+        }
+    }
+}
+
+/// Executes `request`, computing orderings from scratch.
+///
+/// # Errors
+///
+/// Any [`OpError`] the operation produces (resolution, scheme, I/O).
+pub fn execute(request: &OpRequest, resolver: &dyn ResolveGraph) -> Result<OpOutcome, OpError> {
+    execute_with(request, resolver, &mut ComputePerm)
+}
+
+/// Executes `request` with an injected permutation source (the daemon's
+/// cache).
+///
+/// # Errors
+///
+/// Any [`OpError`] the operation produces (resolution, scheme, I/O).
+pub fn execute_with(
+    request: &OpRequest,
+    resolver: &dyn ResolveGraph,
+    perms: &mut dyn PermSource,
+) -> Result<OpOutcome, OpError> {
+    match request {
+        OpRequest::Stats { source } => {
+            let resolved = resolver.resolve(source)?;
+            Ok(OpOutcome::report_only(OpReport::Stats(exec_stats(&resolved))))
+        }
+        OpRequest::Reorder { source, scheme, apply_perm, return_perm } => {
+            let resolved = resolver.resolve(source)?;
+            exec_reorder(&resolved, scheme.as_deref(), apply_perm.as_deref(), *return_perm, perms)
+        }
+        OpRequest::Measure { source, schemes } => {
+            let resolved = resolver.resolve(source)?;
+            Ok(OpOutcome::report_only(OpReport::Measure(exec_measure(
+                &resolved, schemes, perms,
+            )?)))
+        }
+        OpRequest::Validate { files } => {
+            Ok(OpOutcome::report_only(OpReport::Validate(exec_validate(files))))
+        }
+        OpRequest::Memsim { source, scheme, workload, kernel } => {
+            let resolved = resolver.resolve(source)?;
+            Ok(OpOutcome::report_only(OpReport::Memsim(exec_memsim(
+                &resolved,
+                scheme.as_deref(),
+                workload,
+                kernel.as_deref(),
+            )?)))
+        }
+    }
+}
+
+fn gap_row(m: &GapMeasures) -> GapRow {
+    GapRow {
+        avg_gap: m.avg_gap,
+        bandwidth: m.bandwidth,
+        avg_bandwidth: m.avg_bandwidth,
+        avg_log_gap: m.avg_log_gap,
+    }
+}
+
+fn exec_stats(resolved: &ResolvedGraph) -> StatsReport {
+    let g = &resolved.graph;
+    let mut rec = RunRecorder::new();
+    rec.span_enter("stats");
+    let s = GraphStats::compute(g);
+    rec.span_exit("stats");
+    let mut m = Manifest::new("stats", &resolved.id, g.num_vertices(), g.num_edges())
+        .with_seed(42)
+        .with_threads(rayon::current_num_threads());
+    m.absorb(&rec);
+    m.push_measure("max_degree", int_f64(s.max_degree));
+    m.push_measure("mean_degree", s.mean_degree);
+    m.push_measure("degree_std_dev", s.degree_std_dev);
+    m.push_measure("triangles", u64_f64(s.triangles));
+    m.push_measure("clustering_coefficient", s.clustering_coefficient);
+    StatsReport {
+        graph: resolved.id.clone(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        max_degree: s.max_degree,
+        mean_degree: s.mean_degree,
+        degree_std_dev: s.degree_std_dev,
+        triangles: s.triangles,
+        clustering_coefficient: s.clustering_coefficient,
+        manifest: m,
+    }
+}
+
+fn exec_reorder(
+    resolved: &ResolvedGraph,
+    scheme_spec: Option<&str>,
+    apply_perm: Option<&str>,
+    return_perm: bool,
+    perms: &mut dyn PermSource,
+) -> Result<OpOutcome, OpError> {
+    let g = Arc::clone(&resolved.graph);
+    let mut rec = RunRecorder::new();
+    let t0 = std::time::Instant::now();
+    // Either compute an ordering from a scheme, or apply a saved one.
+    let (pi, label, scheme, cache_hit) = if let Some(path) = apply_perm {
+        let file =
+            File::open(path).map_err(|e| OpError::Io(format!("cannot open {path}: {e}")))?;
+        let pi = Permutation::read_text(BufReader::new(file))
+            .map_err(|e| OpError::Parse(format!("failed to parse {path}: {e}")))?;
+        if pi.len() != g.num_vertices() {
+            return Err(OpError::Parse(format!(
+                "permutation covers {} vertices but the graph has {}",
+                pi.len(),
+                g.num_vertices()
+            )));
+        }
+        (Arc::new(pi), format!("perm file {path}"), None, false)
+    } else {
+        let spec = scheme_spec.ok_or_else(|| {
+            OpError::Usage("need --scheme NAME or --apply-perm FILE (see `reorderlab list`)".into())
+        })?;
+        let scheme = parse_scheme(spec)?;
+        let (pi, hit) = perms.ordering(resolved, &scheme, &mut rec)?;
+        (pi, scheme.name().to_string(), Some(scheme), hit)
+    };
+    let elapsed = t0.elapsed();
+    rec.span_enter("measure");
+    let before = gap_measures(&g, &Permutation::identity(g.num_vertices()));
+    let after = gap_measures(&g, &pi);
+    rec.span_exit("measure");
+    let mut m = Manifest::new("reorder", &resolved.id, g.num_vertices(), g.num_edges())
+        .with_seed(scheme.as_ref().map_or(42, scheme_seed))
+        .with_threads(rayon::current_num_threads());
+    if let Some(s) = &scheme {
+        m = m.with_scheme(s.name(), &s.spec());
+    } else {
+        m.push_note("source", &label);
+    }
+    m.absorb(&rec);
+    m.push_measure("reorder_wall_s", elapsed.as_secs_f64());
+    m.push_measure("avg_gap_before", before.avg_gap);
+    m.push_measure("avg_gap", after.avg_gap);
+    m.push_measure("bandwidth_before", f64::from(before.bandwidth));
+    m.push_measure("bandwidth", f64::from(after.bandwidth));
+    m.push_measure("avg_bandwidth_before", before.avg_bandwidth);
+    m.push_measure("avg_bandwidth", after.avg_bandwidth);
+    m.push_measure("avg_log_gap", after.avg_log_gap);
+    let permutation = if return_perm {
+        let mut buf = Vec::new();
+        pi.write_text(&mut buf).map_err(|e| OpError::Io(e.to_string()))?;
+        Some(String::from_utf8(buf).map_err(|e| OpError::Io(e.to_string()))?)
+    } else {
+        None
+    };
+    let report = ReorderReport {
+        graph: resolved.id.clone(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        label,
+        before: gap_row(&before),
+        after: gap_row(&after),
+        wall_s: elapsed.as_secs_f64(),
+        cache_hit,
+        manifest: m,
+        permutation,
+    };
+    Ok(OpOutcome {
+        report: OpReport::Reorder(report),
+        permutation: Some(pi),
+        graph: Some(g),
+    })
+}
+
+fn exec_measure(
+    resolved: &ResolvedGraph,
+    specs: &[String],
+    perms: &mut dyn PermSource,
+) -> Result<MeasureReport, OpError> {
+    let g = &resolved.graph;
+    // Parse every spec up front so a bad one fails the whole request
+    // before any scheme runs (matching the CLI).
+    let mut schemes: Vec<Scheme> = Vec::new();
+    for s in specs {
+        schemes.push(parse_scheme(s)?);
+    }
+    if schemes.is_empty() {
+        schemes = Scheme::evaluation_suite(42);
+    }
+    let mut rows = Vec::with_capacity(schemes.len());
+    for scheme in schemes {
+        let mut rec = RunRecorder::new();
+        let (pi, _) = perms.ordering(resolved, &scheme, &mut rec)?;
+        rec.span_enter("measure");
+        let m = gap_measures(g, &pi);
+        rec.span_exit("measure");
+        let mut man = Manifest::new("measure", &resolved.id, g.num_vertices(), g.num_edges())
+            .with_scheme(scheme.name(), &scheme.spec())
+            .with_seed(scheme_seed(&scheme))
+            .with_threads(rayon::current_num_threads());
+        man.absorb(&rec);
+        man.push_measure("avg_gap", m.avg_gap);
+        man.push_measure("bandwidth", f64::from(m.bandwidth));
+        man.push_measure("avg_bandwidth", m.avg_bandwidth);
+        man.push_measure("avg_log_gap", m.avg_log_gap);
+        rows.push(MeasureRow { scheme: scheme.name().to_string(), gaps: gap_row(&m), manifest: man });
+    }
+    Ok(MeasureReport {
+        graph: resolved.id.clone(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        rows,
+    })
+}
+
+/// The outcome of validating one input file.
+enum Verdict {
+    /// Parsed cleanly into a graph of this size.
+    Clean { vertices: usize, edges: usize },
+    /// The file could not be opened or read at all.
+    Unreadable(String),
+    /// The file opened but the reader rejected it; the message carries a
+    /// 1-based line number (`parse error at line N: …`).
+    Malformed(String),
+}
+
+/// Parses one file with the reader its extension selects (the same
+/// dispatch as [`read_graph_auto`]), without building anything downstream.
+fn validate_file(path: &str) -> Verdict {
+    match read_graph_auto(path) {
+        Ok(g) => Verdict::Clean { vertices: g.num_vertices(), edges: g.num_edges() },
+        // `read_graph_auto` wraps messages with the path for command
+        // errors; validate verdicts historically carry the bare reader
+        // message, so strip the prefix it added.
+        Err(OpError::Io(msg)) => Verdict::Unreadable(strip_prefix(&msg, &format!("cannot open {path}: "))),
+        Err(e) => Verdict::Malformed(strip_prefix(&e.to_string(), &format!("failed to parse {path}: "))),
+    }
+}
+
+fn strip_prefix(msg: &str, prefix: &str) -> String {
+    msg.strip_prefix(prefix).unwrap_or(msg).to_string()
+}
+
+fn exec_validate(files: &[String]) -> ValidateReport {
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let verdict = validate_file(path);
+        let (status, detail, vertices, edges) = match verdict {
+            Verdict::Clean { vertices, edges } => ("ok", None, vertices, edges),
+            Verdict::Unreadable(msg) => ("unreadable", Some(msg), 0, 0),
+            Verdict::Malformed(msg) => ("malformed", Some(msg), 0, 0),
+        };
+        let mut m = Manifest::new("validate", path, vertices, edges)
+            .with_seed(42)
+            .with_threads(rayon::current_num_threads());
+        m.push_note("status", status);
+        if let Some(msg) = &detail {
+            m.push_note("error", msg);
+        }
+        out.push(FileVerdict {
+            path: path.clone(),
+            status: status.to_string(),
+            detail,
+            vertices,
+            edges,
+            manifest: m,
+        });
+    }
+    ValidateReport { files: out }
+}
+
+fn exec_memsim(
+    resolved: &ResolvedGraph,
+    scheme_spec: Option<&str>,
+    workload: &str,
+    kernel: Option<&str>,
+) -> Result<MemsimReport, OpError> {
+    use reorderlab_memsim::{
+        replay_louvain_move, replay_pagerank_iteration, replay_rr_kernel, Hierarchy,
+        HierarchyConfig, LouvainReplayKernel, RrReplayKernel,
+    };
+
+    let g = &resolved.graph;
+    // Optional reordering pass first: replay the laid-out graph, keeping
+    // the original vertex labels so every layout walks the same logical
+    // traversal (matching the `bench snapshot` corpus semantics).
+    let (g, scheme_name, labels) = match scheme_spec {
+        Some(spec) => {
+            let scheme = parse_scheme(spec)?;
+            scheme
+                .validate(g.num_vertices())
+                .map_err(|e| OpError::Usage(format!("scheme {spec:?}: {e}")))?;
+            let pi = scheme.reorder(g);
+            let labels = pi.to_order();
+            let laid_out = g
+                .permuted(&pi)
+                .map_err(|e| OpError::Parse(format!("permutation rejected: {e}")))?;
+            (laid_out, scheme.name().to_string(), labels)
+        }
+        None => {
+            let labels = (0..u32::try_from(g.num_vertices()).unwrap_or(u32::MAX)).collect();
+            (Csr::clone(g), "Natural".to_string(), labels)
+        }
+    };
+
+    let mut hier = Hierarchy::new(HierarchyConfig::scaled_cascade_lake());
+    let kernel_name: String = match workload {
+        "louvain" => {
+            let k = match kernel.unwrap_or("flat") {
+                "flat" => LouvainReplayKernel::FlatScatter,
+                "blocked" => LouvainReplayKernel::Blocked,
+                "packed" => LouvainReplayKernel::Packed,
+                "hashmap" => LouvainReplayKernel::HashMap { map_slots: 4096 },
+                other => {
+                    return Err(OpError::Usage(format!(
+                        "unknown louvain kernel {other:?}; try flat|blocked|packed|hashmap"
+                    )))
+                }
+            };
+            replay_louvain_move(&g, k, &mut hier);
+            kernel.unwrap_or("flat").to_string()
+        }
+        "rr" => {
+            let k = match kernel.unwrap_or("classic") {
+                "classic" => RrReplayKernel::Classic,
+                "hubsplit" => RrReplayKernel::HubSplit,
+                other => {
+                    return Err(OpError::Usage(format!(
+                        "unknown rr kernel {other:?}; try classic|hubsplit"
+                    )))
+                }
+            };
+            // Snapshot-corpus parameters: p = 0.25, 64 sets, seed 7.
+            replay_rr_kernel(&g, &labels, 0.25, 64, 7, k, &mut hier);
+            kernel.unwrap_or("classic").to_string()
+        }
+        "pagerank" => {
+            if let Some(other) = kernel {
+                return Err(OpError::Usage(format!(
+                    "pagerank has a single pull kernel, got --kernel {other:?}"
+                )));
+            }
+            replay_pagerank_iteration(&g, &mut hier);
+            "pull".to_string()
+        }
+        other => {
+            return Err(OpError::Usage(format!(
+                "unknown workload {other:?}; try louvain|rr|pagerank"
+            )))
+        }
+    };
+
+    let r = hier.report();
+    Ok(MemsimReport {
+        graph: resolved.id.clone(),
+        scheme: scheme_name,
+        workload: workload.to_string(),
+        kernel: kernel_name,
+        loads: r.loads,
+        level_hits: r.level_hits.to_vec(),
+        avg_latency: r.avg_latency,
+        bound: r.bound.to_vec(),
+        l1_hit_rate: r.l1_hit_rate(),
+    })
+}
+
+/// `usize` → exact `f64` for manifest measures (counts stay below 2^53).
+fn int_f64(x: usize) -> f64 {
+    u64_f64(u64::try_from(x).unwrap_or(u64::MAX))
+}
+
+/// `u64` → exact `f64` without a lossy `as` cast.
+fn u64_f64(x: u64) -> f64 {
+    let high = u32::try_from(x >> 32).unwrap_or(u32::MAX);
+    let low = u32::try_from(x & 0xFFFF_FFFF).unwrap_or(u32::MAX);
+    f64::from(high) * 4_294_967_296.0 + f64::from(low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FsResolver, GraphSource};
+
+    fn instance(name: &str) -> GraphSource {
+        GraphSource::Instance(name.into())
+    }
+
+    #[test]
+    fn stats_matches_direct_computation() {
+        let req = OpRequest::Stats { source: instance("euroroad") };
+        let out = execute(&req, &FsResolver).unwrap();
+        let OpReport::Stats(s) = &out.report else { panic!("wrong report") };
+        let g = reorderlab_datasets::by_name("euroroad").unwrap().generate();
+        let direct = GraphStats::compute(&g);
+        assert_eq!(s.vertices, direct.num_vertices);
+        assert_eq!(s.edges, direct.num_edges);
+        assert_eq!(s.max_degree, direct.max_degree);
+        assert_eq!(s.triangles, direct.triangles);
+        assert_eq!(s.manifest.command, "stats");
+        assert_eq!(s.manifest.measure("triangles"), Some(u64_f64(direct.triangles)));
+    }
+
+    #[test]
+    fn reorder_produces_permutation_and_manifest() {
+        let req = OpRequest::Reorder {
+            source: instance("euroroad"),
+            scheme: Some("rcm".into()),
+            apply_perm: None,
+            return_perm: true,
+        };
+        let out = execute(&req, &FsResolver).unwrap();
+        let OpReport::Reorder(r) = &out.report else { panic!("wrong report") };
+        assert_eq!(r.label, "RCM");
+        assert!(!r.cache_hit);
+        assert!(r.after.bandwidth <= r.before.bandwidth);
+        let pi = out.permutation.as_ref().unwrap();
+        assert_eq!(pi.len(), r.vertices);
+        // The returned text form round-trips to the same permutation.
+        let text = r.permutation.as_ref().unwrap();
+        let parsed = Permutation::read_text(text.as_bytes()).unwrap();
+        assert_eq!(&parsed, pi.as_ref());
+    }
+
+    #[test]
+    fn reorder_without_scheme_or_perm_is_usage() {
+        let req = OpRequest::Reorder {
+            source: instance("euroroad"),
+            scheme: None,
+            apply_perm: None,
+            return_perm: false,
+        };
+        let err = execute(&req, &FsResolver).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--scheme"));
+    }
+
+    #[test]
+    fn measure_defaults_to_the_evaluation_suite() {
+        let req = OpRequest::Measure { source: instance("euroroad"), schemes: Vec::new() };
+        let out = execute(&req, &FsResolver).unwrap();
+        let OpReport::Measure(m) = &out.report else { panic!("wrong report") };
+        assert_eq!(m.rows.len(), Scheme::evaluation_suite(42).len());
+        for row in &m.rows {
+            assert_eq!(row.manifest.command, "measure");
+            assert_eq!(row.manifest.measure("avg_gap"), Some(row.gaps.avg_gap));
+        }
+    }
+
+    #[test]
+    fn executions_are_deterministic() {
+        let req = OpRequest::Measure {
+            source: instance("euroroad"),
+            schemes: vec!["rcm".into(), "dbg".into()],
+        };
+        let a = execute(&req, &FsResolver).unwrap();
+        let b = execute(&req, &FsResolver).unwrap();
+        let (OpReport::Measure(a), OpReport::Measure(b)) = (&a.report, &b.report) else {
+            panic!("wrong reports")
+        };
+        assert_eq!(a.render_text(), b.render_text());
+    }
+
+    #[test]
+    fn validate_reports_mixed_verdicts() {
+        let dir = std::env::temp_dir();
+        let ok = dir.join(format!("ops_exec_ok_{}.el", std::process::id()));
+        std::fs::write(&ok, "0 1\n1 2\n").unwrap();
+        let bad = dir.join(format!("ops_exec_bad_{}.mtx", std::process::id()));
+        std::fs::write(&bad, "garbage\n").unwrap();
+        let req = OpRequest::Validate {
+            files: vec![
+                ok.to_string_lossy().into_owned(),
+                bad.to_string_lossy().into_owned(),
+                "/nonexistent/x.el".into(),
+            ],
+        };
+        let out = execute(&req, &FsResolver).unwrap();
+        let OpReport::Validate(v) = &out.report else { panic!("wrong report") };
+        assert_eq!(v.files[0].status, "ok");
+        assert_eq!(v.files[1].status, "malformed");
+        assert_eq!(v.files[2].status, "unreadable");
+        // Malformed dominates unreadable in the overall verdict.
+        assert_eq!(v.overall().unwrap_err().exit_code(), 2);
+        let _ = std::fs::remove_file(&ok);
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn memsim_replays_deterministically() {
+        let req = OpRequest::Memsim {
+            source: instance("euroroad"),
+            scheme: Some("dbg".into()),
+            workload: "rr".into(),
+            kernel: Some("classic".into()),
+        };
+        let a = execute(&req, &FsResolver).unwrap();
+        let b = execute(&req, &FsResolver).unwrap();
+        let (OpReport::Memsim(a), OpReport::Memsim(b)) = (&a.report, &b.report) else {
+            panic!("wrong reports")
+        };
+        assert_eq!(a, b);
+        assert!(a.loads > 0);
+        assert_eq!(a.scheme, "DBG");
+    }
+
+    #[test]
+    fn thread_bound_never_changes_results() {
+        let req = OpRequest::Measure { source: instance("euroroad"), schemes: vec!["rcm".into()] };
+        let base = execute(&req, &FsResolver).unwrap();
+        let OpReport::Measure(base) = base.report else { panic!("wrong report") };
+        for t in [1usize, 2, 7] {
+            let out =
+                run_with_threads(Some(t), || execute(&req, &FsResolver)).unwrap();
+            let OpReport::Measure(m) = out.report else { panic!("wrong report") };
+            assert_eq!(m.render_text(), base.render_text(), "threads={t}");
+        }
+        assert!(run_with_threads(Some(0), || Ok(())).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Graph resolution: where an operation's input graph comes from.
+//!
+//! [`GraphSource`] names a graph in one of three ways — a file path, a
+//! named generator instance, or an entry of a preloaded corpus — and a
+//! [`ResolveGraph`] implementation turns the name into an in-memory
+//! [`Csr`]. The filesystem resolver here serves the CLI; the serve daemon
+//! supplies its own corpus-backed resolver so graphs parse once per
+//! process, not once per request.
+
+use crate::error::OpError;
+use reorderlab_datasets::by_name;
+use reorderlab_graph::{
+    read_binary_csr, read_edge_list, read_matrix_market, read_metis, write_binary_csr,
+    write_edge_list, write_matrix_market, write_metis, Csr,
+};
+use reorderlab_trace::Json;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
+
+/// Where an operation's input graph comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSource {
+    /// A file on disk; the reader is selected by extension (`.mtx` Matrix
+    /// Market, `.graph`/`.metis` METIS, `.csrbin` checksummed binary CSR,
+    /// anything else an edge list).
+    Path(String),
+    /// A named instance of the generated evaluation suite
+    /// (`reorderlab_datasets::by_name`).
+    Instance(String),
+    /// A named entry of a preloaded corpus (serve daemon only; the
+    /// filesystem resolver rejects it).
+    Corpus(String),
+}
+
+impl GraphSource {
+    /// The display identity used in reports and manifests: the path,
+    /// instance name, or corpus entry name.
+    pub fn id(&self) -> &str {
+        match self {
+            GraphSource::Path(s) | GraphSource::Instance(s) | GraphSource::Corpus(s) => s,
+        }
+    }
+
+    /// Wire form: `{"path": …}` / `{"instance": …}` / `{"corpus": …}`.
+    pub fn to_json(&self) -> Json {
+        let (key, value) = match self {
+            GraphSource::Path(s) => ("path", s),
+            GraphSource::Instance(s) => ("instance", s),
+            GraphSource::Corpus(s) => ("corpus", s),
+        };
+        Json::Obj(vec![(key.to_string(), Json::Str(value.clone()))])
+    }
+
+    /// Parses the wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::Parse`] unless the value is an object with exactly one of
+    /// the three recognized keys mapping to a string.
+    pub fn from_json(v: &Json) -> Result<GraphSource, OpError> {
+        let take = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+        match (take("path"), take("instance"), take("corpus")) {
+            (Some(p), None, None) => Ok(GraphSource::Path(p)),
+            (None, Some(i), None) => Ok(GraphSource::Instance(i)),
+            (None, None, Some(c)) => Ok(GraphSource::Corpus(c)),
+            _ => Err(OpError::Parse(
+                "graph source must be exactly one of {\"path\"|\"instance\"|\"corpus\": name}"
+                    .into(),
+            )),
+        }
+    }
+}
+
+/// A resolved graph plus the identity metadata operations report with.
+#[derive(Debug, Clone)]
+pub struct ResolvedGraph {
+    /// The graph itself, shared so resolvers can hand out corpus entries
+    /// without copying.
+    pub graph: Arc<Csr>,
+    /// Display identity (path, instance, or corpus entry name).
+    pub id: String,
+    /// Content digest when the resolver knows it (corpus entries compute it
+    /// at load time); `None` means "compute on demand if needed".
+    pub digest: Option<u64>,
+}
+
+/// Turns a [`GraphSource`] into an in-memory graph.
+pub trait ResolveGraph {
+    /// Resolves `source`.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError`] describing why the source cannot be resolved (missing
+    /// file, unknown instance, unsupported source kind, parse failure).
+    fn resolve(&self, source: &GraphSource) -> Result<ResolvedGraph, OpError>;
+}
+
+/// The CLI's resolver: paths from the filesystem, instances from the
+/// generator registry, no corpus.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsResolver;
+
+impl ResolveGraph for FsResolver {
+    fn resolve(&self, source: &GraphSource) -> Result<ResolvedGraph, OpError> {
+        match source {
+            GraphSource::Path(path) => {
+                let g = read_graph_auto(path)?;
+                Ok(ResolvedGraph { graph: Arc::new(g), id: path.clone(), digest: None })
+            }
+            GraphSource::Instance(name) => {
+                let spec = by_name(name).ok_or_else(|| {
+                    OpError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
+                })?;
+                Ok(ResolvedGraph {
+                    graph: Arc::new(spec.generate()),
+                    id: name.clone(),
+                    digest: None,
+                })
+            }
+            GraphSource::Corpus(name) => Err(OpError::Usage(format!(
+                "corpus entry {name:?} requires a serving daemon; use --input or --instance"
+            ))),
+        }
+    }
+}
+
+/// Reads a graph from `path`, selecting the format by extension: `.mtx`
+/// Matrix Market, `.graph`/`.metis` METIS, `.csrbin` checksummed binary
+/// CSR, anything else a whitespace edge list.
+///
+/// # Errors
+///
+/// [`OpError::Io`] when the file cannot be opened, [`OpError::Parse`] when
+/// it opens but is rejected by the selected reader.
+pub fn read_graph_auto(path: &str) -> Result<Csr, OpError> {
+    let file = File::open(path).map_err(|e| OpError::Io(format!("cannot open {path}: {e}")))?;
+    let mut reader = BufReader::new(file);
+    let parsed = if path.ends_with(".csrbin") {
+        read_binary_csr(&mut reader).map_err(|e| e.to_string())
+    } else if path.ends_with(".mtx") {
+        read_matrix_market(reader).map_err(|e| e.to_string())
+    } else if path.ends_with(".graph") || path.ends_with(".metis") {
+        read_metis(reader).map_err(|e| e.to_string())
+    } else {
+        read_edge_list(reader).map_err(|e| e.to_string())
+    };
+    parsed.map_err(|e| OpError::Parse(format!("failed to parse {path}: {e}")))
+}
+
+/// Writes `graph` to `path`, selecting the format by extension (same
+/// dispatch as [`read_graph_auto`]).
+///
+/// # Errors
+///
+/// [`OpError::Io`] when the file cannot be created or written.
+pub fn write_graph_auto(graph: &Csr, path: &str) -> Result<(), OpError> {
+    let file = File::create(path).map_err(|e| OpError::Io(format!("cannot create {path}: {e}")))?;
+    let mut writer = BufWriter::new(file);
+    let written = if path.ends_with(".csrbin") {
+        write_binary_csr(graph, &mut writer).map_err(|e| e.to_string())
+    } else if path.ends_with(".mtx") {
+        write_matrix_market(graph, &mut writer).map_err(|e| e.to_string())
+    } else if path.ends_with(".graph") || path.ends_with(".metis") {
+        write_metis(graph, &mut writer).map_err(|e| e.to_string())
+    } else {
+        write_edge_list(graph, &mut writer).map_err(|e| e.to_string())
+    };
+    written.map_err(|e| OpError::Io(format!("failed to write {path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reorderlab_graph::GraphBuilder;
+
+    #[test]
+    fn source_json_round_trips() {
+        for src in [
+            GraphSource::Path("g.mtx".into()),
+            GraphSource::Instance("euroroad".into()),
+            GraphSource::Corpus("orkut".into()),
+        ] {
+            let j = src.to_json();
+            assert_eq!(GraphSource::from_json(&j).unwrap(), src);
+        }
+        assert!(GraphSource::from_json(&Json::Obj(vec![])).is_err());
+        assert!(GraphSource::from_json(&Json::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn fs_resolver_rejects_corpus_sources() {
+        let err = FsResolver.resolve(&GraphSource::Corpus("x".into())).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("daemon"));
+    }
+
+    #[test]
+    fn extension_dispatch_round_trips_every_format() {
+        let g = GraphBuilder::undirected(4)
+            .edges([(0u32, 1u32), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        let dir = std::env::temp_dir();
+        for name in ["ops_rt.mtx", "ops_rt.graph", "ops_rt.el", "ops_rt.csrbin"] {
+            let path = dir.join(format!("{}_{name}", std::process::id()));
+            let path = path.to_string_lossy().to_string();
+            write_graph_auto(&g, &path).unwrap();
+            let h = read_graph_auto(&path).unwrap();
+            assert_eq!(h.num_vertices(), 4, "{name}");
+            assert_eq!(h.num_edges(), 3, "{name}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_and_garbage_is_parse() {
+        assert_eq!(read_graph_auto("/nonexistent/g.mtx").unwrap_err().exit_code(), 1);
+        let path = std::env::temp_dir().join(format!("ops_bad_{}.mtx", std::process::id()));
+        std::fs::write(&path, "not a matrix market file\n").unwrap();
+        let err = read_graph_auto(&path.to_string_lossy()).unwrap_err();
+        assert!(matches!(err, OpError::Parse(_)), "{err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

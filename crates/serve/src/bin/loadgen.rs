@@ -1,0 +1,117 @@
+//! `reorderlab-loadgen` — replay a zipf trace against a daemon.
+//!
+//! ```text
+//! reorderlab-loadgen --addr HOST:PORT --names A[,B...] [options]
+//! reorderlab-loadgen --self-host A[,B...] [options]
+//! ```
+//!
+//! `--self-host` starts an in-process daemon over the named generator
+//! instances, so a full benchmark needs no prior setup. Templates are
+//! reorder requests for every (graph, scheme) pair — ranked so the zipf
+//! head concentrates on the first pairs — plus one stats request per
+//! graph at the tail.
+
+#![forbid(unsafe_code)]
+
+use reorderlab_ops::args::flag_value;
+use reorderlab_ops::OpError;
+use reorderlab_serve::{run_loadgen, serve, Corpus, LoadgenConfig, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: reorderlab-loadgen (--addr HOST:PORT --names A[,B...] | --self-host A[,B...])
+  [--schemes S[,S...]] [--requests N] [--concurrency N] [--zipf S]
+  [--seed N] [--out FILE]";
+
+const DEFAULT_SCHEMES: &str = "rcm,dbg,degree,hubsort";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("reorderlab-loadgen: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn csv(s: &str) -> Vec<String> {
+    s.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, OpError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => {
+            v.parse::<T>().map_err(|_| OpError::Usage(format!("{flag}: cannot parse {v:?}")))
+        }
+    }
+}
+
+fn templates_for(names: &[String], schemes: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in names {
+        for scheme in schemes {
+            out.push(format!(
+                "{{\"op\":\"reorder\",\"source\":{{\"corpus\":{name:?}}},\"scheme\":{scheme:?}}}"
+            ));
+        }
+    }
+    for name in names {
+        out.push(format!("{{\"op\":\"stats\",\"source\":{{\"corpus\":{name:?}}}}}"));
+    }
+    out
+}
+
+fn run(args: &[String]) -> Result<(), OpError> {
+    let self_host = flag_value(args, "--self-host");
+    let (addr, names, _handle) = match (&self_host, flag_value(args, "--addr")) {
+        (Some(list), _) => {
+            let names = csv(list);
+            let mut corpus = Corpus::new();
+            for name in &names {
+                let spec = reorderlab_datasets::by_name(name).ok_or_else(|| {
+                    OpError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
+                })?;
+                corpus.insert(name, spec.generate());
+            }
+            let handle = serve(Arc::new(corpus), ServerConfig::default())?;
+            (handle.addr().to_string(), names, Some(handle))
+        }
+        (None, Some(addr)) => {
+            let names = csv(&flag_value(args, "--names").ok_or_else(|| {
+                OpError::Usage(format!("--addr needs --names A[,B...]\n{USAGE}"))
+            })?);
+            (addr, names, None)
+        }
+        (None, None) => return Err(OpError::Usage(USAGE.into())),
+    };
+    if names.is_empty() {
+        return Err(OpError::Usage("no graph names given".into()));
+    }
+    let schemes = csv(&flag_value(args, "--schemes").unwrap_or_else(|| DEFAULT_SCHEMES.into()));
+    let templates = templates_for(&names, &schemes);
+    let config = LoadgenConfig {
+        requests: parse_num(args, "--requests", 200usize)?,
+        concurrency: parse_num(args, "--concurrency", 4usize)?,
+        zipf_s: parse_num(args, "--zipf", 1.1f64)?,
+        seed: parse_num(args, "--seed", 42u64)?,
+    };
+    let report = run_loadgen(&addr, &templates, &config)?;
+    let text = report.render_text(templates.len(), &config);
+    println!("{text}");
+    if let Some(path) = flag_value(args, "--out") {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| OpError::Io(format!("cannot create {}: {e}", parent.display())))?;
+            }
+        }
+        let mut file = std::fs::File::create(&path)
+            .map_err(|e| OpError::Io(format!("cannot create {path}: {e}")))?;
+        writeln!(file, "{text}").map_err(|e| OpError::Io(format!("failed to write {path}: {e}")))?;
+    }
+    Ok(())
+}

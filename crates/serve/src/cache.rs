@@ -1,0 +1,246 @@
+//! The permutation cache.
+//!
+//! Keyed by `(graph digest, canonical scheme spec)`: the digest pins the
+//! exact graph bytes (`reorderlab_graph::csr_digest`), and
+//! `Scheme::spec()` is the canonical rendering of a parsed spec, so
+//! `metis:64` and `metis:parts=64,seed=42` share one entry. Eviction is
+//! FIFO under a fixed capacity — the zipf-skewed traces this daemon
+//! serves keep hot entries resident regardless of eviction discipline,
+//! and FIFO needs no per-hit bookkeeping.
+
+use reorderlab_core::Scheme;
+use reorderlab_graph::Permutation;
+use reorderlab_ops::{OpError, PermSource, ResolvedGraph};
+use reorderlab_trace::RunRecorder;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Recover from a poisoned lock: every critical section here leaves the
+/// map and FIFO consistent at every await-free step, so the data is
+/// usable even if a panicking thread held the guard.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+type CacheKey = (u64, String);
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: BTreeMap<CacheKey, Arc<Permutation>>,
+    fifo: VecDeque<CacheKey>,
+}
+
+/// A bounded, thread-safe permutation cache.
+#[derive(Debug)]
+pub struct PermCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PermCache {
+    /// A cache holding at most `capacity` permutations (0 disables
+    /// caching but keeps the counters).
+    pub fn new(capacity: usize) -> PermCache {
+        PermCache {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `(digest, scheme)`, computing and inserting on a miss.
+    /// Returns the ordering and whether it was a hit.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::Scheme`] when the scheme rejects the graph (failures
+    /// are not cached).
+    pub fn get_or_compute(
+        &self,
+        digest: u64,
+        scheme: &Scheme,
+        resolved: &ResolvedGraph,
+        rec: &mut RunRecorder,
+    ) -> Result<(Arc<Permutation>, bool), OpError> {
+        let key = (digest, scheme.spec());
+        if let Some(pi) = lock(&self.inner).map.get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((pi, true));
+        }
+        // Compute outside the lock: a slow scheme must not serialize the
+        // whole cache. Two racing misses may both compute; the second
+        // insert is a no-op.
+        let pi = scheme
+            .try_reorder_recorded(&resolved.graph, rec)
+            .map_err(OpError::Scheme)?;
+        let pi = Arc::new(pi);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if self.capacity > 0 {
+            let mut inner = lock(&self.inner);
+            if !inner.map.contains_key(&key) {
+                inner.map.insert(key.clone(), Arc::clone(&pi));
+                inner.fifo.push_back(key);
+                while inner.map.len() > self.capacity {
+                    if let Some(old) = inner.fifo.pop_front() {
+                        inner.map.remove(&old);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok((pi, false))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`PermSource`] backed by a [`PermCache`]: resolved graphs that carry
+/// a digest are served from (and fill) the cache; digest-less graphs are
+/// computed fresh.
+#[derive(Debug, Clone)]
+pub struct CachingPerms {
+    cache: Arc<PermCache>,
+}
+
+impl CachingPerms {
+    /// Wraps a shared cache.
+    pub fn new(cache: Arc<PermCache>) -> CachingPerms {
+        CachingPerms { cache }
+    }
+}
+
+impl PermSource for CachingPerms {
+    fn ordering(
+        &mut self,
+        resolved: &ResolvedGraph,
+        scheme: &Scheme,
+        rec: &mut RunRecorder,
+    ) -> Result<(Arc<Permutation>, bool), OpError> {
+        match resolved.digest {
+            Some(digest) => self.cache.get_or_compute(digest, scheme, resolved, rec),
+            None => {
+                let pi = scheme
+                    .try_reorder_recorded(&resolved.graph, rec)
+                    .map_err(OpError::Scheme)?;
+                self.cache.misses.fetch_add(1, Ordering::Relaxed);
+                Ok((Arc::new(pi), false))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reorderlab_graph::csr_digest;
+
+    fn resolved(name: &str) -> ResolvedGraph {
+        let g = reorderlab_datasets::by_name(name).unwrap().generate();
+        let digest = csr_digest(&g);
+        ResolvedGraph { graph: Arc::new(g), id: name.into(), digest: Some(digest) }
+    }
+
+    fn scheme(spec: &str) -> Scheme {
+        Scheme::parse(spec).unwrap()
+    }
+
+    #[test]
+    fn repeat_requests_hit() {
+        let cache = PermCache::new(8);
+        let r = resolved("euroroad");
+        let mut rec = RunRecorder::new();
+        let (a, hit_a) =
+            cache.get_or_compute(r.digest.unwrap(), &scheme("rcm"), &r, &mut rec).unwrap();
+        let (b, hit_b) =
+            cache.get_or_compute(r.digest.unwrap(), &scheme("rcm"), &r, &mut rec).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert_eq!(a.as_ref(), b.as_ref());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn spec_canonicalization_shares_entries() {
+        let cache = PermCache::new(8);
+        let r = resolved("euroroad");
+        let mut rec = RunRecorder::new();
+        let d = r.digest.unwrap();
+        cache.get_or_compute(d, &scheme("metis:64"), &r, &mut rec).unwrap();
+        let (_, hit) = cache
+            .get_or_compute(d, &scheme("metis:parts=64,seed=42"), &r, &mut rec)
+            .unwrap();
+        assert!(hit, "positional and keyword spellings must share a cache entry");
+    }
+
+    #[test]
+    fn distinct_graphs_do_not_collide() {
+        let cache = PermCache::new(8);
+        let a = resolved("euroroad");
+        let b = resolved("rovira");
+        assert_ne!(a.digest, b.digest);
+        let mut rec = RunRecorder::new();
+        let (pa, _) = cache.get_or_compute(a.digest.unwrap(), &scheme("rcm"), &a, &mut rec).unwrap();
+        let (pb, _) = cache.get_or_compute(b.digest.unwrap(), &scheme("rcm"), &b, &mut rec).unwrap();
+        assert_ne!(pa.len(), pb.len());
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn fifo_eviction_is_bounded() {
+        let cache = PermCache::new(2);
+        let r = resolved("euroroad");
+        let d = r.digest.unwrap();
+        let mut rec = RunRecorder::new();
+        for spec in ["rcm", "dbg", "degree"] {
+            cache.get_or_compute(d, &scheme(spec), &r, &mut rec).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // The oldest entry (rcm) was evicted; re-requesting it misses.
+        let (_, hit) = cache.get_or_compute(d, &scheme("rcm"), &r, &mut rec).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage_but_counts() {
+        let cache = PermCache::new(0);
+        let r = resolved("euroroad");
+        let d = r.digest.unwrap();
+        let mut rec = RunRecorder::new();
+        cache.get_or_compute(d, &scheme("rcm"), &r, &mut rec).unwrap();
+        cache.get_or_compute(d, &scheme("rcm"), &r, &mut rec).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 2);
+    }
+}

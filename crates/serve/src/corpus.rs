@@ -1,0 +1,225 @@
+//! The daemon's preloaded graph corpus.
+//!
+//! A corpus is a directory of checksummed binary CSR files (`*.csrbin`,
+//! see `reorderlab_graph::read_binary_csr`). The daemon loads every entry
+//! once at startup — parse cost is paid per process, not per request —
+//! and remembers each graph's content digest, which keys the permutation
+//! cache.
+
+use reorderlab_datasets::by_name;
+use reorderlab_graph::{csr_digest, read_binary_csr, write_binary_csr, Csr, BINARY_CSR_EXTENSION};
+use reorderlab_ops::{OpError, GraphSource, ResolveGraph, ResolvedGraph};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::sync::Arc;
+
+/// One loaded corpus graph.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The graph, shared with every request that names it.
+    pub graph: Arc<Csr>,
+    /// FNV-1a content digest (`reorderlab_graph::csr_digest`): the
+    /// graph half of every permutation-cache key.
+    pub digest: u64,
+}
+
+/// A named set of preloaded graphs.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    entries: BTreeMap<String, CorpusEntry>,
+}
+
+impl Corpus {
+    /// An empty corpus (requests can still name generator instances).
+    pub fn new() -> Corpus {
+        Corpus::default()
+    }
+
+    /// Loads every `*.csrbin` file under `dir`; the entry name is the
+    /// file stem.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::Io`] when the directory is unreadable,
+    /// [`OpError::Parse`] when any entry fails its checksum or structural
+    /// validation (a corrupt corpus never half-loads).
+    pub fn load_dir(dir: &Path) -> Result<Corpus, OpError> {
+        let mut corpus = Corpus::new();
+        let listing = std::fs::read_dir(dir)
+            .map_err(|e| OpError::Io(format!("cannot read corpus dir {}: {e}", dir.display())))?;
+        for entry in listing {
+            let entry =
+                entry.map_err(|e| OpError::Io(format!("cannot list {}: {e}", dir.display())))?;
+            let path = entry.path();
+            let is_corpus_file =
+                path.extension().map_or(false, |x| x == BINARY_CSR_EXTENSION);
+            if !is_corpus_file {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let file = File::open(&path)
+                .map_err(|e| OpError::Io(format!("cannot open {}: {e}", path.display())))?;
+            let graph = read_binary_csr(&mut BufReader::new(file))
+                .map_err(|e| OpError::Parse(format!("corpus entry {}: {e}", path.display())))?;
+            corpus.insert(stem, graph);
+        }
+        Ok(corpus)
+    }
+
+    /// Adds a graph under `name`, computing its digest.
+    pub fn insert(&mut self, name: &str, graph: Csr) {
+        let digest = csr_digest(&graph);
+        self.entries.insert(name.to_string(), CorpusEntry { graph: Arc::new(graph), digest });
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, name: &str) -> Option<&CorpusEntry> {
+        self.entries.get(name)
+    }
+
+    /// Entry names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Generates the named suite instances and writes them into `dir` as
+/// binary CSR corpus entries, returning `(name, digest)` per entry.
+///
+/// # Errors
+///
+/// [`OpError::Usage`] for an unknown instance name, [`OpError::Io`] when
+/// a file cannot be written.
+pub fn prepare_corpus(dir: &Path, instances: &[String]) -> Result<Vec<(String, u64)>, OpError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| OpError::Io(format!("cannot create corpus dir {}: {e}", dir.display())))?;
+    let mut out = Vec::with_capacity(instances.len());
+    for name in instances {
+        let spec = by_name(name).ok_or_else(|| {
+            OpError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
+        })?;
+        let g = spec.generate();
+        let path = dir.join(format!("{name}.{BINARY_CSR_EXTENSION}"));
+        let file = File::create(&path)
+            .map_err(|e| OpError::Io(format!("cannot create {}: {e}", path.display())))?;
+        let mut writer = BufWriter::new(file);
+        write_binary_csr(&g, &mut writer)
+            .map_err(|e| OpError::Io(format!("failed to write {}: {e}", path.display())))?;
+        out.push((name.clone(), csr_digest(&g)));
+    }
+    Ok(out)
+}
+
+/// The daemon's resolver: corpus entries from memory, generator instances
+/// on demand (with digests, so both are cacheable), client file paths
+/// rejected — the daemon never reads caller-named files.
+#[derive(Debug, Clone)]
+pub struct CorpusResolver {
+    corpus: Arc<Corpus>,
+}
+
+impl CorpusResolver {
+    /// Wraps a loaded corpus.
+    pub fn new(corpus: Arc<Corpus>) -> CorpusResolver {
+        CorpusResolver { corpus }
+    }
+}
+
+impl ResolveGraph for CorpusResolver {
+    fn resolve(&self, source: &GraphSource) -> Result<ResolvedGraph, OpError> {
+        match source {
+            GraphSource::Corpus(name) => {
+                let entry = self.corpus.get(name).ok_or_else(|| {
+                    OpError::Usage(format!(
+                        "unknown corpus entry {name:?}; loaded: {}",
+                        self.corpus.names().join(", ")
+                    ))
+                })?;
+                Ok(ResolvedGraph {
+                    graph: Arc::clone(&entry.graph),
+                    id: name.clone(),
+                    digest: Some(entry.digest),
+                })
+            }
+            GraphSource::Instance(name) => {
+                let spec = by_name(name).ok_or_else(|| {
+                    OpError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
+                })?;
+                let g = spec.generate();
+                let digest = csr_digest(&g);
+                Ok(ResolvedGraph { graph: Arc::new(g), id: name.clone(), digest: Some(digest) })
+            }
+            GraphSource::Path(path) => Err(OpError::Usage(format!(
+                "the daemon does not read client paths ({path:?}); use a corpus or instance source"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("serve_corpus_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn prepare_then_load_round_trips_digests() {
+        let dir = tmp_dir("rt");
+        let made = prepare_corpus(&dir, &["euroroad".into(), "rovira".into()]).unwrap();
+        assert_eq!(made.len(), 2);
+        let corpus = Corpus::load_dir(&dir).unwrap();
+        assert_eq!(corpus.names(), vec!["euroroad", "rovira"]);
+        for (name, digest) in &made {
+            assert_eq!(corpus.get(name).unwrap().digest, *digest, "{name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_fail_to_load_with_typed_errors() {
+        let dir = tmp_dir("bad");
+        prepare_corpus(&dir, &["euroroad".into()]).unwrap();
+        let path = dir.join("euroroad.csrbin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Corpus::load_dir(&dir).unwrap_err();
+        assert!(matches!(err, OpError::Parse(_)), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolver_rules() {
+        let mut corpus = Corpus::new();
+        corpus.insert("tiny", reorderlab_datasets::by_name("euroroad").unwrap().generate());
+        let r = CorpusResolver::new(Arc::new(corpus));
+        let hit = r.resolve(&GraphSource::Corpus("tiny".into())).unwrap();
+        assert!(hit.digest.is_some());
+        assert_eq!(hit.id, "tiny");
+        let inst = r.resolve(&GraphSource::Instance("euroroad".into())).unwrap();
+        // Same generated content → same digest: instance and corpus
+        // requests share cache entries.
+        assert_eq!(inst.digest, hit.digest);
+        assert!(r.resolve(&GraphSource::Corpus("nope".into())).is_err());
+        assert!(r.resolve(&GraphSource::Path("/etc/passwd".into())).is_err());
+    }
+}

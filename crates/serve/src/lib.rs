@@ -1,0 +1,41 @@
+//! Reorder-as-a-service: a long-lived daemon that executes the typed
+//! operations API from `reorderlab-ops` over JSON Lines on TCP.
+//!
+//! The daemon preloads a [`Corpus`] of checksummed binary CSR graphs,
+//! shards requests across bounded worker queues (full queues *shed* with
+//! a typed overload response), coalesces identical in-flight requests,
+//! and memoizes orderings in a [`PermCache`] keyed by `(graph digest,
+//! canonical scheme spec)`. Every executed request can be audited via an
+//! append-only manifest log. The [`loadgen`] module replays
+//! zipf-distributed traces against a running daemon and reports latency
+//! percentiles, throughput, and cache behavior.
+//!
+//! Start a daemon in-process:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use reorderlab_serve::{serve, Corpus, ServerConfig};
+//!
+//! let mut corpus = Corpus::new();
+//! corpus.insert("tiny", reorderlab_datasets::by_name("euroroad").unwrap().generate());
+//! let mut handle = serve(Arc::new(corpus), ServerConfig::default()).unwrap();
+//! assert!(handle.addr().port() != 0);
+//! handle.stop();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod corpus;
+pub mod loadgen;
+mod proto;
+mod server;
+
+pub use cache::{CachingPerms, PermCache};
+pub use corpus::{prepare_corpus, Corpus, CorpusEntry, CorpusResolver};
+pub use loadgen::{run_loadgen, zipf_trace, LoadReport, LoadgenConfig};
+pub use proto::{
+    error_response, ok_response, parse_control, shed_response, Control, Response, STATUS_SHED,
+};
+pub use server::{serve, Engine, ServeStats, ServerConfig, ServerHandle, SubmitResult};

@@ -1,0 +1,326 @@
+//! The load generator: replays a zipf-distributed request trace against a
+//! running daemon and reports latency, throughput, and cache behavior.
+//!
+//! Real reorder-service traffic is skewed — a few popular (graph, scheme)
+//! pairs dominate — so the trace draws request templates from a zipf
+//! distribution: template rank `i` (0-based) is drawn with probability
+//! proportional to `1 / (i + 1)^s`. With `s = 0` the trace is uniform.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reorderlab_ops::OpError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Trace shape and replay knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total requests to send across all client threads.
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Zipf exponent over template ranks (0 = uniform).
+    pub zipf_s: f64,
+    /// Trace RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig { requests: 200, concurrency: 4, zipf_s: 1.1, seed: 42 }
+    }
+}
+
+/// Draws `total` template indices from a zipf distribution over
+/// `templates` ranks (template 0 is the most popular).
+pub fn zipf_trace(templates: usize, total: usize, s: f64, seed: u64) -> Vec<usize> {
+    if templates == 0 || total == 0 {
+        return Vec::new();
+    }
+    // Cumulative distribution by CDF inversion; ranks are 1-based inside
+    // the weight formula.
+    let mut cdf = Vec::with_capacity(templates);
+    let mut acc = 0.0f64;
+    for rank in 0..templates {
+        acc += 1.0 / ((rank + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let norm = acc;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Vec::with_capacity(total);
+    for _ in 0..total {
+        let u: f64 = rng.gen::<f64>() * norm;
+        let idx = cdf.partition_point(|&c| c < u).min(templates - 1);
+        trace.push(idx);
+    }
+    trace
+}
+
+/// What one replay run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub total: usize,
+    /// `status:"ok"` responses.
+    pub ok: usize,
+    /// Error responses (any non-ok, non-shed status).
+    pub errors: usize,
+    /// `status:"shed"` responses.
+    pub shed: usize,
+    /// Wall-clock seconds for the whole replay.
+    pub wall_s: f64,
+    /// Requests per second (completed / wall).
+    pub throughput: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Daemon permutation-cache hits at the end of the run.
+    pub cache_hits: u64,
+    /// Daemon permutation-cache misses at the end of the run.
+    pub cache_misses: u64,
+    /// Requests coalesced onto identical in-flight computations.
+    pub coalesced: u64,
+}
+
+impl LoadReport {
+    /// Permutation-cache hit rate over the run, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// The human-readable replay summary (what lands in
+    /// `results/serve_loadgen.txt`).
+    pub fn render_text(&self, templates: usize, config: &LoadgenConfig) -> String {
+        let mut out = String::new();
+        out.push_str("reorderlab-serve loadgen\n");
+        out.push_str(&format!(
+            "trace: {} requests over {} templates, zipf s={}, seed={}, {} client thread(s)\n",
+            self.total, templates, config.zipf_s, config.seed, config.concurrency
+        ));
+        out.push_str(&format!(
+            "outcome: {} ok, {} errors, {} shed in {:.3}s\n",
+            self.ok, self.errors, self.shed, self.wall_s
+        ));
+        out.push_str(&format!("throughput: {:.1} req/s\n", self.throughput));
+        out.push_str(&format!(
+            "latency: p50 {:.2} ms, p99 {:.2} ms\n",
+            self.p50_ms, self.p99_ms
+        ));
+        out.push_str(&format!(
+            "perm cache: {} hits, {} misses, hit rate {:.1}%, {} coalesced",
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0,
+            self.coalesced
+        ));
+        out
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0) * (sorted_ms.len() - 1) as f64;
+    let idx = rank.round().max(0.0);
+    let idx = usize::try_from(idx as u64).unwrap_or(0).min(sorted_ms.len() - 1);
+    sorted_ms[idx]
+}
+
+/// One blocking request/response exchange on an open connection.
+///
+/// # Errors
+///
+/// [`OpError::Io`] when the connection drops mid-exchange.
+pub fn exchange(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<String, OpError> {
+    writeln!(writer, "{line}").map_err(|e| OpError::Io(format!("send failed: {e}")))?;
+    writer.flush().map_err(|e| OpError::Io(format!("send failed: {e}")))?;
+    let mut resp = String::new();
+    let n = reader
+        .read_line(&mut resp)
+        .map_err(|e| OpError::Io(format!("receive failed: {e}")))?;
+    if n == 0 {
+        return Err(OpError::Io("daemon closed the connection".into()));
+    }
+    Ok(resp.trim_end().to_string())
+}
+
+fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), OpError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| OpError::Io(format!("cannot connect to {addr}: {e}")))?;
+    // One small JSON line per exchange: without TCP_NODELAY the
+    // Nagle/delayed-ACK interaction puts a ~40-90ms floor under every
+    // request.
+    let _ = stream.set_nodelay(true);
+    let reading = stream
+        .try_clone()
+        .map_err(|e| OpError::Io(format!("cannot clone connection: {e}")))?;
+    Ok((stream, BufReader::new(reading)))
+}
+
+fn status_of(resp: &str) -> &'static str {
+    // Responses are single-line JSON objects with "status" first; a
+    // substring probe avoids re-parsing on the hot path.
+    if resp.contains("\"status\":\"ok\"") {
+        "ok"
+    } else if resp.contains("\"status\":\"shed\"") {
+        "shed"
+    } else {
+        "error"
+    }
+}
+
+/// Replays a zipf trace over `templates` (request lines) against the
+/// daemon at `addr` and gathers the report.
+///
+/// # Errors
+///
+/// [`OpError::Usage`] when no templates are given, [`OpError::Io`] when
+/// the daemon is unreachable or the final stats probe fails.
+pub fn run_loadgen(
+    addr: &str,
+    templates: &[String],
+    config: &LoadgenConfig,
+) -> Result<LoadReport, OpError> {
+    if templates.is_empty() {
+        return Err(OpError::Usage("loadgen needs at least one request template".into()));
+    }
+    let trace = Arc::new(zipf_trace(templates.len(), config.requests, config.zipf_s, config.seed));
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let ok = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(config.requests)));
+    let templates_arc: Arc<Vec<String>> = Arc::new(templates.to_vec());
+
+    let t0 = Instant::now();
+    let mut joins = Vec::with_capacity(config.concurrency.max(1));
+    for worker in 0..config.concurrency.max(1) {
+        let addr = addr.to_string();
+        let trace = Arc::clone(&trace);
+        let cursor = Arc::clone(&cursor);
+        let ok = Arc::clone(&ok);
+        let errors = Arc::clone(&errors);
+        let shed = Arc::clone(&shed);
+        let latencies = Arc::clone(&latencies);
+        let templates = Arc::clone(&templates_arc);
+        let handle = std::thread::Builder::new()
+            .name(format!("loadgen-{worker}"))
+            .spawn(move || -> Result<(), OpError> {
+                let (mut writer, mut reader) = connect(&addr)?;
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= trace.len() {
+                        break;
+                    }
+                    let line = &templates[trace[i]];
+                    let rt0 = Instant::now();
+                    let resp = exchange(&mut writer, &mut reader, line)?;
+                    local.push(rt0.elapsed().as_secs_f64() * 1000.0);
+                    match status_of(&resp) {
+                        "ok" => ok.fetch_add(1, Ordering::Relaxed),
+                        "shed" => shed.fetch_add(1, Ordering::Relaxed),
+                        _ => errors.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+                latencies
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .extend(local);
+                Ok(())
+            })
+            .map_err(|e| OpError::Io(format!("cannot spawn loadgen thread: {e}")))?;
+        joins.push(handle);
+    }
+    for handle in joins {
+        match handle.join() {
+            Ok(result) => result?,
+            Err(_) => return Err(OpError::Io("loadgen thread panicked".into())),
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Final counters from the daemon itself.
+    let (mut writer, mut reader) = connect(addr)?;
+    let stats_line = exchange(&mut writer, &mut reader, "{\"control\":\"stats\"}")?;
+    let stats = reorderlab_trace::Json::parse(&stats_line)
+        .map_err(|e| OpError::Parse(format!("invalid stats response: {e}")))?;
+    let counter = |key: &str| -> u64 {
+        stats
+            .get(key)
+            .and_then(reorderlab_trace::Json::as_f64)
+            .map_or(0, |f| if f >= 0.0 { f as u64 } else { 0 })
+    };
+
+    let mut sorted = latencies.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let completed = sorted.len();
+    Ok(LoadReport {
+        total: completed,
+        ok: usize::try_from(ok.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
+        errors: usize::try_from(errors.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
+        shed: usize::try_from(shed.load(Ordering::Relaxed)).unwrap_or(usize::MAX),
+        wall_s,
+        throughput: if wall_s > 0.0 { completed as f64 / wall_s } else { 0.0 },
+        p50_ms: percentile(&sorted, 50.0),
+        p99_ms: percentile(&sorted, 99.0),
+        cache_hits: counter("cache_hits"),
+        cache_misses: counter("cache_misses"),
+        coalesced: counter("coalesced"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_trace_is_deterministic_and_skewed() {
+        let a = zipf_trace(8, 1000, 1.1, 42);
+        let b = zipf_trace(8, 1000, 1.1, 42);
+        assert_eq!(a, b);
+        let mut counts = vec![0usize; 8];
+        for &i in &a {
+            counts[i] += 1;
+        }
+        assert!(
+            counts[0] > counts[7] * 2,
+            "rank 0 should dominate rank 7: {counts:?}"
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let trace = zipf_trace(4, 4000, 0.0, 7);
+        let mut counts = vec![0usize; 4];
+        for &i in &trace {
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700, "roughly uniform expected: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn percentiles_pick_expected_ranks() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&sorted, 50.0) - 50.0).abs() <= 1.0);
+        assert!((percentile(&sorted, 99.0) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,651 @@
+//! The sharded execution engine and its TCP front door.
+//!
+//! Requests are routed by FNV hash of their canonical wire form onto one
+//! of `shards` single-worker queues, so identical requests serialize onto
+//! the same worker and the permutation cache sees them back-to-back. Each
+//! queue is bounded: when it is full the request is *shed* with a typed
+//! overload response instead of queueing without limit. Identical
+//! requests already in flight are *coalesced* — late arrivals wait on the
+//! first computation's cell instead of enqueuing a duplicate job.
+
+use crate::cache::{CachingPerms, PermCache};
+use crate::corpus::{Corpus, CorpusResolver};
+use crate::proto::{error_response, ok_response, parse_control, shed_response, Control};
+use reorderlab_ops::{
+    execute_with, run_with_threads, OpError, OpOutcome, OpReport, OpRequest, RequestEnvelope,
+};
+use reorderlab_trace::{Json, Manifest};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Recover from a poisoned lock; every critical section leaves the data
+/// consistent, so a panicking holder does not invalidate it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Number of worker shards (each runs one worker thread).
+    pub shards: usize,
+    /// Bounded queue depth per shard; a full queue sheds.
+    pub queue_cap: usize,
+    /// Permutation-cache capacity (entries).
+    pub cache_cap: usize,
+    /// Append one audit manifest per executed request to this JSONL file.
+    pub audit_path: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            queue_cap: 32,
+            cache_cap: 64,
+            audit_path: None,
+        }
+    }
+}
+
+/// Monotonic request counters, exposed via `{"control":"stats"}`.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Lines received (operations + control verbs).
+    pub requests: AtomicU64,
+    /// Operations that returned `status:"ok"`.
+    pub ok: AtomicU64,
+    /// Operations that returned a taxonomy error.
+    pub errors: AtomicU64,
+    /// Requests shed because a shard queue was full.
+    pub shed: AtomicU64,
+    /// Requests that attached to an identical in-flight computation.
+    pub coalesced: AtomicU64,
+}
+
+/// One in-flight computation: waiters block on the condvar until the
+/// worker (or the shed path) publishes the response line.
+#[derive(Debug, Default)]
+struct JobCell {
+    slot: Mutex<Option<String>>,
+    ready: Condvar,
+}
+
+impl JobCell {
+    fn publish(&self, response: String) {
+        *lock(&self.slot) = Some(response);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> String {
+        let mut guard = lock(&self.slot);
+        loop {
+            if let Some(resp) = guard.as_ref() {
+                return resp.clone();
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+struct Job {
+    envelope: RequestEnvelope,
+    key: String,
+    cell: Arc<JobCell>,
+}
+
+struct Shared {
+    corpus: Arc<Corpus>,
+    cache: Arc<PermCache>,
+    stats: ServeStats,
+    pending: Mutex<BTreeMap<String, Arc<JobCell>>>,
+    audit: Option<AuditLog>,
+}
+
+struct AuditLog {
+    path: String,
+    guard: Mutex<()>,
+}
+
+/// What `enqueue_line` produced.
+enum Enqueued {
+    /// The response is already known (control verb, parse error, shed).
+    Ready(String),
+    /// The request is queued (or coalesced); wait on this cell.
+    Wait(Arc<JobCell>),
+    /// A shutdown verb: the response to send before stopping.
+    Shutdown(String),
+}
+
+/// The engine's answer to one request line.
+pub enum SubmitResult {
+    /// A response line to write back.
+    Response(String),
+    /// A shutdown acknowledgment; the server should stop after sending it.
+    Shutdown(String),
+}
+
+/// The sharded, caching, coalescing executor behind the TCP listener.
+pub struct Engine {
+    shared: Arc<Shared>,
+    senders: Mutex<Vec<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    // Receivers of worker-less test engines, kept alive so queues fill
+    // (and shed) instead of reporting disconnection.
+    #[cfg(test)]
+    parked: Mutex<Vec<Receiver<Job>>>,
+}
+
+impl Engine {
+    /// Builds the engine and starts its worker threads.
+    pub fn new(corpus: Arc<Corpus>, config: &ServerConfig) -> Engine {
+        Engine::build(corpus, config, true)
+    }
+
+    /// Builds the engine without workers, for deterministic queue tests.
+    #[cfg(test)]
+    fn new_unstarted(corpus: Arc<Corpus>, config: &ServerConfig) -> Engine {
+        Engine::build(corpus, config, false)
+    }
+
+    fn build(corpus: Arc<Corpus>, config: &ServerConfig, start_workers: bool) -> Engine {
+        let shared = Arc::new(Shared {
+            corpus,
+            cache: Arc::new(PermCache::new(config.cache_cap)),
+            stats: ServeStats::default(),
+            pending: Mutex::new(BTreeMap::new()),
+            audit: config
+                .audit_path
+                .clone()
+                .map(|path| AuditLog { path, guard: Mutex::new(()) }),
+        });
+        let shards = config.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        let mut parked: Vec<Receiver<Job>> = Vec::new();
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel::<Job>(config.queue_cap.max(1));
+            senders.push(tx);
+            if start_workers {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("serve-worker-{shard}"))
+                    .spawn(move || worker_loop(&shared, &rx));
+                match handle {
+                    Ok(h) => workers.push(h),
+                    Err(e) => eprintln!("serve: cannot spawn worker {shard}: {e}"),
+                }
+            } else {
+                parked.push(rx);
+            }
+        }
+        #[cfg(not(test))]
+        drop(parked);
+        Engine {
+            shared,
+            senders: Mutex::new(senders),
+            workers: Mutex::new(workers),
+            #[cfg(test)]
+            parked: Mutex::new(parked),
+        }
+    }
+
+    /// The shared permutation cache (counters are read by loadgen).
+    pub fn cache(&self) -> Arc<PermCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Request counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Handles one request line to completion (blocking until a worker
+    /// finishes it, if it queues).
+    pub fn submit_line(&self, line: &str) -> SubmitResult {
+        match self.enqueue_line(line) {
+            Enqueued::Ready(resp) => SubmitResult::Response(resp),
+            Enqueued::Wait(cell) => SubmitResult::Response(cell.wait()),
+            Enqueued::Shutdown(resp) => SubmitResult::Shutdown(resp),
+        }
+    }
+
+    fn enqueue_line(&self, line: &str) -> Enqueued {
+        let stats = &self.shared.stats;
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Enqueued::Ready(error_response(&OpError::Parse(format!(
+                    "invalid request: {e}"
+                ))));
+            }
+        };
+        if let Some(control) = parse_control(&v) {
+            return match control {
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    Enqueued::Ready(error_response(&e))
+                }
+                Ok(Control::Ping) => Enqueued::Ready(
+                    Json::Obj(vec![
+                        ("status".into(), Json::Str("ok".into())),
+                        ("pong".into(), Json::Bool(true)),
+                    ])
+                    .to_line(),
+                ),
+                Ok(Control::Stats) => Enqueued::Ready(self.stats_snapshot().to_line()),
+                Ok(Control::Shutdown) => Enqueued::Shutdown(
+                    Json::Obj(vec![
+                        ("status".into(), Json::Str("ok".into())),
+                        ("shutdown".into(), Json::Bool(true)),
+                    ])
+                    .to_line(),
+                ),
+            };
+        }
+        let envelope = match RequestEnvelope::from_json(&v) {
+            Ok(env) => env,
+            Err(e) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Enqueued::Ready(error_response(&e));
+            }
+        };
+        // The canonical wire form is the coalescing/shard key: two
+        // requests that decode equal serialize equal.
+        let key = envelope.to_json().to_line();
+        let (cell, needs_enqueue) = {
+            let mut pending = lock(&self.shared.pending);
+            if let Some(cell) = pending.get(&key) {
+                stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                (Arc::clone(cell), false)
+            } else {
+                let cell = Arc::new(JobCell::default());
+                pending.insert(key.clone(), Arc::clone(&cell));
+                (cell, true)
+            }
+        };
+        if needs_enqueue {
+            let senders = lock(&self.senders);
+            if senders.is_empty() {
+                lock(&self.shared.pending).remove(&key);
+                cell.publish(error_response(&OpError::Io("server is shutting down".into())));
+                return Enqueued::Wait(cell);
+            }
+            let shard = usize::try_from(fnv1a(key.as_bytes()) % senders.len() as u64)
+                .unwrap_or(0);
+            let job = Job { envelope, key: key.clone(), cell: Arc::clone(&cell) };
+            match senders[shard].try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(job)) => {
+                    // Publish the shed response through the cell so any
+                    // coalesced waiters that raced in are released too.
+                    lock(&self.shared.pending).remove(&job.key);
+                    stats.shed.fetch_add(1, Ordering::Relaxed);
+                    job.cell.publish(shed_response());
+                }
+                Err(TrySendError::Disconnected(job)) => {
+                    lock(&self.shared.pending).remove(&job.key);
+                    job.cell
+                        .publish(error_response(&OpError::Io("server is shutting down".into())));
+                }
+            }
+        }
+        Enqueued::Wait(cell)
+    }
+
+    fn stats_snapshot(&self) -> Json {
+        let s = &self.shared.stats;
+        let c = &self.shared.cache;
+        let n = |x: u64| Json::Num(x as f64);
+        Json::Obj(vec![
+            ("status".into(), Json::Str("ok".into())),
+            ("requests".into(), n(s.requests.load(Ordering::Relaxed))),
+            ("ok".into(), n(s.ok.load(Ordering::Relaxed))),
+            ("errors".into(), n(s.errors.load(Ordering::Relaxed))),
+            ("shed".into(), n(s.shed.load(Ordering::Relaxed))),
+            ("coalesced".into(), n(s.coalesced.load(Ordering::Relaxed))),
+            ("cache_hits".into(), n(c.hits())),
+            ("cache_misses".into(), n(c.misses())),
+            ("cache_evictions".into(), n(c.evictions())),
+            ("cache_len".into(), n(c.len() as u64)),
+        ])
+    }
+
+    /// Stops the workers: closes every shard queue and joins the worker
+    /// threads (queued jobs finish first).
+    pub fn shutdown_workers(&self) {
+        lock(&self.senders).clear();
+        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        let response = run_job(shared, &job.envelope);
+        // Remove from pending BEFORE publishing: a request arriving after
+        // removal starts a fresh computation; one arriving before it
+        // attaches to this cell and is released by the publish below.
+        lock(&shared.pending).remove(&job.key);
+        job.cell.publish(response);
+    }
+}
+
+fn run_job(shared: &Shared, envelope: &RequestEnvelope) -> String {
+    let t0 = std::time::Instant::now();
+    let resolver = CorpusResolver::new(Arc::clone(&shared.corpus));
+    let mut perms = CachingPerms::new(shared.cache.clone());
+    let hits_before = shared.cache.hits();
+    let result = run_with_threads(envelope.threads, || {
+        execute_with(&envelope.request, &resolver, &mut perms)
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let cache_hit = shared.cache.hits() > hits_before;
+    let (line, status) = match &result {
+        Ok(out) => {
+            shared.stats.ok.fetch_add(1, Ordering::Relaxed);
+            (ok_response(&out.report), "ok")
+        }
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            (error_response(e), e.status())
+        }
+    };
+    if let Some(audit) = &shared.audit {
+        append_audit(audit, envelope, status, wall_s, cache_hit, result.as_ref().ok());
+    }
+    line
+}
+
+/// Appends one audit manifest per executed request: the daemon's
+/// tamper-evident trail of what ran, for whom, and how long it took.
+fn append_audit(
+    audit: &AuditLog,
+    envelope: &RequestEnvelope,
+    status: &str,
+    wall_s: f64,
+    cache_hit: bool,
+    outcome: Option<&OpOutcome>,
+) {
+    let (graph_id, vertices, edges) = match outcome.map(|o| &o.report) {
+        Some(OpReport::Stats(s)) => (s.graph.clone(), s.vertices, s.edges),
+        Some(OpReport::Reorder(r)) => (r.graph.clone(), r.vertices, r.edges),
+        Some(OpReport::Measure(m)) => (m.graph.clone(), m.vertices, m.edges),
+        Some(OpReport::Memsim(m)) => (m.graph.clone(), 0, 0),
+        _ => (request_graph_id(&envelope.request), 0, 0),
+    };
+    let mut m = Manifest::new("serve", &graph_id, vertices, edges)
+        .with_seed(42)
+        .with_threads(envelope.threads.unwrap_or_else(rayon::current_num_threads));
+    m.push_note("op", envelope.request.op_name());
+    m.push_note("status", status);
+    m.push_note("cache", if cache_hit { "hit" } else { "miss" });
+    m.push_measure("wall_s", wall_s);
+    let _held = lock(&audit.guard);
+    if let Err(e) = m.append_jsonl(&audit.path) {
+        eprintln!("serve: cannot append audit manifest to {}: {e}", audit.path);
+    }
+}
+
+fn request_graph_id(request: &OpRequest) -> String {
+    match request {
+        OpRequest::Stats { source }
+        | OpRequest::Reorder { source, .. }
+        | OpRequest::Measure { source, .. }
+        | OpRequest::Memsim { source, .. } => source.id().to_string(),
+        OpRequest::Validate { files } => {
+            files.first().cloned().unwrap_or_else(|| "validate".into())
+        }
+    }
+}
+
+/// A running daemon: the bound address plus shutdown plumbing.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    stopping: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine, for in-process counter inspection.
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// True once a shutdown verb has been received.
+    pub fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn stop(&mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.engine.shutdown_workers();
+    }
+
+    /// Blocks until a shutdown verb arrives over the wire, then drains.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.engine.shutdown_workers();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds the daemon and starts serving.
+///
+/// # Errors
+///
+/// [`OpError::Io`] when the address cannot be bound.
+pub fn serve(corpus: Arc<Corpus>, config: ServerConfig) -> Result<ServerHandle, OpError> {
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| OpError::Io(format!("cannot bind {}: {e}", config.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| OpError::Io(format!("cannot read bound address: {e}")))?;
+    let engine = Arc::new(Engine::new(corpus, &config));
+    let stopping = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let engine = Arc::clone(&engine);
+        let stopping = Arc::clone(&stopping);
+        std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&listener, &engine, &stopping))
+            .map_err(|e| OpError::Io(format!("cannot spawn accept thread: {e}")))?
+    };
+    Ok(ServerHandle { addr, engine, stopping, accept: Some(accept) })
+}
+
+fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, stopping: &Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let engine = Arc::clone(engine);
+        let stopping = Arc::clone(stopping);
+        let spawned = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || handle_connection(stream, &engine, &stopping));
+        if let Err(e) = spawned {
+            eprintln!("serve: cannot spawn connection thread: {e}");
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine, stopping: &AtomicBool) {
+    // Line-oriented request/response traffic: disable Nagle so each
+    // response line leaves immediately instead of waiting on an ACK.
+    let _ = stream.set_nodelay(true);
+    let Ok(reading) = stream.try_clone() else { return };
+    let mut writer = stream;
+    let peer = writer.peer_addr().ok();
+    let local = writer.local_addr().ok();
+    for line in BufReader::new(reading).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match engine.submit_line(&line) {
+            SubmitResult::Response(resp) => {
+                if writeln!(writer, "{resp}").is_err() {
+                    break;
+                }
+                let _ = writer.flush();
+            }
+            SubmitResult::Shutdown(resp) => {
+                let _ = writeln!(writer, "{resp}");
+                let _ = writer.flush();
+                stopping.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it observes the flag.
+                if let Some(addr) = local {
+                    let _ = TcpStream::connect(addr);
+                }
+                break;
+            }
+        }
+    }
+    let _ = peer;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Arc<Corpus> {
+        let mut c = Corpus::new();
+        c.insert("tiny", reorderlab_datasets::by_name("euroroad").unwrap().generate());
+        Arc::new(c)
+    }
+
+    fn response_of(engine: &Engine, line: &str) -> String {
+        match engine.submit_line(line) {
+            SubmitResult::Response(r) => r,
+            SubmitResult::Shutdown(r) => r,
+        }
+    }
+
+    #[test]
+    fn executes_and_counts_requests() {
+        let engine = Engine::new(corpus(), &ServerConfig::default());
+        let resp = response_of(
+            &engine,
+            "{\"op\":\"stats\",\"source\":{\"corpus\":\"tiny\"}}",
+        );
+        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+        assert!(resp.contains("\"report\":"), "{resp}");
+        assert_eq!(engine.stats().ok.load(Ordering::Relaxed), 1);
+        engine.shutdown_workers();
+    }
+
+    #[test]
+    fn repeat_reorders_hit_the_cache() {
+        let engine = Engine::new(corpus(), &ServerConfig::default());
+        let line = "{\"op\":\"reorder\",\"source\":{\"corpus\":\"tiny\"},\"scheme\":\"rcm\"}";
+        let first = response_of(&engine, line);
+        let second = response_of(&engine, line);
+        assert!(first.contains("\"cache_hit\":false"), "{first}");
+        assert!(second.contains("\"cache_hit\":true"), "{second}");
+        assert_eq!(engine.cache().hits(), 1);
+        engine.shutdown_workers();
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_are_typed() {
+        let engine = Engine::new(corpus(), &ServerConfig::default());
+        let garbage = response_of(&engine, "this is not json");
+        assert!(garbage.contains("\"status\":\"parse\""), "{garbage}");
+        let unknown = response_of(&engine, "{\"op\":\"frob\"}");
+        assert!(unknown.contains("\"status\":\"usage\""), "{unknown}");
+        let bad_scheme = response_of(
+            &engine,
+            "{\"op\":\"reorder\",\"source\":{\"corpus\":\"tiny\"},\"scheme\":\"bogus\"}",
+        );
+        assert!(bad_scheme.contains("\"status\":\"scheme\""), "{bad_scheme}");
+        assert_eq!(engine.stats().errors.load(Ordering::Relaxed), 3);
+        engine.shutdown_workers();
+    }
+
+    #[test]
+    fn full_queue_sheds_deterministically() {
+        let config = ServerConfig { shards: 1, queue_cap: 1, ..ServerConfig::default() };
+        let engine = Engine::new_unstarted(corpus(), &config);
+        // No workers: the first job occupies the queue slot forever…
+        let first = engine
+            .enqueue_line("{\"op\":\"stats\",\"source\":{\"corpus\":\"tiny\"}}");
+        assert!(matches!(first, Enqueued::Wait(_)));
+        // …and a different request finds the queue full and is shed.
+        let second = engine.enqueue_line(
+            "{\"op\":\"reorder\",\"source\":{\"corpus\":\"tiny\"},\"scheme\":\"rcm\"}",
+        );
+        let Enqueued::Wait(cell) = second else { panic!("expected queued/shed cell") };
+        let resp = cell.wait();
+        assert!(resp.contains("\"status\":\"shed\""), "{resp}");
+        assert_eq!(engine.stats().shed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn identical_inflight_requests_coalesce() {
+        let config = ServerConfig { shards: 1, queue_cap: 4, ..ServerConfig::default() };
+        let engine = Engine::new_unstarted(corpus(), &config);
+        let line = "{\"op\":\"stats\",\"source\":{\"corpus\":\"tiny\"}}";
+        let Enqueued::Wait(a) = engine.enqueue_line(line) else { panic!("expected wait") };
+        let Enqueued::Wait(b) = engine.enqueue_line(line) else { panic!("expected wait") };
+        assert!(Arc::ptr_eq(&a, &b), "identical in-flight requests must share a cell");
+        assert_eq!(engine.stats().coalesced.load(Ordering::Relaxed), 1);
+        // Releasing the cell releases both waiters.
+        a.publish("{\"status\":\"ok\"}".into());
+        assert_eq!(b.wait(), "{\"status\":\"ok\"}");
+    }
+
+    #[test]
+    fn control_verbs_answer_inline() {
+        let engine = Engine::new(corpus(), &ServerConfig::default());
+        assert!(response_of(&engine, "{\"control\":\"ping\"}").contains("\"pong\":true"));
+        let stats = response_of(&engine, "{\"control\":\"stats\"}");
+        assert!(stats.contains("\"cache_hits\":"), "{stats}");
+        assert!(matches!(
+            engine.submit_line("{\"control\":\"shutdown\"}"),
+            SubmitResult::Shutdown(_)
+        ));
+        engine.shutdown_workers();
+    }
+}

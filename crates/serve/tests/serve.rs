@@ -1,0 +1,199 @@
+//! End-to-end daemon tests over real TCP: response identity with local
+//! execution, cache behavior, typed errors, audit trail, and shutdown.
+
+use reorderlab_ops::{execute, FsResolver, OpError, OpReport, OpRequest, RequestEnvelope};
+use reorderlab_serve::loadgen::exchange;
+use reorderlab_serve::{
+    run_loadgen, serve, Corpus, LoadgenConfig, Response, ServerConfig, ServerHandle,
+};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn start_daemon(audit: Option<String>) -> ServerHandle {
+    let mut corpus = Corpus::new();
+    for name in ["euroroad", "rovira"] {
+        corpus.insert(name, reorderlab_datasets::by_name(name).unwrap().generate());
+    }
+    let config = ServerConfig { audit_path: audit, ..ServerConfig::default() };
+    serve(Arc::new(corpus), config).unwrap()
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let writer = TcpStream::connect(handle.addr()).unwrap();
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        Client { writer, reader }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        exchange(&mut self.writer, &mut self.reader, line).unwrap()
+    }
+}
+
+/// The daemon's rendered report must be byte-identical to what the same
+/// request produces locally through `execute`, for every thread bound.
+#[test]
+fn daemon_reports_match_local_execution_across_thread_bounds() {
+    let mut handle = start_daemon(None);
+    let mut client = Client::connect(&handle);
+    let requests = [
+        OpRequest::Stats { source: reorderlab_ops::GraphSource::Instance("euroroad".into()) },
+        OpRequest::Reorder {
+            source: reorderlab_ops::GraphSource::Instance("euroroad".into()),
+            scheme: Some("rcm".into()),
+            apply_perm: None,
+            return_perm: false,
+        },
+        OpRequest::Measure {
+            source: reorderlab_ops::GraphSource::Instance("euroroad".into()),
+            schemes: vec!["natural".into(), "rcm".into(), "dbg".into()],
+        },
+    ];
+    for threads in [1usize, 2, 7] {
+        for request in &requests {
+            let local = execute(request, &FsResolver).unwrap().report;
+            let envelope = RequestEnvelope { request: request.clone(), threads: Some(threads) };
+            let resp = client.send(&envelope.to_json().to_line());
+            let Response::Ok(remote) = Response::parse(&resp).unwrap() else {
+                panic!("expected ok response at threads={threads}: {resp}");
+            };
+            let (local_text, remote_text) = match (&local, remote.as_ref()) {
+                (OpReport::Stats(a), OpReport::Stats(b)) => (a.render_text(), b.render_text()),
+                (OpReport::Reorder(a), OpReport::Reorder(b)) => {
+                    // Wall time is the one legitimately nondeterministic
+                    // field; strip the trailing "(N.NNNs)" before diffing.
+                    let strip = |s: String| match s.rfind(" (") {
+                        Some(i) => s[..i].to_string(),
+                        None => s,
+                    };
+                    (strip(a.summary_line()), strip(b.summary_line()))
+                }
+                (OpReport::Measure(a), OpReport::Measure(b)) => {
+                    (a.render_text(), b.render_text())
+                }
+                other => panic!("report kind mismatch: {other:?}"),
+            };
+            assert_eq!(
+                local_text, remote_text,
+                "daemon output must be bit-identical to CLI output (threads={threads})"
+            );
+        }
+    }
+    handle.stop();
+}
+
+#[test]
+fn repeated_requests_are_served_from_the_permutation_cache() {
+    let mut handle = start_daemon(None);
+    let mut client = Client::connect(&handle);
+    let line = "{\"op\":\"reorder\",\"source\":{\"corpus\":\"euroroad\"},\"scheme\":\"dbg\"}";
+    let first = client.send(line);
+    assert!(first.contains("\"cache_hit\":false"), "{first}");
+    // Same request again — and also from a second connection.
+    let second = client.send(line);
+    assert!(second.contains("\"cache_hit\":true"), "{second}");
+    let mut other = Client::connect(&handle);
+    let third = other.send(line);
+    assert!(third.contains("\"cache_hit\":true"), "{third}");
+    let stats = client.send("{\"control\":\"stats\"}");
+    let v = reorderlab_trace::Json::parse(&stats).unwrap();
+    let hits = v.get("cache_hits").and_then(reorderlab_trace::Json::as_f64).unwrap();
+    assert!(hits >= 2.0, "{stats}");
+    handle.stop();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_with_exit_codes() {
+    let mut handle = start_daemon(None);
+    let mut client = Client::connect(&handle);
+    let cases = [
+        ("not json at all", 1),                                             // parse
+        ("{\"op\":\"frobnicate\"}", 2),                                     // usage
+        ("{\"op\":\"reorder\",\"source\":{\"corpus\":\"euroroad\"},\"scheme\":\"bogus\"}", 2),
+        ("{\"op\":\"stats\",\"source\":{\"corpus\":\"missing\"}}", 2),
+        ("{\"op\":\"stats\",\"source\":{\"path\":\"/etc/hosts\"}}", 2),     // no client paths
+        ("{\"control\":\"dance\"}", 2),
+    ];
+    for (line, want_code) in cases {
+        let resp = client.send(line);
+        let Response::Err(e) = Response::parse(&resp).unwrap() else {
+            panic!("expected error response for {line:?}: {resp}");
+        };
+        assert_eq!(e.exit_code(), want_code, "{line:?} -> {resp}");
+    }
+    handle.stop();
+}
+
+#[test]
+fn audit_log_records_every_executed_request() {
+    let audit = std::env::temp_dir()
+        .join(format!("serve_audit_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let _ = std::fs::remove_file(&audit);
+    let mut handle = start_daemon(Some(audit.clone()));
+    let mut client = Client::connect(&handle);
+    client.send("{\"op\":\"stats\",\"source\":{\"corpus\":\"euroroad\"}}");
+    client.send("{\"op\":\"reorder\",\"source\":{\"corpus\":\"rovira\"},\"scheme\":\"rcm\"}");
+    client.send("{\"op\":\"stats\",\"source\":{\"corpus\":\"missing\"}}");
+    handle.stop();
+    let text = std::fs::read_to_string(&audit).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    for line in &lines {
+        let m = reorderlab_trace::Manifest::parse(line).unwrap();
+        assert_eq!(m.command, "serve");
+    }
+    assert!(lines[0].contains("\"status\":\"ok\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"cache\":\"miss\""), "{}", lines[1]);
+    assert!(lines[2].contains("\"status\":\"usage\""), "{}", lines[2]);
+    let _ = std::fs::remove_file(&audit);
+}
+
+#[test]
+fn shutdown_verb_stops_the_daemon() {
+    let mut handle = start_daemon(None);
+    let mut client = Client::connect(&handle);
+    let resp = client.send("{\"control\":\"shutdown\"}");
+    assert!(resp.contains("\"shutdown\":true"), "{resp}");
+    handle.wait();
+    assert!(handle.is_stopping());
+    // The listener is gone: new exchanges fail.
+    let err = TcpStream::connect(handle.addr())
+        .map_err(|e| OpError::Io(e.to_string()))
+        .and_then(|s| {
+            let mut w = s.try_clone().map_err(|e| OpError::Io(e.to_string()))?;
+            let mut r = BufReader::new(s);
+            exchange(&mut w, &mut r, "{\"control\":\"ping\"}")
+        });
+    assert!(err.is_err(), "daemon should not answer after shutdown");
+}
+
+#[test]
+fn loadgen_replays_a_zipf_trace_and_sees_cache_hits() {
+    let mut handle = start_daemon(None);
+    let templates: Vec<String> = ["rcm", "dbg", "degree"]
+        .iter()
+        .map(|s| {
+            format!("{{\"op\":\"reorder\",\"source\":{{\"corpus\":\"euroroad\"}},\"scheme\":\"{s}\"}}")
+        })
+        .collect();
+    let config = LoadgenConfig { requests: 60, concurrency: 3, zipf_s: 1.1, seed: 42 };
+    let report = run_loadgen(&handle.addr().to_string(), &templates, &config).unwrap();
+    assert_eq!(report.total, 60);
+    assert_eq!(report.ok, 60, "all replayed requests should succeed");
+    assert!(report.cache_hits > 0, "repeat templates must hit the cache");
+    assert!(report.cache_misses <= 3, "at most one miss per template");
+    assert!(report.hit_rate() > 0.5, "zipf trace over 3 templates is cache-friendly");
+    assert!(report.p50_ms <= report.p99_ms);
+    assert!(report.throughput > 0.0);
+    let text = report.render_text(templates.len(), &config);
+    assert!(text.contains("hit rate"), "{text}");
+    handle.stop();
+}
