@@ -41,7 +41,8 @@ pub enum OpRequest {
         schemes: Vec<String>,
     },
     /// Check input files against the ingestion contract
-    /// (`reorderlab validate`).
+    /// (`reorderlab validate`). Filesystem frontends only; the daemon
+    /// refuses it, like `apply_perm`.
     Validate {
         /// Paths to check.
         files: Vec<String>,

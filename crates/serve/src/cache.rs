@@ -57,6 +57,11 @@ impl PermCache {
     /// Looks up `(digest, scheme)`, computing and inserting on a miss.
     /// Returns the ordering and whether it was a hit.
     ///
+    /// The digest is a 64-bit FNV-1a, so a collision between two
+    /// different graphs is possible; a hit whose cached ordering does not
+    /// cover this graph's vertex count is treated as a collision, evicted,
+    /// and recomputed rather than served wrong-sized.
+    ///
     /// # Errors
     ///
     /// [`OpError::Scheme`] when the scheme rejects the graph (failures
@@ -69,9 +74,20 @@ impl PermCache {
         rec: &mut RunRecorder,
     ) -> Result<(Arc<Permutation>, bool), OpError> {
         let key = (digest, scheme.spec());
-        if let Some(pi) = lock(&self.inner).map.get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((pi, true));
+        // Bind outside `if let`: the scrutinee's lock guard would
+        // otherwise live across the eviction branch's re-lock below.
+        let cached = lock(&self.inner).map.get(&key).cloned();
+        if let Some(pi) = cached {
+            if pi.len() == resolved.graph.num_vertices() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((pi, true));
+            }
+            // Digest collision: the cached ordering belongs to a
+            // different graph. Drop the stale entry and fall through to
+            // recompute for this one.
+            let mut inner = lock(&self.inner);
+            inner.map.remove(&key);
+            inner.fifo.retain(|k| k != &key);
         }
         // Compute outside the lock: a slow scheme must not serialize the
         // whole cache. Two racing misses may both compute; the second
@@ -131,12 +147,20 @@ impl PermCache {
 #[derive(Debug, Clone)]
 pub struct CachingPerms {
     cache: Arc<PermCache>,
+    request_hits: u64,
 }
 
 impl CachingPerms {
     /// Wraps a shared cache.
     pub fn new(cache: Arc<PermCache>) -> CachingPerms {
-        CachingPerms { cache }
+        CachingPerms { cache, request_hits: 0 }
+    }
+
+    /// Hits observed through *this* source (one per request in the
+    /// daemon) — unlike the shared cache's global counters, this cannot
+    /// be perturbed by concurrent requests on other workers.
+    pub fn request_hits(&self) -> u64 {
+        self.request_hits
     }
 }
 
@@ -147,16 +171,20 @@ impl PermSource for CachingPerms {
         scheme: &Scheme,
         rec: &mut RunRecorder,
     ) -> Result<(Arc<Permutation>, bool), OpError> {
-        match resolved.digest {
-            Some(digest) => self.cache.get_or_compute(digest, scheme, resolved, rec),
+        let (pi, hit) = match resolved.digest {
+            Some(digest) => self.cache.get_or_compute(digest, scheme, resolved, rec)?,
             None => {
                 let pi = scheme
                     .try_reorder_recorded(&resolved.graph, rec)
                     .map_err(OpError::Scheme)?;
                 self.cache.misses.fetch_add(1, Ordering::Relaxed);
-                Ok((Arc::new(pi), false))
+                (Arc::new(pi), false)
             }
+        };
+        if hit {
+            self.request_hits += 1;
         }
+        Ok((pi, hit))
     }
 }
 
@@ -214,6 +242,38 @@ mod tests {
         let (pb, _) = cache.get_or_compute(b.digest.unwrap(), &scheme("rcm"), &b, &mut rec).unwrap();
         assert_ne!(pa.len(), pb.len());
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn forged_digest_collision_is_not_served() {
+        let cache = PermCache::new(8);
+        let a = resolved("euroroad");
+        let mut b = resolved("rovira");
+        // Forge a 64-bit digest collision between two different graphs.
+        b.digest = a.digest;
+        let mut rec = RunRecorder::new();
+        let (pa, _) =
+            cache.get_or_compute(a.digest.unwrap(), &scheme("rcm"), &a, &mut rec).unwrap();
+        let (pb, hit) =
+            cache.get_or_compute(b.digest.unwrap(), &scheme("rcm"), &b, &mut rec).unwrap();
+        assert!(!hit, "a collided entry must be recomputed, not served");
+        assert_eq!(pb.len(), b.graph.num_vertices());
+        assert_ne!(pa.len(), pb.len());
+    }
+
+    #[test]
+    fn caching_perms_counts_hits_per_source() {
+        let cache = Arc::new(PermCache::new(8));
+        let r = resolved("euroroad");
+        let mut rec = RunRecorder::new();
+        let mut first = CachingPerms::new(Arc::clone(&cache));
+        first.ordering(&r, &scheme("rcm"), &mut rec).unwrap();
+        assert_eq!(first.request_hits(), 0);
+        let mut second = CachingPerms::new(Arc::clone(&cache));
+        second.ordering(&r, &scheme("rcm"), &mut rec).unwrap();
+        assert_eq!(second.request_hits(), 1);
+        // The first source is unaffected by the second's hit.
+        assert_eq!(first.request_hits(), 0);
     }
 
     #[test]

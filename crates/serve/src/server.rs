@@ -12,7 +12,8 @@ use crate::cache::{CachingPerms, PermCache};
 use crate::corpus::{Corpus, CorpusResolver};
 use crate::proto::{error_response, ok_response, parse_control, shed_response, Control};
 use reorderlab_ops::{
-    execute_with, run_with_threads, OpError, OpOutcome, OpReport, OpRequest, RequestEnvelope,
+    execute_with, parse_scheme, run_with_threads, scheme_seed, OpError, OpOutcome, OpReport,
+    OpRequest, RequestEnvelope,
 };
 use reorderlab_trace::{Json, Manifest};
 use std::collections::BTreeMap;
@@ -269,6 +270,10 @@ impl Engine {
                 return Enqueued::Ready(error_response(&e));
             }
         };
+        if let Err(e) = reject_filesystem_request(&envelope.request) {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Enqueued::Ready(error_response(&e));
+        }
         // The canonical wire form is the coalescing/shard key: two
         // requests that decode equal serialize equal.
         let key = envelope.to_json().to_line();
@@ -341,9 +346,38 @@ impl Engine {
     }
 }
 
+/// The daemon's file-access policy, applied before a request can queue:
+/// `validate` and `reorder`'s `apply_perm` name caller-chosen server-side
+/// paths, so a network client could probe or read arbitrary files through
+/// them. They are filesystem-frontend (CLI) operations only — the daemon
+/// refuses them outright, the same way [`CorpusResolver`] refuses
+/// `GraphSource::Path`.
+fn reject_filesystem_request(request: &OpRequest) -> Result<(), OpError> {
+    match request {
+        OpRequest::Validate { .. } => Err(OpError::Usage(
+            "the daemon does not read client files; run `reorderlab validate` locally".into(),
+        )),
+        OpRequest::Reorder { apply_perm: Some(_), .. } => Err(OpError::Usage(
+            "the daemon does not read client files; \"apply_perm\" is CLI-only, use \"scheme\""
+                .into(),
+        )),
+        _ => Ok(()),
+    }
+}
+
 fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
     while let Ok(job) = rx.recv() {
-        let response = run_job(shared, &job.envelope);
+        // A panicking handler must not strand the job: catch the unwind,
+        // publish a typed internal error in its place, and keep this
+        // worker (and the pending-map cleanup below) alive. The shared
+        // state stays usable — every lock here recovers from poisoning.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, &job.envelope)
+        }))
+        .unwrap_or_else(|_| {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(&OpError::Io("internal error: request handler panicked".into()))
+        });
         // Remove from pending BEFORE publishing: a request arriving after
         // removal starts a fresh computation; one arriving before it
         // attaches to this cell and is released by the publish below.
@@ -356,12 +390,13 @@ fn run_job(shared: &Shared, envelope: &RequestEnvelope) -> String {
     let t0 = std::time::Instant::now();
     let resolver = CorpusResolver::new(Arc::clone(&shared.corpus));
     let mut perms = CachingPerms::new(shared.cache.clone());
-    let hits_before = shared.cache.hits();
     let result = run_with_threads(envelope.threads, || {
         execute_with(&envelope.request, &resolver, &mut perms)
     });
     let wall_s = t0.elapsed().as_secs_f64();
-    let cache_hit = shared.cache.hits() > hits_before;
+    // Per-request hit observation, not a diff of the global counters —
+    // concurrent workers on other shards would race that.
+    let cache_hit = perms.request_hits() > 0;
     let (line, status) = match &result {
         Ok(out) => {
             shared.stats.ok.fetch_add(1, Ordering::Relaxed);
@@ -396,7 +431,7 @@ fn append_audit(
         _ => (request_graph_id(&envelope.request), 0, 0),
     };
     let mut m = Manifest::new("serve", &graph_id, vertices, edges)
-        .with_seed(42)
+        .with_seed(audit_seed(&envelope.request))
         .with_threads(envelope.threads.unwrap_or_else(rayon::current_num_threads));
     m.push_note("op", envelope.request.op_name());
     m.push_note("status", status);
@@ -406,6 +441,17 @@ fn append_audit(
     if let Err(e) = m.append_jsonl(&audit.path) {
         eprintln!("serve: cannot append audit manifest to {}: {e}", audit.path);
     }
+}
+
+/// The seed the audit manifest records: the request scheme's own seed
+/// parameter where it has one, otherwise the frontend-wide default of 42
+/// — the same rule `exec_reorder` applies to its own manifest.
+fn audit_seed(request: &OpRequest) -> u64 {
+    let spec = match request {
+        OpRequest::Reorder { scheme, .. } | OpRequest::Memsim { scheme, .. } => scheme.as_deref(),
+        _ => None,
+    };
+    spec.and_then(|s| parse_scheme(s).ok()).map_or(42, |s| scheme_seed(&s))
 }
 
 fn request_graph_id(request: &OpRequest) -> String {
@@ -601,6 +647,28 @@ mod tests {
         );
         assert!(bad_scheme.contains("\"status\":\"scheme\""), "{bad_scheme}");
         assert_eq!(engine.stats().errors.load(Ordering::Relaxed), 3);
+        engine.shutdown_workers();
+    }
+
+    #[test]
+    fn filesystem_reading_requests_are_refused() {
+        let engine = Engine::new(corpus(), &ServerConfig::default());
+        // `validate` reads caller-named server-side paths: refused before
+        // it can reach the filesystem (no errno/parse detail echoed).
+        let validate =
+            response_of(&engine, "{\"op\":\"validate\",\"files\":[\"/etc/passwd\"]}");
+        assert!(validate.contains("\"status\":\"usage\""), "{validate}");
+        assert!(validate.contains("does not read client files"), "{validate}");
+        // Same for `apply_perm` on reorder, even with return_perm set —
+        // the exfiltration path the contract forbids.
+        let apply = response_of(
+            &engine,
+            "{\"op\":\"reorder\",\"source\":{\"corpus\":\"tiny\"},\
+             \"apply_perm\":\"/etc/passwd\",\"return_perm\":true}",
+        );
+        assert!(apply.contains("\"status\":\"usage\""), "{apply}");
+        assert!(apply.contains("does not read client files"), "{apply}");
+        assert_eq!(engine.stats().errors.load(Ordering::Relaxed), 2);
         engine.shutdown_workers();
     }
 
