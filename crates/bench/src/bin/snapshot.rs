@@ -4,13 +4,17 @@
 //! corpus: for every (graph, scheme, workload, kernel variant) it records
 //! the deterministic memsim counters (loads, per-level hits, fixed-point
 //! latency and boundedness) and, with `--wall`, wall-time summaries from
-//! the criterion shim. Memsim fields are byte-reproducible across runs and
-//! thread counts; wall fields are not and are therefore compared with a
-//! percentage band (or skipped when absent) by `--diff`.
+//! the criterion shim. A `compression` section records the exact
+//! delta/varint footprint per (graph, scheme): gap-stream bytes, arc
+//! count, and bits-per-edge in fixed-point milli units — all integers, so
+//! the diff on them is exact. Memsim and compression fields are
+//! byte-reproducible across runs and thread counts; wall fields are not
+//! and are therefore compared with a percentage band (or skipped when
+//! absent) by `--diff`.
 //!
 //! ```text
-//! snapshot --out BENCH_0006.json --wall     # regenerate the snapshot
-//! snapshot --diff BENCH_0006.json fresh.json [--wall-tol 0.25]
+//! snapshot --out BENCH_0008.json --wall     # regenerate the snapshot
+//! snapshot --diff BENCH_0008.json fresh.json [--wall-tol 0.25]
 //! ```
 //!
 //! `--diff` exits 0 when the snapshots agree, 1 on schema or counter drift
@@ -29,8 +33,9 @@ use reorderlab_memsim::{
 use reorderlab_trace::Json;
 
 /// Snapshot schema identifier; bump `SCHEMA_VERSION` on layout changes.
+/// Version 2 added the `compression` section (exact varint footprints).
 const SCHEMA: &str = "reorderlab-bench-snapshot";
-const SCHEMA_VERSION: u64 = 1;
+const SCHEMA_VERSION: u64 = 2;
 
 /// Fixed corpus: small suite instances small enough for CI yet large enough
 /// that the replays leave L1.
@@ -107,12 +112,14 @@ fn usage() -> ! {
 fn build_snapshot(wall: bool, quick: bool) -> Json {
     let corpus: &[&str] = if quick { &CORPUS[..1] } else { &CORPUS };
     let mut entries: Vec<Json> = Vec::new();
+    let mut compression: Vec<Json> = Vec::new();
     for graph_name in corpus {
         let spec = reorderlab_datasets::by_name(graph_name).expect("corpus instance exists");
         let g = spec.generate();
         for scheme_spec in SCHEMES {
             let scheme = Scheme::parse(scheme_spec).expect("fixed scheme spec parses");
             let pi = scheme.reorder(&g);
+            compression.push(compression_entry(graph_name, scheme.name(), &g, &pi));
             let laid_out = g.permuted(&pi).expect("valid permutation");
             // Stable labels so every layout replays the same logical RR
             // traversal (see replay_rr_kernel).
@@ -164,6 +171,30 @@ fn build_snapshot(wall: bool, quick: bool) -> Json {
         ("hierarchy".into(), Json::Str("scaled_cascade_lake".into())),
         ("corpus".into(), Json::Arr(corpus.iter().map(|&c| Json::Str(c.into())).collect())),
         ("entries".into(), Json::Arr(entries)),
+        ("compression".into(), Json::Arr(compression)),
+    ])
+}
+
+/// Exact delta/varint footprint of one (graph, scheme) pair. Every field
+/// is an integer derived from integer counters — gap-stream bytes, arcs,
+/// and `8000 * gap_bytes / arcs` rounded half-up — so `--diff` matches
+/// them exactly, like the memsim counters.
+fn compression_entry(
+    graph: &str,
+    scheme: &str,
+    g: &reorderlab_graph::Csr,
+    pi: &reorderlab_graph::Permutation,
+) -> Json {
+    let c = reorderlab_core::measures::try_compression_measures(g, pi)
+        .expect("corpus permutation is valid for its own graph");
+    let arcs = g.num_arcs() as u128;
+    let bpe_milli = (c.gap_bytes as u128 * 8000 + arcs / 2).checked_div(arcs).unwrap_or(0) as u64;
+    Json::Obj(vec![
+        ("graph".into(), Json::Str(graph.into())),
+        ("scheme".into(), Json::Str(scheme.into())),
+        ("arcs".into(), Json::Num(g.num_arcs() as f64)),
+        ("gap_bytes".into(), Json::Num(c.gap_bytes as f64)),
+        ("bits_per_edge_milli".into(), Json::Num(bpe_milli as f64)),
     ])
 }
 
@@ -321,8 +352,44 @@ fn diff_snapshots(baseline: &str, candidate: &str, wall_tol: f64) -> usize {
         }
     }
 
+    // Compression footprints are pure integer counters: exact matching on
+    // every (graph, scheme) row, symmetric presence check like entries.
+    let ca = a.get("compression").and_then(|e| e.as_arr()).unwrap_or(&empty);
+    let cb = b.get("compression").and_then(|e| e.as_arr()).unwrap_or(&empty);
+    let ckey = |e: &Json| -> String {
+        let s = |k: &str| e.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        format!("{}/{}", s("graph"), s("scheme"))
+    };
+    for row_a in ca {
+        let k = ckey(row_a);
+        let Some(row_b) = cb.iter().find(|r| ckey(r) == k) else {
+            println!("DRIFT compression row only in baseline: {k}");
+            drifts += 1;
+            continue;
+        };
+        if row_a != row_b {
+            println!(
+                "DRIFT compression footprint for {k}:\n  baseline:  {}\n  candidate: {}",
+                row_a.to_line(),
+                row_b.to_line(),
+            );
+            drifts += 1;
+        }
+    }
+    for row_b in cb {
+        let k = ckey(row_b);
+        if !ca.iter().any(|r| ckey(r) == k) {
+            println!("DRIFT compression row only in candidate: {k}");
+            drifts += 1;
+        }
+    }
+
     if drifts == 0 {
-        println!("snapshots agree ({} entries, memsim counters exact)", ka.len());
+        println!(
+            "snapshots agree ({} entries + {} compression rows, counters exact)",
+            ka.len(),
+            ca.len()
+        );
     } else {
         println!("{drifts} drift(s) found");
     }

@@ -50,8 +50,7 @@ mod tests {
     fn exit_codes_split_usage_from_runtime() {
         assert_eq!(CliError(OpError::Usage("x".into())).exit_code(), 2);
         assert_eq!(
-            CliError(OpError::Scheme(SchemeError::UnknownScheme { name: "x".into() }))
-                .exit_code(),
+            CliError(OpError::Scheme(SchemeError::UnknownScheme { name: "x".into() })).exit_code(),
             2
         );
         assert_eq!(CliError(OpError::Io("x".into())).exit_code(), 1);

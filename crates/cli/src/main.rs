@@ -6,6 +6,7 @@
 //! reorderlab stats --input g.mtx --json
 //! reorderlab reorder --scheme rcm --input g.mtx --out reordered.mtx --perm pi.txt
 //! reorderlab measure --instance euroroad --scheme rcm --scheme grappolo --manifest runs.jsonl
+//! reorderlab compression --instance euroroad --scheme natural --scheme rcm
 //! reorderlab validate g.mtx corpus/*.el --json
 //! reorderlab manifest-check runs.jsonl
 //! ```
@@ -68,6 +69,7 @@ fn dispatch(command: &str, rest: &[String]) -> Result<(), OpError> {
         "stats" => cmd_stats(rest),
         "reorder" => cmd_reorder(rest),
         "measure" => cmd_measure(rest),
+        "compression" => cmd_compression(rest),
         "memsim" => cmd_memsim(rest),
         "validate" => cmd_validate(rest),
         "manifest-check" => cmd_manifest_check(rest),
@@ -91,6 +93,9 @@ fn print_usage() {
          [--json] [--manifest FILE]\n  \
          reorderlab measure  (--input FILE | --instance NAME) [--scheme NAME]...\n                      \
          [--json] [--manifest FILE]\n  \
+         reorderlab compression (--input FILE | --instance NAME) [--scheme NAME]...\n                      \
+         [--json] [--manifest FILE]\n                      \
+         (exact varint gap-stream bytes and bits-per-edge per ordering)\n  \
          reorderlab memsim   (--input FILE | --instance NAME) [--scheme NAME]\n                      \
          [--workload louvain|rr|pagerank] [--kernel NAME] [--json]\n                      \
          (replay a hot kernel's access stream through the simulated\n                      \
@@ -102,8 +107,9 @@ fn print_usage() {
          any command also takes --threads N (worker threads; results are identical at any N)\n\n\
          --json prints run manifests (JSON) to stdout; --manifest FILE appends them as\n\
          JSON Lines; manifest-check validates such files against the schema\n\n\
-         formats by extension: .mtx (Matrix Market), .graph (METIS), .csrbin (checksummed\n\
-         binary CSR), anything else: edge list\n\n\
+         formats by extension: .mtx (Matrix Market), .graph/.metis (METIS), .csrbin\n\
+         (checksummed binary CSR), .csrz (checksummed compressed CSR), .el (edge list);\n\
+         anything else is rejected\n\n\
          schemes:\n{}",
         scheme_help()
     );
@@ -235,10 +241,8 @@ fn cmd_reorder(args: &[String]) -> Result<(), OpError> {
 fn cmd_measure(args: &[String]) -> Result<(), OpError> {
     let json_out = has_flag(args, "--json");
     let manifest_path = flag_value(args, "--manifest");
-    let req = OpRequest::Measure {
-        source: graph_source(args)?,
-        schemes: flag_values(args, "--scheme"),
-    };
+    let req =
+        OpRequest::Measure { source: graph_source(args)?, schemes: flag_values(args, "--scheme") };
     let out = execute(&req, &FsResolver)?;
     let OpReport::Measure(m) = &out.report else {
         return Err(OpError::Io("measure returned the wrong report kind".into()));
@@ -250,6 +254,39 @@ fn cmd_measure(args: &[String]) -> Result<(), OpError> {
         for row in &m.rows {
             // One compact line per scheme so stdout stays valid JSON Lines
             // even when several schemes run.
+            if json_out {
+                println!("{}", row.manifest.to_line());
+            }
+            if let Some(p) = &manifest_path {
+                row.manifest
+                    .append_jsonl(p)
+                    .map_err(|e| OpError::Io(format!("cannot append to {p}: {e}")))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Tabulates the compression footprint — exact LEB128 gap-stream bytes
+/// and bits-per-edge — each requested ordering induces on the input graph
+/// (DESIGN.md §12). Like `measure`, no `--scheme` runs the paper's
+/// default evaluation suite.
+fn cmd_compression(args: &[String]) -> Result<(), OpError> {
+    let json_out = has_flag(args, "--json");
+    let manifest_path = flag_value(args, "--manifest");
+    let req = OpRequest::Compression {
+        source: graph_source(args)?,
+        schemes: flag_values(args, "--scheme"),
+    };
+    let out = execute(&req, &FsResolver)?;
+    let OpReport::Compression(c) = &out.report else {
+        return Err(OpError::Io("compression returned the wrong report kind".into()));
+    };
+    if !json_out {
+        println!("{}", c.render_text());
+    }
+    if json_out || manifest_path.is_some() {
+        for row in &c.rows {
             if json_out {
                 println!("{}", row.manifest.to_line());
             }

@@ -104,6 +104,56 @@ fn measure_reports_requested_schemes() {
 }
 
 #[test]
+fn compression_tabulates_bits_per_edge() {
+    let out = run(&[
+        "compression",
+        "--instance",
+        "chicago_road",
+        "--scheme",
+        "natural",
+        "--scheme",
+        "rcm",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("compression footprint on chicago_road"), "{text}");
+    assert!(text.contains("bits/edge"), "{text}");
+    assert!(text.contains("Natural"), "{text}");
+    assert!(text.contains("RCM"), "{text}");
+    // --json emits one manifest line per scheme, each carrying gap_bytes.
+    let out = run(&["compression", "--instance", "chicago_road", "--scheme", "rcm", "--json"]);
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(json.lines().count(), 1, "{json}");
+    assert!(json.contains("gap_bytes"), "{json}");
+    assert!(json.contains("bits_per_edge"), "{json}");
+}
+
+#[test]
+fn csrz_files_work_end_to_end_and_typos_are_rejected() {
+    let (p, f) = tmp("g.csrz");
+    let out = run(&["generate", "euroroad", "--out", &f]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(p.exists());
+    // Compressed input feeds every op through the same resolver.
+    let out = run(&["stats", "--input", &f]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("vertices:               1190"));
+    // Unrecognized extensions are a usage error (exit 2) naming the
+    // accepted set — never a silent edge-list fallthrough.
+    let (p2, f2) = tmp("g.weird");
+    std::fs::write(&p2, "0 1\n").unwrap();
+    let out = run(&["stats", "--input", &f2]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains(".csrz"), "{err}");
+    assert!(err.contains(".el"), "{err}");
+    for p in [p, p2] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn bad_scheme_is_reported() {
     let out = run(&["measure", "--instance", "chicago_road", "--scheme", "bogus"]);
     assert!(!out.status.success());

@@ -28,14 +28,15 @@
 
 mod compare;
 mod config;
+mod level;
 mod louvain;
 mod modularity;
 
 pub use compare::{adjusted_rand_index, nmi};
 pub use config::{LouvainConfig, MoveKernel};
 pub use louvain::{
-    louvain, louvain_recorded, move_scan, record_louvain_stats, CommunityResult, IterationStats,
-    LouvainStats, MoveScanner, PhaseStats,
+    louvain, louvain_compressed, louvain_recorded, move_scan, record_louvain_stats,
+    CommunityResult, IterationStats, LouvainStats, MoveScanner, PhaseStats,
 };
 pub use modularity::{modularity, ModularityContext};
 

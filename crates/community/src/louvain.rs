@@ -10,10 +10,10 @@
 //! neighbor-community scan, normalized by edge count).
 
 use crate::config::{LouvainConfig, MoveKernel};
-use crate::modularity::{modularity, ModularityContext};
+use crate::level::LouvainLevel;
+use crate::modularity::{modularity_level, ModularityContext};
 use rayon::prelude::*;
-use reorderlab_graph::{contract, Csr};
-use std::borrow::Cow;
+use reorderlab_graph::{CompressedCsr, Csr};
 // DETERMINISM: this module's `HashMap` use is confined to the *reference*
 // move kernel (`MoveKernel::HashMap`), kept to mirror Grappolo's published
 // formulation; the default kernel is the flat scatter-array one. Iteration
@@ -153,58 +153,113 @@ pub fn louvain(graph: &Csr, cfg: &LouvainConfig) -> CommunityResult {
     }
 }
 
-fn louvain_inner(graph: &Csr, cfg: &LouvainConfig, threads: usize) -> CommunityResult {
+/// [`louvain`] running directly on the delta/varint-compressed form: the
+/// first (and dominant) phase scans the gap streams through the zero-copy
+/// row decoder, and only the contraction into the (much smaller) coarse
+/// level materializes flat rows.
+///
+/// Bit-identical to [`louvain`] on the [`CompressedCsr::decode`] of the
+/// same graph — assignments, modularity trace, iteration counts, and the
+/// `loads` instrumentation all match exactly, at any thread count; the
+/// blocked/packed kernels (which require slice-addressable rows) fall back
+/// to the flat scatter scan they are proven bit-identical to.
+///
+/// # Examples
+///
+/// ```
+/// use reorderlab_community::{louvain, louvain_compressed, LouvainConfig};
+/// use reorderlab_datasets::clique_chain;
+/// use reorderlab_graph::CompressedCsr;
+///
+/// let g = clique_chain(4, 6);
+/// let cz = CompressedCsr::from_csr(&g).unwrap();
+/// let cfg = LouvainConfig::default().threads(1);
+/// let packed = louvain_compressed(&cz, &cfg);
+/// assert_eq!(packed.assignment, louvain(&g, &cfg).assignment);
+/// ```
+pub fn louvain_compressed(cz: &CompressedCsr, cfg: &LouvainConfig) -> CommunityResult {
+    if cfg.threads == 0 {
+        louvain_inner(cz, cfg, rayon::current_num_threads())
+    } else {
+        let pool = reorderlab_graph::build_pool(cfg.threads);
+        pool.install(|| louvain_inner(cz, cfg, cfg.threads))
+    }
+}
+
+fn louvain_inner<L: LouvainLevel>(
+    graph: &L,
+    cfg: &LouvainConfig,
+    threads: usize,
+) -> CommunityResult {
     let n0 = graph.num_vertices();
     // original vertex -> current-level vertex
     let mut global: Vec<u32> = (0..n0 as u32).collect();
-    // The first phase borrows the input graph; only coarse levels are owned.
-    let mut level: Cow<'_, Csr> = Cow::Borrowed(graph);
     let mut phases: Vec<PhaseStats> = Vec::new();
     let mut last_q = f64::NEG_INFINITY;
 
+    // The first phase runs on the caller's level (flat or compressed);
+    // coarse levels are always owned flat graphs.
+    let mut coarse: Option<Csr> = None;
     for _phase in 0..cfg.max_phases {
-        let phase_start = Instant::now();
-        let (comm, iterations) = one_phase(&level, cfg);
-        let (renum, num_comms) = renumber(&comm);
-
-        let q = modularity(&level, &renum);
-        phases.push(PhaseStats {
-            duration: phase_start.elapsed(),
-            vertices: level.num_vertices(),
-            edges: level.num_edges(),
-            iterations,
-            modularity: q,
-        });
-
-        // Fold this level's communities into the original-vertex mapping.
-        for g in global.iter_mut() {
-            *g = renum[*g as usize];
-        }
-
-        let no_merge = num_comms == level.num_vertices();
-        let small_gain = q - last_q < cfg.phase_gain_threshold;
-        last_q = q;
-        if no_merge || num_comms <= 1 {
-            break;
-        }
-        // SAFETY: `renum` densely renumbers communities into 0..num_comms
-        // immediately above, so the contraction cannot reject it.
-        let contraction =
-            contract(&level, &renum, num_comms).expect("renumbered assignment is valid");
-        level = Cow::Owned(contraction.coarse);
-        if small_gain {
-            break;
+        let next = match &coarse {
+            None => phase_step(graph, cfg, &mut global, &mut phases, &mut last_q),
+            Some(level) => phase_step(level, cfg, &mut global, &mut phases, &mut last_q),
+        };
+        match next {
+            Some(c) => coarse = Some(c),
+            None => break,
         }
     }
 
     let num_communities = global.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
-    let q = modularity(graph, &global);
+    let q = modularity_level(graph, &global);
     CommunityResult {
         assignment: global,
         num_communities,
         modularity: q,
         stats: LouvainStats { phases, threads },
     }
+}
+
+/// One phase of [`louvain_inner`]: move iterations, renumbering, stats,
+/// folding into the original-vertex mapping, and — unless a termination
+/// condition fires — contraction into the next level. Returns the coarse
+/// graph to continue on, or `None` to stop.
+fn phase_step<L: LouvainLevel>(
+    level: &L,
+    cfg: &LouvainConfig,
+    global: &mut [u32],
+    phases: &mut Vec<PhaseStats>,
+    last_q: &mut f64,
+) -> Option<Csr> {
+    let phase_start = Instant::now();
+    let (comm, iterations) = one_phase(level, cfg);
+    let (renum, num_comms) = renumber(&comm);
+
+    let q = modularity_level(level, &renum);
+    phases.push(PhaseStats {
+        duration: phase_start.elapsed(),
+        vertices: level.num_vertices(),
+        edges: level.num_edges(),
+        iterations,
+        modularity: q,
+    });
+
+    // Fold this level's communities into the original-vertex mapping.
+    for g in global.iter_mut() {
+        *g = renum[*g as usize];
+    }
+
+    let no_merge = num_comms == level.num_vertices();
+    let small_gain = q - *last_q < cfg.phase_gain_threshold;
+    *last_q = q;
+    if no_merge || num_comms <= 1 || small_gain {
+        return None;
+    }
+    // `renum` densely renumbers communities into 0..num_comms immediately
+    // above, so the contraction cannot reject it; if it somehow did,
+    // stopping at the current level is the graceful answer.
+    level.contract_level(&renum, num_comms)
 }
 
 /// [`louvain`] with run recording: emits per-phase wall times (span
@@ -309,12 +364,16 @@ impl MoveScratch {
     /// `comm`/`tot`, or [`NO_MOVE`]. Weights accumulate in neighbor-scan
     /// order and candidates are scored with the same arithmetic as the
     /// hash-map reference kernel, so the computed gains are identical floats
-    /// and both kernels select the same target community.
+    /// and both kernels select the same target community. Generic over the
+    /// level: compressed rows decode through `row` (reused scratch), flat
+    /// rows are read in place, and both accumulate the identical float
+    /// sequence.
     #[allow(clippy::too_many_arguments)]
-    fn propose(
+    fn propose<L: LouvainLevel>(
         &mut self,
-        level: &Csr,
+        level: &L,
         v: u32,
+        row: &mut Vec<u32>,
         comm: &[u32],
         tot: &[f64],
         k: &[f64],
@@ -326,24 +385,27 @@ impl MoveScratch {
         self.touched.clear();
         let cur = comm[v as usize];
         let mut self_to_cur = 0.0f64;
-        for (u, w) in level.weighted_neighbors(v) {
+        let weights = &mut self.weights;
+        let stamp = &mut self.stamp;
+        let touched = &mut self.touched;
+        level.for_each_weighted(v, row, |u, w| {
             if u == v {
-                continue;
+                return;
             }
             let cu = comm[u as usize];
             *loads += 2; // neighbor/community read + scatter-array access
             let ci = cu as usize;
-            if self.stamp[ci] == epoch {
-                self.weights[ci] += w;
+            if stamp[ci] == epoch {
+                weights[ci] += w;
             } else {
-                self.stamp[ci] = epoch;
-                self.weights[ci] = w;
-                self.touched.push(cu);
+                stamp[ci] = epoch;
+                weights[ci] = w;
+                touched.push(cu);
             }
             if cu == cur {
                 self_to_cur += w;
             }
-        }
+        });
         *loads += self.touched.len() as u64; // final scan of touched communities
         best_move(
             &self.touched,
@@ -551,8 +613,9 @@ fn best_move(
 /// label-swap protection parallel Louvain implementations employ. Returns
 /// whether the move was applied.
 #[allow(clippy::too_many_arguments)]
-fn apply_move(
-    level: &Csr,
+fn apply_move<L: LouvainLevel>(
+    level: &L,
+    row: &mut Vec<u32>,
     k: &[f64],
     m2: f64,
     comm: &mut [u32],
@@ -567,17 +630,20 @@ fn apply_move(
     }
     let mut w_to_target = 0.0f64;
     let mut w_to_cur = 0.0f64;
-    for (u, w) in level.weighted_neighbors(v) {
-        if u == v {
-            continue;
-        }
-        *loads += 1;
-        let cu = comm[u as usize];
-        if cu == c {
-            w_to_target += w;
-        } else if cu == cur {
-            w_to_cur += w;
-        }
+    {
+        let comm: &[u32] = comm;
+        level.for_each_weighted(v, row, |u, w| {
+            if u == v {
+                return;
+            }
+            *loads += 1;
+            let cu = comm[u as usize];
+            if cu == c {
+                w_to_target += w;
+            } else if cu == cur {
+                w_to_cur += w;
+            }
+        });
     }
     let kv = k[v as usize];
     let gain =
@@ -594,7 +660,7 @@ fn apply_move(
 /// Runs move iterations on one level until the modularity gain drops below
 /// the threshold. Returns the (non-renumbered) community assignment and the
 /// per-iteration stats.
-fn one_phase(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>) {
+fn one_phase<L: LouvainLevel>(level: &L, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>) {
     match cfg.kernel {
         MoveKernel::FlatScatter | MoveKernel::Blocked | MoveKernel::Packed => {
             one_phase_flat(level, cfg)
@@ -607,9 +673,12 @@ fn one_phase(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>
 /// [`one_phase_hashmap`] — same assignments, modularity trace, iteration
 /// counts, and `loads` accounting — but with no hashing and no per-vertex or
 /// per-iteration allocation on the hot path.
-fn one_phase_flat(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>) {
+fn one_phase_flat<L: LouvainLevel>(
+    level: &L,
+    cfg: &LouvainConfig,
+) -> (Vec<u32>, Vec<IterationStats>) {
     let n = level.num_vertices();
-    let ctx = ModularityContext::new(level);
+    let ctx = ModularityContext::from_level(level);
     let m2 = ctx.total; // 2m
     let mut comm: Vec<u32> = (0..n as u32).collect();
     let mut tot: Vec<f64> = ctx.k.clone();
@@ -617,7 +686,15 @@ fn one_phase_flat(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationS
     if n == 0 || m2 == 0.0 {
         return (comm, iterations);
     }
-    let mut prev_q = modularity(level, &comm);
+    let mut prev_q = modularity_level(level, &comm);
+    // The blocked and packed kernels address rows as slices; on levels
+    // without flat rows they fall back to the (bit-identical) flat scan,
+    // and the scratch is sized for the kernel that actually runs.
+    let flat = level.as_flat();
+    let kernel = match (cfg.kernel, flat) {
+        (MoveKernel::Blocked | MoveKernel::Packed, None) => MoveKernel::FlatScatter,
+        (k, _) => k,
+    };
 
     // One contiguous vertex span per worker. The scratch and the proposal
     // array are allocated once here and reused by every iteration; within a
@@ -625,8 +702,9 @@ fn one_phase_flat(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationS
     let workers = rayon::current_num_threads().clamp(1, n);
     let span = n.div_ceil(workers);
     let mut scratches: Vec<MoveScratch> =
-        (0..workers).map(|_| MoveScratch::for_kernel(n, cfg.kernel)).collect();
+        (0..workers).map(|_| MoveScratch::for_kernel(n, kernel)).collect();
     let mut proposals: Vec<u32> = vec![NO_MOVE; n];
+    let mut apply_row: Vec<u32> = Vec::new();
 
     for _iter in 0..cfg.max_iterations {
         let iter_start = Instant::now();
@@ -646,28 +724,30 @@ fn one_phase_flat(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationS
                 // Kernel dispatch is hoisted out of the per-vertex loop so
                 // each variant benches its own hot loop, not a per-vertex
                 // match.
-                match cfg.kernel {
-                    MoveKernel::Blocked => {
+                match (kernel, flat) {
+                    (MoveKernel::Blocked, Some(flat)) => {
                         for (i, slot) in slice.iter_mut().enumerate() {
                             let v = first + i as u32;
                             *slot = scratch.propose_blocked(
-                                level, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads,
+                                flat, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads,
                             );
                         }
                     }
-                    MoveKernel::Packed => {
+                    (MoveKernel::Packed, Some(flat)) => {
                         for (i, slot) in slice.iter_mut().enumerate() {
                             let v = first + i as u32;
                             *slot = scratch.propose_packed(
-                                level, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads,
+                                flat, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads,
                             );
                         }
                     }
                     _ => {
+                        let mut row: Vec<u32> = Vec::new();
                         for (i, slot) in slice.iter_mut().enumerate() {
                             let v = first + i as u32;
-                            *slot = scratch
-                                .propose(level, v, comm_snap, tot_snap, &ctx.k, m2, &mut loads);
+                            *slot = scratch.propose(
+                                level, v, &mut row, comm_snap, tot_snap, &ctx.k, m2, &mut loads,
+                            );
                         }
                     }
                 }
@@ -690,12 +770,13 @@ fn one_phase_flat(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationS
             if c == NO_MOVE {
                 continue;
             }
-            if apply_move(level, &ctx.k, m2, &mut comm, &mut tot, v, c, &mut loads) {
+            if apply_move(level, &mut apply_row, &ctx.k, m2, &mut comm, &mut tot, v, c, &mut loads)
+            {
                 num_moves += 1;
             }
         }
 
-        let q = modularity(level, &comm);
+        let q = modularity_level(level, &comm);
         iterations.push(IterationStats {
             duration: iter_start.elapsed(),
             moves: num_moves,
@@ -766,18 +847,20 @@ impl MoveScanner {
         if warm > 0 {
             let mut scratch = MoveScratch::for_kernel(n, MoveKernel::FlatScatter);
             let mut props: Vec<u32> = vec![NO_MOVE; n];
+            let mut row: Vec<u32> = Vec::new();
             let mut sink = 0u64;
             for _ in 0..warm {
                 for v in 0..n as u32 {
-                    props[v as usize] =
-                        scratch.propose(level, v, &comm, &tot, &ctx.k, ctx.total, &mut sink);
+                    props[v as usize] = scratch
+                        .propose(level, v, &mut row, &comm, &tot, &ctx.k, ctx.total, &mut sink);
                 }
                 let mut moves = 0usize;
                 for v in 0..n as u32 {
                     let c = props[v as usize];
                     if c != NO_MOVE
                         && apply_move(
-                            level, &ctx.k, ctx.total, &mut comm, &mut tot, v, c, &mut sink,
+                            level, &mut row, &ctx.k, ctx.total, &mut comm, &mut tot, v, c,
+                            &mut sink,
                         )
                     {
                         moves += 1;
@@ -830,10 +913,12 @@ impl MoveScanner {
                         }
                     }
                     _ => {
+                        let mut row: Vec<u32> = Vec::new();
                         for (i, slot) in slice.iter_mut().enumerate() {
                             let v = first + i as u32;
-                            *slot =
-                                scratch.propose(level, v, comm_snap, tot_snap, k, m2, &mut loads);
+                            *slot = scratch.propose(
+                                level, v, &mut row, comm_snap, tot_snap, k, m2, &mut loads,
+                            );
                         }
                     }
                 }
@@ -854,9 +939,12 @@ impl MoveScanner {
 /// and scan time.
 type ChunkProposals = (Vec<(u32, u32)>, u64, Duration);
 
-fn one_phase_hashmap(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<IterationStats>) {
+fn one_phase_hashmap<L: LouvainLevel>(
+    level: &L,
+    cfg: &LouvainConfig,
+) -> (Vec<u32>, Vec<IterationStats>) {
     let n = level.num_vertices();
-    let ctx = ModularityContext::new(level);
+    let ctx = ModularityContext::from_level(level);
     let m2 = ctx.total; // 2m
     let mut comm: Vec<u32> = (0..n as u32).collect();
     let mut tot: Vec<f64> = ctx.k.clone();
@@ -864,7 +952,8 @@ fn one_phase_hashmap(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<Iterati
     if n == 0 || m2 == 0.0 {
         return (comm, iterations);
     }
-    let mut prev_q = modularity(level, &comm);
+    let mut prev_q = modularity_level(level, &comm);
+    let mut apply_row: Vec<u32> = Vec::new();
 
     for _iter in 0..cfg.max_iterations {
         let iter_start = Instant::now();
@@ -881,14 +970,15 @@ fn one_phase_hashmap(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<Iterati
                 let mut loads = 0u64;
                 let mut moves: Vec<(u32, u32)> = Vec::new();
                 let mut weights: HashMap<u32, f64> = HashMap::new();
+                let mut row: Vec<u32> = Vec::new();
                 for v in vertices {
                     let v = v as u32;
                     let cur = comm[v as usize];
                     weights.clear();
                     let mut self_to_cur = 0.0f64;
-                    for (u, w) in level.weighted_neighbors(v) {
+                    level.for_each_weighted(v, &mut row, |u, w| {
                         if u == v {
-                            continue;
+                            return;
                         }
                         let cu = comm[u as usize];
                         loads += 2; // neighbor/community read + map access
@@ -897,7 +987,7 @@ fn one_phase_hashmap(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<Iterati
                         if cu == cur {
                             self_to_cur += w;
                         }
-                    }
+                    });
                     loads += weights.len() as u64; // final scan of the map
                     let kv = ctx.k[v as usize];
                     let tot_cur_less = tot[cur as usize] - kv;
@@ -942,13 +1032,23 @@ fn one_phase_hashmap(level: &Csr, cfg: &LouvainConfig) -> (Vec<u32>, Vec<Iterati
             loads += l;
             busy += b;
             for (v, c) in moves {
-                if apply_move(level, &ctx.k, m2, &mut comm, &mut tot, v, c, &mut loads) {
+                if apply_move(
+                    level,
+                    &mut apply_row,
+                    &ctx.k,
+                    m2,
+                    &mut comm,
+                    &mut tot,
+                    v,
+                    c,
+                    &mut loads,
+                ) {
                     num_moves += 1;
                 }
             }
         }
 
-        let q = modularity(level, &comm);
+        let q = modularity_level(level, &comm);
         iterations.push(IterationStats {
             duration: iter_start.elapsed(),
             moves: num_moves,
@@ -986,6 +1086,7 @@ fn renumber(comm: &[u32]) -> (Vec<u32>, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::modularity::modularity;
     use reorderlab_datasets::{clique_chain, complete, grid2d, path};
     use reorderlab_graph::GraphBuilder;
 
@@ -1238,6 +1339,65 @@ mod tests {
         let g = b.build().unwrap();
         assert_kernels_equivalent(&g, 1);
         assert_kernels_equivalent(&g, 7);
+    }
+
+    /// Asserts [`louvain_compressed`] on the compressed form of `g` is
+    /// bit-identical to [`louvain`] on the flat form, for every kernel:
+    /// assignment, final modularity, per-phase iteration counts,
+    /// per-iteration modularity trace, move counts, and `loads`.
+    fn assert_compressed_matches_flat(g: &Csr, threads: usize) {
+        let cz = CompressedCsr::from_csr(g).expect("builder rows are sorted");
+        for kernel in MoveKernel::ALL {
+            let cfg = LouvainConfig::default().threads(threads).kernel(kernel);
+            let flat = louvain(g, &cfg);
+            let packed = louvain_compressed(&cz, &cfg);
+            let tag = kernel.name();
+            assert_eq!(packed.assignment, flat.assignment, "kernel {tag}");
+            assert_eq!(packed.num_communities, flat.num_communities, "kernel {tag}");
+            assert_eq!(packed.modularity.to_bits(), flat.modularity.to_bits(), "kernel {tag}");
+            assert_eq!(packed.stats.phases.len(), flat.stats.phases.len(), "kernel {tag}");
+            for (pc, pf) in packed.stats.phases.iter().zip(&flat.stats.phases) {
+                assert_eq!(pc.vertices, pf.vertices, "kernel {tag}");
+                assert_eq!(pc.edges, pf.edges, "kernel {tag}");
+                assert_eq!(pc.iterations.len(), pf.iterations.len(), "kernel {tag}");
+                assert_eq!(pc.modularity.to_bits(), pf.modularity.to_bits(), "kernel {tag}");
+                for (ci, fi) in pc.iterations.iter().zip(&pf.iterations) {
+                    assert_eq!(ci.moves, fi.moves, "kernel {tag}");
+                    assert_eq!(ci.modularity.to_bits(), fi.modularity.to_bits(), "kernel {tag}");
+                    assert_eq!(
+                        ci.loads, fi.loads,
+                        "kernel {tag}: work-per-edge accounting must match"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_louvain_bit_identical_at_acceptance_thread_counts() {
+        // The acceptance criterion: Louvain on the compressed form is
+        // proven bit-identical to the flat oracle at 1, 2, and 7 threads.
+        let spec = reorderlab_datasets::by_name("rovira").expect("suite instance exists");
+        for g in [clique_chain(5, 6), grid2d(12, 12), spec.generate()] {
+            for threads in [1usize, 2, 7] {
+                assert_compressed_matches_flat(&g, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_louvain_matches_flat_on_weighted_graph() {
+        let g = GraphBuilder::undirected(6)
+            .weighted_edge(0, 1, 10.0)
+            .weighted_edge(1, 2, 0.5)
+            .weighted_edge(2, 3, 10.0)
+            .weighted_edge(3, 4, 0.5)
+            .weighted_edge(4, 5, 10.0)
+            .weighted_edge(5, 0, 0.5)
+            .build()
+            .unwrap();
+        assert_compressed_matches_flat(&g, 1);
+        assert_compressed_matches_flat(&g, 2);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `2w` on the diagonal. Thus `k_i = Σ_j A_ij` equals the weighted degree
 //! plus the self-loop weight counted twice, and `2m = Σ_i k_i`.
 
+use crate::level::LouvainLevel;
 use reorderlab_graph::Csr;
 
 /// Per-vertex modularity bookkeeping for a weighted graph.
@@ -21,19 +22,27 @@ pub struct ModularityContext {
 impl ModularityContext {
     /// Precomputes degrees and totals for `graph`.
     pub fn new(graph: &Csr) -> Self {
-        let n = graph.num_vertices();
+        Self::from_level(graph)
+    }
+
+    /// [`ModularityContext::new`] over any [`LouvainLevel`] — flat and
+    /// compressed levels accumulate the identical float sequence (row
+    /// order), so the contexts match bit for bit.
+    pub(crate) fn from_level<L: LouvainLevel>(level: &L) -> Self {
+        let n = level.num_vertices();
         let mut k = vec![0.0f64; n];
         let mut self_weight = vec![0.0f64; n];
+        let mut row: Vec<u32> = Vec::new();
         for v in 0..n as u32 {
             let mut kv = 0.0;
-            for (u, w) in graph.weighted_neighbors(v) {
+            level.for_each_weighted(v, &mut row, |u, w| {
                 if u == v {
                     self_weight[v as usize] = w;
                     kv += 2.0 * w;
                 } else {
                     kv += w;
                 }
-            }
+            });
             k[v as usize] = kv;
         }
         let total = k.iter().sum();
@@ -53,25 +62,32 @@ impl ModularityContext {
 ///
 /// Panics if `assignment` does not cover every vertex.
 pub fn modularity(graph: &Csr, assignment: &[u32]) -> f64 {
-    let n = graph.num_vertices();
+    modularity_level(graph, assignment)
+}
+
+/// [`modularity`] over any [`LouvainLevel`]; the engine scores compressed
+/// first phases and flat coarse levels through the same accumulation.
+pub(crate) fn modularity_level<L: LouvainLevel>(level: &L, assignment: &[u32]) -> f64 {
+    let n = level.num_vertices();
     assert_eq!(assignment.len(), n, "assignment must cover every vertex");
-    let ctx = ModularityContext::new(graph);
+    let ctx = ModularityContext::from_level(level);
     if ctx.total == 0.0 {
         return 0.0;
     }
     let num_comms = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
     let mut internal = vec![0.0f64; num_comms];
     let mut tot = vec![0.0f64; num_comms];
+    let mut row: Vec<u32> = Vec::new();
     for v in 0..n as u32 {
         let cv = assignment[v as usize] as usize;
         tot[cv] += ctx.k[v as usize];
-        for (u, w) in graph.weighted_neighbors(v) {
+        level.for_each_weighted(v, &mut row, |u, w| {
             if u == v {
                 internal[cv] += 2.0 * w; // diagonal convention
             } else if assignment[u as usize] as usize == cv {
                 internal[cv] += w; // counted once from each endpoint
             }
-        }
+        });
     }
     let m2 = ctx.total;
     internal.iter().zip(&tot).map(|(&inc, &t)| inc / m2 - (t / m2).powi(2)).sum()

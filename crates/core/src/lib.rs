@@ -37,7 +37,7 @@ mod scheme;
 pub mod schemes;
 
 pub use error::{MeasureError, SchemeError};
-pub use measures::{GapDistribution, GapMeasures, PerformanceProfile};
+pub use measures::{CompressionMeasures, GapDistribution, GapMeasures, PerformanceProfile};
 pub use scheme::Scheme;
 
 #[cfg(test)]

@@ -1,0 +1,136 @@
+//! Bits-per-edge: the storage cost a vertex ordering actually buys.
+//!
+//! The gap measures (§II-A) are motivated partly by compression — small
+//! gaps varint-encode in fewer bytes (MinLogA, §III-A) — but they only
+//! *bound* the cost. This module reports the realized cost: the exact
+//! byte size of the delta/varint gap stream
+//! (`reorderlab_graph::CompressedCsr`) the ordering induces, normalized
+//! per stored arc. It sits next to ξ̂ and β̂ in the measure tables, and
+//! `avg_log_gap` is its information-theoretic lower bound.
+//!
+//! Only the gap stream is counted: offsets and weights are
+//! order-invariant, so including them would just add a constant that
+//! dilutes the comparison between schemes.
+
+use crate::error::MeasureError;
+use reorderlab_graph::{permuted_gap_bytes, Csr, Permutation};
+
+/// The compression footprint of one ordering of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionMeasures {
+    /// Exact size in bytes of the LEB128 gap stream under the ordering
+    /// (first target, then deltas, per sorted row).
+    pub gap_bytes: u64,
+    /// `8 · gap_bytes / max(arcs, 1)` — bits of gap stream per stored
+    /// arc. Lower is better; 8.0 is the varint floor (every arc costs at
+    /// least one byte), so values near 8 mean the ordering has squeezed
+    /// almost every gap into a single byte.
+    pub bits_per_edge: f64,
+}
+
+/// Computes the compression footprint of `graph` relabeled by `pi`,
+/// without materializing the permuted graph.
+///
+/// Exactly equals compressing the permuted graph: the result matches
+/// `CompressedCsr::from_csr(&graph.permuted(pi)?)` →
+/// [`reorderlab_graph::CompressedCsr::gap_bytes`] /
+/// [`reorderlab_graph::CompressedCsr::bits_per_edge`] bit for bit.
+///
+/// Unlike the gap measures there is no panicking twin: this measure is
+/// only reached through `Result`-plumbed pipelines (the `measure
+/// compression` op), so the fallible form is the whole API.
+///
+/// # Errors
+///
+/// [`MeasureError::PermutationMismatch`] when `pi.len() != n`.
+///
+/// # Examples
+///
+/// ```
+/// use reorderlab_core::measures::try_compression_measures;
+/// use reorderlab_graph::{GraphBuilder, Permutation};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A path in natural order: every gap fits one varint byte.
+/// let g = GraphBuilder::undirected(64)
+///     .edges((0..63).map(|i| (i, i + 1)))
+///     .build()?;
+/// let natural = try_compression_measures(&g, &Permutation::identity(64))?;
+/// let reversed = try_compression_measures(&g, &Permutation::identity(64).reversed())?;
+/// // Reversal preserves locality, so both orders price every arc at ~1 byte.
+/// assert_eq!(natural.gap_bytes, reversed.gap_bytes);
+/// assert!(natural.bits_per_edge <= 9.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn try_compression_measures(
+    graph: &Csr,
+    pi: &Permutation,
+) -> Result<CompressionMeasures, MeasureError> {
+    let gap_bytes = permuted_gap_bytes(graph, pi).ok_or(MeasureError::PermutationMismatch {
+        permutation_len: pi.len(),
+        num_vertices: graph.num_vertices(),
+    })?;
+    let arcs = graph.num_arcs().max(1);
+    Ok(CompressionMeasures { gap_bytes, bits_per_edge: 8.0 * gap_bytes as f64 / arcs as f64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::try_gap_measures;
+    use reorderlab_graph::{CompressedCsr, GraphBuilder};
+
+    fn sample() -> Csr {
+        GraphBuilder::undirected(7)
+            .edges([(0, 3), (0, 4), (0, 5), (1, 4), (1, 6), (2, 4), (2, 5), (2, 6), (3, 5), (5, 6)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_materialized_compression() {
+        let g = sample();
+        for pi in [
+            Permutation::identity(7),
+            Permutation::from_ranks(vec![4, 0, 2, 6, 1, 5, 3]).unwrap(),
+            Permutation::identity(7).reversed(),
+        ] {
+            let m = try_compression_measures(&g, &pi).unwrap();
+            let h = g.permuted(&pi).unwrap();
+            let cz = CompressedCsr::from_csr(&h).unwrap();
+            assert_eq!(m.gap_bytes, cz.gap_bytes() as u64);
+            assert_eq!(m.bits_per_edge, cz.bits_per_edge());
+        }
+    }
+
+    #[test]
+    fn avg_log_gap_lower_bounds_bits_per_edge() {
+        let g = sample();
+        for pi in [Permutation::identity(7), Permutation::identity(7).reversed()] {
+            let gaps = try_gap_measures(&g, &pi).unwrap();
+            let comp = try_compression_measures(&g, &pi).unwrap();
+            assert!(
+                gaps.avg_log_gap <= comp.bits_per_edge,
+                "log bound {} must not exceed realized {}",
+                gaps.avg_log_gap,
+                comp.bits_per_edge
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_permutation_is_a_typed_error() {
+        let g = sample();
+        let err = try_compression_measures(&g, &Permutation::identity(6)).unwrap_err();
+        assert!(matches!(err, MeasureError::PermutationMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_graph_prices_at_zero() {
+        let g = GraphBuilder::undirected(0).build().unwrap();
+        let m = try_compression_measures(&g, &Permutation::identity(0)).unwrap();
+        assert_eq!(m.gap_bytes, 0);
+        assert_eq!(m.bits_per_edge, 0.0);
+    }
+}

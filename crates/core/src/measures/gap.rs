@@ -26,7 +26,12 @@ fn check_cover(graph: &Csr, pi: &Permutation) -> Result<(), MeasureError> {
     Ok(())
 }
 
-/// The three global gap measures the paper evaluates orderings on (§V).
+/// The four global gap measures the paper evaluates orderings on (§V).
+///
+/// `avg_log_gap` is also a storage bound: it lower-bounds the realized
+/// varint cost per arc that [`crate::measures::try_compression_measures`]
+/// reports as `bits_per_edge` (a gap `ξ` needs at least `log2(1 + ξ)`
+/// bits under any prefix-free gap code).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GapMeasures {
     /// Average gap profile ξ̂: mean `|Π(i) − Π(j)|` over edges (0 for an
@@ -42,7 +47,7 @@ pub struct GapMeasures {
     pub avg_log_gap: f64,
 }
 
-/// Computes all three gap measures of `graph` under `pi`.
+/// Computes all four gap measures of `graph` under `pi`.
 ///
 /// Self loops have gap 0 and participate like any other edge.
 ///

@@ -145,25 +145,27 @@ impl From<std::io::Error> for BinCsrError {
 }
 
 /// Streaming FNV-1a 64-bit hasher — dependency-free and byte-exact across
-/// platforms, which is all a corruption check and cache key need.
-struct Fnv64(u64);
+/// platforms, which is all a corruption check and cache key need. Shared
+/// with the compressed `.csrz` container (`crate::compressed`), which
+/// checksums its streams with exactly the same function.
+pub(crate) struct Fnv64(u64);
 
 impl Fnv64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv64(Self::OFFSET)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -295,19 +297,15 @@ pub fn csr_digest(graph: &Csr) -> u64 {
 /// (initial reserve capped by `MAX_TRUSTED_RESERVE`) so a forged header
 /// cannot force a huge allocation before the stream proves it has the
 /// bytes.
-fn read_payload<R: Read>(reader: &mut R, expected: u64) -> Result<Vec<u8>, BinCsrError> {
-    let cap = usize::try_from(expected.min(
-        u64::try_from(MAX_TRUSTED_RESERVE).unwrap_or(u64::MAX),
-    ))
-    .unwrap_or(MAX_TRUSTED_RESERVE);
+pub(crate) fn read_payload<R: Read>(reader: &mut R, expected: u64) -> Result<Vec<u8>, BinCsrError> {
+    let cap = usize::try_from(expected.min(u64::try_from(MAX_TRUSTED_RESERVE).unwrap_or(u64::MAX)))
+        .unwrap_or(MAX_TRUSTED_RESERVE);
     let mut buf: Vec<u8> = Vec::with_capacity(cap);
     let mut chunk = [0u8; 64 * 1024];
     let mut remaining = expected;
     while remaining > 0 {
-        let want = usize::try_from(remaining.min(
-            u64::try_from(chunk.len()).unwrap_or(u64::MAX),
-        ))
-        .unwrap_or(chunk.len());
+        let want = usize::try_from(remaining.min(u64::try_from(chunk.len()).unwrap_or(u64::MAX)))
+            .unwrap_or(chunk.len());
         let Some(window) = chunk.get_mut(..want) else {
             // Unreachable: `want` is clamped to the chunk length above.
             break;
@@ -324,7 +322,7 @@ fn read_payload<R: Read>(reader: &mut R, expected: u64) -> Result<Vec<u8>, BinCs
 
 /// Little-endian u64 from a (possibly short) byte window; short windows
 /// zero-fill, which the checksum pass has already ruled out on real input.
-fn le_u64(bytes: &[u8]) -> u64 {
+pub(crate) fn le_u64(bytes: &[u8]) -> u64 {
     let mut raw = [0u8; 8];
     for (slot, b) in raw.iter_mut().zip(bytes) {
         *slot = *b;
@@ -332,7 +330,7 @@ fn le_u64(bytes: &[u8]) -> u64 {
     u64::from_le_bytes(raw)
 }
 
-fn le_u32(bytes: &[u8]) -> u32 {
+pub(crate) fn le_u32(bytes: &[u8]) -> u32 {
     let mut raw = [0u8; 4];
     for (slot, b) in raw.iter_mut().zip(bytes) {
         *slot = *b;
@@ -398,9 +396,8 @@ pub fn read_binary_csr<R: Read>(reader: &mut R) -> Result<Csr, BinCsrError> {
         return Err(BinCsrError::Inconsistent { message: format!("unknown flags {flags:#x}") });
     }
 
-    let offsets_len = n
-        .checked_add(1)
-        .ok_or(BinCsrError::TooLarge { field: "num_vertices", value: n })?;
+    let offsets_len =
+        n.checked_add(1).ok_or(BinCsrError::TooLarge { field: "num_vertices", value: n })?;
     let payload_len = offsets_len
         .checked_mul(8)
         .and_then(|x| x.checked_add(arcs.checked_mul(4)?))
@@ -422,8 +419,8 @@ pub fn read_binary_csr<R: Read>(reader: &mut R) -> Result<Csr, BinCsrError> {
         .ok()
         .and_then(|x| x.checked_add(1).map(|_| x))
         .ok_or(BinCsrError::TooLarge { field: "num_vertices", value: n })?;
-    let arcs_usize =
-        usize::try_from(arcs).map_err(|_| BinCsrError::TooLarge { field: "num_arcs", value: arcs })?;
+    let arcs_usize = usize::try_from(arcs)
+        .map_err(|_| BinCsrError::TooLarge { field: "num_arcs", value: arcs })?;
     let edges_usize = usize::try_from(edges)
         .map_err(|_| BinCsrError::TooLarge { field: "num_edges", value: edges })?;
     let vertex_bound = u32::try_from(n).map_err(|_| BinCsrError::Inconsistent {
@@ -439,12 +436,7 @@ pub fn read_binary_csr<R: Read>(reader: &mut R) -> Result<Csr, BinCsrError> {
 
     let mut offsets: Vec<usize> = Vec::with_capacity(n_usize + 1);
     let mut prev = 0u64;
-    for (i, raw) in take(
-        (n_usize + 1).saturating_mul(8),
-    )
-    .chunks_exact(8)
-    .enumerate()
-    {
+    for (i, raw) in take((n_usize + 1).saturating_mul(8)).chunks_exact(8).enumerate() {
         let off = le_u64(raw);
         if off < prev {
             return Err(BinCsrError::Inconsistent {
@@ -462,9 +454,7 @@ pub fn read_binary_csr<R: Read>(reader: &mut R) -> Result<Csr, BinCsrError> {
         });
     }
     if offsets.first().copied() != Some(0) {
-        return Err(BinCsrError::Inconsistent {
-            message: "offsets must start at 0".to_string(),
-        });
+        return Err(BinCsrError::Inconsistent { message: "offsets must start at 0".to_string() });
     }
     if offsets.last().copied() != Some(arcs_usize) {
         return Err(BinCsrError::Inconsistent {
@@ -597,10 +587,7 @@ mod tests {
         write_binary_csr(&g, &mut buf).unwrap();
         for len in [0, 7, HEADER_LEN - 1, HEADER_LEN, buf.len() - 1] {
             let err = read_binary_csr(&mut &buf[..len]).unwrap_err();
-            assert!(
-                matches!(err, BinCsrError::Truncated { .. }),
-                "prefix of {len} bytes: {err:?}"
-            );
+            assert!(matches!(err, BinCsrError::Truncated { .. }), "prefix of {len} bytes: {err:?}");
         }
     }
 

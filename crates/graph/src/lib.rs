@@ -36,6 +36,7 @@ mod builder;
 pub mod cast;
 mod coarsen;
 mod components;
+mod compressed;
 mod csr;
 mod determinism;
 mod error;
@@ -54,6 +55,10 @@ pub use binfmt::{
 pub use builder::{DuplicatePolicy, GraphBuilder, SelfLoopPolicy};
 pub use coarsen::{contract, contract_serial, Contraction};
 pub use components::{Components, UnionFind};
+pub use compressed::{
+    permuted_gap_bytes, read_compressed_csr, write_compressed_csr, CompressError, CompressedCsr,
+    GapNeighbors, COMPRESSED_CSR_EXTENSION, COMPRESSED_CSR_MAGIC, COMPRESSED_CSR_VERSION,
+};
 pub use csr::{Csr, Edges};
 pub use determinism::{assert_thread_invariant, build_pool, det_sum_f64};
 pub use error::{GraphError, PermutationDefect};

@@ -18,8 +18,8 @@ fn encode(graph: &reorderlab_graph::Csr) -> Vec<u8> {
 fn every_degenerate_case_round_trips_exactly() {
     for case in degenerate_suite() {
         let bytes = encode(&case.graph);
-        let back = read_binary_csr(&mut bytes.as_slice())
-            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let back =
+            read_binary_csr(&mut bytes.as_slice()).unwrap_or_else(|e| panic!("{}: {e}", case.name));
         assert_eq!(back, case.graph, "{}", case.name);
         assert_eq!(csr_digest(&back), csr_digest(&case.graph), "{}", case.name);
     }

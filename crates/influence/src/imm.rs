@@ -7,7 +7,7 @@ use crate::config::ImmConfig;
 use crate::greedy::celf_max_coverage;
 use crate::rrset::{RrSampler, RrTrace, SampleScratch};
 use rayon::prelude::*;
-use reorderlab_graph::Csr;
+use reorderlab_graph::{CompressError, CompressedCsr, Csr};
 use std::time::{Duration, Instant};
 
 /// Instrumentation from one IMM run — the quantities behind the paper's
@@ -73,9 +73,46 @@ fn imm_inner(graph: &Csr, cfg: &ImmConfig) -> ImmResult {
     if n == 0 {
         return ImmResult { seeds: Vec::new(), influence_estimate: 0.0, stats: empty_stats() };
     }
-    let k = cfg.k.min(n);
     let sampler = RrSampler::with_kernel(graph, cfg.model, cfg.kernel);
+    imm_core(n, &sampler, cfg, start)
+}
 
+/// [`imm`] running directly on the compressed form: every reverse BFS of
+/// the sampling phase streams in-neighbors from the varint gap bytes.
+///
+/// Bit-identical to [`imm`] on the [`CompressedCsr::decode`] of the same
+/// graph — seed sets, RR-set counts, and traversal counters all match
+/// exactly, at any thread count (only the wall-clock stats differ).
+///
+/// # Errors
+///
+/// [`CompressError::UnsortedRow`] — provably unreachable (see
+/// [`RrSampler::with_kernel_compressed`]), surfaced as a typed error
+/// rather than a panic.
+pub fn imm_compressed(cz: &CompressedCsr, cfg: &ImmConfig) -> Result<ImmResult, CompressError> {
+    if cfg.threads == 0 {
+        imm_compressed_inner(cz, cfg)
+    } else {
+        let pool = reorderlab_graph::build_pool(cfg.threads);
+        pool.install(|| imm_compressed_inner(cz, cfg))
+    }
+}
+
+fn imm_compressed_inner(cz: &CompressedCsr, cfg: &ImmConfig) -> Result<ImmResult, CompressError> {
+    let start = Instant::now();
+    let n = cz.num_vertices();
+    if n == 0 {
+        return Ok(ImmResult { seeds: Vec::new(), influence_estimate: 0.0, stats: empty_stats() });
+    }
+    let sampler = RrSampler::with_kernel_compressed(cz, cfg.model, cfg.kernel)?;
+    Ok(imm_core(n, &sampler, cfg, start))
+}
+
+/// The shared IMM driver: both entry points delegate here once the sampler
+/// is built, so flat and compressed runs execute the identical martingale
+/// schedule over identical `(seed, index)` sample streams.
+fn imm_core(n: usize, sampler: &RrSampler, cfg: &ImmConfig, start: Instant) -> ImmResult {
+    let k = cfg.k.min(n);
     let nf = n as f64;
     let ln_n = nf.ln().max(1.0);
     // ℓ is inflated by ln 2 / ln n so the union bound over both IMM phases
@@ -98,7 +135,7 @@ fn imm_inner(graph: &Csr, cfg: &ImmConfig) -> ImmResult {
     for i in 1..=max_rounds {
         let x = nf / 2f64.powi(i as i32);
         let theta_i = (lambda_prime / x).ceil() as usize;
-        sampling_time += extend_samples(&sampler, cfg, &mut rr_sets, theta_i, &mut trace);
+        sampling_time += extend_samples(sampler, cfg, &mut rr_sets, theta_i, &mut trace);
         let cov = celf_max_coverage(&rr_sets, n, k);
         let frac = cov.covered as f64 / rr_sets.len() as f64;
         if nf * frac >= (1.0 + eps_prime) * x {
@@ -112,7 +149,7 @@ fn imm_inner(graph: &Csr, cfg: &ImmConfig) -> ImmResult {
     let beta = ((1.0 - 1.0 / e) * (log_cnk + ell * ln_n + 2f64.ln())).sqrt();
     let lambda_star = 2.0 * nf * ((1.0 - 1.0 / e) * alpha + beta).powi(2) / (eps * eps);
     let theta = (lambda_star / lb).ceil() as usize;
-    sampling_time += extend_samples(&sampler, cfg, &mut rr_sets, theta, &mut trace);
+    sampling_time += extend_samples(sampler, cfg, &mut rr_sets, theta, &mut trace);
 
     let sel_start = Instant::now();
     // CELF lazy greedy: provably identical output to plain greedy (see
@@ -390,6 +427,34 @@ mod tests {
             assert_eq!(classic.stats.edges_examined, split.stats.edges_examined);
             assert_eq!(classic.stats.vertices_visited, split.stats.vertices_visited);
         }
+    }
+
+    #[test]
+    fn compressed_imm_bit_identical_at_acceptance_thread_counts() {
+        // The acceptance criterion: IMM over the compressed form matches
+        // the flat oracle bit for bit at 1, 2, and 7 threads.
+        use reorderlab_graph::CompressedCsr;
+        let g = erdos_renyi_gnm(150, 400, 9);
+        let cz = CompressedCsr::from_csr(&g).unwrap();
+        for threads in [1usize, 2, 7] {
+            let cfg = quick_cfg(3).threads(threads);
+            let flat = imm(&g, &cfg);
+            let packed = imm_compressed(&cz, &cfg).unwrap();
+            assert_eq!(flat.seeds, packed.seeds, "{threads} threads");
+            assert_eq!(flat.influence_estimate, packed.influence_estimate);
+            assert_eq!(flat.stats.rr_sets, packed.stats.rr_sets);
+            assert_eq!(flat.stats.edges_examined, packed.stats.edges_examined);
+            assert_eq!(flat.stats.vertices_visited, packed.stats.vertices_visited);
+        }
+    }
+
+    #[test]
+    fn compressed_imm_empty_graph() {
+        use reorderlab_graph::CompressedCsr;
+        let g = GraphBuilder::undirected(0).build().unwrap();
+        let cz = CompressedCsr::from_csr(&g).unwrap();
+        let r = imm_compressed(&cz, &ImmConfig::new(1).threads(1)).unwrap();
+        assert!(r.seeds.is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod simulate;
 
 pub use config::{DiffusionModel, ImmConfig, SampleKernel};
 pub use greedy::{celf_max_coverage, greedy_max_coverage, Coverage};
-pub use imm::{imm, imm_recorded, record_sampling_stats, ImmResult, SamplingStats};
+pub use imm::{imm, imm_compressed, imm_recorded, record_sampling_stats, ImmResult, SamplingStats};
 pub use rrset::{RrSampler, RrTrace, SampleScratch};
 pub use simulate::{estimate_spread, SpreadEstimate};
 

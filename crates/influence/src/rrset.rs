@@ -8,15 +8,74 @@
 use crate::config::{DiffusionModel, SampleKernel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use reorderlab_graph::Csr;
+use reorderlab_graph::{CompressError, CompressedCsr, Csr, GapNeighbors};
+
+/// The reverse adjacency a sampler traverses: a flat CSR or the
+/// delta/varint-compressed form. Both iterate any row's in-neighbors in
+/// the identical (sorted) order, so the RNG coin stream — and therefore
+/// every sampled set — is independent of the representation.
+#[derive(Debug, Clone)]
+enum Adjacency {
+    /// Flat rows, read in place.
+    Flat(Csr),
+    /// Compressed rows, streamed zero-copy from the gap bytes.
+    Compressed(CompressedCsr),
+}
+
+/// Enum-dispatched in-neighbor stream over either representation.
+enum RowIter<'a> {
+    Flat(std::iter::Copied<std::slice::Iter<'a, u32>>),
+    Compressed(GapNeighbors<'a>),
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            RowIter::Flat(it) => it.next(),
+            RowIter::Compressed(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowIter::Flat(it) => it.size_hint(),
+            RowIter::Compressed(it) => it.size_hint(),
+        }
+    }
+}
+
+impl Adjacency {
+    fn num_vertices(&self) -> usize {
+        match self {
+            Adjacency::Flat(g) => g.num_vertices(),
+            Adjacency::Compressed(cz) => cz.num_vertices(),
+        }
+    }
+
+    fn degree(&self, v: u32) -> usize {
+        match self {
+            Adjacency::Flat(g) => g.degree(v),
+            Adjacency::Compressed(cz) => cz.degree(v),
+        }
+    }
+
+    fn iter_row(&self, v: u32) -> RowIter<'_> {
+        match self {
+            Adjacency::Flat(g) => RowIter::Flat(g.neighbors(v).iter().copied()),
+            Adjacency::Compressed(cz) => RowIter::Compressed(cz.neighbors(v)),
+        }
+    }
+}
 
 /// A sampler bound to one graph, holding the transpose used for reverse
 /// traversals.
 #[derive(Debug, Clone)]
 pub struct RrSampler {
-    /// Reverse adjacency: `transpose.neighbors(v)` are the in-neighbors of
-    /// `v` (for undirected graphs this equals the forward adjacency).
-    transpose: Csr,
+    /// Reverse adjacency: the in-neighbors of every vertex (for undirected
+    /// graphs this equals the forward adjacency), flat or compressed.
+    transpose: Adjacency,
     model: DiffusionModel,
     kernel: SampleKernel,
     /// `hub_slot[v]` is `v`'s index into the compact hub stamp array, or
@@ -140,7 +199,7 @@ impl RrSampler {
     /// Prepares a sampler using the given iteration kernel. Both kernels
     /// draw bit-identical sets and traces (pinned by differential tests).
     pub fn with_kernel(graph: &Csr, model: DiffusionModel, kernel: SampleKernel) -> Self {
-        let transpose = graph.transposed();
+        let transpose = Adjacency::Flat(graph.transposed());
         let (hub_slot, num_hubs) = match kernel {
             SampleKernel::Classic => (Vec::new(), 0),
             SampleKernel::HubSplit => hub_partition(&transpose),
@@ -148,15 +207,49 @@ impl RrSampler {
         RrSampler { transpose, model, kernel, hub_slot, num_hubs }
     }
 
+    /// [`RrSampler::with_kernel`] over the compressed form: the reverse
+    /// BFS streams in-neighbors straight from the varint gap bytes, never
+    /// materializing flat rows. Draws sets and traces bit-identical to a
+    /// flat sampler over the same graph — row order (and therefore the
+    /// RNG coin stream) is representation-independent.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::UnsortedRow`] — provably unreachable (the
+    /// transpose of a decoded graph always has sorted rows), surfaced as
+    /// a typed error rather than a panic to keep library code panic-free.
+    pub fn with_kernel_compressed(
+        cz: &CompressedCsr,
+        model: DiffusionModel,
+        kernel: SampleKernel,
+    ) -> Result<Self, CompressError> {
+        // Undirected adjacency is symmetric: reuse the caller's gap
+        // streams. Directed graphs transpose once (flat, then recompress).
+        let transpose = if cz.is_directed() {
+            Adjacency::Compressed(CompressedCsr::from_csr(&cz.decode().transposed())?)
+        } else {
+            Adjacency::Compressed(cz.clone())
+        };
+        let (hub_slot, num_hubs) = match kernel {
+            SampleKernel::Classic => (Vec::new(), 0),
+            SampleKernel::HubSplit => hub_partition(&transpose),
+        };
+        Ok(RrSampler { transpose, model, kernel, hub_slot, num_hubs })
+    }
+
     /// The number of vertices of the underlying graph.
     pub fn num_vertices(&self) -> usize {
         self.transpose.num_vertices()
     }
 
-    /// The transpose graph the sampler traverses (exposed for the memory-
-    /// replay workloads that model this routine's cache behaviour).
-    pub fn transpose(&self) -> &Csr {
-        &self.transpose
+    /// The flat transpose graph the sampler traverses, when it holds one
+    /// (exposed for the memory-replay workloads that model this routine's
+    /// cache behaviour). `None` for compressed samplers.
+    pub fn transpose(&self) -> Option<&Csr> {
+        match &self.transpose {
+            Adjacency::Flat(g) => Some(g),
+            Adjacency::Compressed(_) => None,
+        }
     }
 
     /// Samples the RR set with the given index into a freshly allocated
@@ -237,7 +330,7 @@ impl RrSampler {
         while head < scratch.set.len() {
             let v = scratch.set[head];
             head += 1;
-            for &u in self.transpose.neighbors(v) {
+            for u in self.transpose.iter_row(v) {
                 trace.edges_examined += 1;
                 if !scratch.is_visited(u) && live(v, rng.gen::<f64>()) {
                     scratch.visit(u);
@@ -264,7 +357,7 @@ impl RrSampler {
         while head < scratch.set.len() {
             let v = scratch.set[head];
             head += 1;
-            for &u in self.transpose.neighbors(v) {
+            for u in self.transpose.iter_row(v) {
                 trace.edges_examined += 1;
                 if !scratch.is_visited_split(u, hub_slot) && live(v, rng.gen::<f64>()) {
                     scratch.visit_split(u, hub_slot);
@@ -282,12 +375,17 @@ impl RrSampler {
         let mut trace = RrTrace { edges_examined: 0, vertices_visited: 1 };
         let mut current = scratch.set[0];
         loop {
-            let nbrs = self.transpose.neighbors(current);
-            if nbrs.is_empty() {
+            let deg = self.transpose.degree(current);
+            if deg == 0 {
                 break;
             }
             trace.edges_examined += 1;
-            let next = nbrs[rng.gen_range(0..nbrs.len())];
+            // `nth` streams to the chosen in-neighbor; the index is always
+            // in range, so the `None` arm is unreachable and breaking is
+            // the graceful (panic-free) answer if it ever weren't.
+            let Some(next) = self.transpose.iter_row(current).nth(rng.gen_range(0..deg)) else {
+                break;
+            };
             if scratch.is_visited(next) {
                 break;
             }
@@ -303,7 +401,7 @@ impl RrSampler {
 /// the top `n/64` in-degree vertices (at least 1, at most 4096 — a few pages
 /// of stamps) get compact slots, deterministically tie-broken by id. Returns
 /// `(hub_slot, num_hubs)`.
-fn hub_partition(transpose: &Csr) -> (Vec<u32>, usize) {
+fn hub_partition(transpose: &Adjacency) -> (Vec<u32>, usize) {
     let n = transpose.num_vertices();
     if n == 0 {
         return (Vec::new(), 0);
@@ -463,6 +561,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compressed_sampler_bit_identical_to_flat() {
+        // The acceptance criterion for compressed-mode IMM: sampling over
+        // the varint gap streams draws exactly the sets (order included)
+        // and traces the flat transpose draws, for every model and kernel,
+        // on undirected and directed graphs alike.
+        let directed_ring = {
+            let mut b = GraphBuilder::directed(23);
+            for v in 0..23u32 {
+                b = b.edge(v, (v + 1) % 23).edge(v, (v + 5) % 23);
+            }
+            b.build().unwrap()
+        };
+        let graphs = [
+            star(80),
+            path(120),
+            reorderlab_datasets::erdos_renyi_gnm(300, 1500, 17),
+            directed_ring,
+        ];
+        for g in &graphs {
+            let cz = CompressedCsr::from_csr(g).unwrap();
+            for model in [ic(0.3), DiffusionModel::WeightedCascade, DiffusionModel::LinearThreshold]
+            {
+                for kernel in [SampleKernel::Classic, SampleKernel::HubSplit] {
+                    let flat = RrSampler::with_kernel(g, model, kernel);
+                    let packed = RrSampler::with_kernel_compressed(&cz, model, kernel).unwrap();
+                    let mut sf = SampleScratch::new(g.num_vertices());
+                    let mut sp = SampleScratch::new(g.num_vertices());
+                    for i in 0..100 {
+                        let (a, ta) = flat.sample_with(9, i, &mut sf);
+                        let a = a.to_vec();
+                        let (b, tb) = packed.sample_with(9, i, &mut sp);
+                        assert_eq!(a, b, "set mismatch at {i} under {model:?}/{kernel:?}");
+                        assert_eq!(ta, tb, "trace mismatch at {i} under {model:?}/{kernel:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_accessor_distinguishes_representations() {
+        let g = path(10);
+        let flat = RrSampler::new(&g, ic(0.5));
+        assert!(flat.transpose().is_some());
+        let cz = CompressedCsr::from_csr(&g).unwrap();
+        let packed =
+            RrSampler::with_kernel_compressed(&cz, ic(0.5), SampleKernel::Classic).unwrap();
+        assert!(packed.transpose().is_none());
+        assert_eq!(packed.num_vertices(), 10);
     }
 
     #[test]

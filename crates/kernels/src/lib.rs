@@ -32,7 +32,7 @@ mod sssp;
 
 pub use bc::{betweenness, betweenness_from, BcResult};
 pub use dobfs::{direction_optimizing_bfs, DoBfsConfig, DoBfsResult};
-pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
+pub use pagerank::{pagerank, pagerank_compressed, PageRankConfig, PageRankResult};
 pub use sssp::{bfs_sssp, dijkstra, SsspResult};
 
 #[cfg(test)]

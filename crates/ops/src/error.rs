@@ -97,10 +97,7 @@ mod tests {
     #[test]
     fn exit_codes_split_caller_mistakes_from_runtime() {
         assert_eq!(OpError::Usage("x".into()).exit_code(), 2);
-        assert_eq!(
-            OpError::Scheme(SchemeError::UnknownScheme { name: "x".into() }).exit_code(),
-            2
-        );
+        assert_eq!(OpError::Scheme(SchemeError::UnknownScheme { name: "x".into() }).exit_code(), 2);
         assert_eq!(OpError::Malformed("x".into()).exit_code(), 2);
         assert_eq!(OpError::Io("x".into()).exit_code(), 1);
         assert_eq!(OpError::Parse("x".into()).exit_code(), 1);

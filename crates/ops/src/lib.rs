@@ -1,8 +1,8 @@
 //! # reorderlab-ops
 //!
 //! The typed operations surface of the `reorderlab` workspace: every
-//! user-facing operation — `stats`, `reorder`, `measure`, `validate`,
-//! `memsim` — expressed as a serializable [`OpRequest`], executed by
+//! user-facing operation — `stats`, `reorder`, `measure`, `compression`,
+//! `validate`, `memsim` — expressed as a serializable [`OpRequest`], executed by
 //! [`execute`] into a typed [`OpReport`], with failures classified by the
 //! shared [`OpError`] taxonomy.
 //!
@@ -34,8 +34,8 @@ mod source;
 pub use error::OpError;
 pub use exec::{execute, execute_with, run_with_threads, ComputePerm, OpOutcome, PermSource};
 pub use report::{
-    FileVerdict, GapRow, MeasureReport, MeasureRow, MemsimReport, OpReport, ReorderReport,
-    StatsReport, ValidateReport,
+    CompressionReport, CompressionRow, FileVerdict, GapRow, MeasureReport, MeasureRow,
+    MemsimReport, OpReport, ReorderReport, StatsReport, ValidateReport,
 };
 pub use request::{OpRequest, RequestEnvelope};
 pub use schemes::{parse_scheme, scheme_help, scheme_seed};

@@ -166,6 +166,69 @@ impl MeasureReport {
     }
 }
 
+/// One scheme's row in a `compression` table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionRow {
+    /// The scheme's display name.
+    pub scheme: String,
+    /// Exact size in bytes of the LEB128 gap stream under the ordering.
+    pub gap_bytes: u64,
+    /// `8 · gap_bytes / max(arcs, 1)` — realized bits per stored arc.
+    pub bits_per_edge: f64,
+    /// Average log₂ gap: the information-theoretic lower bound on
+    /// `bits_per_edge`.
+    pub avg_log_gap: f64,
+    /// Its run manifest.
+    pub manifest: Manifest,
+}
+
+/// Compression footprint across a set of schemes (`compression`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionReport {
+    /// Display identity of the graph.
+    pub graph: String,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Stored arc count (2·edges undirected): the denominator of
+    /// bits-per-edge.
+    pub arcs: usize,
+    /// One row per scheme, in request order.
+    pub rows: Vec<CompressionRow>,
+}
+
+impl CompressionReport {
+    /// The CLI's human-readable table (no trailing newline).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "compression footprint on {} (|V|={}, |E|={}, arcs={}):",
+            self.graph, self.vertices, self.edges, self.arcs
+        );
+        let _ = write!(
+            out,
+            "{:<16} {:>12} {:>12} {:>12}",
+            "scheme", "gap bytes", "bits/edge", "log-gap lb"
+        );
+        for row in &self.rows {
+            let _ = write!(
+                out,
+                "\n{:<16} {:>12} {:>12.3} {:>12.3}",
+                row.scheme, row.gap_bytes, row.bits_per_edge, row.avg_log_gap
+            );
+        }
+        out
+    }
+
+    /// The CLI's `--json` output: one compact manifest line per scheme.
+    pub fn render_jsonl(&self) -> String {
+        let lines: Vec<String> = self.rows.iter().map(|r| r.manifest.to_line()).collect();
+        lines.join("\n")
+    }
+}
+
 /// One file's verdict under `validate`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FileVerdict {
@@ -269,11 +332,7 @@ impl MemsimReport {
         let levels = ["L1", "L2", "L3", "DRAM"];
         for (i, level) in levels.iter().enumerate() {
             let hits = self.level_hits.get(i).copied().unwrap_or(0);
-            let rate = if self.loads == 0 {
-                0.0
-            } else {
-                num_f64(hits) / num_f64(self.loads)
-            };
+            let rate = if self.loads == 0 { 0.0 } else { num_f64(hits) / num_f64(self.loads) };
             let _ = writeln!(out, "  {level:<4} hits    {:<10} ({:.1}%)", hits, rate * 100.0);
         }
         let _ = writeln!(out, "  avg latency  {:.3} cycles", self.avg_latency);
@@ -318,6 +377,8 @@ pub enum OpReport {
     Reorder(ReorderReport),
     /// `measure` result.
     Measure(MeasureReport),
+    /// `compression` result.
+    Compression(CompressionReport),
     /// `validate` result.
     Validate(ValidateReport),
     /// `memsim` result.
@@ -356,8 +417,7 @@ fn get_u64(v: &Json, key: &str) -> Result<u64, OpError> {
 }
 
 fn get_usize(v: &Json, key: &str) -> Result<usize, OpError> {
-    usize::try_from(get_u64(v, key)?)
-        .map_err(|_| OpError::Parse(format!("{key:?} out of range")))
+    usize::try_from(get_u64(v, key)?).map_err(|_| OpError::Parse(format!("{key:?} out of range")))
 }
 
 fn get_str(v: &Json, key: &str) -> Result<String, OpError> {
@@ -400,6 +460,7 @@ impl OpReport {
             OpReport::Stats(_) => "stats",
             OpReport::Reorder(_) => "reorder",
             OpReport::Measure(_) => "measure",
+            OpReport::Compression(_) => "compression",
             OpReport::Validate(_) => "validate",
             OpReport::Memsim(_) => "memsim",
         }
@@ -418,10 +479,7 @@ impl OpReport {
                 pairs.push(("mean_degree".into(), Json::Num(s.mean_degree)));
                 pairs.push(("degree_std_dev".into(), Json::Num(s.degree_std_dev)));
                 pairs.push(("triangles".into(), Json::Num(num_f64(s.triangles))));
-                pairs.push((
-                    "clustering_coefficient".into(),
-                    Json::Num(s.clustering_coefficient),
-                ));
+                pairs.push(("clustering_coefficient".into(), Json::Num(s.clustering_coefficient)));
                 pairs.push(("manifest".into(), s.manifest.to_json()));
             }
             OpReport::Reorder(r) => {
@@ -449,6 +507,26 @@ impl OpReport {
                         Json::Obj(vec![
                             ("scheme".into(), Json::Str(row.scheme.clone())),
                             ("gaps".into(), gap_row_json(&row.gaps)),
+                            ("manifest".into(), row.manifest.to_json()),
+                        ])
+                    })
+                    .collect();
+                pairs.push(("rows".into(), Json::Arr(rows)));
+            }
+            OpReport::Compression(c) => {
+                pairs.push(("graph".into(), Json::Str(c.graph.clone())));
+                pairs.push(("vertices".into(), Json::Num(usize_f64(c.vertices))));
+                pairs.push(("edges".into(), Json::Num(usize_f64(c.edges))));
+                pairs.push(("arcs".into(), Json::Num(usize_f64(c.arcs))));
+                let rows = c
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        Json::Obj(vec![
+                            ("scheme".into(), Json::Str(row.scheme.clone())),
+                            ("gap_bytes".into(), Json::Num(num_f64(row.gap_bytes))),
+                            ("bits_per_edge".into(), Json::Num(row.bits_per_edge)),
+                            ("avg_log_gap".into(), Json::Num(row.avg_log_gap)),
                             ("manifest".into(), row.manifest.to_json()),
                         ])
                     })
@@ -551,6 +629,30 @@ impl OpReport {
                     rows,
                 }))
             }
+            "compression" => {
+                let rows = v
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| OpError::Parse("compression report missing \"rows\"".into()))?
+                    .iter()
+                    .map(|row| {
+                        Ok(CompressionRow {
+                            scheme: get_str(row, "scheme")?,
+                            gap_bytes: get_u64(row, "gap_bytes")?,
+                            bits_per_edge: get_f64(row, "bits_per_edge")?,
+                            avg_log_gap: get_f64(row, "avg_log_gap")?,
+                            manifest: get_manifest(row, "manifest")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, OpError>>()?;
+                Ok(OpReport::Compression(CompressionReport {
+                    graph: get_str(v, "graph")?,
+                    vertices: get_usize(v, "vertices")?,
+                    edges: get_usize(v, "edges")?,
+                    arcs: get_usize(v, "arcs")?,
+                    rows,
+                }))
+            }
             "validate" => {
                 let files = v
                     .get("files")
@@ -589,9 +691,8 @@ impl OpReport {
                         .ok_or_else(|| OpError::Parse(format!("report missing array {key:?}")))?
                         .iter()
                         .map(|x| {
-                            x.as_f64().ok_or_else(|| {
-                                OpError::Parse(format!("{key:?} must hold numbers"))
-                            })
+                            x.as_f64()
+                                .ok_or_else(|| OpError::Parse(format!("{key:?} must hold numbers")))
                         })
                         .collect()
                 };
@@ -684,6 +785,46 @@ mod tests {
             assert!(text.starts_with("gap measures on g (|V|=5, |E|=4):\n"));
             assert!(text.contains("RCM "), "{text}");
             assert_eq!(m.render_jsonl().lines().count(), 1);
+        }
+    }
+
+    #[test]
+    fn compression_report_round_trips_and_renders() {
+        let c = OpReport::Compression(CompressionReport {
+            graph: "euroroad".into(),
+            vertices: 1174,
+            edges: 1417,
+            arcs: 2834,
+            rows: vec![
+                CompressionRow {
+                    scheme: "Natural".into(),
+                    gap_bytes: 3101,
+                    bits_per_edge: 8.754,
+                    avg_log_gap: 5.5,
+                    manifest: manifest(),
+                },
+                CompressionRow {
+                    scheme: "RCM".into(),
+                    gap_bytes: 2901,
+                    bits_per_edge: 8.19,
+                    avg_log_gap: 3.25,
+                    manifest: manifest(),
+                },
+            ],
+        });
+        let back = OpReport::from_json(&Json::parse(&c.to_json().to_line()).unwrap()).unwrap();
+        assert_eq!(back, c);
+        if let OpReport::Compression(c) = &back {
+            let text = c.render_text();
+            assert!(
+                text.starts_with(
+                    "compression footprint on euroroad (|V|=1174, |E|=1417, arcs=2834):\n"
+                ),
+                "{text}"
+            );
+            assert!(text.contains("bits/edge"), "{text}");
+            assert!(text.contains("RCM "), "{text}");
+            assert_eq!(c.render_jsonl().lines().count(), 2);
         }
     }
 

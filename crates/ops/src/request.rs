@@ -40,6 +40,16 @@ pub enum OpRequest {
         /// Scheme specs to run; empty selects `Scheme::evaluation_suite(42)`.
         schemes: Vec<String>,
     },
+    /// Run a set of schemes and tabulate the compression footprint each
+    /// ordering induces — exact gap-stream bytes and bits-per-edge
+    /// (`reorderlab measure compression` / `reorderlab compression`). An
+    /// empty list means the paper's default evaluation suite.
+    Compression {
+        /// The graph to compress.
+        source: GraphSource,
+        /// Scheme specs to run; empty selects `Scheme::evaluation_suite(42)`.
+        schemes: Vec<String>,
+    },
     /// Check input files against the ingestion contract
     /// (`reorderlab validate`). Filesystem frontends only; the daemon
     /// refuses it, like `apply_perm`.
@@ -96,6 +106,7 @@ impl OpRequest {
             OpRequest::Stats { .. } => "stats",
             OpRequest::Reorder { .. } => "reorder",
             OpRequest::Measure { .. } => "measure",
+            OpRequest::Compression { .. } => "compression",
             OpRequest::Validate { .. } => "validate",
             OpRequest::Memsim { .. } => "memsim",
         }
@@ -104,8 +115,7 @@ impl OpRequest {
     /// Wire form: an object whose `"op"` key selects the operation and
     /// whose remaining keys are that operation's fields.
     pub fn to_json(&self) -> Json {
-        let mut pairs: Vec<(String, Json)> =
-            vec![("op".into(), Json::Str(self.op_name().into()))];
+        let mut pairs: Vec<(String, Json)> = vec![("op".into(), Json::Str(self.op_name().into()))];
         match self {
             OpRequest::Stats { source } => pairs.push(("source".into(), source.to_json())),
             OpRequest::Reorder { source, scheme, apply_perm, return_perm } => {
@@ -121,6 +131,15 @@ impl OpRequest {
                 }
             }
             OpRequest::Measure { source, schemes } => {
+                pairs.push(("source".into(), source.to_json()));
+                if !schemes.is_empty() {
+                    pairs.push((
+                        "schemes".into(),
+                        Json::Arr(schemes.iter().map(|s| Json::Str(s.clone())).collect()),
+                    ));
+                }
+            }
+            OpRequest::Compression { source, schemes } => {
                 pairs.push(("source".into(), source.to_json()));
                 if !schemes.is_empty() {
                     pairs.push((
@@ -174,6 +193,10 @@ impl OpRequest {
                 source: source_field(v)?,
                 schemes: str_list(v, "schemes")?,
             }),
+            "compression" => Ok(OpRequest::Compression {
+                source: source_field(v)?,
+                schemes: str_list(v, "schemes")?,
+            }),
             "validate" => {
                 let files = str_list(v, "files")?;
                 if files.is_empty() {
@@ -187,9 +210,9 @@ impl OpRequest {
                 workload: str_field(v, "workload").unwrap_or_else(|| "louvain".into()),
                 kernel: str_field(v, "kernel"),
             }),
-            other => {
-                Err(OpError::Usage(format!("unknown op {other:?}; try stats|reorder|measure|validate|memsim")))
-            }
+            other => Err(OpError::Usage(format!(
+                "unknown op {other:?}; try stats|reorder|measure|compression|validate|memsim"
+            ))),
         }
     }
 }
@@ -233,10 +256,9 @@ impl RequestEnvelope {
         let threads = match v.get("threads") {
             None => None,
             Some(t) => {
-                let t = t
-                    .as_u64()
-                    .filter(|&t| t > 0)
-                    .ok_or_else(|| OpError::Usage("\"threads\" must be a positive integer".into()))?;
+                let t = t.as_u64().filter(|&t| t > 0).ok_or_else(|| {
+                    OpError::Usage("\"threads\" must be a positive integer".into())
+                })?;
                 Some(usize::try_from(t).unwrap_or(usize::MAX))
             }
         };
@@ -278,6 +300,14 @@ mod tests {
             source: GraphSource::Instance("euroroad".into()),
             schemes: Vec::new(),
         });
+        round_trip(OpRequest::Compression {
+            source: GraphSource::Path("g.csrz".into()),
+            schemes: vec!["natural".into(), "rcm".into()],
+        });
+        round_trip(OpRequest::Compression {
+            source: GraphSource::Corpus("pgp".into()),
+            schemes: Vec::new(),
+        });
         round_trip(OpRequest::Validate { files: vec!["a.mtx".into(), "b.el".into()] });
         round_trip(OpRequest::Memsim {
             source: GraphSource::Instance("euroroad".into()),
@@ -300,9 +330,7 @@ mod tests {
 
     #[test]
     fn malformed_requests_are_typed_errors() {
-        let bad = |text: &str| {
-            RequestEnvelope::from_json(&Json::parse(text).unwrap()).unwrap_err()
-        };
+        let bad = |text: &str| RequestEnvelope::from_json(&Json::parse(text).unwrap()).unwrap_err();
         assert_eq!(bad("{}").exit_code(), 2);
         assert_eq!(bad("{\"op\":\"frob\"}").exit_code(), 2);
         assert_eq!(bad("{\"op\":\"stats\"}").exit_code(), 2);

@@ -56,9 +56,9 @@ pub fn parse_scheme(spec: &str) -> Result<Scheme, OpError> {
 /// parameter where it has one, otherwise the frontend-wide default of 42.
 pub fn scheme_seed(scheme: &Scheme) -> u64 {
     match *scheme {
-        Scheme::Random { seed } | Scheme::NestedDissection { seed } | Scheme::Metis { seed, .. } => {
-            seed
-        }
+        Scheme::Random { seed }
+        | Scheme::NestedDissection { seed }
+        | Scheme::Metis { seed, .. } => seed,
         _ => 42,
     }
 }

@@ -10,8 +10,9 @@
 use crate::error::OpError;
 use reorderlab_datasets::by_name;
 use reorderlab_graph::{
-    read_binary_csr, read_edge_list, read_matrix_market, read_metis, write_binary_csr,
-    write_edge_list, write_matrix_market, write_metis, Csr,
+    read_binary_csr, read_compressed_csr, read_edge_list, read_matrix_market, read_metis,
+    write_binary_csr, write_compressed_csr, write_edge_list, write_matrix_market, write_metis,
+    CompressedCsr, Csr,
 };
 use reorderlab_trace::Json;
 use std::fs::File;
@@ -23,7 +24,8 @@ use std::sync::Arc;
 pub enum GraphSource {
     /// A file on disk; the reader is selected by extension (`.mtx` Matrix
     /// Market, `.graph`/`.metis` METIS, `.csrbin` checksummed binary CSR,
-    /// anything else an edge list).
+    /// `.csrz` compressed CSR, `.el` edge list). Unrecognized extensions
+    /// are a typed usage error, never a silent edge-list fallthrough.
     Path(String),
     /// A named instance of the generated evaluation suite
     /// (`reorderlab_datasets::by_name`).
@@ -125,25 +127,72 @@ impl ResolveGraph for FsResolver {
     }
 }
 
-/// Reads a graph from `path`, selecting the format by extension: `.mtx`
-/// Matrix Market, `.graph`/`.metis` METIS, `.csrbin` checksummed binary
-/// CSR, anything else a whitespace edge list.
+/// The on-disk graph format a path's extension selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiskFormat {
+    /// `.mtx` — Matrix Market coordinate.
+    MatrixMarket,
+    /// `.graph` / `.metis` — METIS adjacency.
+    Metis,
+    /// `.csrbin` — checksummed flat binary CSR.
+    BinCsr,
+    /// `.csrz` — checksummed delta/varint compressed CSR.
+    CompressedCsr,
+    /// `.el` — whitespace edge list.
+    EdgeList,
+}
+
+/// Maps a path to its [`DiskFormat`].
 ///
 /// # Errors
 ///
-/// [`OpError::Io`] when the file cannot be opened, [`OpError::Parse`] when
-/// it opens but is rejected by the selected reader.
+/// [`OpError::Usage`] for an extension outside the accepted set. An
+/// unrecognized extension used to fall through to the edge-list reader,
+/// which turned typos like `g.mxt` into baffling parse errors (or, worse,
+/// silently mis-ingested data); rejecting up front names every accepted
+/// extension instead.
+fn disk_format(path: &str) -> Result<DiskFormat, OpError> {
+    if path.ends_with(".mtx") {
+        Ok(DiskFormat::MatrixMarket)
+    } else if path.ends_with(".graph") || path.ends_with(".metis") {
+        Ok(DiskFormat::Metis)
+    } else if path.ends_with(".csrbin") {
+        Ok(DiskFormat::BinCsr)
+    } else if path.ends_with(".csrz") {
+        Ok(DiskFormat::CompressedCsr)
+    } else if path.ends_with(".el") {
+        Ok(DiskFormat::EdgeList)
+    } else {
+        Err(OpError::Usage(format!(
+            "unrecognized graph extension in {path:?}; accepted: .mtx (Matrix Market), \
+             .graph/.metis (METIS), .csrbin (binary CSR), .csrz (compressed CSR), \
+             .el (edge list)"
+        )))
+    }
+}
+
+/// Reads a graph from `path`, selecting the format by extension: `.mtx`
+/// Matrix Market, `.graph`/`.metis` METIS, `.csrbin` checksummed binary
+/// CSR, `.csrz` checksummed compressed CSR (decoded to flat form), `.el`
+/// whitespace edge list.
+///
+/// # Errors
+///
+/// [`OpError::Usage`] for an unrecognized extension, [`OpError::Io`] when
+/// the file cannot be opened, [`OpError::Parse`] when it opens but is
+/// rejected by the selected reader.
 pub fn read_graph_auto(path: &str) -> Result<Csr, OpError> {
+    let format = disk_format(path)?;
     let file = File::open(path).map_err(|e| OpError::Io(format!("cannot open {path}: {e}")))?;
     let mut reader = BufReader::new(file);
-    let parsed = if path.ends_with(".csrbin") {
-        read_binary_csr(&mut reader).map_err(|e| e.to_string())
-    } else if path.ends_with(".mtx") {
-        read_matrix_market(reader).map_err(|e| e.to_string())
-    } else if path.ends_with(".graph") || path.ends_with(".metis") {
-        read_metis(reader).map_err(|e| e.to_string())
-    } else {
-        read_edge_list(reader).map_err(|e| e.to_string())
+    let parsed = match format {
+        DiskFormat::BinCsr => read_binary_csr(&mut reader).map_err(|e| e.to_string()),
+        DiskFormat::CompressedCsr => {
+            read_compressed_csr(&mut reader).map(|cz| cz.decode()).map_err(|e| e.to_string())
+        }
+        DiskFormat::MatrixMarket => read_matrix_market(reader).map_err(|e| e.to_string()),
+        DiskFormat::Metis => read_metis(reader).map_err(|e| e.to_string()),
+        DiskFormat::EdgeList => read_edge_list(reader).map_err(|e| e.to_string()),
     };
     parsed.map_err(|e| OpError::Parse(format!("failed to parse {path}: {e}")))
 }
@@ -153,18 +202,22 @@ pub fn read_graph_auto(path: &str) -> Result<Csr, OpError> {
 ///
 /// # Errors
 ///
-/// [`OpError::Io`] when the file cannot be created or written.
+/// [`OpError::Usage`] for an unrecognized extension, [`OpError::Io`] when
+/// the file cannot be created or written.
 pub fn write_graph_auto(graph: &Csr, path: &str) -> Result<(), OpError> {
+    let format = disk_format(path)?;
     let file = File::create(path).map_err(|e| OpError::Io(format!("cannot create {path}: {e}")))?;
     let mut writer = BufWriter::new(file);
-    let written = if path.ends_with(".csrbin") {
-        write_binary_csr(graph, &mut writer).map_err(|e| e.to_string())
-    } else if path.ends_with(".mtx") {
-        write_matrix_market(graph, &mut writer).map_err(|e| e.to_string())
-    } else if path.ends_with(".graph") || path.ends_with(".metis") {
-        write_metis(graph, &mut writer).map_err(|e| e.to_string())
-    } else {
-        write_edge_list(graph, &mut writer).map_err(|e| e.to_string())
+    let written = match format {
+        DiskFormat::BinCsr => write_binary_csr(graph, &mut writer).map_err(|e| e.to_string()),
+        DiskFormat::CompressedCsr => CompressedCsr::from_csr(graph)
+            .map_err(|e| e.to_string())
+            .and_then(|cz| write_compressed_csr(&cz, &mut writer).map_err(|e| e.to_string())),
+        DiskFormat::MatrixMarket => {
+            write_matrix_market(graph, &mut writer).map_err(|e| e.to_string())
+        }
+        DiskFormat::Metis => write_metis(graph, &mut writer).map_err(|e| e.to_string()),
+        DiskFormat::EdgeList => write_edge_list(graph, &mut writer).map_err(|e| e.to_string()),
     };
     written.map_err(|e| OpError::Io(format!("failed to write {path}: {e}")))
 }
@@ -197,12 +250,9 @@ mod tests {
 
     #[test]
     fn extension_dispatch_round_trips_every_format() {
-        let g = GraphBuilder::undirected(4)
-            .edges([(0u32, 1u32), (1, 2), (2, 3)])
-            .build()
-            .unwrap();
+        let g = GraphBuilder::undirected(4).edges([(0u32, 1u32), (1, 2), (2, 3)]).build().unwrap();
         let dir = std::env::temp_dir();
-        for name in ["ops_rt.mtx", "ops_rt.graph", "ops_rt.el", "ops_rt.csrbin"] {
+        for name in ["ops_rt.mtx", "ops_rt.graph", "ops_rt.el", "ops_rt.csrbin", "ops_rt.csrz"] {
             let path = dir.join(format!("{}_{name}", std::process::id()));
             let path = path.to_string_lossy().to_string();
             write_graph_auto(&g, &path).unwrap();
@@ -211,6 +261,24 @@ mod tests {
             assert_eq!(h.num_edges(), 3, "{name}");
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn unknown_extension_is_a_typed_usage_error() {
+        // Strict dispatch: a typo'd extension must not fall through to the
+        // edge-list reader — even when the file exists and would parse.
+        let path = std::env::temp_dir().join(format!("ops_typo_{}.mxt", std::process::id()));
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+        let path = path.to_string_lossy().to_string();
+        let err = read_graph_auto(&path).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        for listed in [".mtx", ".graph", ".metis", ".csrbin", ".csrz", ".el"] {
+            assert!(err.to_string().contains(listed), "{err} should list {listed}");
+        }
+        let g = GraphBuilder::undirected(2).edges([(0u32, 1u32)]).build().unwrap();
+        let err = write_graph_auto(&g, &path).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -20,7 +20,8 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: reorderlab-loadgen (--addr HOST:PORT --names A[,B...] | --self-host A[,B...])
+const USAGE: &str =
+    "usage: reorderlab-loadgen (--addr HOST:PORT --names A[,B...] | --self-host A[,B...])
   [--schemes S[,S...]] [--requests N] [--concurrency N] [--zipf S]
   [--seed N] [--out FILE]";
 
@@ -111,7 +112,8 @@ fn run(args: &[String]) -> Result<(), OpError> {
         }
         let mut file = std::fs::File::create(&path)
             .map_err(|e| OpError::Io(format!("cannot create {path}: {e}")))?;
-        writeln!(file, "{text}").map_err(|e| OpError::Io(format!("failed to write {path}: {e}")))?;
+        writeln!(file, "{text}")
+            .map_err(|e| OpError::Io(format!("failed to write {path}: {e}")))?;
     }
     Ok(())
 }

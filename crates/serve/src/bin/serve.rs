@@ -1,7 +1,7 @@
 //! `reorderlab-serve` — the daemon front-end.
 //!
 //! ```text
-//! reorderlab-serve prepare --dir DIR --instances NAME[,NAME...]
+//! reorderlab-serve prepare --dir DIR --instances NAME[,NAME...] [--compressed]
 //! reorderlab-serve run --corpus DIR [--addr HOST:PORT] [--shards N]
 //!                      [--queue-cap N] [--cache-cap N] [--audit FILE]
 //! reorderlab-serve request --addr HOST:PORT --json LINE [--render]
@@ -12,7 +12,9 @@
 use reorderlab_ops::args::{flag_value, has_flag};
 use reorderlab_ops::OpError;
 use reorderlab_serve::loadgen::exchange;
-use reorderlab_serve::{prepare_corpus, serve, Corpus, Response, ServerConfig};
+use reorderlab_serve::{
+    prepare_compressed_corpus, prepare_corpus, serve, Corpus, Response, ServerConfig,
+};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::path::Path;
@@ -20,7 +22,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: reorderlab-serve <prepare|run|request> [options]
-  prepare --dir DIR --instances NAME[,NAME...]   write a binary CSR corpus
+  prepare --dir DIR --instances NAME[,NAME...] [--compressed]
+                                                 write a corpus (.csrbin, or
+                                                 .csrz with --compressed)
   run --corpus DIR [--addr HOST:PORT] [--shards N] [--queue-cap N]
       [--cache-cap N] [--audit FILE]             serve the corpus
   request --addr HOST:PORT --json LINE [--render] send one request line";
@@ -54,7 +58,11 @@ fn cmd_prepare(args: &[String]) -> Result<(), OpError> {
     if instances.is_empty() {
         return Err(OpError::Usage("prepare needs at least one instance name".into()));
     }
-    let made = prepare_corpus(Path::new(&dir), &instances)?;
+    let made = if has_flag(args, "--compressed") {
+        prepare_compressed_corpus(Path::new(&dir), &instances)?
+    } else {
+        prepare_corpus(Path::new(&dir), &instances)?
+    };
     for (name, digest) in made {
         println!("{name}: digest {digest:#018x}");
     }
@@ -98,9 +106,8 @@ fn cmd_request(args: &[String]) -> Result<(), OpError> {
     let stream = TcpStream::connect(&addr)
         .map_err(|e| OpError::Io(format!("cannot connect to {addr}: {e}")))?;
     let _ = stream.set_nodelay(true);
-    let reading = stream
-        .try_clone()
-        .map_err(|e| OpError::Io(format!("cannot clone connection: {e}")))?;
+    let reading =
+        stream.try_clone().map_err(|e| OpError::Io(format!("cannot clone connection: {e}")))?;
     let mut writer = stream;
     let mut reader = BufReader::new(reading);
     let resp = exchange(&mut writer, &mut reader, &line)?;
@@ -117,6 +124,7 @@ fn cmd_request(args: &[String]) -> Result<(), OpError> {
                 OpReport::Stats(s) => println!("{}", s.render_text()),
                 OpReport::Reorder(r) => println!("{}", r.summary_line()),
                 OpReport::Measure(m) => println!("{}", m.render_text()),
+                OpReport::Compression(c) => println!("{}", c.render_text()),
                 OpReport::Memsim(m) => println!("{}", m.render_text()),
                 OpReport::Validate(v) => {
                     for file in &v.files {

@@ -4,9 +4,12 @@
 //! exact graph bytes (`reorderlab_graph::csr_digest`), and
 //! `Scheme::spec()` is the canonical rendering of a parsed spec, so
 //! `metis:64` and `metis:parts=64,seed=42` share one entry. Eviction is
-//! FIFO under a fixed capacity — the zipf-skewed traces this daemon
-//! serves keep hot entries resident regardless of eviction discipline,
-//! and FIFO needs no per-hit bookkeeping.
+//! LRU under a fixed capacity: every hit re-touches its entry, so the
+//! hot schemes of a zipf-skewed trace stay resident even when a burst of
+//! one-off requests would have flushed them under insertion-order (FIFO)
+//! eviction. The re-touch is an O(capacity) queue scan, which is noise at
+//! the capacities this daemon runs (a permutation costs ~4·|V| bytes, so
+//! capacity stays in the tens).
 
 use reorderlab_core::Scheme;
 use reorderlab_graph::Permutation;
@@ -17,8 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Recover from a poisoned lock: every critical section here leaves the
-/// map and FIFO consistent at every await-free step, so the data is
-/// usable even if a panicking thread held the guard.
+/// map and recency queue consistent at every await-free step, so the data
+/// is usable even if a panicking thread held the guard.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
@@ -28,7 +31,9 @@ type CacheKey = (u64, String);
 #[derive(Debug, Default)]
 struct CacheInner {
     map: BTreeMap<CacheKey, Arc<Permutation>>,
-    fifo: VecDeque<CacheKey>,
+    /// Recency queue: front = least recently used, back = most recent.
+    /// Hits move their key to the back; eviction pops the front.
+    lru: VecDeque<CacheKey>,
 }
 
 /// A bounded, thread-safe permutation cache.
@@ -55,7 +60,9 @@ impl PermCache {
     }
 
     /// Looks up `(digest, scheme)`, computing and inserting on a miss.
-    /// Returns the ordering and whether it was a hit.
+    /// Returns the ordering and whether it was a hit. A hit re-touches the
+    /// entry (moves it to the back of the recency queue), so recently-used
+    /// entries outlive a same-capacity FIFO's.
     ///
     /// The digest is a 64-bit FNV-1a, so a collision between two
     /// different graphs is possible; a hit whose cached ordering does not
@@ -74,36 +81,39 @@ impl PermCache {
         rec: &mut RunRecorder,
     ) -> Result<(Arc<Permutation>, bool), OpError> {
         let key = (digest, scheme.spec());
-        // Bind outside `if let`: the scrutinee's lock guard would
-        // otherwise live across the eviction branch's re-lock below.
-        let cached = lock(&self.inner).map.get(&key).cloned();
-        if let Some(pi) = cached {
-            if pi.len() == resolved.graph.num_vertices() {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((pi, true));
-            }
-            // Digest collision: the cached ordering belongs to a
-            // different graph. Drop the stale entry and fall through to
-            // recompute for this one.
+        {
             let mut inner = lock(&self.inner);
-            inner.map.remove(&key);
-            inner.fifo.retain(|k| k != &key);
+            if let Some(pi) = inner.map.get(&key).cloned() {
+                if pi.len() == resolved.graph.num_vertices() {
+                    // Re-touch: this entry is now the most recently used.
+                    if let Some(pos) = inner.lru.iter().position(|k| k == &key) {
+                        inner.lru.remove(pos);
+                        inner.lru.push_back(key);
+                    }
+                    drop(inner);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((pi, true));
+                }
+                // Digest collision: the cached ordering belongs to a
+                // different graph. Drop the stale entry and fall through
+                // to recompute for this one.
+                inner.map.remove(&key);
+                inner.lru.retain(|k| k != &key);
+            }
         }
         // Compute outside the lock: a slow scheme must not serialize the
         // whole cache. Two racing misses may both compute; the second
         // insert is a no-op.
-        let pi = scheme
-            .try_reorder_recorded(&resolved.graph, rec)
-            .map_err(OpError::Scheme)?;
+        let pi = scheme.try_reorder_recorded(&resolved.graph, rec).map_err(OpError::Scheme)?;
         let pi = Arc::new(pi);
         self.misses.fetch_add(1, Ordering::Relaxed);
         if self.capacity > 0 {
             let mut inner = lock(&self.inner);
             if !inner.map.contains_key(&key) {
                 inner.map.insert(key.clone(), Arc::clone(&pi));
-                inner.fifo.push_back(key);
+                inner.lru.push_back(key);
                 while inner.map.len() > self.capacity {
-                    if let Some(old) = inner.fifo.pop_front() {
+                    if let Some(old) = inner.lru.pop_front() {
                         inner.map.remove(&old);
                         self.evictions.fetch_add(1, Ordering::Relaxed);
                     } else {
@@ -174,9 +184,8 @@ impl PermSource for CachingPerms {
         let (pi, hit) = match resolved.digest {
             Some(digest) => self.cache.get_or_compute(digest, scheme, resolved, rec)?,
             None => {
-                let pi = scheme
-                    .try_reorder_recorded(&resolved.graph, rec)
-                    .map_err(OpError::Scheme)?;
+                let pi =
+                    scheme.try_reorder_recorded(&resolved.graph, rec).map_err(OpError::Scheme)?;
                 self.cache.misses.fetch_add(1, Ordering::Relaxed);
                 (Arc::new(pi), false)
             }
@@ -225,9 +234,8 @@ mod tests {
         let mut rec = RunRecorder::new();
         let d = r.digest.unwrap();
         cache.get_or_compute(d, &scheme("metis:64"), &r, &mut rec).unwrap();
-        let (_, hit) = cache
-            .get_or_compute(d, &scheme("metis:parts=64,seed=42"), &r, &mut rec)
-            .unwrap();
+        let (_, hit) =
+            cache.get_or_compute(d, &scheme("metis:parts=64,seed=42"), &r, &mut rec).unwrap();
         assert!(hit, "positional and keyword spellings must share a cache entry");
     }
 
@@ -238,8 +246,10 @@ mod tests {
         let b = resolved("rovira");
         assert_ne!(a.digest, b.digest);
         let mut rec = RunRecorder::new();
-        let (pa, _) = cache.get_or_compute(a.digest.unwrap(), &scheme("rcm"), &a, &mut rec).unwrap();
-        let (pb, _) = cache.get_or_compute(b.digest.unwrap(), &scheme("rcm"), &b, &mut rec).unwrap();
+        let (pa, _) =
+            cache.get_or_compute(a.digest.unwrap(), &scheme("rcm"), &a, &mut rec).unwrap();
+        let (pb, _) =
+            cache.get_or_compute(b.digest.unwrap(), &scheme("rcm"), &b, &mut rec).unwrap();
         assert_ne!(pa.len(), pb.len());
         assert_eq!(cache.misses(), 2);
     }
@@ -277,19 +287,44 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_is_bounded() {
+    fn lru_eviction_is_bounded() {
         let cache = PermCache::new(2);
         let r = resolved("euroroad");
         let d = r.digest.unwrap();
         let mut rec = RunRecorder::new();
+        // With no intervening hits, LRU degenerates to insertion order.
         for spec in ["rcm", "dbg", "degree"] {
             cache.get_or_compute(d, &scheme(spec), &r, &mut rec).unwrap();
         }
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.evictions(), 1);
-        // The oldest entry (rcm) was evicted; re-requesting it misses.
+        // The least recently used entry (rcm) was evicted; re-requesting
+        // it misses.
         let (_, hit) = cache.get_or_compute(d, &scheme("rcm"), &r, &mut rec).unwrap();
         assert!(!hit);
+    }
+
+    #[test]
+    fn retouched_entry_survives_an_eviction_fifo_would_take() {
+        let cache = PermCache::new(2);
+        let r = resolved("euroroad");
+        let d = r.digest.unwrap();
+        let mut rec = RunRecorder::new();
+        cache.get_or_compute(d, &scheme("rcm"), &r, &mut rec).unwrap();
+        cache.get_or_compute(d, &scheme("dbg"), &r, &mut rec).unwrap();
+        // Hit rcm: under FIFO this is a no-op; under LRU it moves rcm to
+        // the back of the recency queue, making dbg the eviction victim.
+        let (_, hit) = cache.get_or_compute(d, &scheme("rcm"), &r, &mut rec).unwrap();
+        assert!(hit);
+        cache.get_or_compute(d, &scheme("degree"), &r, &mut rec).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // rcm survived the eviction FIFO would have taken...
+        let (_, hit) = cache.get_or_compute(d, &scheme("rcm"), &r, &mut rec).unwrap();
+        assert!(hit, "the re-touched entry must survive the eviction");
+        // ...and dbg, the actual least recently used entry, was evicted.
+        let (_, hit) = cache.get_or_compute(d, &scheme("dbg"), &r, &mut rec).unwrap();
+        assert!(!hit, "the least recently used entry must be the victim");
     }
 
     #[test]

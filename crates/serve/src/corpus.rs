@@ -1,14 +1,22 @@
 //! The daemon's preloaded graph corpus.
 //!
-//! A corpus is a directory of checksummed binary CSR files (`*.csrbin`,
-//! see `reorderlab_graph::read_binary_csr`). The daemon loads every entry
-//! once at startup — parse cost is paid per process, not per request —
-//! and remembers each graph's content digest, which keys the permutation
-//! cache.
+//! A corpus is a directory of checksummed graph containers: flat binary
+//! CSR files (`*.csrbin`, see `reorderlab_graph::read_binary_csr`) and
+//! delta/varint compressed CSR files (`*.csrz`,
+//! `reorderlab_graph::read_compressed_csr`), dispatched by extension. The
+//! daemon loads every entry once at startup — parse cost is paid per
+//! process, not per request — decodes compressed entries to flat form for
+//! serving, and remembers each graph's content digest, which keys the
+//! permutation cache. The digest is always computed over the decoded
+//! graph, so a `.csrz` corpus entry shares cache entries with the same
+//! graph served from `.csrbin` or generated on demand.
 
 use reorderlab_datasets::by_name;
-use reorderlab_graph::{csr_digest, read_binary_csr, write_binary_csr, Csr, BINARY_CSR_EXTENSION};
-use reorderlab_ops::{OpError, GraphSource, ResolveGraph, ResolvedGraph};
+use reorderlab_graph::{
+    csr_digest, read_binary_csr, read_compressed_csr, write_binary_csr, write_compressed_csr,
+    CompressedCsr, Csr, BINARY_CSR_EXTENSION, COMPRESSED_CSR_EXTENSION,
+};
+use reorderlab_ops::{GraphSource, OpError, ResolveGraph, ResolvedGraph};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -37,34 +45,57 @@ impl Corpus {
         Corpus::default()
     }
 
-    /// Loads every `*.csrbin` file under `dir`; the entry name is the
-    /// file stem.
+    /// Loads every `*.csrbin` and `*.csrz` file under `dir`; the entry
+    /// name is the file stem. Compressed entries are checksum-validated
+    /// and decoded to flat form at load time, so serving cost is identical
+    /// across container formats.
     ///
     /// # Errors
     ///
     /// [`OpError::Io`] when the directory is unreadable,
     /// [`OpError::Parse`] when any entry fails its checksum or structural
-    /// validation (a corrupt corpus never half-loads).
+    /// validation (a corrupt corpus never half-loads),
+    /// [`OpError::Usage`] when two files (e.g. `g.csrbin` and `g.csrz`)
+    /// claim the same entry name.
     pub fn load_dir(dir: &Path) -> Result<Corpus, OpError> {
         let mut corpus = Corpus::new();
         let listing = std::fs::read_dir(dir)
             .map_err(|e| OpError::Io(format!("cannot read corpus dir {}: {e}", dir.display())))?;
+        // Sort so load order (and thus which duplicate is diagnosed) never
+        // depends on directory enumeration order.
+        let mut paths = Vec::new();
         for entry in listing {
             let entry =
                 entry.map_err(|e| OpError::Io(format!("cannot list {}: {e}", dir.display())))?;
-            let path = entry.path();
-            let is_corpus_file =
-                path.extension().map_or(false, |x| x == BINARY_CSR_EXTENSION);
-            if !is_corpus_file {
+            paths.push(entry.path());
+        }
+        paths.sort();
+        for path in paths {
+            let is_compressed = path.extension().is_some_and(|x| x == COMPRESSED_CSR_EXTENSION);
+            let is_flat = path.extension().is_some_and(|x| x == BINARY_CSR_EXTENSION);
+            if !is_compressed && !is_flat {
                 continue;
             }
             let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
                 continue;
             };
+            if corpus.get(stem).is_some() {
+                return Err(OpError::Usage(format!(
+                    "duplicate corpus entry {stem:?}: {} collides with an earlier container",
+                    path.display()
+                )));
+            }
             let file = File::open(&path)
                 .map_err(|e| OpError::Io(format!("cannot open {}: {e}", path.display())))?;
-            let graph = read_binary_csr(&mut BufReader::new(file))
-                .map_err(|e| OpError::Parse(format!("corpus entry {}: {e}", path.display())))?;
+            let mut reader = BufReader::new(file);
+            let graph = if is_compressed {
+                read_compressed_csr(&mut reader)
+                    .map(|cz| cz.decode())
+                    .map_err(|e| OpError::Parse(format!("corpus entry {}: {e}", path.display())))?
+            } else {
+                read_binary_csr(&mut reader)
+                    .map_err(|e| OpError::Parse(format!("corpus entry {}: {e}", path.display())))?
+            };
             corpus.insert(stem, graph);
         }
         Ok(corpus)
@@ -118,6 +149,40 @@ pub fn prepare_corpus(dir: &Path, instances: &[String]) -> Result<Vec<(String, u
             .map_err(|e| OpError::Io(format!("cannot create {}: {e}", path.display())))?;
         let mut writer = BufWriter::new(file);
         write_binary_csr(&g, &mut writer)
+            .map_err(|e| OpError::Io(format!("failed to write {}: {e}", path.display())))?;
+        out.push((name.clone(), csr_digest(&g)));
+    }
+    Ok(out)
+}
+
+/// Like [`prepare_corpus`], but writes delta/varint compressed CSR
+/// entries (`*.csrz`), returning `(name, digest)` per entry. Digests are
+/// computed over the uncompressed graph, so a compressed corpus shares
+/// permutation-cache keys with a flat one.
+///
+/// # Errors
+///
+/// [`OpError::Usage`] for an unknown instance name, [`OpError::Io`] when
+/// a file cannot be written or a generated graph cannot be compressed.
+pub fn prepare_compressed_corpus(
+    dir: &Path,
+    instances: &[String],
+) -> Result<Vec<(String, u64)>, OpError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| OpError::Io(format!("cannot create corpus dir {}: {e}", dir.display())))?;
+    let mut out = Vec::with_capacity(instances.len());
+    for name in instances {
+        let spec = by_name(name).ok_or_else(|| {
+            OpError::Usage(format!("unknown instance {name:?}; see `reorderlab list`"))
+        })?;
+        let g = spec.generate();
+        let cz = CompressedCsr::from_csr(&g)
+            .map_err(|e| OpError::Io(format!("cannot compress {name}: {e}")))?;
+        let path = dir.join(format!("{name}.{COMPRESSED_CSR_EXTENSION}"));
+        let file = File::create(&path)
+            .map_err(|e| OpError::Io(format!("cannot create {}: {e}", path.display())))?;
+        let mut writer = BufWriter::new(file);
+        write_compressed_csr(&cz, &mut writer)
             .map_err(|e| OpError::Io(format!("failed to write {}: {e}", path.display())))?;
         out.push((name.clone(), csr_digest(&g)));
     }
@@ -190,6 +255,49 @@ mod tests {
         for (name, digest) in &made {
             assert_eq!(corpus.get(name).unwrap().digest, *digest, "{name}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compressed_corpus_round_trips_with_identical_digests() {
+        let dir = tmp_dir("csrz");
+        let flat = prepare_corpus(&dir, &["euroroad".into()]).unwrap();
+        let zdir = tmp_dir("csrz2");
+        let packed = prepare_compressed_corpus(&zdir, &["euroroad".into()]).unwrap();
+        // Same graph, same digest — container format is invisible to the
+        // permutation-cache key.
+        assert_eq!(flat, packed);
+        let corpus = Corpus::load_dir(&zdir).unwrap();
+        assert_eq!(corpus.names(), vec!["euroroad"]);
+        let entry = corpus.get("euroroad").unwrap();
+        assert_eq!(entry.digest, packed[0].1);
+        assert_eq!(entry.graph.num_vertices(), 1190);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&zdir);
+    }
+
+    #[test]
+    fn duplicate_entry_names_are_rejected() {
+        let dir = tmp_dir("dup");
+        prepare_corpus(&dir, &["euroroad".into()]).unwrap();
+        prepare_compressed_corpus(&dir, &["euroroad".into()]).unwrap();
+        let err = Corpus::load_dir(&dir).unwrap_err();
+        assert!(matches!(err, OpError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_compressed_entries_fail_to_load_with_typed_errors() {
+        let dir = tmp_dir("badz");
+        prepare_compressed_corpus(&dir, &["euroroad".into()]).unwrap();
+        let path = dir.join("euroroad.csrz");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Corpus::load_dir(&dir).unwrap_err();
+        assert!(matches!(err, OpError::Parse(_)), "{err:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,7 +1,9 @@
 //! Reorder-as-a-service: a long-lived daemon that executes the typed
 //! operations API from `reorderlab-ops` over JSON Lines on TCP.
 //!
-//! The daemon preloads a [`Corpus`] of checksummed binary CSR graphs,
+//! The daemon preloads a [`Corpus`] of checksummed graph containers —
+//! flat binary CSR (`.csrbin`) or delta/varint compressed CSR (`.csrz`),
+//! dispatched by extension —
 //! shards requests across bounded worker queues (full queues *shed* with
 //! a typed overload response), coalesces identical in-flight requests,
 //! and memoizes orderings in a [`PermCache`] keyed by `(graph digest,
@@ -33,7 +35,7 @@ mod proto;
 mod server;
 
 pub use cache::{CachingPerms, PermCache};
-pub use corpus::{prepare_corpus, Corpus, CorpusEntry, CorpusResolver};
+pub use corpus::{prepare_compressed_corpus, prepare_corpus, Corpus, CorpusEntry, CorpusResolver};
 pub use loadgen::{run_loadgen, zipf_trace, LoadReport, LoadgenConfig};
 pub use proto::{
     error_response, ok_response, parse_control, shed_response, Control, Response, STATUS_SHED,

@@ -111,10 +111,7 @@ impl LoadReport {
             self.ok, self.errors, self.shed, self.wall_s
         ));
         out.push_str(&format!("throughput: {:.1} req/s\n", self.throughput));
-        out.push_str(&format!(
-            "latency: p50 {:.2} ms, p99 {:.2} ms\n",
-            self.p50_ms, self.p99_ms
-        ));
+        out.push_str(&format!("latency: p50 {:.2} ms, p99 {:.2} ms\n", self.p50_ms, self.p99_ms));
         out.push_str(&format!(
             "perm cache: {} hits, {} misses, hit rate {:.1}%, {} coalesced",
             self.cache_hits,
@@ -149,9 +146,7 @@ pub fn exchange(
     writeln!(writer, "{line}").map_err(|e| OpError::Io(format!("send failed: {e}")))?;
     writer.flush().map_err(|e| OpError::Io(format!("send failed: {e}")))?;
     let mut resp = String::new();
-    let n = reader
-        .read_line(&mut resp)
-        .map_err(|e| OpError::Io(format!("receive failed: {e}")))?;
+    let n = reader.read_line(&mut resp).map_err(|e| OpError::Io(format!("receive failed: {e}")))?;
     if n == 0 {
         return Err(OpError::Io("daemon closed the connection".into()));
     }
@@ -165,9 +160,8 @@ fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), OpError> {
     // Nagle/delayed-ACK interaction puts a ~40-90ms floor under every
     // request.
     let _ = stream.set_nodelay(true);
-    let reading = stream
-        .try_clone()
-        .map_err(|e| OpError::Io(format!("cannot clone connection: {e}")))?;
+    let reading =
+        stream.try_clone().map_err(|e| OpError::Io(format!("cannot clone connection: {e}")))?;
     Ok((stream, BufReader::new(reading)))
 }
 
@@ -237,10 +231,7 @@ pub fn run_loadgen(
                         _ => errors.fetch_add(1, Ordering::Relaxed),
                     };
                 }
-                latencies
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .extend(local);
+                latencies.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).extend(local);
                 Ok(())
             })
             .map_err(|e| OpError::Io(format!("cannot spawn loadgen thread: {e}")))?;
@@ -260,10 +251,13 @@ pub fn run_loadgen(
     let stats = reorderlab_trace::Json::parse(&stats_line)
         .map_err(|e| OpError::Parse(format!("invalid stats response: {e}")))?;
     let counter = |key: &str| -> u64 {
-        stats
-            .get(key)
-            .and_then(reorderlab_trace::Json::as_f64)
-            .map_or(0, |f| if f >= 0.0 { f as u64 } else { 0 })
+        stats.get(key).and_then(reorderlab_trace::Json::as_f64).map_or(0, |f| {
+            if f >= 0.0 {
+                f as u64
+            } else {
+                0
+            }
+        })
     };
 
     let mut sorted = latencies.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).clone();
@@ -297,10 +291,7 @@ mod tests {
         for &i in &a {
             counts[i] += 1;
         }
-        assert!(
-            counts[0] > counts[7] * 2,
-            "rank 0 should dominate rank 7: {counts:?}"
-        );
+        assert!(counts[0] > counts[7] * 2, "rank 0 should dominate rank 7: {counts:?}");
         assert_eq!(counts.iter().sum::<usize>(), 1000);
     }
 

@@ -50,11 +50,8 @@ pub fn parse_control(v: &Json) -> Option<Result<Control, OpError>> {
 
 /// Serializes a success response.
 pub fn ok_response(report: &OpReport) -> String {
-    Json::Obj(vec![
-        ("status".into(), Json::Str("ok".into())),
-        ("report".into(), report.to_json()),
-    ])
-    .to_line()
+    Json::Obj(vec![("status".into(), Json::Str("ok".into())), ("report".into(), report.to_json())])
+        .to_line()
 }
 
 /// Serializes an error response with the taxonomy's status keyword.
@@ -94,8 +91,7 @@ impl Response {
     ///
     /// [`OpError::Parse`] when the line is not a valid response document.
     pub fn parse(line: &str) -> Result<Response, OpError> {
-        let v = Json::parse(line)
-            .map_err(|e| OpError::Parse(format!("invalid response: {e}")))?;
+        let v = Json::parse(line).map_err(|e| OpError::Parse(format!("invalid response: {e}")))?;
         let status = v
             .get("status")
             .and_then(Json::as_str)

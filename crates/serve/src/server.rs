@@ -172,10 +172,7 @@ impl Engine {
             cache: Arc::new(PermCache::new(config.cache_cap)),
             stats: ServeStats::default(),
             pending: Mutex::new(BTreeMap::new()),
-            audit: config
-                .audit_path
-                .clone()
-                .map(|path| AuditLog { path, guard: Mutex::new(()) }),
+            audit: config.audit_path.clone().map(|path| AuditLog { path, guard: Mutex::new(()) }),
         });
         let shards = config.shards.max(1);
         let mut senders = Vec::with_capacity(shards);
@@ -295,8 +292,7 @@ impl Engine {
                 cell.publish(error_response(&OpError::Io("server is shutting down".into())));
                 return Enqueued::Wait(cell);
             }
-            let shard = usize::try_from(fnv1a(key.as_bytes()) % senders.len() as u64)
-                .unwrap_or(0);
+            let shard = usize::try_from(fnv1a(key.as_bytes()) % senders.len() as u64).unwrap_or(0);
             let job = Job { envelope, key: key.clone(), cell: Arc::clone(&cell) };
             match senders[shard].try_send(job) {
                 Ok(()) => {}
@@ -427,6 +423,7 @@ fn append_audit(
         Some(OpReport::Stats(s)) => (s.graph.clone(), s.vertices, s.edges),
         Some(OpReport::Reorder(r)) => (r.graph.clone(), r.vertices, r.edges),
         Some(OpReport::Measure(m)) => (m.graph.clone(), m.vertices, m.edges),
+        Some(OpReport::Compression(c)) => (c.graph.clone(), c.vertices, c.edges),
         Some(OpReport::Memsim(m)) => (m.graph.clone(), 0, 0),
         _ => (request_graph_id(&envelope.request), 0, 0),
     };
@@ -459,6 +456,7 @@ fn request_graph_id(request: &OpRequest) -> String {
         OpRequest::Stats { source }
         | OpRequest::Reorder { source, .. }
         | OpRequest::Measure { source, .. }
+        | OpRequest::Compression { source, .. }
         | OpRequest::Memsim { source, .. } => source.id().to_string(),
         OpRequest::Validate { files } => {
             files.first().cloned().unwrap_or_else(|| "validate".into())
@@ -612,10 +610,7 @@ mod tests {
     #[test]
     fn executes_and_counts_requests() {
         let engine = Engine::new(corpus(), &ServerConfig::default());
-        let resp = response_of(
-            &engine,
-            "{\"op\":\"stats\",\"source\":{\"corpus\":\"tiny\"}}",
-        );
+        let resp = response_of(&engine, "{\"op\":\"stats\",\"source\":{\"corpus\":\"tiny\"}}");
         assert!(resp.contains("\"status\":\"ok\""), "{resp}");
         assert!(resp.contains("\"report\":"), "{resp}");
         assert_eq!(engine.stats().ok.load(Ordering::Relaxed), 1);
@@ -655,8 +650,7 @@ mod tests {
         let engine = Engine::new(corpus(), &ServerConfig::default());
         // `validate` reads caller-named server-side paths: refused before
         // it can reach the filesystem (no errno/parse detail echoed).
-        let validate =
-            response_of(&engine, "{\"op\":\"validate\",\"files\":[\"/etc/passwd\"]}");
+        let validate = response_of(&engine, "{\"op\":\"validate\",\"files\":[\"/etc/passwd\"]}");
         assert!(validate.contains("\"status\":\"usage\""), "{validate}");
         assert!(validate.contains("does not read client files"), "{validate}");
         // Same for `apply_perm` on reorder, even with return_perm set —
@@ -677,8 +671,7 @@ mod tests {
         let config = ServerConfig { shards: 1, queue_cap: 1, ..ServerConfig::default() };
         let engine = Engine::new_unstarted(corpus(), &config);
         // No workers: the first job occupies the queue slot forever…
-        let first = engine
-            .enqueue_line("{\"op\":\"stats\",\"source\":{\"corpus\":\"tiny\"}}");
+        let first = engine.enqueue_line("{\"op\":\"stats\",\"source\":{\"corpus\":\"tiny\"}}");
         assert!(matches!(first, Enqueued::Wait(_)));
         // …and a different request finds the queue full and is shed.
         let second = engine.enqueue_line(

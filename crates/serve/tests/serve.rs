@@ -4,7 +4,8 @@
 use reorderlab_ops::{execute, FsResolver, OpError, OpReport, OpRequest, RequestEnvelope};
 use reorderlab_serve::loadgen::exchange;
 use reorderlab_serve::{
-    run_loadgen, serve, Corpus, LoadgenConfig, Response, ServerConfig, ServerHandle,
+    prepare_compressed_corpus, run_loadgen, serve, Corpus, LoadgenConfig, Response, ServerConfig,
+    ServerHandle,
 };
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -74,9 +75,7 @@ fn daemon_reports_match_local_execution_across_thread_bounds() {
                     };
                     (strip(a.summary_line()), strip(b.summary_line()))
                 }
-                (OpReport::Measure(a), OpReport::Measure(b)) => {
-                    (a.render_text(), b.render_text())
-                }
+                (OpReport::Measure(a), OpReport::Measure(b)) => (a.render_text(), b.render_text()),
                 other => panic!("report kind mismatch: {other:?}"),
             };
             assert_eq!(
@@ -108,16 +107,55 @@ fn repeated_requests_are_served_from_the_permutation_cache() {
     handle.stop();
 }
 
+/// A daemon whose corpus was prepared as `.csrz` containers serves
+/// `compression` requests byte-identically to local execution on the
+/// same generated graph.
+#[test]
+fn compressed_corpus_daemon_serves_compression_requests() {
+    let dir = std::env::temp_dir().join(format!("serve_csrz_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    prepare_compressed_corpus(&dir, &["euroroad".into()]).unwrap();
+    let corpus = Corpus::load_dir(&dir).unwrap();
+    let mut handle = serve(Arc::new(corpus), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(&handle);
+    let line = "{\"op\":\"compression\",\"source\":{\"corpus\":\"euroroad\"},\
+                \"schemes\":[\"natural\",\"rcm\"]}";
+    let resp = client.send(line);
+    let Response::Ok(remote) = Response::parse(&resp).unwrap() else {
+        panic!("expected ok response: {resp}");
+    };
+    let OpReport::Compression(remote) = remote.as_ref() else {
+        panic!("expected a compression report: {resp}");
+    };
+    let local = execute(
+        &OpRequest::Compression {
+            source: reorderlab_ops::GraphSource::Instance("euroroad".into()),
+            schemes: vec!["natural".into(), "rcm".into()],
+        },
+        &FsResolver,
+    )
+    .unwrap()
+    .report;
+    let OpReport::Compression(local) = &local else { panic!("wrong local report") };
+    assert_eq!(
+        local.render_text(),
+        remote.render_text(),
+        "compressed-corpus daemon output must match local execution"
+    );
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn malformed_requests_get_typed_errors_with_exit_codes() {
     let mut handle = start_daemon(None);
     let mut client = Client::connect(&handle);
     let cases = [
-        ("not json at all", 1),                                             // parse
-        ("{\"op\":\"frobnicate\"}", 2),                                     // usage
+        ("not json at all", 1),         // parse
+        ("{\"op\":\"frobnicate\"}", 2), // usage
         ("{\"op\":\"reorder\",\"source\":{\"corpus\":\"euroroad\"},\"scheme\":\"bogus\"}", 2),
         ("{\"op\":\"stats\",\"source\":{\"corpus\":\"missing\"}}", 2),
-        ("{\"op\":\"stats\",\"source\":{\"path\":\"/etc/hosts\"}}", 2),     // no client paths
+        ("{\"op\":\"stats\",\"source\":{\"path\":\"/etc/hosts\"}}", 2), // no client paths
         ("{\"control\":\"dance\"}", 2),
     ];
     for (line, want_code) in cases {
@@ -165,9 +203,8 @@ fn shutdown_verb_stops_the_daemon() {
     handle.wait();
     assert!(handle.is_stopping());
     // The listener is gone: new exchanges fail.
-    let err = TcpStream::connect(handle.addr())
-        .map_err(|e| OpError::Io(e.to_string()))
-        .and_then(|s| {
+    let err =
+        TcpStream::connect(handle.addr()).map_err(|e| OpError::Io(e.to_string())).and_then(|s| {
             let mut w = s.try_clone().map_err(|e| OpError::Io(e.to_string()))?;
             let mut r = BufReader::new(s);
             exchange(&mut w, &mut r, "{\"control\":\"ping\"}")
@@ -181,7 +218,9 @@ fn loadgen_replays_a_zipf_trace_and_sees_cache_hits() {
     let templates: Vec<String> = ["rcm", "dbg", "degree"]
         .iter()
         .map(|s| {
-            format!("{{\"op\":\"reorder\",\"source\":{{\"corpus\":\"euroroad\"}},\"scheme\":\"{s}\"}}")
+            format!(
+                "{{\"op\":\"reorder\",\"source\":{{\"corpus\":\"euroroad\"}},\"scheme\":\"{s}\"}}"
+            )
         })
         .collect();
     let config = LoadgenConfig { requests: 60, concurrency: 3, zipf_s: 1.1, seed: 42 };
