@@ -5,12 +5,12 @@
 //! dependency-free:
 //!
 //! ```toml
-//! schema = 1
+//! schema = 2
 //!
 //! [[allow]]
 //! rule = "P1"
 //! path = "crates/trace/src/recorder.rs"
-//! line = 169                     # pin one diagnostic at this exact line
+//! fingerprint = "8c55ad8585a1c9d3"  # FNV-1a 64 of the trimmed source line
 //! reason = "why this is sound"
 //!
 //! [[allow]]
@@ -21,20 +21,52 @@
 //! ```
 //!
 //! Every entry must carry `rule`, `path`, `reason`, and exactly one of
-//! `line` (pin a single diagnostic) or `count` (a per-file budget — an
-//! exact-match ratchet, so adding *or* removing a site forces a re-audit).
-//! The analyzer additionally requires a `// SAFETY:` or `// DETERMINISM:`
-//! comment at the blessed site (`line` entries) or at module level before
-//! the first blessed site (`count` entries); an allowlist entry alone is
-//! never sufficient.
+//! `fingerprint` (pin diagnostics by line *content* — shift-proof against
+//! edits elsewhere in the file), `count` (a per-file budget — an exact-match
+//! ratchet, so adding *or* removing a site forces a re-audit), or the
+//! schema-1 `line` (a 1-based line pin, deprecated: it breaks whenever an
+//! unrelated line is inserted above the site). A `fingerprint` entry may add
+//! `count = N` when N identical lines in the file are blessed together
+//! (default 1). The analyzer additionally requires a `// SAFETY:` or
+//! `// DETERMINISM:` comment at the blessed site (`fingerprint`/`line`
+//! entries) or at module level before the first blessed site (`count`
+//! entries); an allowlist entry alone is never sufficient.
+//!
+//! Compute a fingerprint with [`line_fingerprint`] on the trimmed source
+//! line, or run the analyzer: unmatched-fingerprint problems print the
+//! expected hash for every candidate line.
 
 use crate::rules::RULE_IDS;
+
+/// Latest allowlist schema. Schema 1 (line pins) is still read, with a
+/// deprecation warning; schema-2 files may not contain `line` entries.
+pub const ALLOWLIST_SCHEMA: u32 = 2;
+
+/// FNV-1a 64-bit hash of the *trimmed* source line — the schema-2
+/// fingerprint. Trimming makes the pin robust to re-indentation; any other
+/// content change (even whitespace inside the line) re-opens the audit.
+pub fn line_fingerprint(line: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in line.trim().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// How an [`AllowEntry`] selects diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllowKind {
-    /// Exactly one diagnostic, at this 1-based line.
+    /// Exactly one diagnostic, at this 1-based line (schema 1, deprecated).
     Line(u32),
+    /// Diagnostics whose source line's trimmed content hashes to
+    /// `hash` ([`line_fingerprint`]); exactly `count` must match.
+    Fingerprint {
+        /// FNV-1a 64 of the trimmed source line.
+        hash: u64,
+        /// How many identical lines this entry blesses (usually 1).
+        count: u32,
+    },
     /// Every diagnostic of the rule in the file; the total must equal this.
     Count(u32),
 }
@@ -46,7 +78,7 @@ pub struct AllowEntry {
     pub rule: String,
     /// Workspace-relative path with forward slashes.
     pub path: String,
-    /// Line pin or per-file budget.
+    /// Fingerprint pin, line pin, or per-file budget.
     pub kind: AllowKind,
     /// Human justification; must be non-empty.
     pub reason: String,
@@ -55,7 +87,7 @@ pub struct AllowEntry {
 /// Parsed allowlist.
 #[derive(Debug, Default)]
 pub struct Allowlist {
-    /// Schema version (`schema = 1`).
+    /// Schema version (`schema = 1` or `2`).
     pub schema: u32,
     /// All entries in file order.
     pub entries: Vec<AllowEntry>,
@@ -85,6 +117,7 @@ struct Draft {
     rule: Option<String>,
     path: Option<String>,
     line: Option<u32>,
+    fingerprint: Option<u64>,
     count: Option<u32>,
     reason: Option<String>,
 }
@@ -101,12 +134,19 @@ fn finish(draft: Draft) -> Result<AllowEntry, AllowlistError> {
     if reason.trim().is_empty() {
         return Err(err("`reason` must not be empty"));
     }
-    let kind = match (draft.line, draft.count) {
-        (Some(l), None) => AllowKind::Line(l),
-        (None, Some(c)) => AllowKind::Count(c),
-        (Some(_), Some(_)) => return Err(err("entry has both `line` and `count`")),
-        (None, None) => return Err(err("entry needs exactly one of `line` or `count`")),
+    let kind = match (draft.line, draft.fingerprint, draft.count) {
+        (Some(l), None, None) => AllowKind::Line(l),
+        (None, Some(hash), count) => AllowKind::Fingerprint { hash, count: count.unwrap_or(1) },
+        (None, None, Some(c)) => AllowKind::Count(c),
+        (Some(_), Some(_), _) => return Err(err("entry has both `line` and `fingerprint`")),
+        (Some(_), None, Some(_)) => return Err(err("entry has both `line` and `count`")),
+        (None, None, None) => {
+            return Err(err("entry needs one of `fingerprint`, `count`, or `line`"));
+        }
     };
+    if matches!(kind, AllowKind::Fingerprint { count: 0, .. } | AllowKind::Count(0)) {
+        return Err(err("`count` must be at least 1"));
+    }
     Ok(AllowEntry { rule, path, kind, reason })
 }
 
@@ -160,6 +200,9 @@ pub fn parse(text: &str) -> Result<Allowlist, AllowlistError> {
             ("path", Some(d)) => d.path = Some(parse_str(value, lineno)?),
             ("reason", Some(d)) => d.reason = Some(parse_str(value, lineno)?),
             ("line", Some(d)) => d.line = Some(parse_int(value, lineno)?),
+            ("fingerprint", Some(d)) => {
+                d.fingerprint = Some(parse_fingerprint(value, lineno)?);
+            }
             ("count", Some(d)) => d.count = Some(parse_int(value, lineno)?),
             (other, Some(_)) => {
                 return Err(AllowlistError {
@@ -203,20 +246,32 @@ fn parse_int(value: &str, line: usize) -> Result<u32, AllowlistError> {
     })
 }
 
+fn parse_fingerprint(value: &str, line: usize) -> Result<u64, AllowlistError> {
+    let v = parse_str(value, line)?;
+    if v.len() != 16 || !v.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(AllowlistError {
+            line,
+            message: format!("expected 16 hex digits (FNV-1a 64 of the trimmed line), got {v:?}"),
+        });
+    }
+    u64::from_str_radix(&v, 16)
+        .map_err(|_| AllowlistError { line, message: format!("expected 16 hex digits, got {v:?}") })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn parses_both_entry_kinds() {
+    fn parses_all_three_entry_kinds() {
         let text = r#"
-schema = 1
+schema = 2
 
 # an audited panic site
 [[allow]]
 rule = "P1"
 path = "crates/x/src/a.rs"
-line = 12   # pinned
+fingerprint = "8c55ad8585a1c9d3"   # pinned by content
 reason = "cannot fail: invariant"
 
 [[allow]]
@@ -224,13 +279,40 @@ rule = "C1"
 path = "crates/x/src/b.rs"
 count = 3
 reason = "bounded casts"
+
+[[allow]]
+rule = "P1"
+path = "crates/x/src/c.rs"
+line = 12
+reason = "legacy schema-1 pin"
 "#;
         let list = parse(text).unwrap();
-        assert_eq!(list.schema, 1);
-        assert_eq!(list.entries.len(), 2);
-        assert_eq!(list.entries[0].kind, AllowKind::Line(12));
+        assert_eq!(list.schema, 2);
+        assert_eq!(list.entries.len(), 3);
+        assert_eq!(
+            list.entries[0].kind,
+            AllowKind::Fingerprint { hash: 0x8c55_ad85_85a1_c9d3, count: 1 }
+        );
         assert_eq!(list.entries[1].kind, AllowKind::Count(3));
-        assert_eq!(list.entries[1].rule, "C1");
+        assert_eq!(list.entries[2].kind, AllowKind::Line(12));
+    }
+
+    #[test]
+    fn fingerprint_entry_accepts_a_count() {
+        let text = "[[allow]]\nrule = \"P1\"\npath = \"x.rs\"\n\
+                    fingerprint = \"00000000000000ff\"\ncount = 2\nreason = \"r\"\n";
+        let list = parse(text).unwrap();
+        assert_eq!(list.entries[0].kind, AllowKind::Fingerprint { hash: 0xff, count: 2 });
+    }
+
+    #[test]
+    fn rejects_malformed_fingerprints() {
+        for bad in ["\"12ab\"", "\"zzzzzzzzzzzzzzzz\"", "12ab34cd12ab34cd"] {
+            let text = format!(
+                "[[allow]]\nrule = \"P1\"\npath = \"x.rs\"\nfingerprint = {bad}\nreason = \"r\"\n"
+            );
+            assert!(parse(&text).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]
@@ -250,10 +332,28 @@ reason = "bounded casts"
     }
 
     #[test]
+    fn rejects_line_and_fingerprint_together() {
+        let text = "[[allow]]\nrule = \"P1\"\npath = \"x.rs\"\nline = 1\n\
+                    fingerprint = \"00000000000000ff\"\nreason = \"r\"\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("both"), "{err}");
+    }
+
+    #[test]
     fn rejects_unknown_rule() {
         let text = "[[allow]]\nrule = \"Z9\"\npath = \"x.rs\"\nline = 1\nreason = \"r\"\n";
         let err = parse(text).unwrap_err();
         assert!(err.message.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn accepts_every_v2_rule_id() {
+        for rule in RULE_IDS {
+            let text = format!(
+                "[[allow]]\nrule = \"{rule}\"\npath = \"x.rs\"\ncount = 1\nreason = \"r\"\n"
+            );
+            assert!(parse(&text).is_ok(), "rejected {rule}");
+        }
     }
 
     #[test]
@@ -266,5 +366,14 @@ reason = "bounded casts"
     fn empty_text_is_an_empty_allowlist() {
         let list = parse("").unwrap();
         assert_eq!(list.entries.len(), 0);
+    }
+
+    #[test]
+    fn fingerprints_trim_but_are_content_sensitive() {
+        let a = line_fingerprint("    let x = v.unwrap();");
+        let b = line_fingerprint("let x = v.unwrap();");
+        let c = line_fingerprint("let x = v.unwrap() ;");
+        assert_eq!(a, b, "leading/trailing whitespace must not matter");
+        assert_ne!(b, c, "interior content changes must re-open the audit");
     }
 }

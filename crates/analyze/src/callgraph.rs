@@ -1,0 +1,459 @@
+//! A conservative intra-workspace call graph, built from `fn` definitions
+//! and call sites, powering the transitive determinism-taint rule (D3).
+//!
+//! D1 bans hash containers *lexically* near parallel code; the hole it
+//! leaves is indirection — a parallel region calling a function (possibly
+//! in another file) that iterates a `HashMap`. D3 closes it:
+//!
+//! 1. **Base taint** — a function whose body mentions `HashMap`/`HashSet`
+//!    (outside `#[cfg(test)]`, excluding enum-variant paths like
+//!    `MoveKernel::HashMap`) is tainted.
+//! 2. **Propagation** — taint flows *up* the call graph: a caller of a
+//!    tainted function is tainted, with the evidence chain recorded.
+//! 3. **Firing** — a call to a tainted function from inside a parallel
+//!    iterator chain (including closure bodies, which D2 deliberately
+//!    skips) is a diagnostic, carrying the chain
+//!    (`tainted via a -> b -> c`).
+//!
+//! Resolution is by name and intentionally conservative in *both*
+//! directions. A call site resolves to same-file definitions when any
+//! exist (an `impl` calling its own helpers), otherwise to the unique
+//! workspace-wide definition of that name; a name defined in several
+//! files with no same-file candidate is *ambiguous* and the call is
+//! skipped — a by-name edge from `Csr::build` to a serve-engine `build`
+//! would stitch unrelated subsystems together and drown the signal in
+//! false chains. Names on [`STOPLIST`] — ubiquitous std-trait and
+//! container methods (`new`, `len`, `get`, `insert`, …) — never resolve
+//! for the same reason. Kernel entry points in this workspace have
+//! distinctive names, which is what the graph keys on.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::rules::{Diagnostic, PAR_ITER_STARTS};
+use crate::scopes::ScopeTree;
+use std::collections::BTreeMap;
+
+/// Method/function names that never resolve to a workspace `fn`: they
+/// collide with std-trait and container methods so often that by-name
+/// edges through them would be pure noise.
+pub const STOPLIST: [&str; 40] = [
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "clear",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "drain",
+    "extend",
+    "sort",
+    "sort_by",
+    "min",
+    "max",
+    "map",
+    "filter",
+    "fold",
+    "sum",
+    "collect",
+    "write",
+    "read",
+    "flush",
+    "wait",
+    "lock",
+    "send",
+    "recv",
+    "fmt",
+    "eq",
+    "cmp",
+    "drop",
+];
+
+/// One `fn` in the workspace-wide graph.
+#[derive(Debug)]
+struct FnNode {
+    /// Index into the driver's file list (resolution prefers same-file
+    /// definitions).
+    file: usize,
+    /// The function's name.
+    name: String,
+    /// 1-based line of the definition.
+    line: u32,
+    /// Base taint: the body line mentioning a hash container, if any.
+    hash_line: Option<u32>,
+    /// Resolved callee node indices, with the call-site line.
+    calls: Vec<(usize, u32)>,
+    /// Taint state: `Some(next)` points one hop down the evidence chain
+    /// (`None` while untainted; `Some(self)`-less base nodes use
+    /// `usize::MAX` as the terminator).
+    taint_next: Option<usize>,
+}
+
+/// Terminator marker for a base-tainted node's evidence chain.
+const BASE: usize = usize::MAX;
+
+/// The built graph plus everything D3 needs to fire.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    nodes: Vec<FnNode>,
+    /// Unresolved-call sites inside parallel regions, per file:
+    /// `(file, line, callee_node)`.
+    par_calls: Vec<(usize, u32, usize)>,
+}
+
+/// Is this ident the `HashMap`/`HashSet` std type (and not an enum
+/// variant path like `MoveKernel::HashMap`)? Mirrors D1's test.
+fn is_hash_container(toks: &[Tok], idx: usize) -> bool {
+    let t = &toks[idx];
+    if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+        return false;
+    }
+    let variant_path = idx >= 3
+        && toks[idx - 1].text == ":"
+        && toks[idx - 2].text == ":"
+        && toks[idx - 3].kind == TokKind::Ident
+        && toks[idx - 3].text != "collections";
+    !variant_path
+}
+
+/// Keywords that look like calls (`if (…)`, `match (…)`) but are not.
+const CALL_KEYWORDS: [&str; 11] =
+    ["if", "while", "for", "match", "return", "loop", "let", "else", "in", "move", "fn"];
+
+/// Token spans (inclusive) of parallel iterator chains, *including*
+/// closure bodies: from a `par_iter(`-style start until the chain leaves
+/// scope (statement end or enclosing close bracket).
+pub fn parallel_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut idx = 0usize;
+    while idx < toks.len() {
+        let t = &toks[idx];
+        let starts = t.kind == TokKind::Ident
+            && PAR_ITER_STARTS.contains(&t.text.as_str())
+            && toks.get(idx + 1).is_some_and(|n| n.text == "(");
+        if !starts {
+            idx += 1;
+            continue;
+        }
+        let start = idx;
+        let mut rel = 0i32;
+        let mut j = idx + 1;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "{" | "[" => rel += 1,
+                ")" | "}" | "]" => {
+                    rel -= 1;
+                    if rel < 0 {
+                        break;
+                    }
+                }
+                ";" if rel <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        spans.push((start, j.min(toks.len().saturating_sub(1))));
+        idx = j;
+    }
+    spans
+}
+
+impl CallGraph {
+    /// Builds the graph over every analyzed file. `files` pairs each
+    /// file's lexed tokens with its scope tree, in driver order.
+    pub fn build(files: &[(Lexed, ScopeTree)]) -> CallGraph {
+        let mut graph = CallGraph::default();
+        // Pass 1: nodes.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (file, (lexed, tree)) in files.iter().enumerate() {
+            for scope in &tree.functions {
+                if scope.in_test || scope.body.is_none() {
+                    continue;
+                }
+                let (open, close) = scope.body.unwrap_or((0, 0));
+                let hash_line = (open..=close)
+                    .find(|&i| is_hash_container(&lexed.toks, i))
+                    .map(|i| lexed.toks[i].line);
+                graph.nodes.push(FnNode {
+                    file,
+                    name: scope.name.clone(),
+                    line: scope.line,
+                    hash_line,
+                    calls: Vec::new(),
+                    taint_next: None,
+                });
+            }
+        }
+        for (i, node) in graph.nodes.iter().enumerate() {
+            by_name.entry(&node.name).or_default().push(i);
+        }
+        let by_name: BTreeMap<String, Vec<usize>> =
+            by_name.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+
+        // Pass 2: call edges and parallel-region call sites.
+        let mut node_idx = 0usize;
+        for (file, (lexed, tree)) in files.iter().enumerate() {
+            let spans = parallel_spans(&lexed.toks);
+            let in_par = |i: usize| spans.iter().any(|&(a, b)| a <= i && i <= b);
+            for scope in &tree.functions {
+                if scope.in_test || scope.body.is_none() {
+                    continue;
+                }
+                let (open, close) = scope.body.unwrap_or((0, 0));
+                for i in open..=close.min(lexed.toks.len().saturating_sub(1)) {
+                    let Some(callee) = call_target(&lexed.toks, i) else { continue };
+                    let Some(candidates) = by_name.get(callee) else { continue };
+                    // Same-file definitions win; otherwise only a unique
+                    // workspace-wide definition resolves (ambiguous names
+                    // would stitch unrelated subsystems together).
+                    let same_file: Vec<usize> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&c| graph.nodes[c].file == file)
+                        .collect();
+                    let resolved: &[usize] = if !same_file.is_empty() {
+                        &same_file
+                    } else if candidates.len() == 1 {
+                        candidates
+                    } else {
+                        continue;
+                    };
+                    for &c in resolved {
+                        graph.nodes[node_idx].calls.push((c, lexed.toks[i].line));
+                        if in_par(i) {
+                            graph.par_calls.push((file, lexed.toks[i].line, c));
+                        }
+                    }
+                }
+                node_idx += 1;
+            }
+        }
+
+        // Pass 3: propagate taint up the graph to a fixed point.
+        for i in 0..graph.nodes.len() {
+            if graph.nodes[i].hash_line.is_some() {
+                graph.nodes[i].taint_next = Some(BASE);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..graph.nodes.len() {
+                if graph.nodes[i].taint_next.is_some() {
+                    continue;
+                }
+                let tainted_callee = graph.nodes[i]
+                    .calls
+                    .iter()
+                    .find(|(c, _)| graph.nodes[*c].taint_next.is_some())
+                    .map(|(c, _)| *c);
+                if let Some(c) = tainted_callee {
+                    graph.nodes[i].taint_next = Some(c);
+                    changed = true;
+                }
+            }
+        }
+        graph
+    }
+
+    /// The evidence chain from node `i` down to the hash-container base:
+    /// `["a", "b", "c"]` meaning `a` calls `b` calls `c`, and `c` iterates
+    /// the container.
+    fn chain(&self, mut i: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.nodes[i].name.clone());
+            match self.nodes[i].taint_next {
+                Some(BASE) | None => break,
+                Some(next) => i = next,
+            }
+            // A cycle cannot occur (taint_next always points strictly
+            // closer to a base node), but cap the chain defensively.
+            if out.len() > 32 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// D3 diagnostics: for every call to a (transitively) tainted
+    /// function from inside a parallel region, one finding at the call
+    /// site, with the evidence chain attached.
+    pub fn d3_diagnostics(&self) -> Vec<(usize, Diagnostic)> {
+        let mut out = Vec::new();
+        let mut seen: Vec<(usize, u32, usize)> = Vec::new();
+        for &(file, line, callee) in &self.par_calls {
+            if self.nodes[callee].taint_next.is_none() {
+                continue;
+            }
+            if seen.contains(&(file, line, callee)) {
+                continue;
+            }
+            seen.push((file, line, callee));
+            let chain = self.chain(callee);
+            let base = chain.last().cloned().unwrap_or_default();
+            let base_line = self
+                .nodes
+                .iter()
+                .find(|n| n.name == base && n.hash_line.is_some())
+                .and_then(|n| n.hash_line)
+                .unwrap_or(self.nodes[callee].line);
+            out.push((
+                file,
+                Diagnostic {
+                    rule: "D3",
+                    line,
+                    message: format!(
+                        "call to `{}` inside a parallel region reaches a hash-container \
+                         iteration (`{base}`, line {base_line} of its file): tainted via {}; \
+                         route the parallel path through an order-fixed kernel or allowlist \
+                         with a DETERMINISM comment",
+                        self.nodes[callee].name,
+                        chain.join(" -> "),
+                    ),
+                    chain,
+                },
+            ));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.line.cmp(&b.1.line)));
+        out
+    }
+}
+
+/// If the token at `idx` is a plausible call target (`name(`), returns
+/// the name — filtering keywords, macro bangs, fn definitions, and the
+/// stoplist.
+fn call_target(toks: &[Tok], idx: usize) -> Option<&str> {
+    let t = toks.get(idx)?;
+    if t.kind != TokKind::Ident || toks.get(idx + 1).is_none_or(|n| n.text != "(") {
+        return None;
+    }
+    let name = t.text.as_str();
+    if CALL_KEYWORDS.contains(&name) || STOPLIST.contains(&name) {
+        return None;
+    }
+    if idx > 0 {
+        let prev = &toks[idx - 1];
+        // `fn name(` is a definition, `name!(…)` would have the bang after
+        // (checked above via `(`), `!name(` is negation of a call we still
+        // count. Skip definitions and struct-literal-ish `Name {`.
+        if prev.text == "fn" {
+            return None;
+        }
+    }
+    Some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn build_one(src: &str) -> CallGraph {
+        let lexed = lex(src);
+        let tree = ScopeTree::build(&lexed.toks);
+        CallGraph::build(&[(lexed, tree)])
+    }
+
+    #[test]
+    fn direct_taint_fires_in_parallel_region() {
+        let src = "use std::collections::HashMap;\n\
+                   fn tally(xs: &[u32]) -> f64 { let m: HashMap<u32, f64> = HashMap::new(); m.values().count() as f64 }\n\
+                   fn driver(v: &[Vec<u32>]) { v.par_iter().for_each(|row| { let _ = tally(row); }); }\n";
+        let d = build_one(src).d3_diagnostics();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].1.rule, "D3");
+        assert_eq!(d[0].1.line, 3);
+        assert_eq!(d[0].1.chain, vec!["tally".to_string()]);
+    }
+
+    #[test]
+    fn taint_propagates_through_intermediate_fns() {
+        let src = "use std::collections::HashSet;\n\
+                   fn base_scan() -> usize { let s: HashSet<u32> = HashSet::new(); s.iter().count() }\n\
+                   fn middle_hop() -> usize { base_scan() }\n\
+                   fn driver(v: &[u32]) { v.par_iter().for_each(|_| { middle_hop(); }); }\n";
+        let d = build_one(src).d3_diagnostics();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].1.chain, vec!["middle_hop".to_string(), "base_scan".to_string()]);
+        assert!(d[0].1.message.contains("middle_hop -> base_scan"), "{}", d[0].1.message);
+    }
+
+    #[test]
+    fn untainted_calls_and_serial_calls_do_not_fire() {
+        let src = "fn clean_kernel(x: u32) -> u32 { x + 1 }\n\
+                   fn tainted_scan() -> usize { let m = std::collections::HashMap::<u32, u32>::new(); m.len() }\n\
+                   fn par_driver(v: &[u32]) { v.par_iter().for_each(|x| { clean_kernel(*x); }); }\n\
+                   fn serial_driver() { tainted_scan(); }\n";
+        let d = build_one(src).d3_diagnostics();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn enum_variant_paths_do_not_base_taint() {
+        let src = "fn pick() -> u32 { let k = MoveKernel::HashMap; 0 }\n\
+                   fn driver(v: &[u32]) { v.par_iter().for_each(|_| { pick(); }); }\n";
+        let d = build_one(src).d3_diagnostics();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn stoplisted_names_never_resolve() {
+        // A workspace fn named `get` that touches a HashMap must not turn
+        // every `.get(` call in a parallel region into a finding.
+        let src = "fn get(m: &std::collections::HashMap<u32, u32>) -> usize { m.len() }\n\
+                   fn driver(v: &[Vec<u32>]) { v.par_iter().for_each(|row| { row.get(0); }); }\n";
+        let d = build_one(src).d3_diagnostics();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cross_file_taint_is_seen() {
+        let a = lex("use std::collections::HashMap;\npub fn far_scan() -> usize { let m: HashMap<u32,u32> = HashMap::new(); m.len() }\n");
+        let b = lex("fn driver(v: &[u32]) { v.par_iter().for_each(|_| { far_scan(); }); }\n");
+        let ta = ScopeTree::build(&a.toks);
+        let tb = ScopeTree::build(&b.toks);
+        let d = CallGraph::build(&[(a, ta), (b, tb)]).d3_diagnostics();
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].0, 1, "the diagnostic lands in the calling file");
+    }
+
+    #[test]
+    fn ambiguous_cross_file_names_do_not_resolve() {
+        // `helper` is defined in two files; a call from a third must not
+        // resolve to either (one of them being tainted notwithstanding).
+        let a = lex("use std::collections::HashMap;\npub fn helper() -> usize { let m: HashMap<u32,u32> = HashMap::new(); m.len() }\n");
+        let b = lex("pub fn helper() -> u32 { 7 }\n");
+        let c = lex("fn driver(v: &[u32]) { v.par_iter().for_each(|_| { helper(); }); }\n");
+        let (ta, tb, tc) =
+            (ScopeTree::build(&a.toks), ScopeTree::build(&b.toks), ScopeTree::build(&c.toks));
+        let d = CallGraph::build(&[(a, ta), (b, tb), (c, tc)]).d3_diagnostics();
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn same_file_definition_shadows_a_tainted_twin() {
+        let a = lex("use std::collections::HashMap;\npub fn helper() -> usize { let m: HashMap<u32,u32> = HashMap::new(); m.len() }\n");
+        let b = lex("fn helper() -> u32 { 7 }\nfn driver(v: &[u32]) { v.par_iter().for_each(|_| { helper(); }); }\n");
+        let (ta, tb) = (ScopeTree::build(&a.toks), ScopeTree::build(&b.toks));
+        let d = CallGraph::build(&[(a, ta), (b, tb)]).d3_diagnostics();
+        assert!(d.is_empty(), "the local untainted helper wins: {d:?}");
+    }
+
+    #[test]
+    fn cfg_test_callers_are_ignored() {
+        let src = "fn scan() -> usize { let m = std::collections::HashMap::<u32,u32>::new(); m.len() }\n\
+                   #[cfg(test)]\nmod tests {\n fn t(v: &[u32]) { v.par_iter().for_each(|_| { scan(); }); }\n}\n";
+        let d = build_one(src).d3_diagnostics();
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

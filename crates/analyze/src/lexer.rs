@@ -213,8 +213,10 @@ pub fn lex(source: &str) -> Lexed {
         if c == '\'' {
             // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
             if i + 1 < n && chars[i + 1] == '\\' {
-                let mut k = i + 2;
-                // Skip the escape payload up to the closing quote.
+                // Skip the escape payload up to the closing quote. Start
+                // past the escaped character itself so `'\''` does not
+                // terminate on the quote it escapes.
+                let mut k = i + 3;
                 while k < n && chars[k] != '\'' {
                     k += 1;
                 }
@@ -347,5 +349,61 @@ mod tests {
         let lexed = lex(r##"f(b"x", br"y", r#"z"#, 'q')"##);
         let strs = lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count();
         assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn raw_strings_hide_quotes_and_track_lines() {
+        // The embedded `"` and `unwrap` must not leak out of the raw
+        // string, and the multi-line body must advance the line counter.
+        let src = "let a = r#\"has \" quote\nand .unwrap() inside\"#;\nlet b = 1;\n";
+        let lexed = lex(src);
+        assert!(!lexed.toks.iter().any(|t| t.text == "unwrap"), "{:?}", lexed.toks);
+        let b = lexed.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3, "raw-string newlines must advance the counter");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_terminates_correctly() {
+        // `'\''` escapes the quote: before the fix the scan stopped on the
+        // escaped quote, leaving a stray `'` that swallowed following code.
+        let lexed = lex("if c == '\\'' { found(); }\nafter();\n");
+        let ids: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["if", "c", "found", "after"]);
+        assert_eq!(lexed.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_backslash_char_literal_terminates_correctly() {
+        let lexed = lex("let sep = '\\\\'; next();");
+        let ids: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["let", "sep", "next"]);
+    }
+
+    #[test]
+    fn nested_block_comments_track_lines_and_depth() {
+        let lexed = lex("/* l1 /* l2\n inner */\n outer */ tok_a\n/* plain */ tok_b");
+        let texts: Vec<(&str, u32)> =
+            lexed.toks.iter().map(|t| (t.text.as_str(), t.line)).collect();
+        assert_eq!(texts, vec![("tok_a", 3), ("tok_b", 4)]);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetime_ticks_in_generics_and_bounds_are_lifetimes() {
+        let lexed = lex("struct S<'a, 'b: 'a> { x: &'a str }\nfn f() -> char { 'a' }");
+        let lifetimes = lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = lexed.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 4, "{:?}", lexed.toks);
+        assert_eq!(chars, 1, "'a' with a closing tick is a char literal");
     }
 }

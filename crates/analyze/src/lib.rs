@@ -2,31 +2,57 @@
 //! `reorderlab-analyze` — repo-native static analysis for reorderlab.
 //!
 //! Clippy and rustc enforce language-level hygiene; this crate enforces the
-//! *repo's* contracts — the determinism and panic-safety rules that DESIGN.md
-//! §8 spells out and that no off-the-shelf lint knows about. It tokenizes
-//! every workspace `.rs` file (no rustc, no syn, no network) and emits typed,
-//! line-numbered diagnostics, filtered through a committed allowlist
-//! (`analyze.toml`) whose every entry must be justified by a `// SAFETY:` or
-//! `// DETERMINISM:` comment in the code it blesses.
+//! *repo's* contracts — the determinism, panic-safety, and serving-surface
+//! rules that DESIGN.md §8 spells out and that no off-the-shelf lint knows
+//! about. It tokenizes every workspace `.rs` file (no rustc, no syn, no
+//! network) and emits typed, line-numbered diagnostics, filtered through a
+//! committed allowlist (`analyze.toml`) whose every entry must be justified
+//! by a `// SAFETY:` or `// DETERMINISM:` comment in the code it blesses.
 //!
 //! The pieces:
 //! - [`lexer`]: a line-aware Rust lexer (comments, raw strings, lifetimes).
-//! - [`rules`]: the five contracts (D1, D2, P1, C1, U1) over token streams.
-//! - [`allowlist`]: the `analyze.toml` subset-of-TOML parser and ratchet.
+//! - [`scopes`]: a block tree over the token stream — `fn` items, `impl`
+//!   membership, local `let` bindings, `#[cfg(test)]` spans.
+//! - [`callgraph`]: a conservative intra-workspace call graph powering the
+//!   transitive determinism-taint rule (D3).
+//! - [`rules`]: the nine contracts (D1, D2, D3, P1, C1, U1, L1, E1, W1).
+//! - [`allowlist`]: the `analyze.toml` subset-of-TOML parser and ratchet,
+//!   schema 2 with content-fingerprint pins.
 //! - [`analyze_workspace`]: the driver that walks `crates/*/src`, applies
-//!   per-file scopes, and reconciles findings against the allowlist.
+//!   per-file scopes, runs the call-graph pass, and reconciles findings
+//!   against the allowlist.
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
+pub mod scopes;
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use allowlist::{AllowKind, Allowlist};
-use rules::{Diagnostic, Scope};
+use allowlist::{line_fingerprint, AllowKind, Allowlist};
+use rules::{Diagnostic, Scope, RULE_IDS};
+
+/// Exit code for a clean run: no findings, no allowlist problems.
+///
+/// The full exit-code table, pinned:
+///
+/// ```
+/// use reorderlab_analyze::{EXIT_CLEAN, EXIT_USAGE, EXIT_VIOLATIONS};
+/// assert_eq!(EXIT_CLEAN, 0); // workspace satisfies all nine rules
+/// assert_eq!(EXIT_VIOLATIONS, 1); // contract violations or allowlist problems
+/// assert_eq!(EXIT_USAGE, 2); // bad flags, unknown --format/--explain value, I/O errors
+/// ```
+pub const EXIT_CLEAN: u8 = 0;
+/// Exit code when the workspace has unsuppressed diagnostics or the
+/// allowlist has problems (unused entries, count drift, missing comments).
+pub const EXIT_VIOLATIONS: u8 = 1;
+/// Exit code for usage errors: unknown flags or flag values, unknown rule
+/// ids, unreadable inputs.
+pub const EXIT_USAGE: u8 = 2;
 
 /// Crates whose `src` trees are library code for P1 (no panicking calls).
 /// `cli` and `bench` are binaries: aborting the process there is an
@@ -49,6 +75,11 @@ pub const LIB_CRATES: [&str; 11] = [
 /// Crates where C1 (narrowing `as` casts) applies.
 pub const C1_CRATES: [&str; 3] = ["graph", "core", "kernels"];
 
+/// The concurrent serving surface: L1/E1/W1 apply here. These crates hold
+/// the daemon's mutexes, channels, sockets, and the `OpError` wire
+/// taxonomy; the rest of the workspace has no locks to misuse.
+pub const SERVE_CRATES: [&str; 2] = ["ops", "serve"];
+
 /// Ingestion files: stricter C1 (all integer casts) plus P1's index leg,
 /// because these parse untrusted bytes.
 pub const INGESTION_FILES: [&str; 2] = ["crates/graph/src/io.rs", "crates/graph/src/mtx.rs"];
@@ -65,9 +96,11 @@ pub fn scope_for(rel: &str) -> Scope {
         rel.strip_prefix("crates/").and_then(|rest| rest.split('/').next()).unwrap_or("");
     let is_bin = rel.contains("/src/bin/");
     let ingestion = INGESTION_FILES.contains(&rel);
+    let serving = SERVE_CRATES.contains(&crate_name);
     Scope {
         d1: true,
         d2: rel != D2_BLESSED,
+        d3: true,
         p1: LIB_CRATES.contains(&crate_name) && !is_bin,
         p1_index: ingestion,
         c1: C1_CRATES.contains(&crate_name) && rel != C1_BLESSED,
@@ -77,6 +110,9 @@ pub fn scope_for(rel: &str) -> Scope {
             || rel.ends_with("/src/lib.rs")
             || rel.ends_with("/src/main.rs")
             || is_bin,
+        l1: serving,
+        e1: serving && !is_bin,
+        w1: serving,
     }
 }
 
@@ -121,6 +157,15 @@ pub struct FileDiagnostic {
     pub diagnostic: Diagnostic,
 }
 
+/// Per-rule tallies for the schema-2 report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSummary {
+    /// Unsuppressed findings for this rule.
+    pub diagnostics: usize,
+    /// Findings covered by a valid allowlist entry.
+    pub suppressed: usize,
+}
+
 /// The reconciled result of a workspace run.
 #[derive(Debug, Default)]
 pub struct AnalysisReport {
@@ -129,36 +174,74 @@ pub struct AnalysisReport {
     /// Findings not covered by the allowlist, sorted by path then line.
     pub diagnostics: Vec<FileDiagnostic>,
     /// Allowlist problems: unused entries, count drift, missing
-    /// justification comments. Any problem fails the run.
+    /// justification comments, line pins in a schema-2 file. Any problem
+    /// fails the run.
     pub problems: Vec<String>,
+    /// Non-fatal notices (e.g. the schema-1 deprecation warning).
+    pub warnings: Vec<String>,
     /// Findings covered by a valid allowlist entry.
     pub suppressed: usize,
+    /// Per-rule tallies, keyed by rule id; every id in
+    /// [`rules::RULE_IDS`] is present.
+    pub rules: BTreeMap<String, RuleSummary>,
 }
 
 impl AnalysisReport {
     /// True when the workspace satisfies the contract: no stray findings
-    /// and no allowlist problems.
+    /// and no allowlist problems. Warnings do not fail the run.
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty() && self.problems.is_empty()
     }
 }
 
-/// Runs the full pass: walk, lex, check, reconcile against `allow`.
+/// Everything reconcile needs about one analyzed file.
+struct FileData {
+    diags: Vec<Diagnostic>,
+    lexed: lexer::Lexed,
+    /// Source lines, for fingerprint matching.
+    lines: Vec<String>,
+}
+
+/// Runs the full pass: walk, lex, per-file rules, the workspace call-graph
+/// pass (D3), then reconcile against `allow`.
 ///
 /// # Errors
 ///
 /// Returns the first I/O failure while walking or reading files.
 pub fn analyze_workspace(root: &Path, allow: &Allowlist) -> io::Result<AnalysisReport> {
     let files = collect_files(root)?;
-    let mut per_file: BTreeMap<String, (Vec<Diagnostic>, lexer::Lexed)> = BTreeMap::new();
+    let mut rels = Vec::with_capacity(files.len());
+    let mut diags = Vec::with_capacity(files.len());
+    let mut lines = Vec::with_capacity(files.len());
+    let mut lexed_trees = Vec::with_capacity(files.len());
     for path in &files {
         let rel = relative_slash(root, path);
         let source = fs::read_to_string(path)?;
         let lexed = lexer::lex(&source);
-        let diags = rules::check(&lexed, &scope_for(&rel));
-        per_file.insert(rel, (diags, lexed));
+        diags.push(rules::check(&lexed, &scope_for(&rel)));
+        lines.push(source.lines().map(str::to_string).collect::<Vec<String>>());
+        let tree = scopes::ScopeTree::build(&lexed.toks);
+        lexed_trees.push((lexed, tree));
+        rels.push(rel);
     }
-    let mut report = reconcile(&mut per_file, allow);
+
+    // The workspace-level pass: D3 taint through the call graph.
+    let graph = callgraph::CallGraph::build(&lexed_trees);
+    for (file, d) in graph.d3_diagnostics() {
+        if scope_for(&rels[file]).d3 {
+            diags[file].push(d);
+        }
+    }
+
+    let mut per_file: BTreeMap<String, FileData> = BTreeMap::new();
+    for (((rel, mut d), (lexed, _tree)), file_lines) in
+        rels.into_iter().zip(diags).zip(lexed_trees).zip(lines)
+    {
+        d.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+        per_file.insert(rel, FileData { diags: d, lexed, lines: file_lines });
+    }
+
+    let mut report = reconcile(&per_file, allow);
     report.files_scanned = files.len();
     Ok(report)
 }
@@ -172,37 +255,78 @@ pub fn relative_slash(root: &Path, path: &Path) -> String {
 const JUSTIFICATIONS: [&str; 2] = ["SAFETY:", "DETERMINISM:"];
 
 /// How close (in lines, at or above) a justification comment must sit to a
-/// line-pinned allowlist site. Five lines accommodates a comment above a
+/// pinned allowlist site. Five lines accommodates a comment above a
 /// multi-line method chain whose `.expect` sits on the final line.
 const JUSTIFICATION_WINDOW: u32 = 5;
 
-fn reconcile(
-    per_file: &mut BTreeMap<String, (Vec<Diagnostic>, lexer::Lexed)>,
-    allow: &Allowlist,
-) -> AnalysisReport {
+/// Marks `hits` as allowlist-covered and bumps the per-rule tallies.
+fn suppress(report: &mut AnalysisReport, rule: &str, marks: &mut [bool], hits: &[usize]) {
+    for &i in hits {
+        marks[i] = true;
+        report.suppressed += 1;
+        report.rules.entry(rule.to_string()).or_default().suppressed += 1;
+    }
+}
+
+fn reconcile(per_file: &BTreeMap<String, FileData>, allow: &Allowlist) -> AnalysisReport {
     let mut report = AnalysisReport::default();
-    if allow.schema != 1 && !allow.entries.is_empty() {
-        report.problems.push(format!(
-            "allowlist: unsupported schema {} (this analyzer understands schema = 1)",
-            allow.schema
-        ));
+    for rule in RULE_IDS {
+        report.rules.insert(rule.to_string(), RuleSummary::default());
+    }
+    match allow.schema {
+        allowlist::ALLOWLIST_SCHEMA => {}
+        1 => {
+            if !allow.entries.is_empty() {
+                report.warnings.push(
+                    "allowlist: schema 1 is deprecated — set `schema = 2` and re-key \
+                     line-pinned entries as content fingerprints (fingerprint = FNV-1a 64 \
+                     of the trimmed source line)"
+                        .to_string(),
+                );
+            }
+        }
+        other => {
+            if !allow.entries.is_empty() {
+                report.problems.push(format!(
+                    "allowlist: unsupported schema {other} (this analyzer understands \
+                     schema 1 or {})",
+                    allowlist::ALLOWLIST_SCHEMA
+                ));
+            }
+        }
     }
 
     // Suppression marks, parallel to each file's diagnostics vector.
-    let mut taken: BTreeMap<String, Vec<bool>> =
-        per_file.iter().map(|(p, (d, _))| (p.clone(), vec![false; d.len()])).collect();
+    let mut taken: BTreeMap<&str, Vec<bool>> =
+        per_file.iter().map(|(p, d)| (p.as_str(), vec![false; d.diags.len()])).collect();
 
     for entry in &allow.entries {
-        let Some((diags, lexed)) = per_file.get(&entry.path) else {
+        let Some(data) = per_file.get(&entry.path) else {
             report.problems.push(format!(
                 "allowlist: entry for {} {} matches no analyzed file",
                 entry.rule, entry.path
             ));
             continue;
         };
-        let marks = taken.get_mut(&entry.path).expect("taken is keyed identically to per_file");
+        let diags = &data.diags;
+        let marks =
+            taken.get_mut(entry.path.as_str()).expect("taken is keyed identically to per_file");
         match entry.kind {
             AllowKind::Line(line) => {
+                if allow.schema >= allowlist::ALLOWLIST_SCHEMA {
+                    report.problems.push(format!(
+                        "allowlist: {} {}:{line} is line-pinned, but schema {} forbids \
+                         `line` entries — re-key it as `fingerprint = \"{}\"` (FNV-1a 64 \
+                         of the trimmed source line)",
+                        entry.rule,
+                        entry.path,
+                        allow.schema,
+                        data.lines.get(line as usize - 1).map_or_else(
+                            || "????????????????".to_string(),
+                            |l| format!("{:016x}", line_fingerprint(l))
+                        ),
+                    ));
+                }
                 let hits: Vec<usize> = diags
                     .iter()
                     .enumerate()
@@ -219,7 +343,7 @@ fn reconcile(
                 }
                 let justified = JUSTIFICATIONS
                     .iter()
-                    .any(|n| lexed.comment_near(line, JUSTIFICATION_WINDOW, n));
+                    .any(|n| data.lexed.comment_near(line, JUSTIFICATION_WINDOW, n));
                 if !justified {
                     report.problems.push(format!(
                         "allowlist: {} {}:{} has no // SAFETY: or // DETERMINISM: comment \
@@ -227,10 +351,70 @@ fn reconcile(
                         entry.rule, entry.path, line, JUSTIFICATION_WINDOW
                     ));
                 }
-                for i in hits {
-                    marks[i] = true;
-                    report.suppressed += 1;
+                suppress(&mut report, &entry.rule, marks, &hits);
+            }
+            AllowKind::Fingerprint { hash, count } => {
+                let hits: Vec<usize> = diags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| {
+                        d.rule == entry.rule
+                            && data
+                                .lines
+                                .get(d.line as usize - 1)
+                                .is_some_and(|l| line_fingerprint(l) == hash)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if hits.is_empty() {
+                    let candidates: Vec<String> = diags
+                        .iter()
+                        .filter(|d| d.rule == entry.rule)
+                        .filter_map(|d| {
+                            data.lines.get(d.line as usize - 1).map(|l| {
+                                format!("line {} = \"{:016x}\"", d.line, line_fingerprint(l))
+                            })
+                        })
+                        .collect();
+                    report.problems.push(format!(
+                        "allowlist: unused fingerprint entry {} {} \"{hash:016x}\" — no \
+                         {} diagnostic sits on a line with that content{}; remove or \
+                         re-key it",
+                        entry.rule,
+                        entry.path,
+                        entry.rule,
+                        if candidates.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" (candidates: {})", candidates.join(", "))
+                        }
+                    ));
+                    continue;
                 }
+                if hits.len() != count as usize {
+                    report.problems.push(format!(
+                        "allowlist: count drift for {} {} fingerprint \"{hash:016x}\" — \
+                         entry blesses {count} site(s) but {} line(s) with that content \
+                         fire; re-audit and update the count",
+                        entry.rule,
+                        entry.path,
+                        hits.len()
+                    ));
+                }
+                for &i in &hits {
+                    let line = diags[i].line;
+                    let justified = JUSTIFICATIONS
+                        .iter()
+                        .any(|n| data.lexed.comment_near(line, JUSTIFICATION_WINDOW, n));
+                    if !justified {
+                        report.problems.push(format!(
+                            "allowlist: {} {}:{} has no // SAFETY: or // DETERMINISM: \
+                             comment within {} lines of the fingerprinted site",
+                            entry.rule, entry.path, line, JUSTIFICATION_WINDOW
+                        ));
+                    }
+                }
+                suppress(&mut report, &entry.rule, marks, &hits);
             }
             AllowKind::Count(expected) => {
                 let hits: Vec<usize> = diags
@@ -251,8 +435,9 @@ fn reconcile(
                 }
                 if let Some(&first) = hits.first() {
                     let first_line = diags[first].line;
-                    let justified =
-                        JUSTIFICATIONS.iter().any(|n| lexed.comment_at_or_before(first_line, n));
+                    let justified = JUSTIFICATIONS
+                        .iter()
+                        .any(|n| data.lexed.comment_at_or_before(first_line, n));
                     if !justified {
                         report.problems.push(format!(
                             "allowlist: {} {} (count = {expected}) has no module-level \
@@ -262,18 +447,16 @@ fn reconcile(
                         ));
                     }
                 }
-                for i in hits {
-                    marks[i] = true;
-                    report.suppressed += 1;
-                }
+                suppress(&mut report, &entry.rule, marks, &hits);
             }
         }
     }
 
-    for (path, (diags, _)) in per_file.iter() {
-        let marks = &taken[path];
-        for (i, d) in diags.iter().enumerate() {
+    for (path, data) in per_file.iter() {
+        let marks = &taken[path.as_str()];
+        for (i, d) in data.diags.iter().enumerate() {
             if !marks[i] {
+                report.rules.entry(d.rule.to_string()).or_default().diagnostics += 1;
                 report
                     .diagnostics
                     .push(FileDiagnostic { path: path.clone(), diagnostic: d.clone() });
@@ -287,7 +470,9 @@ fn reconcile(
 }
 
 /// Schema version of the `--json` report. Bump on breaking layout changes.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+/// Version 2 added `allowlist_schema`, per-rule summaries (`rules`),
+/// `warnings`, and the D3 `chain` field on diagnostics.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Serializes the report as stable, sorted JSON (local writer; the crate is
 /// dependency-free by design).
@@ -296,27 +481,43 @@ pub fn to_json(report: &AnalysisReport, allow: &Allowlist) -> String {
     s.push_str("{\n");
     s.push_str(&format!("  \"analyze_report_version\": {REPORT_SCHEMA_VERSION},\n"));
     s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str(&format!("  \"allowlist_schema\": {},\n", allow.schema));
     s.push_str(&format!("  \"allowlist_entries\": {},\n", allow.entries.len()));
     s.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
     s.push_str(&format!("  \"clean\": {},\n", report.is_clean()));
-    s.push_str("  \"problems\": [");
-    for (i, p) in report.problems.iter().enumerate() {
+    s.push_str("  \"rules\": {");
+    for (i, (rule, summary)) in report.rules.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
-        s.push_str(&format!("\n    \"{}\"", json_escape(p)));
+        s.push_str(&format!(
+            "\n    \"{}\": {{\"diagnostics\": {}, \"suppressed\": {}}}",
+            json_escape(rule),
+            summary.diagnostics,
+            summary.suppressed
+        ));
     }
-    if !report.problems.is_empty() {
+    if !report.rules.is_empty() {
         s.push_str("\n  ");
     }
-    s.push_str("],\n");
+    s.push_str("},\n");
+    push_str_array(&mut s, "warnings", &report.warnings);
+    push_str_array(&mut s, "problems", &report.problems);
     s.push_str("  \"diagnostics\": [");
     for (i, d) in report.diagnostics.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
+        let chain = d
+            .diagnostic
+            .chain
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect::<Vec<_>>()
+            .join(", ");
         s.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"chain\": [{chain}]}}",
             d.diagnostic.rule,
             json_escape(&d.path),
             d.diagnostic.line,
@@ -328,6 +529,20 @@ pub fn to_json(report: &AnalysisReport, allow: &Allowlist) -> String {
     }
     s.push_str("]\n}\n");
     s
+}
+
+fn push_str_array(s: &mut String, key: &str, items: &[String]) {
+    s.push_str(&format!("  \"{key}\": ["));
+    for (i, p) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\"", json_escape(p)));
+    }
+    if !items.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
 }
 
 fn json_escape(s: &str) -> String {
@@ -354,6 +569,7 @@ mod tests {
     fn scopes_match_the_contract_table() {
         let graph = scope_for("crates/graph/src/csr.rs");
         assert!(graph.p1 && graph.c1 && !graph.c1_all_int && !graph.p1_index);
+        assert!(!graph.l1 && !graph.e1 && !graph.w1, "serving rules stay off the graph crate");
 
         let ingest = scope_for("crates/graph/src/io.rs");
         assert!(ingest.p1 && ingest.p1_index && ingest.c1 && ingest.c1_all_int);
@@ -372,22 +588,49 @@ mod tests {
 
         let lib_root = scope_for("crates/trace/src/lib.rs");
         assert!(lib_root.u1_root && lib_root.p1 && !lib_root.c1);
+
+        let server = scope_for("crates/serve/src/server.rs");
+        assert!(server.l1 && server.e1 && server.w1 && server.d3);
+
+        let ops_err = scope_for("crates/ops/src/error.rs");
+        assert!(ops_err.l1 && ops_err.e1 && ops_err.w1);
+
+        let serve_bin = scope_for("crates/serve/src/bin/loadtool.rs");
+        assert!(
+            serve_bin.l1 && !serve_bin.e1,
+            "binaries may unwrap but still must not hold locks across I/O"
+        );
     }
 
     #[test]
     fn json_report_is_schema_versioned_and_escaped() {
         let mut report = AnalysisReport { files_scanned: 2, ..AnalysisReport::default() };
+        report.rules.insert("P1".to_string(), RuleSummary { diagnostics: 1, suppressed: 0 });
+        report.diagnostics.push(FileDiagnostic {
+            path: "crates/x/src/a.rs".to_string(),
+            diagnostic: rules::Diagnostic::new("P1", 7, "has \"quotes\"".to_string()),
+        });
+        let json = to_json(&report, &Allowlist::default());
+        assert!(json.contains("\"analyze_report_version\": 2"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"P1\": {\"diagnostics\": 1, \"suppressed\": 0}"));
+        assert!(json.contains("\"chain\": []"));
+    }
+
+    #[test]
+    fn json_report_carries_d3_chains() {
+        let mut report = AnalysisReport::default();
         report.diagnostics.push(FileDiagnostic {
             path: "crates/x/src/a.rs".to_string(),
             diagnostic: rules::Diagnostic {
-                rule: "P1",
-                line: 7,
-                message: "has \"quotes\"".to_string(),
+                rule: "D3",
+                line: 3,
+                message: "tainted via a -> b".to_string(),
+                chain: vec!["a".to_string(), "b".to_string()],
             },
         });
         let json = to_json(&report, &Allowlist::default());
-        assert!(json.contains("\"analyze_report_version\": 1"));
-        assert!(json.contains("\\\"quotes\\\""));
-        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"chain\": [\"a\", \"b\"]"), "{json}");
     }
 }

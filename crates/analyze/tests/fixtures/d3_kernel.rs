@@ -1,0 +1,10 @@
+//! D3 fixture kernel: consumes a HashMap (so it carries base taint).
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> u32 {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.values().sum()
+}

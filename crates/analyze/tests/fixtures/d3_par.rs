@@ -1,0 +1,10 @@
+//! D3 fixture driver: fans the tainted kernel out across a rayon region.
+use rayon::prelude::*;
+
+pub fn fanout(rows: &[Vec<u32>]) -> Vec<u32> {
+    rows.par_iter().map(|r| crate::kernel::tally(r)).collect()
+}
+
+pub fn serial(rows: &[Vec<u32>]) -> Vec<u32> {
+    rows.iter().map(|r| crate::kernel::tally(r)).collect()
+}

@@ -1,0 +1,26 @@
+//! E1 fixture: unwrap/expect on lock/channel results in serving code.
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc::Sender;
+use std::sync::{Mutex, MutexGuard};
+
+pub fn positive_lock(mu: &Mutex<u32>) -> u32 {
+    *mu.lock().unwrap()
+}
+
+pub fn positive_send(tx: &Sender<u32>) {
+    tx.send(1).expect("channel closed");
+}
+
+pub fn negative_option(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn negative_no_panic(s: &str) -> u32 {
+    s.trim().parse().unwrap_or(0)
+}
+
+/// The blessed poison-recovering helper may consume the lock result.
+pub fn lock(mu: &Mutex<u32>) -> MutexGuard<'_, u32> {
+    mu.lock().unwrap()
+}

@@ -1,0 +1,26 @@
+//! W1 fixture: a wildcard arm swallows one variant's wire status.
+#![forbid(unsafe_code)]
+
+pub enum OpError {
+    BadRequest,
+    Backend,
+    Shutdown,
+}
+
+impl OpError {
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            OpError::BadRequest => 2,
+            OpError::Backend => 3,
+            OpError::Shutdown => 4,
+        }
+    }
+
+    pub fn status(&self) -> &'static str {
+        match self {
+            OpError::BadRequest => "bad-request",
+            OpError::Backend => "backend",
+            _ => "shutting-down",
+        }
+    }
+}

@@ -151,7 +151,7 @@ pub struct Engine {
     // Receivers of worker-less test engines, kept alive so queues fill
     // (and shed) instead of reporting disconnection.
     #[cfg(test)]
-    parked: Mutex<Vec<Receiver<Job>>>,
+    _parked: Mutex<Vec<Receiver<Job>>>,
 }
 
 impl Engine {
@@ -201,7 +201,7 @@ impl Engine {
             senders: Mutex::new(senders),
             workers: Mutex::new(workers),
             #[cfg(test)]
-            parked: Mutex::new(parked),
+            _parked: Mutex::new(parked),
         }
     }
 
@@ -434,6 +434,10 @@ fn append_audit(
     m.push_note("status", status);
     m.push_note("cache", if cache_hit { "hit" } else { "miss" });
     m.push_measure("wall_s", wall_s);
+    // SAFETY: this lock exists precisely to serialize the append — the
+    // audit log is a shared JSONL file and interleaved writes would corrupt
+    // it. The guard spans only this one bounded write (no socket I/O, no
+    // kernel work), and workers audit after responding to their client.
     let _held = lock(&audit.guard);
     if let Err(e) = m.append_jsonl(&audit.path) {
         eprintln!("serve: cannot append audit manifest to {}: {e}", audit.path);
